@@ -1,0 +1,69 @@
+"""Ablation: the effect of the quorum-size parameter ℓ on ε and load.
+
+DESIGN.md calls out the central design choice of the paper's construction:
+the quorum size ``q = ℓ√n`` trades load (``ℓ/√n``) against the consistency
+guarantee (``ε ≈ e^{-ℓ²}``).  This ablation sweeps ℓ for a fixed universe
+and reports, for each value, the exact ε, the closed-form bound, the load
+and the fault tolerance — making the trade-off the tables exploit explicit.
+
+Shape expectations: ε decays roughly like ``e^{-ℓ²}`` (so each +0.5 in ℓ
+buys orders of magnitude), while load only grows linearly in ℓ and fault
+tolerance degrades linearly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.epsilon_intersecting import UniformEpsilonIntersectingSystem
+
+N = 400
+ELLS = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]
+
+
+def sweep_ell():
+    rows = []
+    for ell in ELLS:
+        system = UniformEpsilonIntersectingSystem.from_ell(N, ell)
+        rows.append(
+            {
+                "ell": ell,
+                "q": system.quorum_size,
+                "epsilon": system.epsilon,
+                "bound": system.epsilon_bound(),
+                "load": system.load(),
+                "fault_tolerance": system.fault_tolerance(),
+            }
+        )
+    return rows
+
+
+def test_ablation_ell_tradeoff(benchmark, report_sink):
+    rows = benchmark(sweep_ell)
+
+    lines = [f"Ablation: ell sweep for R(n={N}, ell*sqrt(n))",
+             "   ell     q      epsilon        e^-ell^2      load   fault tol"]
+    for row in rows:
+        lines.append(
+            f"  {row['ell']:4.1f}  {row['q']:4d}   {row['epsilon']:.3e}   "
+            f"{row['bound']:.3e}   {row['load']:.3f}   {row['fault_tolerance']:5d}"
+        )
+    report_sink("\n".join(lines))
+
+    epsilons = [row["epsilon"] for row in rows]
+    loads = [row["load"] for row in rows]
+    fts = [row["fault_tolerance"] for row in rows]
+    # epsilon strictly decreasing, load strictly increasing, fault tolerance decreasing.
+    assert all(a > b for a, b in zip(epsilons, epsilons[1:]))
+    assert all(a < b for a, b in zip(loads, loads[1:]))
+    assert all(a >= b for a, b in zip(fts, fts[1:]))
+    # The closed-form bound is always valid and within a couple of orders of
+    # magnitude of the exact value in this regime.
+    for row in rows:
+        assert row["epsilon"] <= row["bound"] + 1e-12
+    # Each +1 step of ell buys at least one order of magnitude of epsilon by
+    # ell = 2 (the e^{-ell^2} decay).
+    assert epsilons[ELLS.index(3.0)] < epsilons[ELLS.index(2.0)] / 10
+    # Load grows only linearly: doubling ell doubles the load.
+    assert loads[ELLS.index(4.0)] == rows[ELLS.index(4.0)]["q"] / N
+    assert abs(loads[ELLS.index(4.0)] / loads[ELLS.index(2.0)] - 2.0) < 0.1

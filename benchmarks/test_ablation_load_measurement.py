@@ -1,0 +1,102 @@
+"""Ablation: analytical load vs. empirically measured load.
+
+The load (Definition 2.4 / 3.3) is an analytical quantity — the access
+probability of the busiest server under the access strategy.  This ablation
+drives a workload of quorum accesses through the strategies of the three
+probabilistic constructions and of the strict baselines, counts how often
+each server is actually touched, and compares the busiest server's empirical
+access rate against the closed-form load.
+
+Shape expectations: for the symmetric constructions the busiest server's
+empirical rate converges to the analytical q/n; the strict threshold
+baseline's load is several times higher; the grid sits in between; a skewed
+(non-uniform) strategy on the same set system measurably concentrates load,
+which is why the paper insists on the specified strategy being enforced.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.epsilon_intersecting import UniformEpsilonIntersectingSystem
+from repro.core.masking import ProbabilisticMaskingSystem
+from repro.core.strategy import ExplicitStrategy, UniformSubsetStrategy
+from repro.quorum.grid import GridQuorumSystem
+from repro.quorum.threshold import MajorityQuorumSystem
+from repro.simulation.client import WorkloadClient, measure_system_load
+
+N = 100
+ACCESSES = 6000
+
+
+def measure_all():
+    results = {}
+
+    plain = UniformEpsilonIntersectingSystem.for_epsilon(N, 1e-3)
+    results["probabilistic R(n,q)"] = (plain.load(), measure_system_load(plain, ACCESSES, seed=1))
+
+    masking = ProbabilisticMaskingSystem.for_epsilon(N, 4, 1e-3)
+    results["probabilistic Rk(n,q)"] = (
+        masking.load(),
+        measure_system_load(masking, ACCESSES, seed=2),
+    )
+
+    majority = MajorityQuorumSystem(N)
+    # The majority system's optimal strategy is uniform over all subsets of
+    # size ⌈(n+1)/2⌉, which UniformSubsetStrategy samples directly.
+    majority_strategy = UniformSubsetStrategy(N, majority.quorum_size)
+    results["strict threshold"] = (
+        majority.load(),
+        WorkloadClient(N, majority_strategy, random.Random(3)).run(ACCESSES),
+    )
+
+    grid = GridQuorumSystem(N)
+    grid_strategy = ExplicitStrategy(list(grid.enumerate_quorums()))
+    results["strict grid"] = (
+        grid.load(),
+        WorkloadClient(N, grid_strategy, random.Random(4)).run(ACCESSES),
+    )
+
+    # A skewed strategy over the same uniform set system: always reuse a
+    # handful of fixed quorums.  The paper's remark after Theorem 3.2 warns
+    # that deviating from the specified strategy voids the guarantees; here it
+    # also concentrates the load.
+    hot_quorums = [plain.sample_quorum(random.Random(5)) for _ in range(3)]
+    skewed = ExplicitStrategy(hot_quorums, weights=[0.6, 0.3, 0.1])
+    results["skewed strategy"] = (
+        plain.load(),
+        WorkloadClient(N, skewed, random.Random(6)).run(ACCESSES),
+    )
+    return results
+
+
+def test_ablation_load_measurement(benchmark, report_sink):
+    results = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    lines = [
+        f"Ablation: analytical vs measured load (n={N}, {ACCESSES} accesses)",
+        "  system                  analytical load   measured busiest-server rate",
+    ]
+    for name, (analytical, measurement) in results.items():
+        lines.append(f"  {name:22s}  {analytical:15.3f}   {measurement.max_load:10.3f}")
+    report_sink("\n".join(lines))
+
+    plain_analytical, plain_measured = results["probabilistic R(n,q)"]
+    assert plain_measured.max_load == pytest_approx(plain_analytical, 0.05)
+
+    threshold_analytical, threshold_measured = results["strict threshold"]
+    assert threshold_measured.max_load > 2 * plain_measured.max_load
+    assert threshold_measured.max_load == pytest_approx(threshold_analytical, 0.06)
+
+    grid_analytical, grid_measured = results["strict grid"]
+    assert grid_measured.max_load == pytest_approx(grid_analytical, 0.05)
+
+    _, skewed_measured = results["skewed strategy"]
+    # The skewed strategy hammers its hot quorums' servers far beyond q/n.
+    assert skewed_measured.max_load > 3 * plain_analytical
+
+
+def pytest_approx(value, tolerance):
+    import pytest
+
+    return pytest.approx(value, abs=tolerance)

@@ -1,0 +1,109 @@
+"""Ablation: probe complexity of finding a live quorum under crashes.
+
+The load/availability analysis assumes the client knows which servers are
+alive; in practice it probes.  Section 2.1 of the paper points at the
+Peleg-Wool probe-complexity line of work and notes it applies directly to
+the probabilistic constructions.  This ablation measures, for the uniform
+construction ``R(n, q)`` and for the strict grid and majority baselines, how
+many probes an adaptive client needs to assemble a live quorum as the crash
+probability grows.
+
+Shape expectations: for ``R(n, q)`` the expected probe count follows the
+closed form ``q (n+1)/(a+1)`` (``a`` = number of live servers), i.e. it
+stays close to ``q`` until the crash probability approaches ``1 - q/n``;
+the grid needs few probes when healthy but starts failing outright (no live
+quorum) at much smaller crash probabilities, mirroring its √n fault
+tolerance.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.epsilon_intersecting import UniformEpsilonIntersectingSystem
+from repro.quorum.grid import GridQuorumSystem
+from repro.quorum.probe import (
+    GreedyProbeStrategy,
+    UniformProbeStrategy,
+    expected_probes_uniform,
+    oracle_from_alive_set,
+)
+
+N = 100
+CRASH_PROBABILITIES = [0.0, 0.2, 0.4, 0.6, 0.8]
+TRIALS = 150
+
+
+def run_probe_sweep():
+    system = UniformEpsilonIntersectingSystem.for_epsilon(N, 1e-3)
+    uniform_probe = UniformProbeStrategy(N, system.quorum_size)
+    grid = GridQuorumSystem(N)
+    grid_probe = GreedyProbeStrategy(grid)
+    rng = random.Random(31)
+
+    rows = []
+    for p in CRASH_PROBABILITIES:
+        uniform_probes = []
+        uniform_found = 0
+        grid_probes = []
+        grid_found = 0
+        for _ in range(TRIALS):
+            alive = {server for server in range(N) if rng.random() >= p}
+            oracle = oracle_from_alive_set(alive)
+            result = uniform_probe.probe(oracle, rng)
+            uniform_probes.append(result.probes_used)
+            uniform_found += result.found
+            grid_result = grid_probe.probe(oracle)
+            grid_probes.append(grid_result.probes_used)
+            grid_found += grid_result.found
+        rows.append(
+            {
+                "p": p,
+                "uniform_mean_probes": sum(uniform_probes) / TRIALS,
+                "uniform_success": uniform_found / TRIALS,
+                "uniform_expected": expected_probes_uniform(
+                    N, system.quorum_size, max(system.quorum_size, round(N * (1 - p)))
+                ),
+                "grid_mean_probes": sum(grid_probes) / TRIALS,
+                "grid_success": grid_found / TRIALS,
+            }
+        )
+    return {"quorum_size": system.quorum_size, "rows": rows}
+
+
+def test_ablation_probe_complexity(benchmark, report_sink):
+    outcome = benchmark.pedantic(run_probe_sweep, rounds=1, iterations=1)
+    rows = outcome["rows"]
+
+    lines = [
+        f"Ablation: probe complexity under crashes (n={N}, q={outcome['quorum_size']})",
+        "     p   R(n,q) probes (mean/expected)  success   grid probes  grid success",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['p']:.1f}   {row['uniform_mean_probes']:10.1f} / {row['uniform_expected']:6.1f}"
+            f"      {row['uniform_success']:7.2f}   {row['grid_mean_probes']:11.1f}"
+            f"   {row['grid_success']:12.2f}"
+        )
+    report_sink("\n".join(lines))
+
+    # Healthy cluster: both need roughly one quorum's worth of probes and
+    # always succeed.
+    healthy = rows[0]
+    assert healthy["uniform_success"] == 1.0
+    assert healthy["uniform_mean_probes"] <= outcome["quorum_size"] + 1
+    assert healthy["grid_success"] == 1.0
+
+    # Probe counts grow with the crash probability but match the closed form
+    # for the uniform construction while quorums still exist.
+    for row in rows:
+        if row["uniform_success"] > 0.95:
+            assert abs(row["uniform_mean_probes"] - row["uniform_expected"]) <= max(
+                3.0, 0.15 * row["uniform_expected"]
+            )
+
+    # The uniform construction keeps finding quorums at p = 0.6 (its fault
+    # tolerance is Theta(n)) while the grid has mostly collapsed by then.
+    by_p = {row["p"]: row for row in rows}
+    assert by_p[0.6]["uniform_success"] > 0.95
+    assert by_p[0.6]["grid_success"] < 0.5

@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Figure 1 (failure probability, benign failures).
+
+Workload: sweep the per-server crash probability p over [0, 1] and evaluate
+the exact failure probability of (i) the ε-intersecting construction sized
+for ε ≤ 10⁻³ at n = 100 and n = 300, (ii) the strict threshold construction
+with quorums of ⌈(n+1)/2⌉, and (iii) the lower bound achievable by any
+strict quorum system on ≤ 300 servers (majority below p = 1/2, singleton
+above).
+
+Shape expectations from the paper: the probabilistic construction decisively
+beats the strict threshold construction at moderate p, and for
+1/2 ≤ p ≤ 1 − ℓ/√n it even beats the strict lower bound (every strict
+system has Fp ≥ p there), with the advantage growing with n.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import default_probability_grid, figure1_curves
+from repro.experiments.report import render_figure
+
+GRID = default_probability_grid(41)
+
+
+def _series(figure, prefix):
+    for label in figure.labels():
+        if label.startswith(prefix):
+            return figure.series[label]
+    raise AssertionError(f"no series with prefix {prefix!r}")
+
+
+def test_figure1_failure_probability(benchmark, report_sink):
+    figure = benchmark(figure1_curves, ps=GRID)
+
+    prob_300 = _series(figure, "probabilistic R(n=300")
+    thresh_300 = _series(figure, "strict threshold (n=300")
+    bound = _series(figure, "strict lower bound")
+
+    for index, p in enumerate(GRID):
+        # who wins: the probabilistic construction never does worse than the
+        # threshold baseline until both saturate near p = 1.
+        if 0.2 <= p <= 0.7:
+            assert prob_300[index].failure_probability <= thresh_300[index].failure_probability + 1e-12
+        # beats every strict system above p = 1/2 (until ~1 - ell/sqrt(n)).
+        if 0.5 <= p <= 0.75:
+            assert prob_300[index].failure_probability < bound[index].failure_probability
+
+    # by roughly what factor: at p = 0.5 the gap vs. the threshold system is
+    # many orders of magnitude for n = 300.
+    index_half = GRID.index(0.5)
+    assert prob_300[index_half].failure_probability < 1e-6
+    assert thresh_300[index_half].failure_probability > 1e-2
+
+    report_sink(render_figure(figure))

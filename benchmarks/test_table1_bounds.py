@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Table 1 (bounds on load and resilience).
+
+Table 1 of the paper summarises the known lower bounds on the load and the
+upper bounds on the resilience of strict, b-dissemination and b-masking
+quorum systems.  The benchmark evaluates them for every universe size used
+in Section 6 and checks the expected ordering (masking > dissemination >
+strict load bounds; dissemination resilience ceiling above masking's).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table1
+from repro.experiments.tables import (
+    PAPER_UNIVERSE_SIZES,
+    paper_byzantine_threshold,
+    table1_entries,
+)
+
+
+def regenerate_table1():
+    results = {}
+    for n in PAPER_UNIVERSE_SIZES:
+        b = paper_byzantine_threshold(n)
+        results[(n, b)] = table1_entries(n, b)
+    return results
+
+
+def test_table1_bounds(benchmark, report_sink):
+    results = benchmark(regenerate_table1)
+
+    for (n, b), entries in results.items():
+        by_kind = {entry.kind: entry for entry in entries}
+        assert (
+            by_kind["strict"].load_lower_bound
+            < by_kind["dissemination"].load_lower_bound
+            < by_kind["masking"].load_lower_bound
+        )
+        assert by_kind["dissemination"].max_resilience == (n - 1) // 3
+        assert by_kind["masking"].max_resilience == (n - 1) // 4
+
+    sample_n = 100
+    sample_b = paper_byzantine_threshold(sample_n)
+    report_sink(render_table1(results[(sample_n, sample_b)], sample_n, sample_b))

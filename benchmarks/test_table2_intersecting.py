@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table 2 (ε-intersecting vs. threshold vs. grid).
+
+Workload: for every universe size in {25, 100, 225, 400, 625, 900}, calibrate
+the smallest ``R(n, q)`` with exact ε ≤ 10⁻³ and compare its quorum size and
+fault tolerance against the strict majority-threshold and grid baselines.
+
+Shape expectations from the paper: probabilistic quorums grow like Θ(√n)
+(so they are far smaller than the ~n/2 threshold quorums), their fault
+tolerance is Θ(n) (far above the grid's √n), and the calibrated quorum size
+lands within a couple of servers of the paper's published ℓ√n.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table2
+from repro.experiments.tables import PAPER_EPSILON, table2_rows
+
+
+def test_table2_epsilon_intersecting(benchmark, report_sink):
+    rows = benchmark(table2_rows)
+
+    for row in rows:
+        assert row.epsilon <= PAPER_EPSILON
+        # who wins: the probabilistic construction has much smaller quorums
+        # than the threshold system and much better fault tolerance than both.
+        assert row.quorum_size < row.threshold_quorum_size
+        assert row.fault_tolerance > row.threshold_fault_tolerance
+        assert row.fault_tolerance > row.grid_fault_tolerance
+        # by roughly what factor: quorums are ~ell*sqrt(n) with ell ~ 2-2.6.
+        assert 1.5 <= row.ell <= 3.0
+        # paper-vs-measured: within two servers of the published sizing.
+        assert abs(row.quorum_size - row.paper_quorum_size) <= 2
+
+    # The threshold-vs-probabilistic quorum size gap widens with n (factor ~6 at n=900).
+    largest = rows[-1]
+    assert largest.threshold_quorum_size / largest.quorum_size > 4
+
+    report_sink(render_table2(rows))

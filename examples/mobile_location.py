@@ -1,0 +1,120 @@
+"""End-to-end example: mobile-device location tracking (Section 1.1).
+
+A fleet of phones moves between cells; each movement updates a replicated
+location variable spread over location stores with an ε-intersecting quorum
+system.  Callers look devices up with quorum reads.  The application
+tolerates *stale* answers (the old cell forwards the caller) but not *no*
+answer — exactly the availability-over-freshness trade-off the paper argues
+probabilistic quorums fit.
+
+The example measures, for the same workload:
+
+* the fraction of lookups that were already current;
+* the fraction that needed forwarding, and how many hops;
+* how both improve when lazy gossip diffusion runs between movements;
+* what happens when a third of the location stores crash mid-day.
+
+Run with::
+
+    python examples/mobile_location.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import UniformEpsilonIntersectingSystem
+from repro.apps import LocationService
+from repro.simulation import Cluster, FailurePlan
+
+N_STORES = 80
+N_DEVICES = 25
+MOVES_PER_DEVICE = 12
+LOOKUPS_PER_MOVE = 3
+EPSILON_TARGET = 1e-3
+CELLS = [f"cell-{i}" for i in range(30)]
+
+
+def run_day(gossip_rounds: int, crash_midday: bool, seed: int) -> dict:
+    """Simulate one day of movement and lookups; return summary statistics."""
+    rng = random.Random(seed)
+    system = UniformEpsilonIntersectingSystem.for_epsilon(N_STORES, EPSILON_TARGET)
+    cluster = Cluster(N_STORES, failure_plan=FailurePlan.none(), seed=seed)
+    service = LocationService(
+        system, cluster, gossip_fanout=3 if gossip_rounds else 0, rng=rng
+    )
+
+    devices = [f"phone-{i:03d}" for i in range(N_DEVICES)]
+    for device in devices:
+        service.update_location(device, rng.choice(CELLS))
+
+    current_answers = 0
+    forwarded_answers = 0
+    total_hops = 0
+    lost_answers = 0
+    total_lookups = 0
+
+    for step in range(MOVES_PER_DEVICE):
+        if crash_midday and step == MOVES_PER_DEVICE // 2:
+            for server in rng.sample(range(N_STORES), N_STORES // 3):
+                cluster.crash(server)
+        for device in devices:
+            service.update_location(device, rng.choice(CELLS))
+        if gossip_rounds:
+            service.run_gossip(gossip_rounds)
+        for _ in range(LOOKUPS_PER_MOVE):
+            device = rng.choice(devices)
+            answer = service.locate(device)
+            total_lookups += 1
+            if not answer.found:
+                lost_answers += 1
+            elif answer.is_current:
+                current_answers += 1
+            else:
+                forwarded_answers += 1
+                total_hops += answer.forwarding_hops
+
+    return {
+        "lookups": total_lookups,
+        "current": current_answers,
+        "forwarded": forwarded_answers,
+        "lost": lost_answers,
+        "mean_hops": total_hops / forwarded_answers if forwarded_answers else 0.0,
+        "stale_rate": service.stale_answer_rate,
+        "unanswered_rate": service.unanswered_rate,
+    }
+
+
+def describe(label: str, stats: dict) -> None:
+    print(f"\n--- {label} ---")
+    print(f"lookups performed        : {stats['lookups']}")
+    print(f"answered with current cell: {stats['current']}")
+    print(f"answered but forwarded    : {stats['forwarded']} (mean hops {stats['mean_hops']:.2f})")
+    print(f"no information at all     : {stats['lost']}")
+    print(f"stale-answer rate         : {stats['stale_rate']:.4f}")
+    print(f"unanswered rate           : {stats['unanswered_rate']:.4f}")
+
+
+def main() -> None:
+    print(
+        f"{N_DEVICES} devices over {N_STORES} location stores; quorum system "
+        f"sized for epsilon <= {EPSILON_TARGET}"
+    )
+    baseline = run_day(gossip_rounds=0, crash_midday=False, seed=7)
+    describe("quorum accesses only (no gossip, no crashes)", baseline)
+
+    gossiping = run_day(gossip_rounds=2, crash_midday=False, seed=7)
+    describe("with 2 rounds of lazy gossip after each movement", gossiping)
+
+    crashing = run_day(gossip_rounds=2, crash_midday=True, seed=7)
+    describe("with gossip and a third of the stores crashing mid-day", crashing)
+
+    print(
+        "\nEven with a third of the stores down the lookups keep finding the "
+        "devices: the construction's fault tolerance is n - q + 1, i.e. all but "
+        "a sqrt(n)-sized remnant of the stores may fail."
+    )
+
+
+if __name__ == "__main__":
+    main()

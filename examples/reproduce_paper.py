@@ -1,0 +1,33 @@
+"""Example: regenerate every table and figure of the paper in one run.
+
+A thin wrapper around :mod:`repro.experiments.runner` that prints Tables 1-4
+and Figures 1-3 exactly as the benchmark harness does, so that a reader can
+compare the regenerated rows against the published ones (the side-by-side
+record lives in EXPERIMENTS.md).
+
+Run with::
+
+    python examples/reproduce_paper.py            # everything
+    python examples/reproduce_paper.py table2     # a single artefact
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import EXPERIMENT_NAMES, run_experiment
+
+
+def main() -> int:
+    target = sys.argv[1] if len(sys.argv) > 1 else "all"
+    if target not in EXPERIMENT_NAMES:
+        print(f"unknown experiment {target!r}; choose from: {', '.join(EXPERIMENT_NAMES)}")
+        return 2
+    for report in run_experiment(target, points=41):
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Probability and combinatorics substrate used throughout the library.
+
+This subpackage contains the exact and bounded computations that the paper's
+analysis relies on:
+
+* :mod:`repro.analysis.combinatorics` — log-binomials and exact binomial /
+  hypergeometric distributions, implemented in log space so that the
+  universe sizes used in the paper's Section 6 (up to ``n = 900``) and far
+  beyond are handled without overflow.
+* :mod:`repro.analysis.intersection` — exact probabilities of the
+  intersection events that define ε-intersecting, (b,ε)-dissemination and
+  (b,ε)-masking quorum systems, together with the closed-form upper bounds
+  proved in the paper (Lemma 3.15, Lemma 4.3, Lemma 4.5, Theorem 5.10).
+* :mod:`repro.analysis.chernoff` — the Chernoff/Hoeffding machinery used in
+  Lemmas 5.7 and 5.9 and in the failure-probability analysis.
+* :mod:`repro.analysis.failure_probability` — exact and Monte-Carlo failure
+  probabilities of threshold-style systems plus the strict-quorum
+  lower-bound curve drawn in Figures 1-3.
+"""
+
+from repro.analysis.combinatorics import (
+    binomial_cdf,
+    binomial_pmf,
+    binomial_sf,
+    hypergeometric_cdf,
+    hypergeometric_mean,
+    hypergeometric_pmf,
+    hypergeometric_sf,
+    log_binomial,
+    log_factorial,
+)
+from repro.analysis.chernoff import (
+    chernoff_upper_tail,
+    chernoff_lower_tail,
+    hoeffding_binomial_tail,
+    psi_one,
+    psi_two,
+)
+from repro.analysis.repeated_access import (
+    all_attempts_miss_probability,
+    at_least_one_hit_probability,
+    attempts_needed_for_confidence,
+    epsilon_budget_per_operation,
+    expected_staleness,
+    staleness_distribution,
+    union_bound_over_operations,
+)
+from repro.analysis.intersection import (
+    dissemination_epsilon_bound,
+    dissemination_epsilon_exact,
+    intersection_epsilon_bound,
+    intersection_epsilon_exact,
+    masking_epsilon_bound,
+    masking_epsilon_exact,
+    masking_error_decomposition,
+)
+from repro.analysis.failure_probability import (
+    crash_failure_probability_uniform,
+    grid_failure_probability,
+    majority_failure_probability,
+    singleton_failure_probability,
+    strict_lower_bound_curve,
+    threshold_failure_probability,
+)
+
+__all__ = [
+    "binomial_cdf",
+    "binomial_pmf",
+    "binomial_sf",
+    "hypergeometric_cdf",
+    "hypergeometric_mean",
+    "hypergeometric_pmf",
+    "hypergeometric_sf",
+    "log_binomial",
+    "log_factorial",
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "hoeffding_binomial_tail",
+    "psi_one",
+    "psi_two",
+    "dissemination_epsilon_bound",
+    "dissemination_epsilon_exact",
+    "intersection_epsilon_bound",
+    "intersection_epsilon_exact",
+    "masking_epsilon_bound",
+    "masking_epsilon_exact",
+    "masking_error_decomposition",
+    "crash_failure_probability_uniform",
+    "grid_failure_probability",
+    "majority_failure_probability",
+    "singleton_failure_probability",
+    "strict_lower_bound_curve",
+    "threshold_failure_probability",
+    "all_attempts_miss_probability",
+    "at_least_one_hit_probability",
+    "attempts_needed_for_confidence",
+    "epsilon_budget_per_operation",
+    "expected_staleness",
+    "staleness_distribution",
+    "union_bound_over_operations",
+]

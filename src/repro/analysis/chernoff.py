@@ -1,0 +1,140 @@
+"""Chernoff/Hoeffding bounds used in the paper's analysis.
+
+The paper bounds the tails of three random variables:
+
+* ``X = |Q ∩ B|`` — how many faulty servers a random quorum touches
+  (Lemma 5.7, via a Chernoff bound on the binomial that dominates the
+  hypergeometric by Hoeffding's Theorem 4 [Hoe63]);
+* ``Y = |Q ∩ Q' \\ B|`` — how many correct, up-to-date servers a read quorum
+  shares with the preceding write quorum (Lemma 5.9);
+* the number of crashed servers in the whole universe, used for the failure
+  probability ``Fp(R(n, q)) <= exp(-2 n (1 - q/n - p)^2)`` in Sections 3.4
+  and 5.5.
+
+The bound factors ``ψ₁`` and ``ψ₂`` of Theorem 5.10 are exposed directly so
+that the masking construction and the calibration code can evaluate the
+paper's closed-form ε.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: The constant ``4e`` that splits the two Chernoff regimes in Lemma 5.7.
+FOUR_E = 4.0 * math.e
+
+
+def chernoff_upper_tail(mean: float, gamma: float) -> float:
+    """Chernoff bound ``P(X > (1 + γ) E[X])`` for a sum of Bernoulli variables.
+
+    Uses the two-regime form quoted in the paper (from Motwani & Raghavan):
+
+    * ``exp(-E[X] γ² / 4)``   when ``0 < γ <= 2e - 1``;
+    * ``2^{-(1 + γ) E[X]}``   when ``γ > 2e - 1``.
+
+    Parameters
+    ----------
+    mean:
+        ``E[X] >= 0``.
+    gamma:
+        Relative deviation ``γ > 0``.
+    """
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    if mean == 0:
+        return 1.0
+    if gamma <= 2.0 * math.e - 1.0:
+        return math.exp(-mean * gamma * gamma / 4.0)
+    return 2.0 ** (-(1.0 + gamma) * mean)
+
+
+def chernoff_lower_tail(mean: float, delta: float) -> float:
+    """Chernoff bound ``P(X < (1 - δ) E[X]) <= exp(-E[X] δ² / 2)``.
+
+    Valid for ``0 <= δ <= 1``; used in Lemma 5.9 of the paper.
+    """
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError(f"delta must lie in [0, 1], got {delta}")
+    return math.exp(-mean * delta * delta / 2.0)
+
+
+def hoeffding_binomial_tail(n: int, p: float, threshold: float) -> float:
+    """Hoeffding bound ``P(Bin(n, p) > threshold) <= exp(-2 n (t - p)^2)``.
+
+    where ``t = threshold / n >= p``.  This is the form the paper uses to
+    bound the crash failure probability of ``R(n, q)``:
+    ``Fp <= exp(-2 n (1 - q/n - p)^2)`` for ``p <= 1 - q/n``.
+
+    Returns ``1.0`` when the bound is vacuous (``threshold/n < p``).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    t = threshold / n
+    if t < p:
+        return 1.0
+    if t > 1.0:
+        return 0.0
+    return math.exp(-2.0 * n * (t - p) ** 2)
+
+
+def crash_failure_bound(n: int, quorum_size: int, p: float) -> float:
+    """The paper's Chernoff bound on ``Fp(R(n, q))``.
+
+    The uniform construction fails only if more than ``n - q`` servers crash,
+    so ``Fp <= exp(-2 n (1 - q/n - p)^2)`` for ``p <= 1 - q/n`` (Sections 3.4
+    and 5.5).  For ``p > 1 - q/n`` the bound is vacuous and ``1.0`` is
+    returned.
+    """
+    if not 0 < quorum_size <= n:
+        raise ValueError(f"quorum size must lie in (0, {n}], got {quorum_size}")
+    return hoeffding_binomial_tail(n, p, n - quorum_size)
+
+
+def psi_one(ell: float) -> float:
+    """The factor ``ψ₁(ℓ)`` of Lemma 5.7.
+
+    ``ψ₁(ℓ) = (ℓ/2 - 1)² / (4ℓ)`` for ``2 < ℓ <= 4e`` and ``1/3`` for
+    ``ℓ > 4e``.  It controls the probability that a quorum touches at least
+    ``k = q²/(2n)`` faulty servers.
+    """
+    if ell <= 2.0:
+        raise ValueError(f"psi_one requires ell > 2, got {ell}")
+    if ell <= FOUR_E:
+        return (ell / 2.0 - 1.0) ** 2 / (4.0 * ell)
+    return 1.0 / 3.0
+
+
+def psi_two(ell: float) -> float:
+    """The factor ``ψ₂(ℓ) = (ℓ - 2)² / (8 ℓ (ℓ - 1))`` of Lemma 5.9.
+
+    It controls the probability that the read quorum shares fewer than
+    ``k = q²/(2n)`` correct up-to-date servers with the write quorum.
+    """
+    if ell <= 2.0:
+        raise ValueError(f"psi_two requires ell > 2, got {ell}")
+    return (ell - 2.0) ** 2 / (8.0 * ell * (ell - 1.0))
+
+
+def masking_psi(ell: float) -> float:
+    """``min{ψ₁(ℓ), ψ₂(ℓ)}`` — the exponent factor of Theorem 5.10."""
+    return min(psi_one(ell), psi_two(ell))
+
+
+def lemma_5_7_bound(n: int, q: int, ell: float) -> float:
+    """Upper bound of Lemma 5.7: ``P(X >= k) <= exp(-ψ₁(ℓ) q² / n)``."""
+    if n <= 0 or q <= 0 or q > n:
+        raise ValueError(f"invalid n={n}, q={q}")
+    return math.exp(-psi_one(ell) * q * q / n)
+
+
+def lemma_5_9_bound(n: int, q: int, ell: float) -> float:
+    """Upper bound of Lemma 5.9: ``P(Y < k) <= exp(-ψ₂(ℓ) q² / n)``."""
+    if n <= 0 or q <= 0 or q > n:
+        raise ValueError(f"invalid n={n}, q={q}")
+    return math.exp(-psi_two(ell) * q * q / n)

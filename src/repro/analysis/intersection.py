@@ -1,0 +1,260 @@
+"""Exact and bounded intersection probabilities for uniform random quorums.
+
+These are the quantities that define the paper's three system classes:
+
+* **ε-intersecting** (Definition 3.1): ``P(Q ∩ Q' = ∅) <= ε`` for two quorums
+  drawn independently and uniformly among all subsets of size ``q``.
+* **(b,ε)-dissemination** (Definition 4.1): ``P(Q ∩ Q' ⊆ B) <= ε`` for every
+  Byzantine set ``B`` with ``|B| = b``.
+* **(b,ε)-masking** (Definition 5.1): ``P(|Q ∩ B| < k  ∧  |Q ∩ Q' \\ B| >= k)
+  >= 1 - ε`` for every ``B`` with ``|B| = b``.
+
+For each event this module provides both the *exact* probability (used to
+size the constructions in Tables 2-4, where ``ℓ`` is "chosen as small as
+possible" subject to ``ε <= 0.001``) and the *closed-form upper bound* proved
+in the paper (Lemma 3.15 for ε-intersecting, Lemmas 4.3/4.5 for
+dissemination, Theorem 5.10 for masking).
+
+The exact formulas follow from symmetry of the uniform strategy:
+
+* ``P(Q ∩ Q' = ∅) = C(n - q, q) / C(n, q)``;
+* ``P(Q ∩ Q' ⊆ B) = Σ_j P(|Q' ∩ B| = j) · C(n - (q - j), q) / C(n, q)``,
+  conditioning on how many elements of the *write* quorum fall inside ``B``;
+* the masking event factors through ``x = |Q ∩ B|`` (hypergeometric), and,
+  conditioned on ``x``, ``|Q' ∩ (Q \\ B)|`` is hypergeometric with ``q - x``
+  marked elements because ``Q'`` is drawn independently of ``Q``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.chernoff import masking_psi
+from repro.analysis.combinatorics import (
+    hypergeometric_pmf,
+    hypergeometric_sf,
+    log_binomial,
+)
+
+# ---------------------------------------------------------------------------
+# ε-intersecting systems (Section 3)
+# ---------------------------------------------------------------------------
+
+
+def _validate_universe_quorum(n: int, q: int) -> None:
+    if n <= 0:
+        raise ValueError(f"universe size must be positive, got {n}")
+    if not 0 < q <= n:
+        raise ValueError(f"quorum size must lie in (0, {n}], got {q}")
+
+
+def intersection_epsilon_exact(n: int, q: int, q2: int | None = None) -> float:
+    """Exact probability that two uniform random quorums do not intersect.
+
+    ``P(Q ∩ Q' = ∅) = C(n - q, q') / C(n, q')`` where ``|Q| = q`` and
+    ``|Q'| = q'`` (``q' = q`` by default).  This is the exact value behind
+    Lemma 3.15; the lemma's ``e^{-ℓ²}`` is an upper bound on it.
+    """
+    _validate_universe_quorum(n, q)
+    second = q if q2 is None else q2
+    _validate_universe_quorum(n, second)
+    if q + second > n:
+        return 0.0
+    log_p = log_binomial(n - q, second) - log_binomial(n, second)
+    return math.exp(log_p)
+
+
+def intersection_epsilon_bound(n: int, q: int) -> float:
+    """Lemma 3.15 upper bound ``P(Q ∩ Q' = ∅) < e^{-q²/n} = e^{-ℓ²}``."""
+    _validate_universe_quorum(n, q)
+    return math.exp(-(q * q) / n)
+
+
+def intersection_probability(n: int, q: int, q2: int | None = None) -> float:
+    """Exact probability that two uniform random quorums *do* intersect."""
+    return 1.0 - intersection_epsilon_exact(n, q, q2)
+
+
+def expected_overlap(n: int, q: int, q2: int | None = None) -> float:
+    """Expected size of the overlap of two independent uniform quorums.
+
+    ``E[|Q ∩ Q'|] = q q' / n``; for ``q = ℓ√n`` this is the ``ℓ²`` referred
+    to in Section 3.4's birthday-paradox intuition.
+    """
+    _validate_universe_quorum(n, q)
+    second = q if q2 is None else q2
+    _validate_universe_quorum(n, second)
+    return q * second / n
+
+
+# ---------------------------------------------------------------------------
+# (b, ε)-dissemination systems (Section 4)
+# ---------------------------------------------------------------------------
+
+
+def _validate_byzantine(n: int, q: int, b: int) -> None:
+    _validate_universe_quorum(n, q)
+    if not 0 <= b < n:
+        raise ValueError(f"Byzantine threshold must lie in [0, {n}), got {b}")
+
+
+def dissemination_epsilon_exact(n: int, q: int, b: int) -> float:
+    """Exact ``P(Q ∩ Q' ⊆ B)`` for a worst-case Byzantine set of size ``b``.
+
+    By symmetry of the uniform strategy the probability is the same for every
+    set ``B`` of size ``b``, so "worst case" and "any fixed ``B``" coincide.
+    Conditioning on ``j = |Q' ∩ B|`` (hypergeometric), the event becomes
+    "``Q`` misses the ``q - j`` servers of ``Q' \\ B``", whose probability is
+    ``C(n - (q - j), q) / C(n, q)``.
+    """
+    _validate_byzantine(n, q, b)
+    if b == 0:
+        return intersection_epsilon_exact(n, q)
+    log_cn_q = log_binomial(n, q)
+    total = 0.0
+    for j in range(0, min(q, b) + 1):
+        weight = hypergeometric_pmf(j, n, b, q)
+        if weight == 0.0:
+            continue
+        outside = q - j  # size of Q' \ B
+        log_miss = log_binomial(n - outside, q) - log_cn_q
+        miss = math.exp(log_miss) if log_miss != float("-inf") else 0.0
+        total += weight * miss
+    return min(1.0, total)
+
+
+def dissemination_epsilon_bound(n: int, q: int, b: int) -> float:
+    """Closed-form upper bound on ``P(Q ∩ Q' ⊆ B)`` from Lemmas 4.3 and 4.5.
+
+    For ``b <= n/3`` the paper proves the bound ``2 e^{-ℓ²/6}`` with
+    ``ℓ = q/√n`` (Lemma 4.3).  For a general fraction ``α = b/n`` with
+    ``1/3 < α < 1`` Lemma 4.5 gives
+    ``ε_α = (2 / (1 - α)) · α^{ℓ² (1 - √α) / 2}``.
+    """
+    _validate_byzantine(n, q, b)
+    ell = q / math.sqrt(n)
+    alpha = b / n
+    if alpha <= 1.0 / 3.0:
+        return min(1.0, 2.0 * math.exp(-ell * ell / 6.0))
+    if alpha >= 1.0:
+        return 1.0
+    exponent = ell * ell * (1.0 - math.sqrt(alpha)) / 2.0
+    return min(1.0, (2.0 / (1.0 - alpha)) * alpha ** exponent)
+
+
+# ---------------------------------------------------------------------------
+# (b, ε)-masking systems (Section 5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MaskingErrorDecomposition:
+    """The two failure modes of a masking read (Section 5.4).
+
+    Attributes
+    ----------
+    p_too_many_faulty:
+        ``P(|Q ∩ B| >= k)`` — the read quorum touches so many faulty servers
+        that a fabricated value could pass the threshold.
+    p_too_few_correct:
+        ``P(|Q ∩ Q' \\ B| < k)`` — the read quorum shares too few correct
+        up-to-date servers with the write quorum for the true value to pass
+        the threshold.
+    union_bound:
+        Sum of the two (the quantity bounded in Theorem 5.10).
+    exact_error:
+        Exact ``P(|Q ∩ B| >= k  ∨  |Q ∩ Q' \\ B| < k)`` accounting for the
+        (mild, favourable) dependence between the two events.
+    """
+
+    p_too_many_faulty: float
+    p_too_few_correct: float
+    union_bound: float
+    exact_error: float
+
+
+def default_masking_threshold(n: int, q: int) -> float:
+    """The paper's threshold choice ``k = q² / (2n)`` (Section 5.3)."""
+    _validate_universe_quorum(n, q)
+    return q * q / (2.0 * n)
+
+
+def masking_error_decomposition(
+    n: int, q: int, b: int, k: float | None = None
+) -> MaskingErrorDecomposition:
+    """Exact decomposition of the masking error probability.
+
+    The masking event of Definition 5.1 succeeds when ``X = |Q ∩ B| < k`` and
+    ``Y = |Q ∩ Q' \\ B| >= k``.  ``X`` is hypergeometric.  Conditioned on
+    ``X = x`` the set ``Q \\ B`` has ``q - x`` servers, and since ``Q'`` is
+    drawn independently, ``Y | X = x`` is ``Hypergeom(n, q - x, q)``.  The
+    read threshold is an integer count, so a real-valued ``k`` is applied as
+    ``count >= ceil(k)`` (equivalently ``count < k`` means
+    ``count <= ceil(k) - 1``).
+    """
+    _validate_byzantine(n, q, b)
+    if k is None:
+        k = default_masking_threshold(n, q)
+    if k <= 0:
+        raise ValueError(f"threshold k must be positive, got {k}")
+    k_int = math.ceil(k)
+
+    # P(X >= k) -- too many faulty servers in the read quorum.
+    p_x_high = hypergeometric_sf(k_int - 1, n, b, q) if b > 0 else 0.0
+
+    # Conditional structure for Y.
+    p_y_low = 0.0      # P(Y < k), marginal
+    p_success = 0.0    # P(X < k and Y >= k), exact
+    max_x = min(q, b)
+    for x in range(0, max_x + 1):
+        p_x = hypergeometric_pmf(x, n, b, q) if b > 0 else (1.0 if x == 0 else 0.0)
+        if p_x == 0.0:
+            continue
+        correct_in_q = q - x
+        p_y_ge_k = hypergeometric_sf(k_int - 1, n, correct_in_q, q)
+        p_y_low += p_x * (1.0 - p_y_ge_k)
+        if x < k:
+            p_success += p_x * p_y_ge_k
+    exact_error = max(0.0, 1.0 - p_success)
+    return MaskingErrorDecomposition(
+        p_too_many_faulty=min(1.0, p_x_high),
+        p_too_few_correct=min(1.0, p_y_low),
+        union_bound=min(1.0, p_x_high + p_y_low),
+        exact_error=min(1.0, exact_error),
+    )
+
+
+def masking_epsilon_exact(n: int, q: int, b: int, k: float | None = None) -> float:
+    """Exact masking error ``P(|Q∩B| >= k  ∨  |Q∩Q'\\B| < k)`` (Definition 5.1)."""
+    return masking_error_decomposition(n, q, b, k).exact_error
+
+
+def masking_epsilon_bound(n: int, q: int, b: int) -> float:
+    """Theorem 5.10 bound ``ε = 2 exp(-(q²/n) min{ψ₁(ℓ), ψ₂(ℓ)})`` with ``ℓ = q/b``.
+
+    Requires ``ℓ = q/b > 2`` (the regime in which the threshold
+    ``k = q²/2n`` separates the two expectations of Section 5.3).
+    """
+    _validate_byzantine(n, q, b)
+    if b == 0:
+        raise ValueError("masking bound requires b >= 1; use the intersection bound for b = 0")
+    ell = q / b
+    if ell <= 2.0:
+        raise ValueError(
+            f"Theorem 5.10 requires q/b > 2, got q={q}, b={b} (ratio {ell:.3f})"
+        )
+    return min(1.0, 2.0 * math.exp(-(q * q / n) * masking_psi(ell)))
+
+
+def masking_expectations(n: int, q: int, b: int) -> tuple[float, float]:
+    """The two expectations framing the threshold ``k`` (Eqs. 13 and 14).
+
+    Returns ``(E[X], E[Y]) = (q²/(ℓn), (q²/n)(1 - q/(ℓn)))`` where
+    ``ℓ = q/b``, i.e. ``E[X] = q b / n`` and ``E[Y] = (n - b) q² / n²``.
+    A valid threshold must lie strictly between them.
+    """
+    _validate_byzantine(n, q, b)
+    e_x = q * b / n
+    e_y = (n - b) * q * q / (n * n)
+    return e_x, e_y

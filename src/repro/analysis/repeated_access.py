@@ -1,0 +1,131 @@
+"""Repeated-access analysis: how ε compounds over sequences of operations.
+
+Single-operation guarantees (Theorems 3.2, 4.2, 5.2) bound the probability
+that *one* read misses *the last* write.  Applications care about sequences:
+
+* the voting application accepts a fraudster only if **every** one of their
+  ``r`` repeat attempts misses the lock — probability ``ε^r`` under
+  independent quorum draws ("numerous repeat attempts will be detected with
+  virtual certainty", §1.1);
+* a reader that re-reads ``r`` times (or ``r`` independent readers) misses a
+  write with probability ``ε^r``;
+* a value written once and then read after ``w`` further writes by the same
+  writer is still the *latest* relevant version only for the most recent
+  write, but the probability that a read returns a version more than ``d``
+  writes old decays geometrically in ``d`` because it must miss ``d``
+  independent write quorums.
+
+These are elementary consequences of the independence of strategy draws, but
+they are the quantities applications actually budget for, so they are
+provided (and tested against Monte-Carlo simulation) here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.exceptions import ConfigurationError
+
+
+def _validate_epsilon(epsilon: float) -> None:
+    if not 0.0 <= epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must lie in [0, 1), got {epsilon}")
+
+
+def _validate_count(count: int, name: str) -> None:
+    if count < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {count}")
+
+
+def all_attempts_miss_probability(epsilon: float, attempts: int) -> float:
+    """Probability that ``attempts`` independent quorum accesses *all* miss.
+
+    This is the voting application's repeat-fraud budget: a voter ID already
+    locked at some write quorum is reused successfully ``attempts`` times only
+    if every one of the read quorums drawn for those attempts misses the lock
+    quorum, which happens with probability ``ε^attempts``.
+    """
+    _validate_epsilon(epsilon)
+    _validate_count(attempts, "attempts")
+    if attempts == 0:
+        return 1.0
+    return epsilon ** attempts
+
+
+def at_least_one_hit_probability(epsilon: float, attempts: int) -> float:
+    """Probability that at least one of ``attempts`` accesses sees the write."""
+    return 1.0 - all_attempts_miss_probability(epsilon, attempts)
+
+
+def attempts_needed_for_confidence(epsilon: float, confidence: float) -> int:
+    """Fewest independent accesses so that a write is seen with the given confidence.
+
+    Solves ``1 - ε^r >= confidence`` for integer ``r``; returns 1 when a single
+    access already suffices and raises for a degenerate confidence of 1.0 with
+    ε > 0 (impossible with finitely many accesses).
+    """
+    _validate_epsilon(epsilon)
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must lie in (0, 1), got {confidence}")
+    if epsilon == 0.0:
+        return 1
+    needed = math.log(1.0 - confidence) / math.log(epsilon)
+    return max(1, math.ceil(needed - 1e-12))
+
+
+def staleness_distribution(epsilon: float, writes: int) -> List[float]:
+    """Distribution of how many versions behind a read lands after ``writes`` writes.
+
+    Index ``d`` of the returned list is the probability that the read returns
+    the version ``d`` writes behind the latest (``d = 0`` is fresh), under the
+    idealised model in which the read quorum hits each write quorum
+    independently with probability ``1 - ε``; the final entry (index
+    ``writes``) is the probability of returning ⊥ or the initial value, i.e.
+    missing every write quorum.
+
+    The geometric decay of this distribution is the analytic counterpart of
+    the staleness histogram measured by
+    :func:`repro.simulation.monte_carlo.estimate_staleness_distribution`.
+    """
+    _validate_epsilon(epsilon)
+    if writes < 1:
+        raise ConfigurationError(f"the write history needs at least one write, got {writes}")
+    distribution = []
+    for lag in range(writes):
+        distribution.append((epsilon ** lag) * (1.0 - epsilon))
+    distribution.append(epsilon ** writes)
+    return distribution
+
+
+def expected_staleness(epsilon: float, writes: int) -> float:
+    """Expected version lag of a read under the idealised independence model."""
+    distribution = staleness_distribution(epsilon, writes)
+    return sum(lag * probability for lag, probability in enumerate(distribution))
+
+
+def union_bound_over_operations(epsilon: float, operations: int) -> float:
+    """Union bound on *any* of ``operations`` accesses violating its guarantee.
+
+    Useful for SLO-style statements ("over a day of ``operations`` accesses,
+    the probability that *any* read is inconsistent is at most ...").  Clipped
+    at 1.
+    """
+    _validate_epsilon(epsilon)
+    _validate_count(operations, "operations")
+    return min(1.0, epsilon * operations)
+
+
+def epsilon_budget_per_operation(total_budget: float, operations: int) -> float:
+    """Largest per-operation ε that keeps the whole run within ``total_budget``.
+
+    The inverse of :func:`union_bound_over_operations`: given an end-to-end
+    inconsistency budget and an expected operation count, this is the ε a
+    construction must be calibrated to (e.g. via
+    :func:`repro.core.calibration.minimal_quorum_size_for_epsilon`).
+    """
+    if not 0.0 < total_budget < 1.0:
+        raise ConfigurationError(f"total budget must lie in (0, 1), got {total_budget}")
+    if operations < 1:
+        raise ConfigurationError(f"operation count must be positive, got {operations}")
+    return total_budget / operations

@@ -1,0 +1,208 @@
+"""Mobile-device location tracking over an ε-intersecting quorum system.
+
+Section 1.1 of the paper: a mobile device's current cell is recorded in a
+replicated variable spread over several *location stores*; the device
+updates it with a quorum protocol as it moves, and callers read it with a
+quorum protocol.  "The ability of callers to access this information, even
+at the risk of it being stale, is the primary requirement": a caller that
+receives a stale cell can be *forwarded* by that cell toward the device's
+current whereabouts, but a caller that receives nothing is stuck.
+
+:class:`LocationService` models exactly that trade-off:
+
+* each device is a single writer to its own location variable
+  (:class:`~repro.protocol.variable.ProbabilisticRegister` per device);
+* each written record carries the device's movement-sequence number, so a
+  stale answer can be *chased*: the service follows the trail of forwarding
+  pointers (each cell knows where the device went next) and reports how many
+  hops were needed — zero hops means the answer was current;
+* an optional gossip :class:`~repro.simulation.diffusion.DiffusionEngine`
+  spreads updates between moves, which drives the stale-answer rate toward
+  zero (the Section 1.1 diffusion remark).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.probabilistic import ProbabilisticQuorumSystem
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.protocol.variable import ProbabilisticRegister
+from repro.simulation.cluster import Cluster
+from repro.simulation.diffusion import DiffusionEngine
+
+
+@dataclass(frozen=True)
+class LocationAnswer:
+    """Answer to a location query.
+
+    Attributes
+    ----------
+    device_id:
+        The queried device.
+    cell:
+        The cell finally reported to the caller (``None`` if the query found
+        no information at all — the failure mode the application cannot
+        tolerate).
+    is_current:
+        Whether the *first* quorum read already returned the device's latest
+        cell.
+    forwarding_hops:
+        How many forwarding pointers had to be chased (0 when current).
+    found:
+        Whether the caller obtained any location at all.
+    """
+
+    device_id: str
+    cell: Optional[str]
+    is_current: bool
+    forwarding_hops: int
+    found: bool
+
+
+class LocationService:
+    """Quorum-replicated location registry for mobile devices.
+
+    Parameters
+    ----------
+    system:
+        The (typically ε-intersecting) quorum system used by both updates
+        and queries.
+    cluster:
+        The location-store cluster.
+    gossip_fanout:
+        When positive, a diffusion engine with this fanout is available via
+        :meth:`run_gossip` to propagate updates lazily.
+    rng:
+        Random source for quorum sampling.
+    """
+
+    def __init__(
+        self,
+        system: ProbabilisticQuorumSystem,
+        cluster: Cluster,
+        gossip_fanout: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if system.n != cluster.n:
+            raise ConfigurationError(
+                f"quorum system is over {system.n} servers but the cluster has {cluster.n}"
+            )
+        self.system = system
+        self.cluster = cluster
+        self.rng = rng or random.Random()
+        self._registers: Dict[str, ProbabilisticRegister] = {}
+        self._trajectories: Dict[str, List[str]] = {}
+        self._diffusion = (
+            DiffusionEngine(cluster, fanout=gossip_fanout, rng=self.rng)
+            if gossip_fanout > 0
+            else None
+        )
+        self.queries_answered = 0
+        self.queries_stale = 0
+        self.queries_unanswered = 0
+
+    # -- registers ---------------------------------------------------------------
+
+    @staticmethod
+    def _variable(device_id: str) -> str:
+        return f"location:{device_id}"
+
+    def _register_for(self, device_id: str) -> ProbabilisticRegister:
+        if device_id not in self._registers:
+            self._registers[device_id] = ProbabilisticRegister(
+                self.system,
+                self.cluster,
+                name=self._variable(device_id),
+                writer_id=len(self._registers) + 1,
+                rng=self.rng,
+            )
+        return self._registers[device_id]
+
+    # -- updates -----------------------------------------------------------------
+
+    def update_location(self, device_id: str, cell: str) -> None:
+        """Record that ``device_id`` has moved to ``cell`` (the device is the writer)."""
+        if not device_id or not cell:
+            raise ProtocolError("device ids and cells must be non-empty strings")
+        register = self._register_for(device_id)
+        trajectory = self._trajectories.setdefault(device_id, [])
+        sequence = len(trajectory)
+        register.write({"cell": cell, "sequence": sequence})
+        trajectory.append(cell)
+
+    def current_cell(self, device_id: str) -> Optional[str]:
+        """The device's true current cell (ground truth for tests/metrics)."""
+        trajectory = self._trajectories.get(device_id)
+        return trajectory[-1] if trajectory else None
+
+    def run_gossip(self, rounds: int = 1) -> int:
+        """Run lazy diffusion rounds over all location variables."""
+        if self._diffusion is None:
+            raise ConfigurationError(
+                "gossip is disabled; construct the service with gossip_fanout > 0"
+            )
+        variables = [self._variable(d) for d in self._registers]
+        return self._diffusion.run_rounds(rounds, variables)
+
+    # -- queries -----------------------------------------------------------------
+
+    def locate(self, device_id: str) -> LocationAnswer:
+        """Answer a caller's location query, chasing forwarding pointers if stale."""
+        register = self._registers.get(device_id)
+        trajectory = self._trajectories.get(device_id)
+        if register is None or not trajectory:
+            raise ProtocolError(f"unknown device {device_id!r}")
+        outcome = register.read()
+        self.queries_answered += 1
+        if outcome.is_empty:
+            # No location store in the read quorum knew anything: the caller
+            # cannot make progress.  This is the failure the availability
+            # analysis cares about.
+            self.queries_unanswered += 1
+            return LocationAnswer(
+                device_id=device_id,
+                cell=None,
+                is_current=False,
+                forwarding_hops=0,
+                found=False,
+            )
+        sequence = int(outcome.value["sequence"])
+        latest = len(trajectory) - 1
+        if sequence >= latest:
+            return LocationAnswer(
+                device_id=device_id,
+                cell=trajectory[latest],
+                is_current=True,
+                forwarding_hops=0,
+                found=True,
+            )
+        # Stale: the old cell forwards the caller along the device's
+        # hand-off chain until the current cell is reached.
+        self.queries_stale += 1
+        hops = latest - sequence
+        return LocationAnswer(
+            device_id=device_id,
+            cell=trajectory[latest],
+            is_current=False,
+            forwarding_hops=hops,
+            found=True,
+        )
+
+    # -- metrics -----------------------------------------------------------------
+
+    @property
+    def stale_answer_rate(self) -> float:
+        """Fraction of answered queries that needed forwarding."""
+        if self.queries_answered == 0:
+            return 0.0
+        return self.queries_stale / self.queries_answered
+
+    @property
+    def unanswered_rate(self) -> float:
+        """Fraction of queries that found no location at all."""
+        if self.queries_answered == 0:
+            return 0.0
+        return self.queries_unanswered / self.queries_answered

@@ -1,0 +1,180 @@
+"""Load lower bounds and resilience ceilings (Theorems 3.9, 5.5; Table 1).
+
+The paper proves that relaxing intersection probabilistically cannot reduce
+the load below (essentially) the strict lower bound, but *can* escape the
+load/fault-tolerance trade-off and the strict resilience ceilings.  This
+module collects:
+
+* the strict bounds summarised in Table 1 — ``L(Q) >= √(1/n)``,
+  ``√((b+1)/n)`` and ``√((2b+1)/n)`` for plain, dissemination and masking
+  systems, with resilience ceilings ``⌊(n-1)/3⌋`` and ``⌊(n-1)/4⌋`` for the
+  Byzantine variants;
+* Theorem 3.9 / Corollary 3.12 — the ε-intersecting load lower bound
+  ``max{E|Q|/n, (1-√ε)²/E|Q|} >= (1-√ε)/√n``;
+* Theorem 5.5 — the (b,ε)-masking load lower bound
+  ``((1-2ε)/(1-ε)) · b/n``;
+* helpers asserting where the paper's constructions sit relative to these
+  bounds (used by the Table 1 benchmark and by tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.exceptions import ConfigurationError
+
+
+def _validate_n(n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"universe size must be positive, got {n}")
+
+
+def _validate_epsilon(epsilon: float) -> None:
+    if not 0.0 <= epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must lie in [0, 1), got {epsilon}")
+
+
+# ---------------------------------------------------------------------------
+# Strict bounds (Table 1)
+# ---------------------------------------------------------------------------
+
+
+def strict_load_lower_bound(n: int, b: int = 0, kind: str = "strict") -> float:
+    """Load lower bound of strict systems (first row of Table 1).
+
+    ``kind`` is one of ``"strict"`` (``√(1/n)``), ``"dissemination"``
+    (``√((b+1)/n)``) or ``"masking"`` (``√((2b+1)/n)``).
+    """
+    _validate_n(n)
+    if b < 0:
+        raise ConfigurationError(f"Byzantine threshold must be non-negative, got {b}")
+    if kind == "strict":
+        return math.sqrt(1.0 / n)
+    if kind == "dissemination":
+        return math.sqrt((b + 1) / n)
+    if kind == "masking":
+        return math.sqrt((2 * b + 1) / n)
+    raise ConfigurationError(f"unknown system kind {kind!r}")
+
+
+def strict_resilience_bound(n: int, kind: str) -> Optional[int]:
+    """Resilience ceiling of strict systems (second row of Table 1).
+
+    ``⌊(n-1)/3⌋`` for dissemination systems, ``⌊(n-1)/4⌋`` for masking
+    systems; ``None`` for plain strict systems (crash fault tolerance is
+    bounded by quorum size, not by a Byzantine ceiling).
+    """
+    _validate_n(n)
+    if kind == "strict":
+        return None
+    if kind == "dissemination":
+        return (n - 1) // 3
+    if kind == "masking":
+        return (n - 1) // 4
+    raise ConfigurationError(f"unknown system kind {kind!r}")
+
+
+def naor_wool_load_bound(n: int, smallest_quorum: int) -> float:
+    """The Naor-Wool bound ``L(Q) >= max{1/c(Q), c(Q)/n}`` for strict systems."""
+    _validate_n(n)
+    if not 0 < smallest_quorum <= n:
+        raise ConfigurationError(
+            f"smallest quorum size must lie in (0, {n}], got {smallest_quorum}"
+        )
+    return max(1.0 / smallest_quorum, smallest_quorum / n)
+
+
+# ---------------------------------------------------------------------------
+# Probabilistic bounds (Theorems 3.9 and 5.5)
+# ---------------------------------------------------------------------------
+
+
+def probabilistic_load_lower_bound(
+    n: int, epsilon: float, expected_quorum_size: float
+) -> float:
+    """Theorem 3.9: ``L(⟨Q,w⟩) >= max{E|Q|/n, (1-√ε)²/E|Q|}``."""
+    _validate_n(n)
+    _validate_epsilon(epsilon)
+    if expected_quorum_size <= 0:
+        raise ConfigurationError(
+            f"expected quorum size must be positive, got {expected_quorum_size}"
+        )
+    margin = 1.0 - math.sqrt(epsilon)
+    return max(expected_quorum_size / n, margin * margin / expected_quorum_size)
+
+
+def corollary_3_12_load_bound(n: int, epsilon: float) -> float:
+    """Corollary 3.12: ``L(⟨Q,w⟩) >= (1-√ε)/√n`` for every ε-intersecting system."""
+    _validate_n(n)
+    _validate_epsilon(epsilon)
+    return (1.0 - math.sqrt(epsilon)) / math.sqrt(n)
+
+
+def masking_load_lower_bound(n: int, b: int, epsilon: float) -> float:
+    """Theorem 5.5: ``L(⟨Q,w,k⟩) >= ((1-2ε)/(1-ε)) · b/n`` for (b,ε)-masking systems."""
+    _validate_n(n)
+    _validate_epsilon(epsilon)
+    if b < 1:
+        raise ConfigurationError(f"Byzantine threshold must be at least 1, got {b}")
+    if epsilon >= 0.5:
+        # The bound degenerates to zero (or below); report zero.
+        return 0.0
+    return ((1.0 - 2.0 * epsilon) / (1.0 - epsilon)) * b / n
+
+
+def lemma_5_4_quorum_size_probability(epsilon: float) -> float:
+    """Lemma 5.4: ``P(|Q| > b) >= (1 - 2ε)/(1 - ε)`` in any (b,ε)-masking system."""
+    _validate_epsilon(epsilon)
+    if epsilon >= 0.5:
+        return 0.0
+    return (1.0 - 2.0 * epsilon) / (1.0 - epsilon)
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of the paper's Table 1, evaluated for concrete ``n`` and ``b``."""
+
+    kind: str
+    load_lower_bound: float
+    max_resilience: Optional[int]
+
+
+def table1_bounds(n: int, b: int) -> Dict[str, Table1Row]:
+    """Evaluate Table 1 for a concrete universe size and Byzantine threshold.
+
+    Returns a mapping from system kind (``"strict"``, ``"dissemination"``,
+    ``"masking"``) to its load lower bound and resilience ceiling.
+    """
+    _validate_n(n)
+    if b < 0:
+        raise ConfigurationError(f"Byzantine threshold must be non-negative, got {b}")
+    rows: Dict[str, Table1Row] = {}
+    for kind in ("strict", "dissemination", "masking"):
+        rows[kind] = Table1Row(
+            kind=kind,
+            load_lower_bound=strict_load_lower_bound(n, b, kind),
+            max_resilience=strict_resilience_bound(n, kind),
+        )
+    return rows
+
+
+def construction_beats_strict_masking_load(n: int, b: int, load: float) -> bool:
+    """Whether a measured load beats the strict masking lower bound ``√((2b+1)/n)``.
+
+    Section 5.5's headline example: for ``b = √n`` and ``ℓ = n^{1/5}`` the
+    probabilistic construction's load ``O(n^{-0.3})`` beats the strict bound
+    ``Ω(n^{-0.25})``.
+    """
+    return load < strict_load_lower_bound(n, b, "masking")
+
+
+def construction_beats_strict_dissemination_load(n: int, b: int, load: float) -> bool:
+    """Whether a measured load beats the strict dissemination bound ``√((b+1)/n)``."""
+    return load < strict_load_lower_bound(n, b, "dissemination")

@@ -1,0 +1,169 @@
+"""Sizing the constructions: smallest quorum achieving a target ε.
+
+Section 6 of the paper fixes a consistency target (ε ≤ 0.001) and chooses
+"ℓ as small as possible subject to this restriction" for every universe
+size.  This module performs that calibration against the *exact* event
+probabilities of :mod:`repro.analysis.intersection` (not the looser
+closed-form bounds), for each of the three system classes:
+
+* :func:`minimal_quorum_size_for_epsilon` — ε-intersecting systems
+  (Table 2);
+* :func:`minimal_quorum_size_for_dissemination` — (b,ε)-dissemination
+  systems (Table 3), additionally requiring ``q <= n - b`` so that the
+  fault-tolerance condition ``A(⟨Q,w⟩) > b`` of Definition 4.1 holds;
+* :func:`minimal_quorum_size_for_masking` — (b,ε)-masking systems
+  (Table 4), using the paper's threshold ``k = q²/(2n)`` unless another is
+  supplied.
+
+The exact non-intersection probability is strictly decreasing in the quorum
+size, so a binary search suffices for the first two; the masking error is
+searched linearly because the discrete threshold ``⌈q²/2n⌉`` makes it only
+piecewise monotone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.analysis.intersection import (
+    dissemination_epsilon_exact,
+    intersection_epsilon_exact,
+    masking_epsilon_exact,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _validate_epsilon(epsilon: float) -> None:
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must lie in (0, 1), got {epsilon}")
+
+
+def ell_for_quorum_size(n: int, quorum_size: int) -> float:
+    """The paper's ``ℓ`` parameter for a quorum of size ``q``: ``ℓ = q / √n``."""
+    if n < 1:
+        raise ConfigurationError(f"universe size must be positive, got {n}")
+    if not 0 < quorum_size <= n:
+        raise ConfigurationError(f"quorum size must lie in (0, {n}], got {quorum_size}")
+    return quorum_size / math.sqrt(n)
+
+
+def quorum_size_for_ell(n: int, ell: float) -> int:
+    """Quorum size ``⌈ℓ √n⌉`` for a given ``ℓ`` (rounded up to an integer)."""
+    if n < 1:
+        raise ConfigurationError(f"universe size must be positive, got {n}")
+    if ell <= 0:
+        raise ConfigurationError(f"ell must be positive, got {ell}")
+    size = math.ceil(ell * math.sqrt(n) - 1e-9)
+    if size > n:
+        raise ConfigurationError(
+            f"ell={ell} gives quorum size {size} larger than the universe ({n})"
+        )
+    return max(1, size)
+
+
+def minimal_quorum_size_for_epsilon(n: int, epsilon: float) -> int:
+    """Smallest ``q`` with ``P(Q ∩ Q' = ∅) <= ε`` for uniform size-``q`` quorums.
+
+    The probability ``C(n-q, q)/C(n, q)`` is strictly decreasing in ``q``
+    (adding a server to both quorums only helps), so binary search applies.
+    Returns at most ``⌈(n+1)/2⌉`` — beyond that quorums intersect surely.
+    """
+    if n < 1:
+        raise ConfigurationError(f"universe size must be positive, got {n}")
+    _validate_epsilon(epsilon)
+    lo, hi = 1, n // 2 + 1  # at hi, 2q > n so quorums always intersect
+    if intersection_epsilon_exact(n, hi) > epsilon:  # pragma: no cover - impossible
+        return hi
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if intersection_epsilon_exact(n, mid) <= epsilon:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def minimal_quorum_size_for_dissemination(n: int, b: int, epsilon: float) -> Optional[int]:
+    """Smallest ``q`` making ``R(n, q)`` a (b, ε)-dissemination system.
+
+    The search is over ``q <= n - b`` (so that the probabilistic fault
+    tolerance ``n - q + 1`` exceeds ``b``, as Definition 4.1 requires).
+    Returns ``None`` when no quorum size within that range achieves the
+    target — which happens for small ``n`` combined with large ``b`` and
+    tiny ε, exactly the regime the paper's remark after Theorem 4.6 warns
+    about.
+    """
+    if n < 1:
+        raise ConfigurationError(f"universe size must be positive, got {n}")
+    if not 0 <= b < n:
+        raise ConfigurationError(f"Byzantine threshold must lie in [0, {n}), got {b}")
+    _validate_epsilon(epsilon)
+    hi = n - b
+    if hi < 1:
+        return None
+    if dissemination_epsilon_exact(n, hi, b) > epsilon:
+        return None
+    lo = 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if dissemination_epsilon_exact(n, mid, b) <= epsilon:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def minimal_quorum_size_for_masking(
+    n: int,
+    b: int,
+    epsilon: float,
+    threshold: Optional[float] = None,
+) -> Optional[int]:
+    """Smallest ``q`` making ``Rk(n, q)`` a (b, ε)-masking system.
+
+    Uses the paper's threshold ``k = q²/(2n)`` when ``threshold`` is ``None``
+    (so the threshold changes with the candidate ``q``); a fixed numeric
+    threshold is used as-is for every candidate.  The exact masking error is
+    not perfectly monotone in ``q`` because the integer read threshold
+    ``⌈k⌉`` jumps, so candidates are scanned in increasing order.
+
+    The scan is limited to ``q <= n - b`` for the same fault-tolerance reason
+    as the dissemination case.  Returns ``None`` if no admissible ``q``
+    reaches the target ε.
+    """
+    if n < 1:
+        raise ConfigurationError(f"universe size must be positive, got {n}")
+    if not 1 <= b < n:
+        raise ConfigurationError(f"Byzantine threshold must lie in [1, {n}), got {b}")
+    _validate_epsilon(epsilon)
+    for q in range(1, n - b + 1):
+        k = threshold if threshold is not None else q * q / (2.0 * n)
+        if k <= 0:
+            continue
+        # The threshold must exceed b, otherwise b Byzantine servers alone can
+        # reach it and fabricate a value.
+        if k <= 0 or math.ceil(k) <= 0:
+            continue
+        if masking_epsilon_exact(n, q, b, k) <= epsilon:
+            return q
+    return None
+
+
+def minimal_ell_for_epsilon(n: int, epsilon: float) -> float:
+    """The ``ℓ`` corresponding to :func:`minimal_quorum_size_for_epsilon`."""
+    return ell_for_quorum_size(n, minimal_quorum_size_for_epsilon(n, epsilon))
+
+
+def minimal_ell_for_dissemination(n: int, b: int, epsilon: float) -> Optional[float]:
+    """The ``ℓ`` corresponding to :func:`minimal_quorum_size_for_dissemination`."""
+    q = minimal_quorum_size_for_dissemination(n, b, epsilon)
+    return None if q is None else ell_for_quorum_size(n, q)
+
+
+def minimal_ell_for_masking(
+    n: int, b: int, epsilon: float, threshold: Optional[float] = None
+) -> Optional[float]:
+    """The ``ℓ`` corresponding to :func:`minimal_quorum_size_for_masking`."""
+    q = minimal_quorum_size_for_masking(n, b, epsilon, threshold)
+    return None if q is None else ell_for_quorum_size(n, q)

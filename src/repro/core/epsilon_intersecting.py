@@ -1,0 +1,231 @@
+"""ε-intersecting quorum systems (Section 3).
+
+Definition 3.1: ``⟨Q, w⟩`` is an *ε-intersecting quorum system* if two
+quorums drawn independently according to ``w`` intersect with probability at
+least ``1 - ε``.
+
+Two classes are provided:
+
+* :class:`UniformEpsilonIntersectingSystem` — the paper's construction
+  ``R(n, q)`` (Definition 3.13): the quorums are *all* subsets of size ``q``
+  and the strategy is uniform.  With ``q = ℓ√n`` this system is
+  ``e^{-ℓ²}``-intersecting (Theorem 3.16), has optimal load ``ℓ/√n``, fault
+  tolerance ``n - ℓ√n + 1 = Θ(n)`` and failure probability ``e^{-Ω(n)}``
+  even for crash probabilities well above 1/2.
+* :class:`EpsilonIntersectingSystem` — an arbitrary explicit set system with
+  an explicit strategy; ε is computed exactly by summing
+  ``w(Q) w(Q')`` over non-intersecting pairs.  This is the class used to
+  reproduce the paper's discussion of *why* Definitions 2.5 and 2.6 must be
+  replaced in the probabilistic setting (the artificially inflated system of
+  Section 3.2).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Optional, Sequence, Set
+
+from repro.analysis.chernoff import crash_failure_bound
+from repro.analysis.failure_probability import crash_failure_probability_uniform
+from repro.analysis.intersection import (
+    expected_overlap,
+    intersection_epsilon_bound,
+    intersection_epsilon_exact,
+)
+from repro.core.calibration import (
+    ell_for_quorum_size,
+    minimal_quorum_size_for_epsilon,
+    quorum_size_for_ell,
+)
+from repro.core.probabilistic import ProbabilisticQuorumSystem
+from repro.core.strategy import ExplicitStrategy, UniformSubsetStrategy
+from repro.exceptions import ConfigurationError
+from repro.types import Quorum, ServerId
+
+
+class UniformEpsilonIntersectingSystem(ProbabilisticQuorumSystem):
+    """The paper's ``R(n, q)`` construction under the uniform strategy.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    quorum_size:
+        Quorum size ``q``.  The classmethods :meth:`from_ell` and
+        :meth:`for_epsilon` construct the system from the paper's ``ℓ``
+        parameter or from a target ε instead.
+    """
+
+    def __init__(self, n: int, quorum_size: int) -> None:
+        strategy = UniformSubsetStrategy(n, quorum_size)
+        super().__init__(n, strategy)
+        self._q = int(quorum_size)
+
+    # -- alternative constructors ------------------------------------------------
+
+    @classmethod
+    def from_ell(cls, n: int, ell: float) -> "UniformEpsilonIntersectingSystem":
+        """Build ``R(n, ⌈ℓ√n⌉)`` from the paper's ``ℓ`` parameter."""
+        return cls(n, quorum_size_for_ell(n, ell))
+
+    @classmethod
+    def for_epsilon(cls, n: int, epsilon: float) -> "UniformEpsilonIntersectingSystem":
+        """Build the smallest ``R(n, q)`` whose exact ε meets the target."""
+        return cls(n, minimal_quorum_size_for_epsilon(n, epsilon))
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def quorum_size(self) -> int:
+        """The common quorum size ``q``."""
+        return self._q
+
+    @property
+    def ell(self) -> float:
+        """The paper's ``ℓ = q / √n``."""
+        return ell_for_quorum_size(self.n, self._q)
+
+    def find_live_quorum(self, alive: Set[ServerId]) -> Optional[Quorum]:
+        live = sorted(s for s in alive if 0 <= s < self.n)
+        if len(live) < self._q:
+            return None
+        return frozenset(live[: self._q])
+
+    def expected_overlap(self) -> float:
+        """``E[|Q ∩ Q'|] = q²/n = ℓ²`` — the birthday-paradox intuition of §3.4."""
+        return expected_overlap(self.n, self._q)
+
+    # -- the probabilistic guarantee ----------------------------------------------
+
+    @property
+    def epsilon(self) -> float:
+        """Exact ``P(Q ∩ Q' = ∅) = C(n-q, q)/C(n, q)``."""
+        return intersection_epsilon_exact(self.n, self._q)
+
+    def epsilon_bound(self) -> float:
+        """Lemma 3.15 / Theorem 3.16 bound ``e^{-ℓ²}``."""
+        return intersection_epsilon_bound(self.n, self._q)
+
+    # -- quality measures ------------------------------------------------------------
+
+    def load(self) -> float:
+        """Load ``q/n = ℓ/√n`` (Definition 3.3; optimal by Corollary 3.12).
+
+        Every server lies in the same number of size-``q`` subsets, so the
+        uniform strategy induces load exactly ``q/n`` on each server.
+        """
+        return self._q / self.n
+
+    def fault_tolerance(self) -> int:
+        """Probabilistic fault tolerance ``n - q + 1`` (Definition 3.7).
+
+        The construction is symmetric, so every quorum is a high-quality
+        quorum; as long as ``q`` servers survive, some (high-quality) quorum
+        survives.
+        """
+        return self.n - self._q + 1
+
+    def failure_probability(self, p: float) -> float:
+        """Exact ``Fp = P(Bin(n, p) > n - q)`` (Definition 3.8)."""
+        return crash_failure_probability_uniform(self.n, self._q, p)
+
+    def failure_probability_bound(self, p: float) -> float:
+        """The paper's Chernoff bound ``e^{-2n(1 - q/n - p)²}`` on ``Fp``."""
+        return crash_failure_bound(self.n, self._q, p)
+
+    def describe(self) -> str:
+        return f"R(n={self.n}, q={self._q})"
+
+
+class EpsilonIntersectingSystem(ProbabilisticQuorumSystem):
+    """An arbitrary explicit set system with an explicit access strategy.
+
+    ε is the exact total probability, under two independent draws from the
+    strategy, of picking a non-intersecting pair (Definition 3.1).  The
+    probabilistic fault tolerance and failure probability follow
+    Definitions 3.7 and 3.8 via the δ-high-quality quorums machinery in
+    :mod:`repro.core.measures`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        quorums: Iterable[Iterable[int]],
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        strategy = ExplicitStrategy(quorums, weights)
+        super().__init__(n, strategy)
+        for quorum in strategy.quorums:
+            if not quorum <= frozenset(range(n)):
+                raise ConfigurationError(
+                    f"quorum {sorted(quorum)} is not contained in the universe of size {n}"
+                )
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def explicit_strategy(self) -> ExplicitStrategy:
+        """The strategy, typed as :class:`ExplicitStrategy` for convenience."""
+        strategy = self.strategy
+        assert isinstance(strategy, ExplicitStrategy)
+        return strategy
+
+    @property
+    def quorums(self):
+        """The explicit quorum tuple (the support of the strategy)."""
+        return self.explicit_strategy.quorums
+
+    @property
+    def weights(self):
+        """The normalised strategy weights."""
+        return self.explicit_strategy.weights
+
+    def find_live_quorum(self, alive: Set[ServerId]) -> Optional[Quorum]:
+        alive_set = frozenset(alive)
+        for quorum in self.quorums:
+            if quorum <= alive_set:
+                return quorum
+        return None
+
+    # -- the probabilistic guarantee ----------------------------------------------
+
+    @property
+    def epsilon(self) -> float:
+        """Exact ``P(Q ∩ Q' = ∅) = Σ_{Q ∩ Q' = ∅} w(Q) w(Q')``."""
+        from repro.core.measures import pairwise_intersection_probability
+
+        return 1.0 - pairwise_intersection_probability(self.quorums, self.weights)
+
+    def epsilon_bound(self) -> float:
+        """No closed form exists for arbitrary systems; the exact value is returned."""
+        return self.epsilon
+
+    # -- quality measures ------------------------------------------------------------
+
+    def load(self) -> float:
+        """Load induced by the given strategy (Definition 3.3)."""
+        return self.explicit_strategy.load(self.n)
+
+    def high_quality_quorums(self, delta: Optional[float] = None):
+        """The δ-high-quality quorums (Definition 3.4; δ = √ε by default)."""
+        from repro.core.measures import high_quality_quorums
+
+        return high_quality_quorums(self.quorums, self.weights, delta=delta)
+
+    def fault_tolerance(self) -> int:
+        """Probabilistic fault tolerance (Definition 3.7): transversal of the HQ quorums."""
+        from repro.core.measures import probabilistic_fault_tolerance
+
+        return probabilistic_fault_tolerance(self.quorums, self.weights, self.n)
+
+    def failure_probability(self, p: float, trials: int = 20_000, seed: int = 0) -> float:
+        """Probabilistic failure probability (Definition 3.8), Monte-Carlo estimate."""
+        from repro.core.measures import probabilistic_failure_probability
+
+        return probabilistic_failure_probability(
+            self.quorums, self.weights, self.n, p, trials=trials, seed=seed
+        )
+
+    def describe(self) -> str:
+        return f"EpsilonIntersecting(n={self.n}, |Q|={len(self.quorums)})"

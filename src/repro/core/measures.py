@@ -1,0 +1,202 @@
+"""Probabilistic quality measures (Definitions 3.3-3.8).
+
+The strict definitions of fault tolerance and failure probability break down
+for probabilistic systems: Section 3.2 of the paper shows how adding
+never-used singleton quorums can inflate the strict fault tolerance to ``n``
+without changing the consistency guarantee.  The fix is to measure only the
+*δ-high-quality quorums* — those that intersect a strategy-drawn quorum with
+probability at least ``1 - δ`` — with ``δ = √ε`` by convention
+(Definition 3.6).  Lemma 3.5 guarantees that these quorums carry at least
+``1 - ε/δ`` of the strategy's weight, so they are both well-connected and
+frequently used.
+
+This module implements that machinery for explicit systems:
+
+* :func:`pairwise_intersection_probability` — ``P(Q ∩ Q' ≠ ∅)`` under two
+  independent draws;
+* :func:`high_quality_quorums` — the δ-high-quality subfamily;
+* :func:`probabilistic_fault_tolerance` — Definition 3.7 (minimum hitting
+  set of the high-quality quorums);
+* :func:`probabilistic_failure_probability` — Definition 3.8 (probability
+  that every high-quality quorum is hit by independent crashes).
+
+The paper's uniform constructions are fully symmetric, so *all* of their
+quorums are high quality and the closed forms in
+:mod:`repro.core.epsilon_intersecting` et al. apply; these functions matter
+for hand-built or adversarial systems.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, StrategyError
+from repro.quorum.measures import minimum_hitting_set
+from repro.types import Quorum
+
+
+def _validate(quorums: Sequence[Quorum], weights: Sequence[float]) -> None:
+    if not quorums:
+        raise ConfigurationError("the system must contain at least one quorum")
+    if len(quorums) != len(weights):
+        raise StrategyError(
+            f"{len(weights)} weights supplied for {len(quorums)} quorums"
+        )
+    if any(w < -1e-12 for w in weights):
+        raise StrategyError("strategy weights must be non-negative")
+    total = sum(weights)
+    if abs(total - 1.0) > 1e-9:
+        raise StrategyError(f"strategy weights must sum to 1, got {total}")
+
+
+def pairwise_intersection_probability(
+    quorums: Sequence[Quorum], weights: Sequence[float]
+) -> float:
+    """``P(Q ∩ Q' ≠ ∅)`` for two independent draws from the strategy."""
+    _validate(quorums, weights)
+    total = 0.0
+    for first, w_first in zip(quorums, weights):
+        if w_first == 0.0:
+            continue
+        for second, w_second in zip(quorums, weights):
+            if w_second == 0.0:
+                continue
+            if first & second:
+                total += w_first * w_second
+    return min(1.0, total)
+
+
+def per_quorum_intersection_probability(
+    quorums: Sequence[Quorum], weights: Sequence[float]
+) -> List[float]:
+    """For each quorum ``Q``, the probability ``P(Q ∩ Q' ≠ ∅)`` over ``Q' ~ w``."""
+    _validate(quorums, weights)
+    results: List[float] = []
+    for first in quorums:
+        prob = sum(w for second, w in zip(quorums, weights) if first & second)
+        results.append(min(1.0, prob))
+    return results
+
+
+def high_quality_quorums(
+    quorums: Sequence[Quorum],
+    weights: Sequence[float],
+    delta: Optional[float] = None,
+) -> Tuple[Quorum, ...]:
+    """The δ-high-quality quorums of Definition 3.4.
+
+    ``R = {Q : P(Q ∩ Q' ≠ ∅) >= 1 - δ}``.  When ``delta`` is ``None`` the
+    paper's convention ``δ = √ε`` (Definition 3.6) is used, where ε is the
+    system's exact non-intersection probability.
+    """
+    _validate(quorums, weights)
+    per_quorum = per_quorum_intersection_probability(quorums, weights)
+    if delta is None:
+        epsilon = 1.0 - pairwise_intersection_probability(quorums, weights)
+        delta = math.sqrt(max(0.0, epsilon))
+    if delta < 0 or delta > 1:
+        raise ConfigurationError(f"delta must lie in [0, 1], got {delta}")
+    selected = tuple(
+        quorum
+        for quorum, prob in zip(quorums, per_quorum)
+        if prob >= 1.0 - delta - 1e-12
+    )
+    return selected
+
+
+def high_quality_weight(
+    quorums: Sequence[Quorum],
+    weights: Sequence[float],
+    delta: Optional[float] = None,
+) -> float:
+    """Total strategy weight carried by the δ-high-quality quorums.
+
+    Lemma 3.5 guarantees this is at least ``1 - ε/δ``.
+    """
+    selected = set(high_quality_quorums(quorums, weights, delta))
+    return sum(w for quorum, w in zip(quorums, weights) if quorum in selected)
+
+
+def probabilistic_fault_tolerance(
+    quorums: Sequence[Quorum],
+    weights: Sequence[float],
+    n: int,
+    delta: Optional[float] = None,
+) -> int:
+    """Probabilistic fault tolerance ``A(⟨Q, w⟩)`` of Definition 3.7.
+
+    The size of a minimum set of servers hitting *every* high-quality
+    quorum.  Unlike the strict Definition 2.5, rarely used quorums cannot
+    inflate the result because they are excluded from the high-quality
+    family.
+    """
+    selected = high_quality_quorums(quorums, weights, delta)
+    if not selected:
+        # No quorum intersects others reliably enough; the system offers no
+        # meaningful resilience.
+        return 0
+    for quorum in selected:
+        if not quorum <= frozenset(range(n)):
+            raise ConfigurationError(
+                f"quorum {sorted(quorum)} is not contained in the universe of size {n}"
+            )
+    return len(minimum_hitting_set(list(selected)))
+
+
+def probabilistic_failure_probability(
+    quorums: Sequence[Quorum],
+    weights: Sequence[float],
+    n: int,
+    p: float,
+    delta: Optional[float] = None,
+    trials: int = 20_000,
+    seed: int = 0,
+) -> float:
+    """Probabilistic failure probability ``Fp(⟨Q, w⟩)`` of Definition 3.8.
+
+    Monte-Carlo estimate of the probability that every δ-high-quality quorum
+    contains at least one crashed server, when servers crash independently
+    with probability ``p``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"crash probability must lie in [0, 1], got {p}")
+    if trials <= 0:
+        raise ConfigurationError(f"trial count must be positive, got {trials}")
+    selected = high_quality_quorums(quorums, weights, delta)
+    if not selected:
+        return 1.0
+    rng = random.Random(seed)
+    quorum_list = [tuple(sorted(q)) for q in selected]
+    failures = 0
+    for _ in range(trials):
+        alive = [rng.random() >= p for _ in range(n)]
+        if not any(all(alive[s] for s in q) for q in quorum_list):
+            failures += 1
+    return failures / trials
+
+
+def inflate_with_singletons(
+    quorums: Sequence[Quorum],
+    weights: Sequence[float],
+    n: int,
+    gamma: float = 1e-6,
+) -> Tuple[Tuple[Quorum, ...], Tuple[float, ...]]:
+    """The adversarial transformation of Section 3.2.
+
+    Adds every singleton ``{u}`` as a quorum with total weight ``γ`` spread
+    evenly, scaling the original weights by ``1 - γ``.  Under the *strict*
+    Definitions 2.5/2.6 the resulting system has fault tolerance ``n`` and
+    failure probability ``pⁿ`` — absurdly optimistic — while its consistency
+    guarantee is essentially unchanged.  The probabilistic Definitions
+    3.7/3.8 are immune: the singletons are not high quality, so the measured
+    fault tolerance and failure probability barely move.  This helper exists
+    so that tests and examples can reproduce that argument.
+    """
+    _validate(quorums, weights)
+    if not 0.0 < gamma < 1.0:
+        raise ConfigurationError(f"gamma must lie in (0, 1), got {gamma}")
+    inflated_quorums = list(quorums) + [frozenset({u}) for u in range(n)]
+    inflated_weights = [w * (1.0 - gamma) for w in weights] + [gamma / n] * n
+    return tuple(inflated_quorums), tuple(inflated_weights)

@@ -1,0 +1,67 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.experiments.tables` — Tables 1-4 (bounds; quorum size and
+  fault tolerance of the probabilistic constructions vs. the strict
+  threshold and grid baselines);
+* :mod:`repro.experiments.figures` — Figures 1-3 (failure-probability
+  curves of the probabilistic constructions vs. the strict lower bound and
+  the strict threshold constructions);
+* :mod:`repro.experiments.report` — plain-text rendering of tables and
+  curve series;
+* :mod:`repro.experiments.runner` — command line entry point
+  (``python -m repro.experiments.runner --experiment all``).
+
+The benchmark suite under ``benchmarks/`` is a thin wrapper around these
+generators; EXPERIMENTS.md records the paper-vs-measured comparison they
+produce.
+"""
+
+from repro.experiments.tables import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    Table1Entry,
+    Table2Row,
+    Table3Row,
+    Table4Row,
+    table1_entries,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+from repro.experiments.figures import (
+    FigureCurves,
+    figure1_curves,
+    figure2_curves,
+    figure3_curves,
+)
+from repro.experiments.report import (
+    render_figure,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+__all__ = [
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "Table1Entry",
+    "Table2Row",
+    "Table3Row",
+    "Table4Row",
+    "table1_entries",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "FigureCurves",
+    "figure1_curves",
+    "figure2_curves",
+    "figure3_curves",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_figure",
+]

@@ -1,0 +1,178 @@
+"""Generators for Figures 1-3: failure-probability curves.
+
+Each figure of Section 6 plots the crash failure probability ``Fp`` (y-axis)
+against the individual server crash probability ``p`` (x-axis):
+
+* **Figure 1** — the ε-intersecting construction for ``n = 100`` and
+  ``n = 300`` vs. (left) the lower bound achievable by *any* strict quorum
+  system on at most 300 servers, and (right) the strict threshold
+  construction with quorums of size ``⌈(n+1)/2⌉``;
+* **Figure 2** — the (b,ε)-dissemination construction vs. the strict
+  dissemination threshold construction (quorums of size ``⌈(n+b+1)/2⌉``),
+  with ``b = √n``;
+* **Figure 3** — the (b,ε)-masking construction vs. the strict masking
+  threshold construction (quorums of size ``⌈(n+2b+1)/2⌉``), with
+  ``b = √n``.
+
+Every probabilistic construction is calibrated to the paper's consistency
+target ε ≤ 10⁻³ before its failure probability is evaluated, exactly as the
+paper does ("Each of the probabilistic systems depicted in Figs. 1-3
+guarantees ε ≤ .001").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.failure_probability import (
+    failure_curve_uniform,
+    strict_lower_bound_curve,
+    threshold_failure_probability,
+)
+from repro.core.calibration import (
+    minimal_quorum_size_for_dissemination,
+    minimal_quorum_size_for_epsilon,
+    minimal_quorum_size_for_masking,
+)
+from repro.exceptions import ExperimentError
+from repro.quorum.byzantine import dissemination_quorum_size, masking_quorum_size
+from repro.types import FailureCurvePoint
+
+#: Universe sizes plotted in Figures 1-3.
+FIGURE_UNIVERSE_SIZES: Tuple[int, ...] = (100, 300)
+
+#: Consistency target used to size the probabilistic constructions.
+FIGURE_EPSILON: float = 1e-3
+
+
+def default_probability_grid(points: int = 41) -> List[float]:
+    """An evenly spaced grid of crash probabilities over [0, 1]."""
+    if points < 2:
+        raise ExperimentError(f"the probability grid needs at least 2 points, got {points}")
+    return [i / (points - 1) for i in range(points)]
+
+
+@dataclass
+class FigureCurves:
+    """All series of one figure, keyed by a descriptive label."""
+
+    title: str
+    epsilon: float
+    series: Dict[str, List[FailureCurvePoint]] = field(default_factory=dict)
+
+    def labels(self) -> List[str]:
+        """The series labels in insertion order."""
+        return list(self.series)
+
+    def crossover(self, label_a: str, label_b: str) -> Optional[float]:
+        """The smallest grid ``p`` at which series ``a`` falls below series ``b``.
+
+        Used to locate, for example, the crash probability beyond which the
+        probabilistic construction is strictly more available than the
+        strict threshold baseline.  Returns ``None`` if it never happens on
+        the evaluated grid.
+        """
+        curve_a = self.series[label_a]
+        curve_b = self.series[label_b]
+        for point_a, point_b in zip(curve_a, curve_b):
+            if point_a.failure_probability < point_b.failure_probability - 1e-15:
+                return point_a.p
+        return None
+
+
+def _byzantine_threshold_for_figures(n: int) -> int:
+    """The ``b = √n`` used in the Figure 2 and Figure 3 settings."""
+    return math.isqrt(n)
+
+
+def figure1_curves(
+    sizes: Sequence[int] = FIGURE_UNIVERSE_SIZES,
+    epsilon: float = FIGURE_EPSILON,
+    ps: Optional[Sequence[float]] = None,
+) -> FigureCurves:
+    """Figure 1: ε-intersecting construction vs. strict bound and threshold system."""
+    grid = list(ps) if ps is not None else default_probability_grid()
+    figure = FigureCurves(title="Figure 1: failure probability, benign failures", epsilon=epsilon)
+    reference_n = max(sizes)
+    figure.series["strict lower bound (n<=%d)" % reference_n] = strict_lower_bound_curve(
+        reference_n, grid
+    )
+    for n in sizes:
+        quorum_size = minimal_quorum_size_for_epsilon(n, epsilon)
+        figure.series[f"probabilistic R(n={n}, q={quorum_size})"] = failure_curve_uniform(
+            n, quorum_size, grid
+        )
+        threshold_size = math.ceil((n + 1) / 2)
+        figure.series[f"strict threshold (n={n}, m={threshold_size})"] = [
+            FailureCurvePoint(p, threshold_failure_probability(n, threshold_size, p))
+            for p in grid
+        ]
+    return figure
+
+
+def figure2_curves(
+    sizes: Sequence[int] = FIGURE_UNIVERSE_SIZES,
+    epsilon: float = FIGURE_EPSILON,
+    ps: Optional[Sequence[float]] = None,
+) -> FigureCurves:
+    """Figure 2: (b,ε)-dissemination construction vs. strict dissemination threshold."""
+    grid = list(ps) if ps is not None else default_probability_grid()
+    figure = FigureCurves(
+        title="Figure 2: failure probability, dissemination systems (b = sqrt(n))",
+        epsilon=epsilon,
+    )
+    reference_n = max(sizes)
+    figure.series["strict lower bound (n<=%d)" % reference_n] = strict_lower_bound_curve(
+        reference_n, grid
+    )
+    for n in sizes:
+        b = _byzantine_threshold_for_figures(n)
+        quorum_size = minimal_quorum_size_for_dissemination(n, b, epsilon)
+        if quorum_size is None:
+            raise ExperimentError(
+                f"no dissemination construction achieves epsilon={epsilon} for n={n}, b={b}"
+            )
+        figure.series[
+            f"probabilistic dissemination R(n={n}, q={quorum_size}, b={b})"
+        ] = failure_curve_uniform(n, quorum_size, grid)
+        threshold_size = dissemination_quorum_size(n, b)
+        figure.series[f"strict dissemination threshold (n={n}, m={threshold_size})"] = [
+            FailureCurvePoint(p, threshold_failure_probability(n, threshold_size, p))
+            for p in grid
+        ]
+    return figure
+
+
+def figure3_curves(
+    sizes: Sequence[int] = FIGURE_UNIVERSE_SIZES,
+    epsilon: float = FIGURE_EPSILON,
+    ps: Optional[Sequence[float]] = None,
+) -> FigureCurves:
+    """Figure 3: (b,ε)-masking construction vs. strict masking threshold."""
+    grid = list(ps) if ps is not None else default_probability_grid()
+    figure = FigureCurves(
+        title="Figure 3: failure probability, masking systems (b = sqrt(n))",
+        epsilon=epsilon,
+    )
+    reference_n = max(sizes)
+    figure.series["strict lower bound (n<=%d)" % reference_n] = strict_lower_bound_curve(
+        reference_n, grid
+    )
+    for n in sizes:
+        b = _byzantine_threshold_for_figures(n)
+        quorum_size = minimal_quorum_size_for_masking(n, b, epsilon)
+        if quorum_size is None:
+            raise ExperimentError(
+                f"no masking construction achieves epsilon={epsilon} for n={n}, b={b}"
+            )
+        figure.series[
+            f"probabilistic masking Rk(n={n}, q={quorum_size}, b={b})"
+        ] = failure_curve_uniform(n, quorum_size, grid)
+        threshold_size = masking_quorum_size(n, b)
+        figure.series[f"strict masking threshold (n={n}, m={threshold_size})"] = [
+            FailureCurvePoint(p, threshold_failure_probability(n, threshold_size, p))
+            for p in grid
+        ]
+    return figure

@@ -1,0 +1,149 @@
+"""Plain-text rendering of the regenerated tables and figures.
+
+The experiment harness and the benchmark suite print their results through
+these helpers so that the regenerated rows/series look like the paper's own
+tables and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.experiments.figures import FigureCurves
+from repro.experiments.tables import Table1Entry, Table2Row, Table3Row, Table4Row
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(cell).rjust(width) for cell, width in zip(cells, widths))
+
+
+def render_table1(entries: Iterable[Table1Entry], n: int, b: int) -> str:
+    """Render Table 1 (bounds on load and resilience) for concrete ``(n, b)``."""
+    lines = [f"Table 1 — bounds on load and resilience (n={n}, b={b})"]
+    header = ("system", "load lower bound", "max resilience")
+    widths = (16, 18, 15)
+    lines.append(_format_row(header, widths))
+    for entry in entries:
+        resilience = "n/a" if entry.max_resilience is None else str(entry.max_resilience)
+        lines.append(
+            _format_row(
+                (entry.kind, f"{entry.load_lower_bound:.4f}", resilience), widths
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_table2(rows: Iterable[Table2Row]) -> str:
+    """Render Table 2 (ε-intersecting vs. threshold vs. grid)."""
+    lines = ["Table 2 — ε-intersecting vs. strict threshold and grid (ε ≤ 1e-3)"]
+    header = (
+        "n", "ell", "quorum", "fault tol", "epsilon",
+        "thr quorum", "thr ft", "grid quorum", "grid ft", "paper ell", "paper q",
+    )
+    widths = (5, 6, 7, 10, 10, 11, 7, 12, 8, 10, 8)
+    lines.append(_format_row(header, widths))
+    for row in rows:
+        lines.append(
+            _format_row(
+                (
+                    row.n,
+                    f"{row.ell:.2f}",
+                    row.quorum_size,
+                    row.fault_tolerance,
+                    f"{row.epsilon:.1e}",
+                    row.threshold_quorum_size,
+                    row.threshold_fault_tolerance,
+                    row.grid_quorum_size,
+                    row.grid_fault_tolerance,
+                    "-" if row.paper_ell is None else f"{row.paper_ell:.2f}",
+                    "-" if row.paper_quorum_size is None else row.paper_quorum_size,
+                ),
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_table3(rows: Iterable[Table3Row]) -> str:
+    """Render Table 3 ((b,ε)-dissemination vs. strict dissemination systems)."""
+    lines = ["Table 3 — (b,ε)-dissemination vs. strict dissemination systems (ε ≤ 1e-3)"]
+    header = (
+        "n", "b", "ell", "quorum", "fault tol", "epsilon",
+        "thr quorum", "thr ft", "grid quorum", "grid ft", "paper q",
+    )
+    widths = (5, 4, 6, 7, 10, 10, 11, 7, 12, 8, 8)
+    lines.append(_format_row(header, widths))
+    for row in rows:
+        lines.append(
+            _format_row(
+                (
+                    row.n,
+                    row.b,
+                    f"{row.ell:.2f}",
+                    row.quorum_size,
+                    row.fault_tolerance,
+                    f"{row.epsilon:.1e}",
+                    row.threshold_quorum_size,
+                    row.threshold_fault_tolerance,
+                    row.grid_quorum_size,
+                    row.grid_fault_tolerance,
+                    "-" if row.paper_quorum_size is None else row.paper_quorum_size,
+                ),
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_table4(rows: Iterable[Table4Row]) -> str:
+    """Render Table 4 ((b,ε)-masking vs. strict masking systems)."""
+    lines = ["Table 4 — (b,ε)-masking vs. strict masking systems (ε ≤ 1e-3)"]
+    header = (
+        "n", "b", "ell", "quorum", "k", "fault tol", "epsilon",
+        "thr quorum", "thr ft", "grid quorum", "grid ft", "paper q",
+    )
+    widths = (5, 4, 6, 7, 4, 10, 10, 11, 7, 12, 8, 8)
+    lines.append(_format_row(header, widths))
+    for row in rows:
+        lines.append(
+            _format_row(
+                (
+                    row.n,
+                    row.b,
+                    f"{row.ell:.2f}",
+                    row.quorum_size,
+                    row.read_threshold,
+                    row.fault_tolerance,
+                    f"{row.epsilon:.1e}",
+                    row.threshold_quorum_size,
+                    row.threshold_fault_tolerance,
+                    row.grid_quorum_size,
+                    row.grid_fault_tolerance,
+                    "-" if row.paper_quorum_size is None else row.paper_quorum_size,
+                ),
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureCurves, sample_every: int = 4) -> str:
+    """Render a figure's curves as a table of ``p`` vs. per-series ``Fp`` values.
+
+    ``sample_every`` thins the probability grid so that the printed table
+    stays readable; pass 1 to print every evaluated point.
+    """
+    labels = figure.labels()
+    if not labels:
+        return figure.title + "\n(no series)"
+    lines = [figure.title, f"(all probabilistic constructions sized for ε ≤ {figure.epsilon:g})"]
+    widths = [6] + [max(14, len(label[:28])) for label in labels]
+    header = ["p"] + [label[:28] for label in labels]
+    lines.append(_format_row(header, widths))
+    grid_length = len(figure.series[labels[0]])
+    for index in range(0, grid_length, max(1, sample_every)):
+        cells: List[str] = [f"{figure.series[labels[0]][index].p:.2f}"]
+        for label in labels:
+            cells.append(f"{figure.series[label][index].failure_probability:.3e}")
+        lines.append(_format_row(cells, widths))
+    return "\n".join(lines)

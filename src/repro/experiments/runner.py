@@ -1,0 +1,140 @@
+"""Command line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.runner --experiment all
+    python -m repro.experiments.runner --experiment table2
+    python -m repro.experiments.runner --experiment figure3 --points 21
+
+Each experiment regenerates the corresponding table or figure of the paper
+and prints it in plain text (see :mod:`repro.experiments.report`).  The
+benchmark suite wraps the same generators; this runner exists so that a user
+can reproduce the paper's evaluation without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.exceptions import ExperimentError
+from repro.experiments.figures import (
+    default_probability_grid,
+    figure1_curves,
+    figure2_curves,
+    figure3_curves,
+)
+from repro.experiments.report import (
+    render_figure,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.experiments.tables import (
+    paper_byzantine_threshold,
+    table1_entries,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+
+EXPERIMENT_NAMES = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure1",
+    "figure2",
+    "figure3",
+    "all",
+)
+
+
+def run_table1(n: int = 100) -> str:
+    """Regenerate Table 1 for a representative universe size."""
+    b = paper_byzantine_threshold(n)
+    return render_table1(table1_entries(n, b), n, b)
+
+
+def run_table2() -> str:
+    """Regenerate Table 2."""
+    return render_table2(table2_rows())
+
+
+def run_table3() -> str:
+    """Regenerate Table 3."""
+    return render_table3(table3_rows())
+
+
+def run_table4() -> str:
+    """Regenerate Table 4."""
+    return render_table4(table4_rows())
+
+
+def run_figure1(points: int = 41) -> str:
+    """Regenerate Figure 1."""
+    return render_figure(figure1_curves(ps=default_probability_grid(points)))
+
+
+def run_figure2(points: int = 41) -> str:
+    """Regenerate Figure 2."""
+    return render_figure(figure2_curves(ps=default_probability_grid(points)))
+
+
+def run_figure3(points: int = 41) -> str:
+    """Regenerate Figure 3."""
+    return render_figure(figure3_curves(ps=default_probability_grid(points)))
+
+
+def run_experiment(name: str, points: int = 41) -> List[str]:
+    """Run one named experiment (or ``all``) and return the rendered reports."""
+    runners: Dict[str, Callable[[], str]] = {
+        "table1": run_table1,
+        "table2": run_table2,
+        "table3": run_table3,
+        "table4": run_table4,
+        "figure1": lambda: run_figure1(points),
+        "figure2": lambda: run_figure2(points),
+        "figure3": lambda: run_figure3(points),
+    }
+    if name == "all":
+        return [runners[key]() for key in sorted(runners)]
+    if name not in runners:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; choose from {', '.join(EXPERIMENT_NAMES)}"
+        )
+    return [runners[name]()]
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the tables and figures of 'Probabilistic Quorum Systems'.",
+    )
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        choices=EXPERIMENT_NAMES,
+        help="which table/figure to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=41,
+        help="number of crash-probability grid points for the figures (default: 41)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        reports = run_experiment(args.experiment, points=args.points)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("\n\n".join(reports))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,309 @@
+"""Generators for Tables 1-4 of the paper (Section 6 and Section 2.4).
+
+Each ``tableN_rows`` function regenerates the corresponding table:
+
+* **Table 1** — lower bounds on load and upper bounds on resilience of
+  strict, b-dissemination and b-masking quorum systems, evaluated for a
+  concrete ``(n, b)``;
+* **Table 2** — quorum size and fault tolerance of the ε-intersecting
+  construction vs. the strict threshold and grid systems, for
+  ``n ∈ {25, 100, 225, 400, 625, 900}`` and consistency target ε ≤ 10⁻³;
+* **Table 3** — the same comparison for (b,ε)-dissemination systems with
+  ``b = ⌊(√n - 1)/2⌋`` (the largest ``b`` for which all three constructions
+  in the paper's table exist);
+* **Table 4** — the same comparison for (b,ε)-masking systems.
+
+Every row reports both *our* calibration (the smallest quorum size whose
+exact ε meets the target — the library's honest reproduction) and the
+*paper's* published ``ℓ`` (``PAPER_TABLE2/3/4``), together with the exact ε
+our formulas assign to the paper's parameters, so EXPERIMENTS.md can record
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bounds import table1_bounds
+from repro.core.calibration import (
+    ell_for_quorum_size,
+    minimal_quorum_size_for_dissemination,
+    minimal_quorum_size_for_epsilon,
+    minimal_quorum_size_for_masking,
+)
+from repro.analysis.intersection import (
+    dissemination_epsilon_exact,
+    intersection_epsilon_exact,
+    masking_epsilon_exact,
+)
+from repro.exceptions import ExperimentError
+from repro.quorum.byzantine import (
+    ThresholdDisseminationQuorumSystem,
+    ThresholdMaskingQuorumSystem,
+)
+from repro.quorum.grid import (
+    GridDisseminationQuorumSystem,
+    GridMaskingQuorumSystem,
+    GridQuorumSystem,
+)
+from repro.quorum.threshold import MajorityQuorumSystem
+
+#: Universe sizes used throughout Section 6.
+PAPER_UNIVERSE_SIZES: Tuple[int, ...] = (25, 100, 225, 400, 625, 900)
+
+#: Consistency target of Section 6: every probabilistic construction achieves
+#: a guarantee of 0.999 or better.
+PAPER_EPSILON: float = 1e-3
+
+#: The ℓ values published in Table 2 (ε-intersecting construction).
+PAPER_TABLE2: Dict[int, float] = {
+    25: 1.80,
+    100: 2.20,
+    225: 2.40,
+    400: 2.45,
+    625: 2.48,
+    900: 2.50,
+}
+
+#: The ℓ values published in Table 3 ((b,ε)-dissemination construction).
+PAPER_TABLE3: Dict[int, float] = {
+    25: 2.20,
+    100: 2.40,
+    225: 2.47,
+    400: 2.50,
+    625: 2.52,
+    900: 2.57,
+}
+
+#: The ℓ values published in Table 4 ((b,ε)-masking construction).
+PAPER_TABLE4: Dict[int, float] = {
+    25: 3.00,
+    100: 3.80,
+    225: 4.27,
+    400: 4.70,
+    625: 4.92,
+    900: 5.07,
+}
+
+
+def paper_byzantine_threshold(n: int) -> int:
+    """The ``b`` used in Tables 3 and 4: ``⌊(√n - 1)/2⌋``.
+
+    The paper picks "b = (√n − 1)/2, as this is the largest b for which all
+    the constructions in the table work" (the grid constructions in
+    particular).
+    """
+    return int((math.isqrt(n) - 1) // 2)
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Entry:
+    """One column of Table 1 for a concrete ``(n, b)``."""
+
+    kind: str
+    load_lower_bound: float
+    max_resilience: Optional[int]
+
+
+def table1_entries(n: int, b: int) -> List[Table1Entry]:
+    """Evaluate Table 1 for concrete parameters (strict / dissemination / masking)."""
+    rows = table1_bounds(n, b)
+    return [
+        Table1Entry(
+            kind=kind,
+            load_lower_bound=row.load_lower_bound,
+            max_resilience=row.max_resilience,
+        )
+        for kind, row in rows.items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Table 2: ε-intersecting vs threshold vs grid
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2 plus the paper-vs-measured calibration data."""
+
+    n: int
+    ell: float
+    quorum_size: int
+    fault_tolerance: int
+    epsilon: float
+    threshold_quorum_size: int
+    threshold_fault_tolerance: int
+    grid_quorum_size: int
+    grid_fault_tolerance: int
+    paper_ell: Optional[float]
+    paper_quorum_size: Optional[int]
+    paper_epsilon: Optional[float]
+
+
+def table2_rows(
+    sizes: Sequence[int] = PAPER_UNIVERSE_SIZES,
+    epsilon: float = PAPER_EPSILON,
+) -> List[Table2Row]:
+    """Regenerate Table 2 (ε-intersecting vs. threshold vs. grid)."""
+    rows: List[Table2Row] = []
+    for n in sizes:
+        quorum_size = minimal_quorum_size_for_epsilon(n, epsilon)
+        threshold = MajorityQuorumSystem(n)
+        grid = GridQuorumSystem(n)
+        paper_ell = PAPER_TABLE2.get(n)
+        paper_q = round(paper_ell * math.sqrt(n)) if paper_ell is not None else None
+        rows.append(
+            Table2Row(
+                n=n,
+                ell=ell_for_quorum_size(n, quorum_size),
+                quorum_size=quorum_size,
+                fault_tolerance=n - quorum_size + 1,
+                epsilon=intersection_epsilon_exact(n, quorum_size),
+                threshold_quorum_size=threshold.quorum_size,
+                threshold_fault_tolerance=threshold.fault_tolerance(),
+                grid_quorum_size=grid.min_quorum_size(),
+                grid_fault_tolerance=grid.fault_tolerance(),
+                paper_ell=paper_ell,
+                paper_quorum_size=paper_q,
+                paper_epsilon=(
+                    intersection_epsilon_exact(n, paper_q) if paper_q is not None else None
+                ),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 3: (b, ε)-dissemination vs threshold vs grid
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of Table 3 plus the paper-vs-measured calibration data."""
+
+    n: int
+    b: int
+    ell: float
+    quorum_size: int
+    fault_tolerance: int
+    epsilon: float
+    threshold_quorum_size: int
+    threshold_fault_tolerance: int
+    grid_quorum_size: int
+    grid_fault_tolerance: int
+    paper_ell: Optional[float]
+    paper_quorum_size: Optional[int]
+    paper_epsilon: Optional[float]
+
+
+def table3_rows(
+    sizes: Sequence[int] = PAPER_UNIVERSE_SIZES,
+    epsilon: float = PAPER_EPSILON,
+) -> List[Table3Row]:
+    """Regenerate Table 3 ((b,ε)-dissemination vs. strict dissemination systems)."""
+    rows: List[Table3Row] = []
+    for n in sizes:
+        b = paper_byzantine_threshold(n)
+        quorum_size = minimal_quorum_size_for_dissemination(n, b, epsilon)
+        if quorum_size is None:
+            raise ExperimentError(
+                f"no dissemination construction achieves epsilon={epsilon} for n={n}, b={b}"
+            )
+        threshold = ThresholdDisseminationQuorumSystem(n, b)
+        grid = GridDisseminationQuorumSystem(n, b)
+        paper_ell = PAPER_TABLE3.get(n)
+        paper_q = round(paper_ell * math.sqrt(n)) if paper_ell is not None else None
+        rows.append(
+            Table3Row(
+                n=n,
+                b=b,
+                ell=ell_for_quorum_size(n, quorum_size),
+                quorum_size=quorum_size,
+                fault_tolerance=n - quorum_size + 1,
+                epsilon=dissemination_epsilon_exact(n, quorum_size, b),
+                threshold_quorum_size=threshold.quorum_size,
+                threshold_fault_tolerance=threshold.fault_tolerance(),
+                grid_quorum_size=grid.min_quorum_size(),
+                grid_fault_tolerance=grid.fault_tolerance(),
+                paper_ell=paper_ell,
+                paper_quorum_size=paper_q,
+                paper_epsilon=(
+                    dissemination_epsilon_exact(n, paper_q, b) if paper_q is not None else None
+                ),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 4: (b, ε)-masking vs threshold vs grid
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One row of Table 4 plus the paper-vs-measured calibration data."""
+
+    n: int
+    b: int
+    ell: float
+    quorum_size: int
+    read_threshold: int
+    fault_tolerance: int
+    epsilon: float
+    threshold_quorum_size: int
+    threshold_fault_tolerance: int
+    grid_quorum_size: int
+    grid_fault_tolerance: int
+    paper_ell: Optional[float]
+    paper_quorum_size: Optional[int]
+    paper_epsilon: Optional[float]
+
+
+def table4_rows(
+    sizes: Sequence[int] = PAPER_UNIVERSE_SIZES,
+    epsilon: float = PAPER_EPSILON,
+) -> List[Table4Row]:
+    """Regenerate Table 4 ((b,ε)-masking vs. strict masking systems)."""
+    rows: List[Table4Row] = []
+    for n in sizes:
+        b = paper_byzantine_threshold(n)
+        quorum_size = minimal_quorum_size_for_masking(n, b, epsilon)
+        if quorum_size is None:
+            raise ExperimentError(
+                f"no masking construction achieves epsilon={epsilon} for n={n}, b={b}"
+            )
+        threshold = ThresholdMaskingQuorumSystem(n, b)
+        grid = GridMaskingQuorumSystem(n, b)
+        paper_ell = PAPER_TABLE4.get(n)
+        paper_q = round(paper_ell * math.sqrt(n)) if paper_ell is not None else None
+        rows.append(
+            Table4Row(
+                n=n,
+                b=b,
+                ell=ell_for_quorum_size(n, quorum_size),
+                quorum_size=quorum_size,
+                read_threshold=math.ceil(quorum_size * quorum_size / (2.0 * n)),
+                fault_tolerance=n - quorum_size + 1,
+                epsilon=masking_epsilon_exact(n, quorum_size, b),
+                threshold_quorum_size=threshold.quorum_size,
+                threshold_fault_tolerance=threshold.fault_tolerance(),
+                grid_quorum_size=grid.min_quorum_size(),
+                grid_fault_tolerance=grid.fault_tolerance(),
+                paper_ell=paper_ell,
+                paper_quorum_size=paper_q,
+                paper_epsilon=(
+                    masking_epsilon_exact(n, paper_q, b) if paper_q is not None else None
+                ),
+            )
+        )
+    return rows

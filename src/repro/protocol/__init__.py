@@ -1,0 +1,43 @@
+"""Replicated-variable protocols built on probabilistic quorum systems.
+
+Section 3.1 of the paper gives a single-writer, multi-reader access protocol
+that approximates a *safe* variable; Sections 4 and 5 adapt the read side
+for Byzantine environments with and without self-verifying data.  This
+subpackage implements all three against the
+:class:`~repro.simulation.cluster.Cluster` facade:
+
+* :mod:`repro.protocol.timestamps` — writer-local monotone timestamps;
+* :mod:`repro.protocol.signatures` — simulated self-verifying data (keyed
+  hashes standing in for digital signatures);
+* :mod:`repro.protocol.variable` — the ε-intersecting protocol of §3.1;
+* :mod:`repro.protocol.dissemination_variable` — the verifiable-data
+  protocol of §4;
+* :mod:`repro.protocol.masking_variable` — the threshold-read protocol of
+  §5;
+* :mod:`repro.protocol.lock` — quorum-based advisory locks (the Phalanx-style
+  building block behind the §1.1 voting application);
+* :mod:`repro.protocol.write_back` — a read-repair register, the building
+  block the paper points at for constructing atomic variables.
+"""
+
+from repro.protocol.timestamps import Timestamp, TimestampGenerator
+from repro.protocol.signatures import SignatureScheme, SignedPayload
+from repro.protocol.variable import ProbabilisticRegister, ReadOutcome
+from repro.protocol.dissemination_variable import DisseminationRegister
+from repro.protocol.masking_variable import MaskingRegister
+from repro.protocol.lock import LockAttempt, QuorumLock
+from repro.protocol.write_back import WriteBackRegister
+
+__all__ = [
+    "Timestamp",
+    "TimestampGenerator",
+    "SignatureScheme",
+    "SignedPayload",
+    "ProbabilisticRegister",
+    "ReadOutcome",
+    "DisseminationRegister",
+    "MaskingRegister",
+    "QuorumLock",
+    "LockAttempt",
+    "WriteBackRegister",
+]

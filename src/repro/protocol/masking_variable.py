@@ -1,0 +1,136 @@
+"""The masking access protocol for arbitrary data (Section 5).
+
+Without self-verifying data a reader cannot tell a fabricated reply from a
+genuine one, so the read protocol requires each candidate value/timestamp
+pair to be vouched for by at least ``k`` servers of the read quorum (step 3
+of the Section 5 Read protocol), where ``k`` is the system's threshold
+(``⌈q²/2n⌉`` for the paper's ``Rk(n, q)`` construction).  Among the pairs
+that clear the threshold, the highest timestamp wins; if none does, the read
+returns ⊥.
+
+Theorem 5.2: for a read not concurrent with any write and at most ``b``
+Byzantine failures, the read returns the last written value with probability
+at least ``1 - ε``.  When it does not, the result is either stale/⊥ (too few
+up-to-date correct servers were hit) or — only if at least ``k`` faulty
+servers were hit — a fabricated value; :class:`MaskingReadOutcome` exposes
+which of these happened so the Monte-Carlo harness can track both error
+modes separately (they correspond to the two terms of Lemma 5.7/5.9).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.masking import ProbabilisticMaskingSystem
+from repro.exceptions import ProtocolError
+from repro.protocol.timestamps import Timestamp
+from repro.protocol.variable import ProbabilisticRegister, ReadOutcome, WriteOutcome
+from repro.simulation.cluster import Cluster
+from repro.simulation.server import StoredValue
+from repro.types import Quorum, ServerId
+
+
+@dataclass(frozen=True)
+class MaskingReadOutcome(ReadOutcome):
+    """A read outcome annotated with the vote count that selected the value."""
+
+    votes: int = 0
+    threshold: int = 0
+
+    @property
+    def passed_threshold(self) -> bool:
+        """Whether some value collected at least ``threshold`` matching votes."""
+        return not self.is_empty and self.votes >= self.threshold
+
+
+class MaskingRegister(ProbabilisticRegister):
+    """Single-writer register for arbitrary data over a (b,ε)-masking system.
+
+    The system must be a :class:`~repro.core.masking.ProbabilisticMaskingSystem`
+    (or expose a compatible integer ``read_threshold``), because the read
+    protocol is parameterised by the threshold ``k``.
+    """
+
+    def __init__(
+        self,
+        system: ProbabilisticMaskingSystem,
+        cluster: Cluster,
+        name: str = "x",
+        writer_id: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not hasattr(system, "read_threshold"):
+            raise ProtocolError(
+                "MaskingRegister requires a masking quorum system with a read_threshold"
+            )
+        super().__init__(system, cluster, name=name, writer_id=writer_id, rng=rng)
+
+    @property
+    def read_threshold(self) -> int:
+        """The vote count ``⌈k⌉`` a value needs to be accepted."""
+        return int(self.system.read_threshold)
+
+    # -- read -------------------------------------------------------------------
+
+    def read(self) -> MaskingReadOutcome:
+        """Threshold read (Section 5, Read): a value needs ``>= k`` matching votes."""
+        quorum = self._choose_quorum()
+        replies = self._collect(quorum)
+        self.reads_performed += 1
+        threshold = self.read_threshold
+
+        votes: Counter = Counter()
+        witnesses: Dict[Tuple[Any, Timestamp], set] = {}
+        for server, stored in replies.items():
+            if stored.timestamp is None:
+                continue
+            key = (stored.value, stored.timestamp)
+            votes[key] += 1
+            witnesses.setdefault(key, set()).add(server)
+
+        candidates = [
+            (key, count) for key, count in votes.items() if count >= threshold
+        ]
+        if not candidates:
+            return MaskingReadOutcome(
+                value=None,
+                timestamp=None,
+                quorum=quorum,
+                reporting_servers=frozenset(),
+                replies=len(replies),
+                votes=0,
+                threshold=threshold,
+            )
+        # Highest timestamp among candidates that cleared the threshold.
+        (value, timestamp), count = max(candidates, key=lambda item: item[0][1])
+        return MaskingReadOutcome(
+            value=value,
+            timestamp=timestamp,
+            quorum=quorum,
+            reporting_servers=frozenset(witnesses[(value, timestamp)]),
+            replies=len(replies),
+            votes=count,
+            threshold=threshold,
+        )
+
+    def classify_read(self, outcome: MaskingReadOutcome) -> str:
+        """Classify a read against the last local write (Monte-Carlo helper).
+
+        Returns one of ``"fresh"`` (the last written value), ``"stale"``
+        (an older value or ⊥) or ``"fabricated"`` (a value that was never
+        written — only possible when at least ``k`` Byzantine servers were
+        hit).
+        """
+        if self._last_written is None:
+            raise ProtocolError("no write has been performed yet")
+        if outcome.timestamp == self._last_written.timestamp:
+            return "fresh"
+        if outcome.is_empty or (
+            isinstance(outcome.timestamp, Timestamp)
+            and outcome.timestamp < self._last_written.timestamp
+        ):
+            return "stale"
+        return "fabricated"

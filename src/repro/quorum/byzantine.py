@@ -1,0 +1,109 @@
+"""Strict Byzantine quorum systems (Malkhi & Reiter), threshold flavour.
+
+Definition 2.7 of the paper: a set system ``Q`` is a *b-dissemination* quorum
+system if ``A(Q) > b`` and every two quorums overlap in at least ``b + 1``
+servers; it is a *b-masking* quorum system if the overlap is at least
+``2b + 1``.  The canonical threshold constructions take every subset of size
+
+* ``⌈(n + b + 1) / 2⌉`` for dissemination (requires ``b <= ⌊(n-1)/3⌋``),
+* ``⌈(n + 2b + 1) / 2⌉`` for masking (requires ``b <= ⌊(n-1)/4⌋``),
+
+which are exactly the strict baselines of Tables 3 and 4 and Figures 2 and 3.
+Both inherit the closed-form measures of
+:class:`~repro.quorum.threshold.ThresholdQuorumSystem`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+from repro.quorum.threshold import ThresholdQuorumSystem
+
+
+def dissemination_quorum_size(n: int, b: int) -> int:
+    """Quorum size ``⌈(n + b + 1)/2⌉`` of the strict b-dissemination threshold system."""
+    return math.ceil((n + b + 1) / 2)
+
+
+def masking_quorum_size(n: int, b: int) -> int:
+    """Quorum size ``⌈(n + 2b + 1)/2⌉`` of the strict b-masking threshold system."""
+    return math.ceil((n + 2 * b + 1) / 2)
+
+
+def max_dissemination_threshold(n: int) -> int:
+    """Largest ``b`` a strict dissemination system can tolerate: ``⌊(n-1)/3⌋``."""
+    return (n - 1) // 3
+
+
+def max_masking_threshold(n: int) -> int:
+    """Largest ``b`` a strict masking system can tolerate: ``⌊(n-1)/4⌋``."""
+    return (n - 1) // 4
+
+
+class ThresholdDisseminationQuorumSystem(ThresholdQuorumSystem):
+    """Strict b-dissemination threshold system.
+
+    Quorums are all subsets of size ``⌈(n+b+1)/2⌉``; two quorums overlap in at
+    least ``b + 1`` servers, so with self-verifying data a reader always sees
+    at least one correct copy of the latest write.
+
+    Raises :class:`ConfigurationError` when ``b`` exceeds the strict bound
+    ``⌊(n-1)/3⌋`` — the limitation the probabilistic construction of
+    Section 4 removes.
+    """
+
+    def __init__(self, n: int, b: int) -> None:
+        if b < 1:
+            raise ConfigurationError(f"dissemination systems require b >= 1, got {b}")
+        limit = max_dissemination_threshold(n)
+        if b > limit:
+            raise ConfigurationError(
+                f"strict dissemination systems require b <= (n-1)/3 = {limit}, got b={b}"
+            )
+        super().__init__(n, dissemination_quorum_size(n, b))
+        self.byzantine_threshold = int(b)
+
+    def min_overlap(self) -> int:
+        """Guaranteed pairwise overlap: ``2m - n >= b + 1``."""
+        return 2 * self.quorum_size - self.n
+
+    def describe(self) -> str:
+        return (
+            f"ThresholdDissemination(n={self.n}, b={self.byzantine_threshold}, "
+            f"m={self.quorum_size})"
+        )
+
+
+class ThresholdMaskingQuorumSystem(ThresholdQuorumSystem):
+    """Strict b-masking threshold system.
+
+    Quorums are all subsets of size ``⌈(n+2b+1)/2⌉``; two quorums overlap in
+    at least ``2b + 1`` servers, so correct servers out-vote Byzantine ones on
+    arbitrary (non-self-verifying) data.
+
+    Raises :class:`ConfigurationError` when ``b`` exceeds the strict bound
+    ``⌊(n-1)/4⌋`` — the limitation the probabilistic construction of
+    Section 5 removes.
+    """
+
+    def __init__(self, n: int, b: int) -> None:
+        if b < 1:
+            raise ConfigurationError(f"masking systems require b >= 1, got {b}")
+        limit = max_masking_threshold(n)
+        if b > limit:
+            raise ConfigurationError(
+                f"strict masking systems require b <= (n-1)/4 = {limit}, got b={b}"
+            )
+        super().__init__(n, masking_quorum_size(n, b))
+        self.byzantine_threshold = int(b)
+
+    def min_overlap(self) -> int:
+        """Guaranteed pairwise overlap: ``2m - n >= 2b + 1``."""
+        return 2 * self.quorum_size - self.n
+
+    def describe(self) -> str:
+        return (
+            f"ThresholdMasking(n={self.n}, b={self.byzantine_threshold}, "
+            f"m={self.quorum_size})"
+        )

@@ -1,0 +1,236 @@
+"""Crumbling-wall quorum systems (Peleg & Wool), a practical strict baseline.
+
+The paper's related-work section cites crumbling walls [PW97] among the
+"practical and efficient" strict quorum systems.  A wall arranges the ``n``
+servers in rows of (possibly different) widths; a quorum is **one full row
+plus one element from every row below it**.  Any two quorums intersect:
+take the higher of the two full rows — the other quorum contains an element
+of that row (either its own full row, or its representative element chosen
+from it).
+
+Crumbling walls interpolate between the grid (all rows equal, width √n,
+quorum size ≈ 2√n) and the majority system (a single row), and with row
+widths ≈ √n they achieve load O(1/√n) with somewhat better availability than
+the grid — which is why they make a useful third strict baseline when
+examining how far the probabilistic constructions move the trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.failure_probability import monte_carlo_failure_probability
+from repro.exceptions import ConfigurationError
+from repro.quorum.base import QuorumSystem
+from repro.types import Quorum, ServerId
+
+
+def near_square_row_widths(n: int) -> List[int]:
+    """A default wall layout: rows of width ≈ √n covering all ``n`` servers.
+
+    The last row absorbs the remainder, so every server belongs to exactly
+    one row and no row is empty.
+    """
+    if n < 1:
+        raise ConfigurationError(f"universe size must be positive, got {n}")
+    width = max(1, round(math.sqrt(n)))
+    widths: List[int] = []
+    remaining = n
+    while remaining > 0:
+        take = min(width, remaining)
+        # Avoid a dangling 1-wide final row when possible: merge it upward.
+        if 0 < remaining - take < max(2, width // 2) and widths:
+            take = remaining
+        widths.append(take)
+        remaining -= take
+    return widths
+
+
+class CrumblingWallQuorumSystem(QuorumSystem):
+    """A crumbling wall over rows of the given widths.
+
+    Parameters
+    ----------
+    row_widths:
+        Width of each row, top to bottom; must sum to the universe size.
+        Use :func:`near_square_row_widths` (the default when ``None`` and
+        ``n`` is given) for the classic ≈√n layout.
+    n:
+        Universe size; inferred from ``row_widths`` when omitted.
+    """
+
+    def __init__(
+        self,
+        row_widths: Optional[Sequence[int]] = None,
+        n: Optional[int] = None,
+    ) -> None:
+        if row_widths is None:
+            if n is None:
+                raise ConfigurationError("provide either row widths or a universe size")
+            row_widths = near_square_row_widths(n)
+        widths = [int(w) for w in row_widths]
+        if not widths or any(w < 1 for w in widths):
+            raise ConfigurationError("row widths must be positive")
+        total = sum(widths)
+        if n is not None and n != total:
+            raise ConfigurationError(
+                f"row widths sum to {total} but the universe size is {n}"
+            )
+        super().__init__(total)
+        self._widths = widths
+        self._rows: List[Quorum] = []
+        start = 0
+        for width in widths:
+            self._rows.append(frozenset(range(start, start + width)))
+            start += width
+
+    # -- layout -------------------------------------------------------------------
+
+    @property
+    def row_widths(self) -> List[int]:
+        """The widths of the wall's rows, top to bottom."""
+        return list(self._widths)
+
+    @property
+    def rows(self) -> List[Quorum]:
+        """The rows themselves (top to bottom)."""
+        return list(self._rows)
+
+    def row_of(self, server: ServerId) -> int:
+        """Index of the row containing ``server``."""
+        if not 0 <= server < self.n:
+            raise ConfigurationError(f"server {server} outside the universe of size {self.n}")
+        for index, row in enumerate(self._rows):
+            if server in row:
+                return index
+        raise ConfigurationError(f"server {server} not found in any row")  # pragma: no cover
+
+    # -- structure ------------------------------------------------------------------
+
+    def min_quorum_size(self) -> int:
+        """Smallest quorum: the cheapest full row plus one element per lower row."""
+        best = None
+        for index, width in enumerate(self._widths):
+            size = width + (len(self._widths) - index - 1)
+            if best is None or size < best:
+                best = size
+        return best
+
+    def quorum_for(self, row_index: int, representatives: Sequence[ServerId]) -> Quorum:
+        """The quorum made of full row ``row_index`` plus the given lower representatives."""
+        if not 0 <= row_index < len(self._rows):
+            raise ConfigurationError(f"row index {row_index} out of range")
+        lower_rows = self._rows[row_index + 1 :]
+        reps = list(representatives)
+        if len(reps) != len(lower_rows):
+            raise ConfigurationError(
+                f"need exactly one representative for each of the {len(lower_rows)} lower rows"
+            )
+        servers: Set[ServerId] = set(self._rows[row_index])
+        for row, representative in zip(lower_rows, reps):
+            if representative not in row:
+                raise ConfigurationError(
+                    f"server {representative} is not in the expected lower row"
+                )
+            servers.add(representative)
+        return frozenset(servers)
+
+    def enumerate_quorums(self) -> Iterator[Quorum]:
+        """Enumerate quorums (exponential in the number of rows; small walls only)."""
+        import itertools
+
+        for row_index in range(len(self._rows)):
+            lower_rows = self._rows[row_index + 1 :]
+            if not lower_rows:
+                yield self._rows[row_index]
+                continue
+            for combo in itertools.product(*[sorted(row) for row in lower_rows]):
+                yield self.quorum_for(row_index, combo)
+
+    def sample_quorum(self, rng: Optional[random.Random] = None) -> Quorum:
+        """Sample a quorum: uniform row choice, uniform representatives below it.
+
+        Choosing the full row uniformly (rather than proportionally to some
+        weight) keeps the strategy simple; the load computation accounts for
+        the actual induced distribution.
+        """
+        rng = rng or random.Random()
+        row_index = rng.randrange(len(self._rows))
+        representatives = [rng.choice(sorted(row)) for row in self._rows[row_index + 1 :]]
+        return self.quorum_for(row_index, representatives)
+
+    def find_live_quorum(self, alive: Set[ServerId]) -> Optional[Quorum]:
+        alive_set = frozenset(alive)
+        for row_index, row in enumerate(self._rows):
+            if not row <= alive_set:
+                continue
+            representatives = []
+            feasible = True
+            for lower in self._rows[row_index + 1 :]:
+                live_in_row = sorted(lower & alive_set)
+                if not live_in_row:
+                    feasible = False
+                    break
+                representatives.append(live_in_row[0])
+            if feasible:
+                return self.quorum_for(row_index, representatives)
+        return None
+
+    # -- measures ---------------------------------------------------------------------
+
+    def load(self) -> float:
+        """Load induced by the uniform-row sampling strategy.
+
+        A server in row ``i`` (width ``w_i``) is accessed when its own row is
+        the chosen full row (probability ``1/r``) or when a higher row is
+        chosen and this server is picked as its row's representative
+        (probability ``(i) / (r w_i)`` summed over the ``i`` higher rows), so
+        ``l(u) = 1/r + i/(r w_i)`` for ``u`` in row ``i``; the load is the
+        maximum over rows.
+        """
+        r = len(self._rows)
+        worst = 0.0
+        for index, width in enumerate(self._widths):
+            induced = 1.0 / r + index / (r * width)
+            worst = max(worst, induced)
+        return worst
+
+    def fault_tolerance(self) -> int:
+        """``A(Q)``: size of the cheapest transversal of the wall's quorums.
+
+        Two families of transversals exist:
+
+        * one server from *every* row (``r`` servers): every quorum contains
+          some full row, hence one of the chosen servers;
+        * all of row ``i`` plus one server from every row *below* it
+          (``w_i + r - 1 - i`` servers): quorums whose full row is above ``i``
+          contain a representative of row ``i`` (fully crashed), quorums whose
+          full row is ``i`` are hit directly, and quorums whose full row is
+          below ``i`` are hit through their own full row.
+
+        The minimum over these candidates is the exact transversal size
+        (validated against the exact minimum-hitting-set computation in the
+        test suite for small walls).
+        """
+        r = len(self._widths)
+        candidates = [r]
+        for index, width in enumerate(self._widths):
+            candidates.append(width + (r - 1 - index))
+        return min(candidates)
+
+    def failure_probability(self, p: float, trials: int = 20_000, seed: int = 0) -> float:
+        """Monte-Carlo ``Fp`` (walls have no simple closed form for general layouts)."""
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"crash probability must lie in [0, 1], got {p}")
+        rng = random.Random(seed)
+        failures = 0
+        for _ in range(trials):
+            alive = {server for server in range(self.n) if rng.random() >= p}
+            if self.find_live_quorum(alive) is None:
+                failures += 1
+        return failures / trials
+
+    def describe(self) -> str:
+        return f"CrumblingWall(n={self.n}, rows={self._widths})"

@@ -1,0 +1,196 @@
+"""Probe complexity: finding a live quorum by probing servers adaptively.
+
+The load and failure-probability analyses assume a client magically knows
+which servers are alive.  In practice a client *probes* servers (cheap
+"are-you-alive" requests) until it has assembled a live quorum — the probe
+complexity studied by Peleg and Wool, which the paper's Section 2.1 notes
+"would be straightforward to apply ... to our constructions".  This module
+does exactly that for the uniform constructions and for arbitrary
+:class:`~repro.quorum.base.QuorumSystem` objects:
+
+* :class:`UniformProbeStrategy` — for ``R(n, q)`` the client probes servers
+  in uniformly random order and stops as soon as ``q`` live servers have
+  been found; the number of probes needed is a negative-hypergeometric
+  variable whose expectation is roughly ``q (n+1)/(a+1)`` when ``a`` servers
+  are alive.
+* :class:`GreedyProbeStrategy` — for structured systems (grids, explicit
+  systems) the client repeatedly checks, via
+  :meth:`~repro.quorum.base.QuorumSystem.find_live_quorum`, whether the
+  servers probed so far already contain a quorum, probing in an order that
+  favours servers appearing in many quorums.
+* :func:`expected_probes_uniform` — the closed-form expectation, used by the
+  tests and by capacity-planning callers.
+
+Both strategies report a :class:`ProbeResult` with the assembled quorum (or
+``None``) and the number of probes spent, so experiments can compare probe
+complexity across constructions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Set
+
+from repro.exceptions import ConfigurationError
+from repro.quorum.base import QuorumSystem
+from repro.types import Quorum, ServerId
+
+#: Callback answering "is this server currently alive?" for one probe.
+LivenessOracle = Callable[[ServerId], bool]
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of an adaptive probing session."""
+
+    quorum: Optional[Quorum]
+    probes_used: int
+    servers_alive: int
+    servers_probed: int
+
+    @property
+    def found(self) -> bool:
+        """Whether a live quorum was assembled."""
+        return self.quorum is not None
+
+
+def oracle_from_alive_set(alive: Iterable[ServerId]) -> LivenessOracle:
+    """Build a liveness oracle from an explicit set of alive servers."""
+    alive_set = frozenset(alive)
+    return lambda server: server in alive_set
+
+
+class UniformProbeStrategy:
+    """Random-order probing for the uniform constructions ``R(n, q)``.
+
+    Because every subset of size ``q`` is a quorum, the client needs *any*
+    ``q`` live servers; probing in uniformly random order is optimal up to
+    constants and keeps the induced load spread evenly (each server is probed
+    with the same probability), preserving the construction's load profile.
+    """
+
+    def __init__(self, n: int, quorum_size: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"universe size must be positive, got {n}")
+        if not 0 < quorum_size <= n:
+            raise ConfigurationError(f"quorum size must lie in (0, {n}], got {quorum_size}")
+        self.n = int(n)
+        self.quorum_size = int(quorum_size)
+
+    def probe(
+        self,
+        oracle: LivenessOracle,
+        rng: Optional[random.Random] = None,
+        max_probes: Optional[int] = None,
+    ) -> ProbeResult:
+        """Probe servers in random order until ``q`` live ones are found."""
+        rng = rng or random.Random()
+        limit = self.n if max_probes is None else min(max_probes, self.n)
+        order = list(range(self.n))
+        rng.shuffle(order)
+        live: List[ServerId] = []
+        probes = 0
+        for server in order:
+            if probes >= limit:
+                break
+            probes += 1
+            if oracle(server):
+                live.append(server)
+                if len(live) == self.quorum_size:
+                    return ProbeResult(
+                        quorum=frozenset(live),
+                        probes_used=probes,
+                        servers_alive=len(live),
+                        servers_probed=probes,
+                    )
+        return ProbeResult(
+            quorum=None, probes_used=probes, servers_alive=len(live), servers_probed=probes
+        )
+
+
+class GreedyProbeStrategy:
+    """Adaptive probing for arbitrary quorum systems.
+
+    Probes servers in a caller-supplied (or frequency-based) priority order
+    and, after every successful probe, asks the system whether the live
+    servers discovered so far already contain a quorum.  For structured
+    systems such as grids this terminates long before probing the whole
+    universe in the common case.
+    """
+
+    def __init__(self, system: QuorumSystem, priority: Optional[Sequence[ServerId]] = None) -> None:
+        self.system = system
+        if priority is None:
+            priority = self._frequency_order(system)
+        order = [int(s) for s in priority]
+        if sorted(order) != list(range(system.n)):
+            raise ConfigurationError(
+                "the probe priority must be a permutation of all server ids"
+            )
+        self.priority: List[ServerId] = order
+
+    @staticmethod
+    def _frequency_order(system: QuorumSystem) -> List[ServerId]:
+        """Order servers by how many quorums they appear in (most first).
+
+        Falls back to the natural order when the system cannot be enumerated
+        (for the symmetric uniform constructions every order is equivalent).
+        """
+        try:
+            counts = [0] * system.n
+            for quorum in system.enumerate_quorums():
+                for server in quorum:
+                    counts[server] += 1
+            return sorted(range(system.n), key=lambda s: counts[s], reverse=True)
+        except (NotImplementedError, ConfigurationError):
+            return list(range(system.n))
+
+    def probe(
+        self,
+        oracle: LivenessOracle,
+        max_probes: Optional[int] = None,
+    ) -> ProbeResult:
+        """Probe in priority order until a live quorum emerges (or probes run out)."""
+        limit = self.system.n if max_probes is None else min(max_probes, self.system.n)
+        live: Set[ServerId] = set()
+        probes = 0
+        for server in self.priority:
+            if probes >= limit:
+                break
+            probes += 1
+            if oracle(server):
+                live.add(server)
+                quorum = self.system.find_live_quorum(live)
+                if quorum is not None:
+                    return ProbeResult(
+                        quorum=quorum,
+                        probes_used=probes,
+                        servers_alive=len(live),
+                        servers_probed=probes,
+                    )
+        return ProbeResult(
+            quorum=None, probes_used=probes, servers_alive=len(live), servers_probed=probes
+        )
+
+
+def expected_probes_uniform(n: int, quorum_size: int, alive: int) -> float:
+    """Expected probes for :class:`UniformProbeStrategy` with ``alive`` live servers.
+
+    Probing in uniform random order, the position of the ``q``-th live server
+    among the ``n`` probes follows a negative hypergeometric distribution with
+    expectation ``q (n + 1) / (a + 1)`` where ``a`` is the number of live
+    servers.  Raises :class:`ConfigurationError` when ``alive < quorum_size``
+    (no quorum can be assembled at all).
+    """
+    if n < 1:
+        raise ConfigurationError(f"universe size must be positive, got {n}")
+    if not 0 < quorum_size <= n:
+        raise ConfigurationError(f"quorum size must lie in (0, {n}], got {quorum_size}")
+    if not 0 <= alive <= n:
+        raise ConfigurationError(f"alive count must lie in [0, {n}], got {alive}")
+    if alive < quorum_size:
+        raise ConfigurationError(
+            f"only {alive} servers are alive; a quorum needs {quorum_size}"
+        )
+    return quorum_size * (n + 1) / (alive + 1)

@@ -1,0 +1,70 @@
+"""The singleton quorum system: a single designated server.
+
+The singleton is degenerate but important: for crash probability
+``p >= 1/2`` it is the *most available* strict quorum system (failure
+probability exactly ``p``), which is why it forms one arm of the strict
+lower-bound curve in Figures 1-3 (footnote 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Set
+
+from repro.exceptions import ConfigurationError
+from repro.quorum.base import QuorumSystem
+from repro.types import Quorum, ServerId
+
+
+class SingletonQuorumSystem(QuorumSystem):
+    """The system whose only quorum is ``{leader}``.
+
+    Parameters
+    ----------
+    n:
+        Universe size (the other ``n - 1`` servers simply never appear in a
+        quorum).
+    leader:
+        The designated server; defaults to server ``0``.
+    """
+
+    def __init__(self, n: int, leader: ServerId = 0) -> None:
+        super().__init__(n)
+        if not 0 <= leader < n:
+            raise ConfigurationError(f"leader must lie in [0, {n}), got {leader}")
+        self._leader = int(leader)
+
+    @property
+    def leader(self) -> ServerId:
+        """The single server every operation contacts."""
+        return self._leader
+
+    def min_quorum_size(self) -> int:
+        return 1
+
+    def enumerate_quorums(self) -> Iterator[Quorum]:
+        yield frozenset({self._leader})
+
+    def sample_quorum(self, rng: Optional[random.Random] = None) -> Quorum:
+        return frozenset({self._leader})
+
+    def find_live_quorum(self, alive: Set[ServerId]) -> Optional[Quorum]:
+        if self._leader in alive:
+            return frozenset({self._leader})
+        return None
+
+    def load(self) -> float:
+        """The leader handles every access: load 1."""
+        return 1.0
+
+    def fault_tolerance(self) -> int:
+        """One crash (the leader's) disables the system."""
+        return 1
+
+    def failure_probability(self, p: float) -> float:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"crash probability must lie in [0, 1], got {p}")
+        return p
+
+    def describe(self) -> str:
+        return f"Singleton(n={self.n}, leader={self._leader})"

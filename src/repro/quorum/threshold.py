@@ -1,0 +1,116 @@
+"""Threshold (voting) quorum systems, including the simple majority system.
+
+A threshold system with quorum size ``m > n/2`` takes every subset of size
+``m`` as a quorum.  It is the strict baseline used throughout Section 6 of
+the paper: Figures 1-3 compare the probabilistic constructions against
+threshold systems with quorum sizes ``⌈(n+1)/2⌉`` (plain), ``⌈(n+b+1)/2⌉``
+(dissemination) and ``⌈(n+2b+1)/2⌉`` (masking), and Tables 2-4 report their
+quorum sizes and fault tolerance.
+
+Because the quorums are all subsets of a fixed size, every measure has a
+closed form:
+
+* load ``m/n`` (achieved by the uniform strategy, and optimal);
+* fault tolerance ``n - m + 1``;
+* failure probability ``P(Bin(n, p) > n - m)`` — the system is disabled
+  exactly when fewer than ``m`` servers survive.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Set
+
+from repro.analysis.failure_probability import threshold_failure_probability
+from repro.exceptions import ConfigurationError
+from repro.quorum.base import QuorumSystem, enumerate_subsets_of_size, sample_subset
+from repro.types import Quorum, ServerId
+
+
+class ThresholdQuorumSystem(QuorumSystem):
+    """The system whose quorums are all subsets of size ``quorum_size``.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    quorum_size:
+        Common size ``m`` of every quorum.  Strict intersection requires
+        ``m > n/2``; set ``require_intersection=False`` to build a
+        non-intersecting uniform set system (used as raw material by the
+        probabilistic constructions and in tests).
+    require_intersection:
+        Enforce ``2 m > n`` (the strict intersection property).
+    """
+
+    def __init__(self, n: int, quorum_size: int, require_intersection: bool = True) -> None:
+        super().__init__(n)
+        if not 0 < quorum_size <= n:
+            raise ConfigurationError(
+                f"quorum size must lie in (0, {n}], got {quorum_size}"
+            )
+        if require_intersection and 2 * quorum_size <= n:
+            raise ConfigurationError(
+                f"a strict threshold system needs quorum size > n/2; "
+                f"got m={quorum_size} for n={n}"
+            )
+        self._quorum_size = int(quorum_size)
+
+    # -- structural properties ------------------------------------------------
+
+    @property
+    def quorum_size(self) -> int:
+        """The common quorum size ``m``."""
+        return self._quorum_size
+
+    def min_quorum_size(self) -> int:
+        return self._quorum_size
+
+    def enumerate_quorums(self) -> Iterator[Quorum]:
+        return enumerate_subsets_of_size(self.n, self._quorum_size)
+
+    def sample_quorum(self, rng: Optional[random.Random] = None) -> Quorum:
+        return sample_subset(self.n, self._quorum_size, rng)
+
+    def find_live_quorum(self, alive: Set[ServerId]) -> Optional[Quorum]:
+        live = sorted(s for s in alive if 0 <= s < self.n)
+        if len(live) < self._quorum_size:
+            return None
+        return frozenset(live[: self._quorum_size])
+
+    # -- quality measures ------------------------------------------------------
+
+    def load(self) -> float:
+        """Optimal load ``m / n``, achieved by the uniform strategy.
+
+        Every server belongs to the same number of quorums, so the uniform
+        strategy induces load ``m/n`` on every server; by the Naor-Wool bound
+        ``L(Q) >= c(Q)/n`` this is optimal.
+        """
+        return self._quorum_size / self.n
+
+    def fault_tolerance(self) -> int:
+        """``A(Q) = n - m + 1``: kill that many servers and no quorum survives."""
+        return self.n - self._quorum_size + 1
+
+    def failure_probability(self, p: float) -> float:
+        return threshold_failure_probability(self.n, self._quorum_size, p)
+
+    def describe(self) -> str:
+        return f"Threshold(n={self.n}, m={self._quorum_size})"
+
+
+class MajorityQuorumSystem(ThresholdQuorumSystem):
+    """The simple majority system: quorums are all subsets of size ``⌈(n+1)/2⌉``.
+
+    This is the most available strict quorum system for crash probability
+    ``p < 1/2`` and the strict baseline on the left-hand side of Figure 1.
+    """
+
+    def __init__(self, n: int) -> None:
+        # ⌈(n+1)/2⌉ == floor(n/2) + 1 for every n >= 1.
+        quorum_size = n // 2 + 1
+        super().__init__(n, quorum_size)
+
+    def describe(self) -> str:
+        return f"Majority(n={self.n}, m={self.quorum_size})"

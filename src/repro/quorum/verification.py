@@ -1,0 +1,138 @@
+"""Property verification for set systems.
+
+These helpers check, exhaustively over an explicit list of quorums, the
+defining overlap properties of the three strict system classes of the paper
+(Definitions 2.2 and 2.7).  They are used by the test suite, by the explicit
+system constructors (strict intersection) and by users who assemble ad-hoc
+set systems and want to know what guarantees they provide.
+
+Each ``verify_*`` function either returns normally or raises
+:class:`~repro.exceptions.QuorumPropertyError` naming the offending pair of
+quorums; the ``check_*`` variants return a boolean instead of raising.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import QuorumPropertyError
+from repro.types import Quorum, make_quorum
+
+
+def _normalise(quorums: Iterable[Iterable[int]]) -> List[Quorum]:
+    normalised = [make_quorum(q) for q in quorums]
+    if not normalised:
+        raise QuorumPropertyError("a quorum system must contain at least one quorum")
+    if any(not q for q in normalised):
+        raise QuorumPropertyError("quorums must be non-empty")
+    return normalised
+
+
+def minimum_pairwise_overlap(quorums: Iterable[Iterable[int]]) -> int:
+    """The smallest ``|Q ∩ Q'|`` over all pairs of distinct quorums.
+
+    Returns the size of a single quorum when the system has only one quorum
+    (every pair condition is vacuous, so the overlap guarantee is unbounded;
+    the single quorum's size is the natural finite stand-in).
+    """
+    normalised = _normalise(quorums)
+    if len(normalised) == 1:
+        return len(normalised[0])
+    return min(
+        len(first & second) for first, second in itertools.combinations(normalised, 2)
+    )
+
+
+def find_violating_pair(
+    quorums: Iterable[Iterable[int]], required_overlap: int
+) -> Optional[Tuple[Quorum, Quorum]]:
+    """Return a pair of quorums overlapping in fewer than ``required_overlap`` servers."""
+    normalised = _normalise(quorums)
+    for first, second in itertools.combinations(normalised, 2):
+        if len(first & second) < required_overlap:
+            return first, second
+    return None
+
+
+def verify_intersection_property(quorums: Iterable[Iterable[int]]) -> None:
+    """Check Definition 2.2: every two quorums intersect (overlap >= 1)."""
+    pair = find_violating_pair(quorums, 1)
+    if pair is not None:
+        first, second = pair
+        raise QuorumPropertyError(
+            f"quorums {sorted(first)} and {sorted(second)} do not intersect"
+        )
+
+
+def verify_dissemination_property(quorums: Iterable[Iterable[int]], b: int) -> None:
+    """Check Definition 2.7 (dissemination): every overlap has size >= b + 1."""
+    if b < 0:
+        raise QuorumPropertyError(f"Byzantine threshold must be non-negative, got {b}")
+    pair = find_violating_pair(quorums, b + 1)
+    if pair is not None:
+        first, second = pair
+        overlap = len(first & second)
+        raise QuorumPropertyError(
+            f"quorums {sorted(first)} and {sorted(second)} overlap in only "
+            f"{overlap} servers; a {b}-dissemination system needs at least {b + 1}"
+        )
+
+
+def verify_masking_property(quorums: Iterable[Iterable[int]], b: int) -> None:
+    """Check Definition 2.7 (masking): every overlap has size >= 2b + 1."""
+    if b < 0:
+        raise QuorumPropertyError(f"Byzantine threshold must be non-negative, got {b}")
+    pair = find_violating_pair(quorums, 2 * b + 1)
+    if pair is not None:
+        first, second = pair
+        overlap = len(first & second)
+        raise QuorumPropertyError(
+            f"quorums {sorted(first)} and {sorted(second)} overlap in only "
+            f"{overlap} servers; a {b}-masking system needs at least {2 * b + 1}"
+        )
+
+
+def check_intersection_property(quorums: Iterable[Iterable[int]]) -> bool:
+    """Boolean variant of :func:`verify_intersection_property`."""
+    try:
+        verify_intersection_property(quorums)
+    except QuorumPropertyError:
+        return False
+    return True
+
+
+def check_dissemination_property(quorums: Iterable[Iterable[int]], b: int) -> bool:
+    """Boolean variant of :func:`verify_dissemination_property`."""
+    try:
+        verify_dissemination_property(quorums, b)
+    except QuorumPropertyError:
+        return False
+    return True
+
+
+def check_masking_property(quorums: Iterable[Iterable[int]], b: int) -> bool:
+    """Boolean variant of :func:`verify_masking_property`."""
+    try:
+        verify_masking_property(quorums, b)
+    except QuorumPropertyError:
+        return False
+    return True
+
+
+def classify_overlap(quorums: Iterable[Iterable[int]]) -> dict:
+    """Describe what the given set system guarantees.
+
+    Returns a dictionary with the minimum pairwise overlap, the largest ``b``
+    for which the system is a strict b-dissemination system
+    (``min_overlap - 1``) and the largest ``b`` for which it is a strict
+    b-masking system (``(min_overlap - 1) // 2``); both are ``-1`` if the
+    system is not even intersecting.
+    """
+    overlap = minimum_pairwise_overlap(quorums)
+    return {
+        "min_overlap": overlap,
+        "max_dissemination_b": overlap - 1,
+        "max_masking_b": (overlap - 1) // 2 if overlap >= 1 else -1,
+        "is_strict": overlap >= 1,
+    }

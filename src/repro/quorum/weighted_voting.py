@@ -1,0 +1,190 @@
+"""Gifford-style weighted voting quorum systems.
+
+Weighted voting [Gif79] assigns each server a non-negative integer number of
+votes; a quorum is any set of servers whose votes total at least a threshold
+``T`` with ``2T > total votes``, which guarantees intersection.  Weighted
+voting generalises the majority system (all weights 1) and the singleton
+(one server holds all the votes) and is included as a classic strict
+substrate: the paper's related-work discussion situates probabilistic
+quorums against exactly this family.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.exceptions import ConfigurationError
+from repro.quorum.base import QuorumSystem
+from repro.types import Quorum, ServerId
+
+
+class WeightedVotingQuorumSystem(QuorumSystem):
+    """Quorums are sets of servers whose votes reach the threshold.
+
+    Parameters
+    ----------
+    weights:
+        ``weights[s]`` is the number of votes held by server ``s``.  Servers
+        may hold zero votes (they then never matter for quorum formation).
+    threshold:
+        Required vote total ``T``.  Defaults to a strict majority of the
+        total votes, ``floor(total/2) + 1``.  Strict intersection requires
+        ``2T > total``; violating that raises :class:`ConfigurationError`.
+    """
+
+    def __init__(self, weights: Sequence[int], threshold: Optional[int] = None) -> None:
+        if not weights:
+            raise ConfigurationError("weighted voting needs at least one server")
+        if any(w < 0 for w in weights):
+            raise ConfigurationError("vote weights must be non-negative")
+        super().__init__(len(weights))
+        self._weights: List[int] = [int(w) for w in weights]
+        total = sum(self._weights)
+        if total <= 0:
+            raise ConfigurationError("total vote weight must be positive")
+        self._total = total
+        self._threshold = total // 2 + 1 if threshold is None else int(threshold)
+        if self._threshold <= 0 or self._threshold > total:
+            raise ConfigurationError(
+                f"threshold must lie in (0, {total}], got {self._threshold}"
+            )
+        if 2 * self._threshold <= total:
+            raise ConfigurationError(
+                f"strict intersection requires 2*threshold > total votes; "
+                f"got threshold={self._threshold}, total={total}"
+            )
+
+    # -- structural properties ------------------------------------------------
+
+    @property
+    def weights(self) -> List[int]:
+        """Per-server vote counts."""
+        return list(self._weights)
+
+    @property
+    def threshold(self) -> int:
+        """Votes required to form a quorum."""
+        return self._threshold
+
+    @property
+    def total_votes(self) -> int:
+        """Sum of all vote weights."""
+        return self._total
+
+    def votes_of(self, servers: Set[ServerId]) -> int:
+        """Total votes held by a set of servers."""
+        return sum(self._weights[s] for s in servers if 0 <= s < self.n)
+
+    def is_quorum(self, servers: Set[ServerId]) -> bool:
+        """Whether the given servers hold enough votes to form a quorum."""
+        return self.votes_of(servers) >= self._threshold
+
+    def min_quorum_size(self) -> int:
+        """Fewest servers whose votes reach the threshold (greedy by weight)."""
+        remaining = self._threshold
+        count = 0
+        for weight in sorted(self._weights, reverse=True):
+            if remaining <= 0:
+                break
+            remaining -= weight
+            count += 1
+        return count
+
+    def minimal_quorums(self) -> Iterator[Quorum]:
+        """Enumerate inclusion-minimal quorums (exponential; small systems only)."""
+        import itertools
+
+        n = self.n
+        for size in range(1, n + 1):
+            for combo in itertools.combinations(range(n), size):
+                servers = frozenset(combo)
+                if not self.is_quorum(servers):
+                    continue
+                if any(self.is_quorum(servers - {s}) for s in servers):
+                    continue
+                yield servers
+
+    def enumerate_quorums(self) -> Iterator[Quorum]:
+        return self.minimal_quorums()
+
+    def sample_quorum(self, rng: Optional[random.Random] = None) -> Quorum:
+        """Sample a quorum by adding servers in random order until the threshold.
+
+        The resulting quorum is then pruned to be inclusion-minimal so that
+        the load induced on servers stays close to what the vote assignment
+        suggests.
+        """
+        rng = rng or random.Random()
+        order = list(range(self.n))
+        rng.shuffle(order)
+        chosen: List[ServerId] = []
+        votes = 0
+        for server in order:
+            if votes >= self._threshold:
+                break
+            if self._weights[server] == 0:
+                continue
+            chosen.append(server)
+            votes += self._weights[server]
+        if votes < self._threshold:
+            # All positive-weight servers together reach the total >= threshold,
+            # so this cannot happen; guard anyway for safety.
+            raise ConfigurationError("unable to assemble a quorum from the vote weights")
+        # Prune to a minimal quorum, dropping servers whose votes are not needed.
+        for server in sorted(chosen, key=lambda s: self._weights[s]):
+            if votes - self._weights[server] >= self._threshold:
+                chosen.remove(server)
+                votes -= self._weights[server]
+        return frozenset(chosen)
+
+    def find_live_quorum(self, alive: Set[ServerId]) -> Optional[Quorum]:
+        live = [s for s in alive if 0 <= s < self.n and self._weights[s] > 0]
+        live.sort(key=lambda s: self._weights[s], reverse=True)
+        chosen: List[ServerId] = []
+        votes = 0
+        for server in live:
+            chosen.append(server)
+            votes += self._weights[server]
+            if votes >= self._threshold:
+                return frozenset(chosen)
+        return None
+
+    # -- quality measures ------------------------------------------------------
+
+    def load(self) -> float:
+        """LP-optimal load over the minimal quorums (exact for small systems)."""
+        from repro.quorum.measures import optimal_load
+
+        quorums = list(self.minimal_quorums())
+        return optimal_load(quorums, self.n)
+
+    def fault_tolerance(self) -> int:
+        """Smallest number of crashes whose remaining votes fall below the threshold.
+
+        Crashing a set ``S`` disables the system iff the surviving votes are
+        less than the threshold, so the cheapest attack removes the
+        highest-weight servers first.
+        """
+        order = sorted(range(self.n), key=lambda s: self._weights[s], reverse=True)
+        surviving = self._total
+        for count, server in enumerate(order, start=1):
+            surviving -= self._weights[server]
+            if surviving < self._threshold:
+                return count
+        return self.n
+
+    def failure_probability(self, p: float, trials: int = 20_000, seed: int = 0) -> float:
+        """Monte-Carlo ``Fp``: probability that surviving votes miss the threshold."""
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"crash probability must lie in [0, 1], got {p}")
+        rng = random.Random(seed)
+        failures = 0
+        for _ in range(trials):
+            surviving = sum(w for w in self._weights if rng.random() >= p)
+            if surviving < self._threshold:
+                failures += 1
+        return failures / trials
+
+    def describe(self) -> str:
+        return f"WeightedVoting(n={self.n}, T={self._threshold}/{self._total})"

@@ -1,0 +1,67 @@
+"""Server/client simulation substrate.
+
+The paper's protocols (Sections 3.1, 4 and 5) assume a universe of replica
+servers that clients contact in quorums, where servers may crash or behave
+arbitrarily (Byzantine).  The original work ran on the Phalanx replication
+toolkit; this subpackage provides an in-process substitute that exercises the
+same code path:
+
+* :mod:`repro.simulation.events` — a small discrete-event scheduler;
+* :mod:`repro.simulation.network` — message passing with latency and drops;
+* :mod:`repro.simulation.server` — replica servers with pluggable behaviour
+  (correct, crashed, and several Byzantine strategies);
+* :mod:`repro.simulation.failures` — crash schedules and Byzantine set
+  selection;
+* :mod:`repro.simulation.cluster` — the synchronous quorum-RPC facade the
+  protocol layer talks to;
+* :mod:`repro.simulation.diffusion` — the gossip/anti-entropy update
+  propagation sketched in Section 1.1;
+* :mod:`repro.simulation.monte_carlo` — empirical consistency estimation
+  used to validate Theorems 3.2, 4.2 and 5.2 against the analytical ε.
+"""
+
+from repro.simulation.cluster import Cluster
+from repro.simulation.diffusion import DiffusionEngine
+from repro.simulation.events import EventScheduler
+from repro.simulation.failures import FailurePlan
+from repro.simulation.network import ConstantLatency, Network, UniformLatency
+from repro.simulation.server import (
+    ByzantineForgeBehavior,
+    ByzantineReplayBehavior,
+    ByzantineSilentBehavior,
+    CorrectBehavior,
+    CrashedBehavior,
+    ReplicaServer,
+    ServerBehavior,
+)
+from repro.simulation.monte_carlo import (
+    ConsistencyReport,
+    StalenessReport,
+    estimate_read_consistency,
+    estimate_staleness_distribution,
+)
+from repro.simulation.client import LoadMeasurement, WorkloadClient, measure_system_load
+
+__all__ = [
+    "EventScheduler",
+    "Network",
+    "ConstantLatency",
+    "UniformLatency",
+    "ReplicaServer",
+    "ServerBehavior",
+    "CorrectBehavior",
+    "CrashedBehavior",
+    "ByzantineForgeBehavior",
+    "ByzantineReplayBehavior",
+    "ByzantineSilentBehavior",
+    "FailurePlan",
+    "Cluster",
+    "DiffusionEngine",
+    "ConsistencyReport",
+    "StalenessReport",
+    "estimate_read_consistency",
+    "estimate_staleness_distribution",
+    "WorkloadClient",
+    "LoadMeasurement",
+    "measure_system_load",
+]

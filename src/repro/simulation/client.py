@@ -1,0 +1,117 @@
+"""Workload clients: measure the *empirical* load induced on servers.
+
+The load of a quorum system (Definition 2.4) is an analytical quantity — the
+access probability of the busiest server under the access strategy.  This
+module provides a small workload driver that issues a stream of quorum
+accesses through a strategy and records how many times each server was
+touched, so that tests and the load ablation can confirm the analytical
+``q/n`` (for the uniform constructions) and compare different strategies on
+explicit systems.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.probabilistic import ProbabilisticQuorumSystem
+from repro.core.strategy import AccessStrategy
+from repro.exceptions import ConfigurationError
+from repro.types import Quorum, ServerId
+
+
+@dataclass
+class LoadMeasurement:
+    """Per-server access counts accumulated by a workload run."""
+
+    n: int
+    accesses: int
+    per_server_counts: List[int]
+
+    @property
+    def empirical_loads(self) -> List[float]:
+        """Fraction of accesses that touched each server."""
+        if self.accesses == 0:
+            return [0.0] * self.n
+        return [count / self.accesses for count in self.per_server_counts]
+
+    @property
+    def max_load(self) -> float:
+        """The empirical load: the busiest server's access fraction."""
+        return max(self.empirical_loads) if self.n else 0.0
+
+    @property
+    def mean_load(self) -> float:
+        """Average per-server access fraction (= expected quorum size / n)."""
+        loads = self.empirical_loads
+        return sum(loads) / len(loads) if loads else 0.0
+
+    def busiest_servers(self, count: int = 5) -> List[ServerId]:
+        """The ``count`` most frequently accessed servers."""
+        order = sorted(range(self.n), key=lambda s: self.per_server_counts[s], reverse=True)
+        return order[:count]
+
+
+class WorkloadClient:
+    """Issues quorum accesses through a strategy and records server touches.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    strategy:
+        The access strategy to sample quorums from.
+    rng:
+        Random source; seed it for reproducible measurements.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        strategy: AccessStrategy,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"universe size must be positive, got {n}")
+        self.n = int(n)
+        self.strategy = strategy
+        self.rng = rng or random.Random(0)
+        self._counts = [0] * self.n
+        self._accesses = 0
+
+    def access_once(self) -> Quorum:
+        """Draw one quorum and record the servers it touches."""
+        quorum = self.strategy.sample(self.rng)
+        for server in quorum:
+            if not 0 <= server < self.n:
+                raise ConfigurationError(
+                    f"strategy produced server {server} outside the universe of size {self.n}"
+                )
+            self._counts[server] += 1
+        self._accesses += 1
+        return quorum
+
+    def run(self, accesses: int) -> LoadMeasurement:
+        """Perform ``accesses`` quorum draws and return the measurement so far."""
+        if accesses < 0:
+            raise ConfigurationError(f"access count must be non-negative, got {accesses}")
+        for _ in range(accesses):
+            self.access_once()
+        return self.measurement()
+
+    def measurement(self) -> LoadMeasurement:
+        """The measurement accumulated so far."""
+        return LoadMeasurement(
+            n=self.n, accesses=self._accesses, per_server_counts=list(self._counts)
+        )
+
+
+def measure_system_load(
+    system: ProbabilisticQuorumSystem,
+    accesses: int = 10_000,
+    seed: int = 0,
+) -> LoadMeasurement:
+    """Convenience wrapper: measure the empirical load of a probabilistic system."""
+    client = WorkloadClient(system.n, system.strategy, random.Random(seed))
+    return client.run(accesses)

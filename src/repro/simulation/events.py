@@ -1,0 +1,140 @@
+"""A minimal discrete-event scheduler.
+
+The simulation substrate needs a notion of simulated time for two purposes:
+message latency in :mod:`repro.simulation.network` and periodic gossip
+rounds in :mod:`repro.simulation.diffusion`.  The scheduler is a classic
+priority-queue design: events are ``(time, sequence, callback)`` triples,
+processed in time order, with the sequence number breaking ties
+deterministically (insertion order), which keeps simulations reproducible
+for a fixed random seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventScheduler.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event fires."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._event.cancelled = True
+
+
+class EventScheduler:
+    """Priority-queue discrete-event scheduler with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._queue: List[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far (useful for progress assertions)."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        event = _ScheduledEvent(self._now + delay, next(self._counter), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (time={time}, now={self._now})"
+            )
+        event = _ScheduledEvent(time, next(self._counter), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Process the next pending event; return ``False`` if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` is hit); return events run."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count
+
+    def run_until(self, time: float, max_events: int = 1_000_000) -> int:
+        """Run events with firing time ``<= time``; advance the clock to ``time``.
+
+        ``max_events`` guards against runaway event loops (e.g. a gossip
+        engine that keeps rescheduling itself); exceeding it raises
+        :class:`SimulationError` rather than hanging the caller.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards (time={time}, now={self._now})")
+        count = 0
+        while self._queue:
+            upcoming = self._peek()
+            if upcoming is None or upcoming.time > time:
+                break
+            self.step()
+            count += 1
+            if count > max_events:
+                raise SimulationError(
+                    f"run_until({time}) processed more than {max_events} events"
+                )
+        self._now = max(self._now, time)
+        return count
+
+    def _peek(self) -> Optional[_ScheduledEvent]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

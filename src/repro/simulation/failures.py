@@ -1,0 +1,173 @@
+"""Failure injection: crash schedules and Byzantine set selection.
+
+A :class:`FailurePlan` describes, declaratively, which servers misbehave and
+how.  The cluster applies the plan when it is constructed (for static plans)
+and at simulated times (for crash/recover schedules).  Plans are the single
+knob the Monte-Carlo harness, the examples and the benchmark workloads use
+to stress the protocols, so keeping them declarative keeps the experiment
+configurations readable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.server import (
+    ByzantineForgeBehavior,
+    ByzantineReplayBehavior,
+    ByzantineSilentBehavior,
+    ServerBehavior,
+)
+from repro.types import ServerId
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """A scheduled crash (or recovery) of one server at a simulated time."""
+
+    time: float
+    server: ServerId
+    recover: bool = False
+
+
+@dataclass
+class FailurePlan:
+    """A declarative description of which servers fail and how.
+
+    Attributes
+    ----------
+    crashed:
+        Servers that are crashed from the start.
+    byzantine:
+        Mapping from server id to the Byzantine behaviour it runs.
+    schedule:
+        Time-ordered crash / recovery events applied by the cluster's
+        scheduler (used by availability experiments).
+    """
+
+    crashed: FrozenSet[ServerId] = frozenset()
+    byzantine: Dict[ServerId, ServerBehavior] = field(default_factory=dict)
+    schedule: Tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        overlap = set(self.crashed) & set(self.byzantine)
+        if overlap:
+            raise ConfigurationError(
+                f"servers {sorted(overlap)} cannot be both crashed and Byzantine"
+            )
+
+    @property
+    def byzantine_servers(self) -> FrozenSet[ServerId]:
+        """The set of Byzantine server ids."""
+        return frozenset(self.byzantine)
+
+    @property
+    def faulty_servers(self) -> FrozenSet[ServerId]:
+        """All initially faulty servers (crashed or Byzantine)."""
+        return frozenset(self.crashed) | self.byzantine_servers
+
+    def describe(self) -> str:
+        """One-line summary used in experiment logs."""
+        return (
+            f"FailurePlan(crashed={len(self.crashed)}, byzantine={len(self.byzantine)}, "
+            f"scheduled={len(self.schedule)})"
+        )
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FailurePlan":
+        """No failures at all."""
+        return cls()
+
+    @classmethod
+    def random_crashes(
+        cls, n: int, count: int, rng: Optional[random.Random] = None
+    ) -> "FailurePlan":
+        """Crash ``count`` servers chosen uniformly at random."""
+        _validate_counts(n, count)
+        rng = rng or random.Random()
+        return cls(crashed=frozenset(rng.sample(range(n), count)))
+
+    @classmethod
+    def independent_crashes(
+        cls, n: int, p: float, rng: Optional[random.Random] = None
+    ) -> "FailurePlan":
+        """Crash each server independently with probability ``p``.
+
+        This is exactly the failure model of Definition 2.6 / 3.8 and is what
+        the Monte-Carlo availability experiments use.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"crash probability must lie in [0, 1], got {p}")
+        rng = rng or random.Random()
+        crashed = frozenset(s for s in range(n) if rng.random() < p)
+        return cls(crashed=crashed)
+
+    @classmethod
+    def random_byzantine(
+        cls,
+        n: int,
+        count: int,
+        behavior_factory: Callable[[], ServerBehavior] = ByzantineSilentBehavior,
+        rng: Optional[random.Random] = None,
+    ) -> "FailurePlan":
+        """Make ``count`` uniformly random servers Byzantine.
+
+        ``behavior_factory`` is called once per faulty server, so stateful
+        behaviours (e.g. replay) are not accidentally shared.
+        """
+        _validate_counts(n, count)
+        rng = rng or random.Random()
+        chosen = rng.sample(range(n), count)
+        return cls(byzantine={server: behavior_factory() for server in chosen})
+
+    @classmethod
+    def colluding_forgers(
+        cls,
+        n: int,
+        count: int,
+        fabricated_value,
+        fabricated_timestamp,
+        rng: Optional[random.Random] = None,
+    ) -> "FailurePlan":
+        """``count`` Byzantine servers that all forge the *same* value.
+
+        This is the strongest adversary against a masking threshold: the
+        forged value is reported by every faulty server the read quorum
+        touches, so it passes the threshold ``k`` exactly when
+        ``|Q ∩ B| >= k`` — the event bounded by Lemma 5.7.
+        """
+        _validate_counts(n, count)
+        rng = rng or random.Random()
+        chosen = rng.sample(range(n), count)
+        return cls(
+            byzantine={
+                server: ByzantineForgeBehavior(fabricated_value, fabricated_timestamp)
+                for server in chosen
+            }
+        )
+
+    @classmethod
+    def replay_attack(
+        cls, n: int, count: int, rng: Optional[random.Random] = None
+    ) -> "FailurePlan":
+        """``count`` Byzantine servers that serve stale (but once valid) data."""
+        return cls.random_byzantine(n, count, ByzantineReplayBehavior, rng)
+
+    def with_schedule(self, events: Iterable[CrashEvent]) -> "FailurePlan":
+        """Return a copy of the plan with an added crash/recovery schedule."""
+        ordered = tuple(sorted(events, key=lambda e: e.time))
+        return FailurePlan(
+            crashed=self.crashed, byzantine=dict(self.byzantine), schedule=ordered
+        )
+
+
+def _validate_counts(n: int, count: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"universe size must be positive, got {n}")
+    if not 0 <= count <= n:
+        raise ConfigurationError(f"failure count must lie in [0, {n}], got {count}")

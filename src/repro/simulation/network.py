@@ -1,0 +1,195 @@
+"""Message-passing network model.
+
+Clients and servers exchange request/reply messages through a
+:class:`Network`, which applies a latency model, an independent per-message
+drop probability, and (optionally) partitions.  The protocol layer's quorum
+RPCs go through :class:`repro.simulation.cluster.Cluster`, which uses the
+network's *synchronous* helpers; the asynchronous (scheduled) delivery path
+is used by the diffusion engine and by tests that exercise timing behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import EventScheduler
+from repro.types import ServerId
+
+
+@dataclass(frozen=True)
+class Message:
+    """A network message.
+
+    Attributes
+    ----------
+    sender / recipient:
+        Node identifiers.  Clients use negative identifiers so they never
+        collide with server ids ``0..n-1``.
+    kind:
+        A short verb, e.g. ``"read"``, ``"write"``, ``"gossip"``.
+    payload:
+        Arbitrary immutable payload (tuples / frozen dataclasses preferred).
+    """
+
+    sender: int
+    recipient: int
+    kind: str
+    payload: Any
+
+
+class LatencyModel(abc.ABC):
+    """Distribution of one-way message latencies."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one latency value (in simulated time units)."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``value`` time units."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise SimulationError(f"latency must be non-negative, got {value}")
+        self.value = float(value)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
+        if low < 0 or high < low:
+            raise SimulationError(f"invalid latency range [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class Network:
+    """Unicast network with drops, latency and partitions.
+
+    Parameters
+    ----------
+    scheduler:
+        Event scheduler used for asynchronous delivery.
+    latency:
+        Latency model (defaults to constant 1.0).
+    drop_probability:
+        Each message is independently dropped with this probability.
+    rng:
+        Random source; supply a seeded instance for reproducible runs.
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[EventScheduler] = None,
+        latency: Optional[LatencyModel] = None,
+        drop_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise SimulationError(
+                f"drop probability must lie in [0, 1), got {drop_probability}"
+            )
+        # Note: EventScheduler defines __len__, so an empty scheduler is falsy;
+        # test identity against None rather than truthiness.
+        self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.drop_probability = float(drop_probability)
+        self.rng = rng or random.Random(0)
+        self._partitions: Tuple[FrozenSet[int], ...] = ()
+        self._sent = 0
+        self._dropped = 0
+        self._delivered = 0
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages handed to the network."""
+        return self._sent
+
+    @property
+    def messages_dropped(self) -> int:
+        """Messages lost to drops or partitions."""
+        return self._dropped
+
+    @property
+    def messages_delivered(self) -> int:
+        """Messages that reached their recipient."""
+        return self._delivered
+
+    # -- partitions -------------------------------------------------------------
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Split the network into groups; messages across groups are dropped.
+
+        Nodes not mentioned in any group can talk to everyone.
+        """
+        self._partitions = tuple(frozenset(g) for g in groups)
+
+    def heal_partition(self) -> None:
+        """Remove any partition."""
+        self._partitions = ()
+
+    def can_communicate(self, a: int, b: int) -> bool:
+        """Whether nodes ``a`` and ``b`` are on the same side of every partition."""
+        if not self._partitions:
+            return True
+        group_a = next((g for g in self._partitions if a in g), None)
+        group_b = next((g for g in self._partitions if b in g), None)
+        if group_a is None or group_b is None:
+            return True
+        return group_a is group_b
+
+    # -- delivery ---------------------------------------------------------------
+
+    def _should_drop(self, message: Message) -> bool:
+        if not self.can_communicate(message.sender, message.recipient):
+            return True
+        return self.rng.random() < self.drop_probability
+
+    def send(
+        self,
+        message: Message,
+        handler: Callable[[Message], None],
+    ) -> bool:
+        """Asynchronously deliver ``message`` to ``handler`` after a latency delay.
+
+        Returns ``True`` if the message was scheduled for delivery and
+        ``False`` if it was dropped (the sender cannot tell the difference in
+        a real system; the return value exists for tests and statistics).
+        """
+        self._sent += 1
+        if self._should_drop(message):
+            self._dropped += 1
+            return False
+        delay = self.latency.sample(self.rng)
+        self.scheduler.schedule(delay, lambda: self._deliver(message, handler))
+        return True
+
+    def _deliver(self, message: Message, handler: Callable[[Message], None]) -> None:
+        self._delivered += 1
+        handler(message)
+
+    def send_sync(self, message: Message) -> bool:
+        """Synchronous transmission decision (used by the quorum-RPC facade).
+
+        Returns whether the message survives drops/partitions; latency is not
+        modelled on the synchronous path.
+        """
+        self._sent += 1
+        if self._should_drop(message):
+            self._dropped += 1
+            return False
+        self._delivered += 1
+        return True

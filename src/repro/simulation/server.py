@@ -1,0 +1,239 @@
+"""Replica servers with pluggable failure behaviour.
+
+Each server stores, per replicated variable, the last value/timestamp pair it
+accepted (plus the signature when the protocol uses self-verifying data) and
+answers read and write requests according to its *behaviour*:
+
+* :class:`CorrectBehavior` — follows the protocol: accepts writes with newer
+  timestamps, returns its stored copy on reads;
+* :class:`CrashedBehavior` — answers nothing (a benign, fail-stop failure);
+* :class:`ByzantineSilentBehavior` — acknowledges nothing and suppresses its
+  state (the strongest attack possible against *self-verifying* data);
+* :class:`ByzantineReplayBehavior` — returns the oldest value it ever
+  accepted, i.e. serves stale but once-valid data;
+* :class:`ByzantineForgeBehavior` — fabricates a value with a sky-high
+  timestamp; colluding forgers can be given the same fabricated value so
+  they have the best possible chance of defeating a masking threshold.
+
+Timestamps are treated as opaque, totally ordered objects, so the same
+server code serves the plain, dissemination and masking protocols.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import SimulationError
+from repro.types import ServerId
+
+
+@dataclass(frozen=True)
+class StoredValue:
+    """One replica's copy of a variable: value, timestamp and optional signature."""
+
+    value: Any
+    timestamp: Any
+    signature: Optional[bytes] = None
+
+
+class ServerBehavior(abc.ABC):
+    """How a server responds to protocol messages."""
+
+    #: Whether the behaviour models a Byzantine (arbitrary) failure.
+    byzantine: bool = False
+
+    @abc.abstractmethod
+    def on_write(
+        self, server: "ReplicaServer", variable: str, stored: StoredValue
+    ) -> bool:
+        """Handle a write request; return ``True`` to acknowledge it."""
+
+    @abc.abstractmethod
+    def on_read(
+        self, server: "ReplicaServer", variable: str
+    ) -> Optional[StoredValue]:
+        """Handle a read request; return a reply or ``None`` for silence."""
+
+
+class CorrectBehavior(ServerBehavior):
+    """A correct server: stores the freshest write, returns its copy on reads."""
+
+    def on_write(self, server: "ReplicaServer", variable: str, stored: StoredValue) -> bool:
+        current = server.storage.get(variable)
+        if current is None or stored.timestamp > current.timestamp:
+            server.storage[variable] = stored
+        return True
+
+    def on_read(self, server: "ReplicaServer", variable: str) -> Optional[StoredValue]:
+        return server.storage.get(variable)
+
+
+class CrashedBehavior(ServerBehavior):
+    """A crashed server: never replies."""
+
+    def on_write(self, server: "ReplicaServer", variable: str, stored: StoredValue) -> bool:
+        return False
+
+    def on_read(self, server: "ReplicaServer", variable: str) -> Optional[StoredValue]:
+        return None
+
+
+class ByzantineSilentBehavior(ServerBehavior):
+    """Accepts nothing and says nothing: suppression of self-verifying data."""
+
+    byzantine = True
+
+    def on_write(self, server: "ReplicaServer", variable: str, stored: StoredValue) -> bool:
+        return False
+
+    def on_read(self, server: "ReplicaServer", variable: str) -> Optional[StoredValue]:
+        return None
+
+
+class ByzantineReplayBehavior(ServerBehavior):
+    """Serves the *first* value it ever accepted — stale but correctly signed data."""
+
+    byzantine = True
+
+    def __init__(self) -> None:
+        self._first_seen: Dict[str, StoredValue] = {}
+
+    def on_write(self, server: "ReplicaServer", variable: str, stored: StoredValue) -> bool:
+        self._first_seen.setdefault(variable, stored)
+        # It still updates its visible storage so that later replays are plausible.
+        server.storage[variable] = stored
+        return True
+
+    def on_read(self, server: "ReplicaServer", variable: str) -> Optional[StoredValue]:
+        return self._first_seen.get(variable, server.storage.get(variable))
+
+
+class ByzantineForgeBehavior(ServerBehavior):
+    """Fabricates values with a maximal timestamp (and no valid signature).
+
+    Parameters
+    ----------
+    fabricated_value:
+        The value the forger claims.  Give every colluding forger the same
+        value to model the strongest attack against a masking threshold.
+    fabricated_timestamp:
+        The timestamp attached to the forgery.  It should compare greater
+        than every honest timestamp; the protocol layer's
+        ``Timestamp.forged_maximum()`` provides such a value.
+    """
+
+    byzantine = True
+
+    def __init__(self, fabricated_value: Any, fabricated_timestamp: Any) -> None:
+        self.fabricated_value = fabricated_value
+        self.fabricated_timestamp = fabricated_timestamp
+
+    def on_write(self, server: "ReplicaServer", variable: str, stored: StoredValue) -> bool:
+        # Pretends to accept the write (so the writer's quorum completes) but
+        # discards the data.
+        return True
+
+    def on_read(self, server: "ReplicaServer", variable: str) -> Optional[StoredValue]:
+        return StoredValue(
+            value=self.fabricated_value,
+            timestamp=self.fabricated_timestamp,
+            signature=b"forged",
+        )
+
+
+class ReplicaServer:
+    """A single replica server: storage plus a behaviour.
+
+    The server itself is behaviour-agnostic; crash/recover toggles simply
+    swap the behaviour, which keeps failure injection trivial for the test
+    suite and the Monte-Carlo harness.
+    """
+
+    def __init__(
+        self,
+        server_id: ServerId,
+        behavior: Optional[ServerBehavior] = None,
+    ) -> None:
+        if server_id < 0:
+            raise SimulationError(f"server ids must be non-negative, got {server_id}")
+        self.server_id = int(server_id)
+        self.storage: Dict[str, StoredValue] = {}
+        self._behavior: ServerBehavior = behavior or CorrectBehavior()
+        self._saved_behavior: Optional[ServerBehavior] = None
+        self.writes_handled = 0
+        self.reads_handled = 0
+
+    # -- behaviour management ---------------------------------------------------
+
+    @property
+    def behavior(self) -> ServerBehavior:
+        """The currently installed behaviour."""
+        return self._behavior
+
+    @behavior.setter
+    def behavior(self, value: ServerBehavior) -> None:
+        self._behavior = value
+
+    @property
+    def is_crashed(self) -> bool:
+        """Whether the server currently runs the crashed behaviour."""
+        return isinstance(self._behavior, CrashedBehavior)
+
+    @property
+    def is_byzantine(self) -> bool:
+        """Whether the server's behaviour is Byzantine."""
+        return self._behavior.byzantine
+
+    def crash(self) -> None:
+        """Crash the server (its storage survives for a later recovery)."""
+        if not self.is_crashed:
+            self._saved_behavior = self._behavior
+            self._behavior = CrashedBehavior()
+
+    def recover(self) -> None:
+        """Recover from a crash, restoring the pre-crash behaviour."""
+        if self.is_crashed:
+            self._behavior = self._saved_behavior or CorrectBehavior()
+            self._saved_behavior = None
+
+    # -- protocol entry points ----------------------------------------------------
+
+    def handle_write(
+        self,
+        variable: str,
+        value: Any,
+        timestamp: Any,
+        signature: Optional[bytes] = None,
+    ) -> bool:
+        """Apply a write request through the behaviour; return the ack flag."""
+        self.writes_handled += 1
+        stored = StoredValue(value=value, timestamp=timestamp, signature=signature)
+        return self._behavior.on_write(self, variable, stored)
+
+    def handle_read(self, variable: str) -> Optional[StoredValue]:
+        """Answer a read request through the behaviour (``None`` = no reply)."""
+        self.reads_handled += 1
+        return self._behavior.on_read(self, variable)
+
+    # -- gossip support -----------------------------------------------------------
+
+    def merge(self, variable: str, incoming: StoredValue) -> bool:
+        """Anti-entropy merge: adopt ``incoming`` if it is newer; only for correct servers.
+
+        Returns whether the local copy changed.  Byzantine and crashed
+        servers ignore gossip (a Byzantine server is free to do anything, and
+        ignoring the update is the most adversarial choice for freshness).
+        """
+        if self.is_crashed or self.is_byzantine:
+            return False
+        current = self.storage.get(variable)
+        if current is None or incoming.timestamp > current.timestamp:
+            self.storage[variable] = incoming
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ReplicaServer(id={self.server_id}, behavior={type(self._behavior).__name__})"

@@ -1,0 +1,94 @@
+"""Shared type aliases and small value objects used across the library.
+
+The library models a *universe* of ``n`` servers as the integers
+``0 .. n - 1``.  A *quorum* is a frozen set of server identifiers.  These
+aliases exist so that module signatures read like the paper ("a quorum",
+"a universe") rather than like bare container types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+#: A server identifier.  Servers are numbered ``0 .. n - 1``.
+ServerId = int
+
+#: A quorum: an immutable set of server identifiers.
+Quorum = FrozenSet[ServerId]
+
+#: A collection of quorums (the set system "Q" of the paper).
+QuorumCollection = Tuple[Quorum, ...]
+
+
+def make_quorum(servers: Iterable[ServerId]) -> Quorum:
+    """Normalise an iterable of server ids into a :data:`Quorum`."""
+    return frozenset(int(s) for s in servers)
+
+
+def universe(n: int) -> Quorum:
+    """Return the full universe ``{0, ..., n-1}`` as a frozen set."""
+    if n < 1:
+        raise ValueError(f"universe size must be positive, got {n}")
+    return frozenset(range(n))
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Summary of a quorum system's quality measures.
+
+    This mirrors the three traditional measures of Section 2 of the paper
+    (load, fault tolerance, failure probability) plus the probabilistic
+    intersection guarantee ``epsilon`` where applicable.
+
+    Attributes
+    ----------
+    name:
+        Human readable name of the construction (e.g. ``"R(100, 22)"``).
+    n:
+        Universe size.
+    quorum_size:
+        Size of a typical (for symmetric systems, every) quorum.
+    load:
+        The load of the system under its access strategy.
+    fault_tolerance:
+        ``A(Q)`` — crash fault tolerance (number of crash failures that can
+        be survived is ``fault_tolerance - 1``).
+    epsilon:
+        Probability that the relevant intersection property fails for a pair
+        of quorums chosen according to the access strategy; ``0.0`` for
+        strict systems.
+    byzantine_threshold:
+        Number of Byzantine failures masked (``0`` for plain systems).
+    """
+
+    name: str
+    n: int
+    quorum_size: int
+    load: float
+    fault_tolerance: int
+    epsilon: float = 0.0
+    byzantine_threshold: int = 0
+
+    def as_row(self) -> Tuple[str, int, int, float, int, float, int]:
+        """Return the profile as a flat tuple convenient for table rendering."""
+        return (
+            self.name,
+            self.n,
+            self.quorum_size,
+            self.load,
+            self.fault_tolerance,
+            self.epsilon,
+            self.byzantine_threshold,
+        )
+
+
+@dataclass(frozen=True)
+class FailureCurvePoint:
+    """One point of a failure-probability curve (Figures 1-3 of the paper)."""
+
+    p: float
+    failure_probability: float
+
+
+FailureCurve = Sequence[FailureCurvePoint]

@@ -1,0 +1,147 @@
+"""Tests for the Chernoff/Hoeffding bound machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.chernoff import (
+    FOUR_E,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    crash_failure_bound,
+    hoeffding_binomial_tail,
+    lemma_5_7_bound,
+    lemma_5_9_bound,
+    masking_psi,
+    psi_one,
+    psi_two,
+)
+from repro.analysis.combinatorics import binomial_sf
+
+
+class TestChernoffUpperTail:
+    def test_small_gamma_regime(self):
+        # gamma <= 2e - 1 uses exp(-mean * gamma^2 / 4).
+        assert chernoff_upper_tail(10.0, 1.0) == pytest.approx(math.exp(-10.0 / 4.0))
+
+    def test_large_gamma_regime(self):
+        gamma = 2 * math.e  # > 2e - 1
+        assert chernoff_upper_tail(3.0, gamma) == pytest.approx(2.0 ** (-(1 + gamma) * 3.0))
+
+    def test_zero_mean_is_trivial(self):
+        assert chernoff_upper_tail(0.0, 1.0) == 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(1.0, 0.0)
+
+    def test_dominates_binomial_tail(self):
+        # The bound must dominate the exact binomial tail it bounds.
+        n, p = 200, 0.1
+        mean = n * p
+        for gamma in (0.5, 1.0, 2.0):
+            threshold = (1 + gamma) * mean
+            exact = binomial_sf(math.floor(threshold), n, p)
+            assert exact <= chernoff_upper_tail(mean, gamma) + 1e-9
+
+
+class TestChernoffLowerTail:
+    def test_formula(self):
+        assert chernoff_lower_tail(8.0, 0.5) == pytest.approx(math.exp(-8.0 * 0.25 / 2.0))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(1.0, 1.5)
+
+    def test_dominates_exact_lower_tail(self):
+        n, p = 300, 0.2
+        mean = n * p
+        for delta in (0.3, 0.5, 0.8):
+            threshold = (1 - delta) * mean
+            exact = 1.0 - binomial_sf(math.ceil(threshold) - 1, n, p)
+            assert exact <= chernoff_lower_tail(mean, delta) + 1e-9
+
+
+class TestHoeffding:
+    def test_vacuous_below_mean(self):
+        assert hoeffding_binomial_tail(100, 0.5, 40) == 1.0
+
+    def test_zero_above_n(self):
+        assert hoeffding_binomial_tail(100, 0.5, 101) == 0.0
+
+    def test_dominates_exact(self):
+        n, p = 150, 0.3
+        for threshold in (50, 70, 100):
+            exact = binomial_sf(threshold, n, p)
+            assert exact <= hoeffding_binomial_tail(n, p, threshold) + 1e-9
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            hoeffding_binomial_tail(0, 0.5, 1)
+        with pytest.raises(ValueError):
+            hoeffding_binomial_tail(10, 1.5, 1)
+
+
+class TestCrashFailureBound:
+    def test_dominates_exact_failure_probability(self):
+        # Fp(R(n,q)) = P(Bin(n,p) > n-q) <= exp(-2n(1-q/n-p)^2).
+        n, q = 100, 23
+        for p in (0.1, 0.3, 0.5, 0.7):
+            exact = binomial_sf(n - q, n, p)
+            assert exact <= crash_failure_bound(n, q, p) + 1e-9
+
+    def test_vacuous_when_p_large(self):
+        assert crash_failure_bound(100, 23, 0.9) == 1.0
+
+    def test_invalid_quorum_size(self):
+        with pytest.raises(ValueError):
+            crash_failure_bound(10, 0, 0.5)
+        with pytest.raises(ValueError):
+            crash_failure_bound(10, 11, 0.5)
+
+
+class TestPsiFactors:
+    def test_psi_one_regimes(self):
+        # Continuous-ish at the documented switch point and positive everywhere.
+        assert psi_one(3.0) == pytest.approx((0.5) ** 2 / 12.0)
+        assert psi_one(FOUR_E + 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_psi_two_example_values(self):
+        # Paper remark: ell = 3 -> eps <= 2 exp(-q^2/(48 n)), i.e. psi = 1/48.
+        assert min(psi_one(3.0), psi_two(3.0)) == pytest.approx(1.0 / 48.0)
+        # ell = 20 -> eps <= 2 exp(-q^2/(10 n)) approximately.
+        assert min(psi_one(20.0), psi_two(20.0)) == pytest.approx(0.1, rel=0.2)
+
+    def test_requires_ell_above_two(self):
+        with pytest.raises(ValueError):
+            psi_one(2.0)
+        with pytest.raises(ValueError):
+            psi_two(1.5)
+
+    @given(st.floats(min_value=2.01, max_value=100.0))
+    @settings(max_examples=80, deadline=None)
+    def test_factors_positive(self, ell):
+        assert psi_one(ell) > 0
+        assert psi_two(ell) > 0
+        assert masking_psi(ell) == min(psi_one(ell), psi_two(ell))
+
+
+class TestLemmaBounds:
+    def test_lemma_bounds_formulae(self):
+        n, q, ell = 100, 40, 8.0
+        assert lemma_5_7_bound(n, q, ell) == pytest.approx(math.exp(-psi_one(ell) * 16.0))
+        assert lemma_5_9_bound(n, q, ell) == pytest.approx(math.exp(-psi_two(ell) * 16.0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            lemma_5_7_bound(0, 1, 3.0)
+        with pytest.raises(ValueError):
+            lemma_5_9_bound(10, 11, 3.0)

@@ -1,0 +1,211 @@
+"""Tests for the exact combinatorial primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.combinatorics import (
+    binomial,
+    binomial_cdf,
+    binomial_pmf,
+    binomial_sf,
+    falling_factorial_ratio,
+    hypergeometric_cdf,
+    hypergeometric_mean,
+    hypergeometric_pmf,
+    hypergeometric_pmf_vector,
+    hypergeometric_sf,
+    hypergeometric_support,
+    hypergeometric_variance,
+    log_binomial,
+    log_factorial,
+    log_sum_exp,
+    proposition_3_14_bound,
+)
+
+
+class TestLogFactorial:
+    def test_small_values(self):
+        assert log_factorial(0) == pytest.approx(0.0)
+        assert log_factorial(1) == pytest.approx(0.0)
+        assert log_factorial(5) == pytest.approx(math.log(120))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            log_factorial(-1)
+
+    @given(st.integers(min_value=0, max_value=300))
+    def test_matches_math_factorial(self, n):
+        assert log_factorial(n) == pytest.approx(math.log(math.factorial(n)), rel=1e-12)
+
+
+class TestLogBinomial:
+    def test_matches_comb(self):
+        for n in (0, 1, 5, 20, 60):
+            for k in range(0, n + 1):
+                assert math.exp(log_binomial(n, k)) == pytest.approx(
+                    math.comb(n, k), rel=1e-9
+                )
+
+    def test_out_of_range_is_minus_inf(self):
+        assert log_binomial(5, -1) == float("-inf")
+        assert log_binomial(5, 6) == float("-inf")
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ValueError):
+            log_binomial(-2, 1)
+
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=200))
+    def test_symmetry(self, n, k):
+        if k <= n:
+            assert log_binomial(n, k) == pytest.approx(log_binomial(n, n - k), abs=1e-9)
+
+
+class TestBinomialHelper:
+    def test_matches_math_comb(self):
+        assert binomial(10, 3) == math.comb(10, 3)
+        assert binomial(10, 11) == 0
+        assert binomial(10, -1) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            binomial(-1, 0)
+
+
+class TestLogSumExp:
+    def test_empty_is_minus_inf(self):
+        assert log_sum_exp([]) == float("-inf")
+
+    def test_all_minus_inf(self):
+        assert log_sum_exp([float("-inf"), float("-inf")]) == float("-inf")
+
+    def test_matches_direct_sum(self):
+        values = [math.log(0.1), math.log(0.2), math.log(0.3)]
+        assert math.exp(log_sum_exp(values)) == pytest.approx(0.6)
+
+
+class TestBinomialDistribution:
+    def test_pmf_sums_to_one(self):
+        total = sum(binomial_pmf(k, 20, 0.3) for k in range(21))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_degenerate_p_zero(self):
+        assert binomial_pmf(0, 10, 0.0) == 1.0
+        assert binomial_pmf(1, 10, 0.0) == 0.0
+        assert binomial_cdf(0, 10, 0.0) == 1.0
+
+    def test_degenerate_p_one(self):
+        assert binomial_pmf(10, 10, 1.0) == 1.0
+        assert binomial_sf(9, 10, 1.0) == 1.0
+        assert binomial_sf(10, 10, 1.0) == 0.0
+
+    def test_cdf_plus_sf_is_one(self):
+        for k in range(-1, 22):
+            assert binomial_cdf(k, 20, 0.4) + binomial_sf(k, 20, 0.4) == pytest.approx(
+                1.0, abs=1e-12
+            )
+
+    def test_out_of_range_k(self):
+        assert binomial_pmf(-1, 10, 0.5) == 0.0
+        assert binomial_pmf(11, 10, 0.5) == 0.0
+        assert binomial_cdf(-1, 10, 0.5) == 0.0
+        assert binomial_cdf(10, 10, 0.5) == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            binomial_pmf(1, -1, 0.5)
+        with pytest.raises(ValueError):
+            binomial_pmf(1, 10, 1.5)
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_monotone(self, n, p, k):
+        k = min(k, n)
+        assert binomial_cdf(k, n, p) <= binomial_cdf(min(n, k + 1), n, p) + 1e-12
+
+    def test_mean_matches(self):
+        n, p = 30, 0.25
+        mean = sum(k * binomial_pmf(k, n, p) for k in range(n + 1))
+        assert mean == pytest.approx(n * p, rel=1e-9)
+
+
+class TestHypergeometricDistribution:
+    def test_support(self):
+        support = hypergeometric_support(10, 4, 7)
+        assert support.start == 1  # 7 + 4 - 10
+        assert support.stop - 1 == 4
+
+    def test_pmf_sums_to_one(self):
+        total = sum(hypergeometric_pmf(k, 30, 12, 10) for k in range(11))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_pmf_vector_matches_scalar(self):
+        vector = hypergeometric_pmf_vector(20, 8, 6)
+        for k, value in enumerate(vector):
+            assert value == pytest.approx(hypergeometric_pmf(k, 20, 8, 6))
+
+    def test_mean_and_variance(self):
+        n, marked, draws = 50, 20, 10
+        pmf = hypergeometric_pmf_vector(n, marked, draws)
+        mean = sum(k * p for k, p in enumerate(pmf))
+        var = sum((k - mean) ** 2 * p for k, p in enumerate(pmf))
+        assert mean == pytest.approx(hypergeometric_mean(n, marked, draws), rel=1e-9)
+        assert var == pytest.approx(hypergeometric_variance(n, marked, draws), rel=1e-9)
+
+    def test_cdf_plus_sf(self):
+        for k in range(-1, 12):
+            total = hypergeometric_cdf(k, 40, 15, 10) + hypergeometric_sf(k, 40, 15, 10)
+            assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_degenerate_no_marked(self):
+        assert hypergeometric_pmf(0, 20, 0, 5) == pytest.approx(1.0)
+        assert hypergeometric_sf(0, 20, 0, 5) == 0.0
+
+    def test_all_marked(self):
+        assert hypergeometric_pmf(5, 20, 20, 5) == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            hypergeometric_pmf(0, -1, 0, 0)
+        with pytest.raises(ValueError):
+            hypergeometric_pmf(0, 10, 11, 5)
+        with pytest.raises(ValueError):
+            hypergeometric_pmf(0, 10, 5, 11)
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pmf_normalisation_property(self, n, data):
+        marked = data.draw(st.integers(min_value=0, max_value=n))
+        draws = data.draw(st.integers(min_value=0, max_value=n))
+        total = sum(hypergeometric_pmf(k, n, marked, draws) for k in range(draws + 1))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestProposition314:
+    def test_bound_dominates_exact_ratio(self):
+        # Proposition 3.14: C(n-c, c-i)/C(n, c) <= (c/n)^i ((n-c)/(n-i))^(c-i).
+        for n in (25, 100, 225):
+            c = int(2 * math.sqrt(n))
+            for i in range(0, c + 1):
+                exact = falling_factorial_ratio(n, c, i)
+                bound = proposition_3_14_bound(n, c, i)
+                assert exact <= bound + 1e-12
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            falling_factorial_ratio(10, 3, 4)
+        with pytest.raises(ValueError):
+            proposition_3_14_bound(10, 3, 4)
+        with pytest.raises(ValueError):
+            proposition_3_14_bound(0, 0, 0)

@@ -1,0 +1,185 @@
+"""Tests for the crash failure probability computations."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.failure_probability import (
+    crash_failure_probability_uniform,
+    failure_curve_uniform,
+    grid_failure_probability,
+    majority_failure_probability,
+    monte_carlo_failure_probability,
+    singleton_failure_probability,
+    strict_lower_bound,
+    strict_lower_bound_curve,
+    threshold_failure_probability,
+)
+
+
+class TestUniformFailureProbability:
+    def test_boundary_probabilities(self):
+        assert crash_failure_probability_uniform(100, 23, 0.0) == 0.0
+        assert crash_failure_probability_uniform(100, 23, 1.0) == 1.0
+
+    def test_single_server_quorum(self):
+        # With q=1 the system fails only if every server crashes.
+        assert crash_failure_probability_uniform(3, 1, 0.5) == pytest.approx(0.125)
+
+    def test_full_universe_quorum(self):
+        # With q=n any crash disables the single quorum.
+        n, p = 10, 0.2
+        assert crash_failure_probability_uniform(n, n, p) == pytest.approx(
+            1.0 - (1.0 - p) ** n
+        )
+
+    def test_monotone_in_p(self):
+        values = [crash_failure_probability_uniform(50, 12, p / 20) for p in range(21)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_quorum_size(self):
+        # Larger quorums need more live servers, so they fail more easily.
+        values = [crash_failure_probability_uniform(50, q, 0.4) for q in range(1, 50, 5)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_matches_monte_carlo(self):
+        n, q, p = 30, 8, 0.6
+        exact = crash_failure_probability_uniform(n, q, p)
+        rng = random.Random(17)
+        trials = 20_000
+        failures = sum(
+            1
+            for _ in range(trials)
+            if sum(1 for _ in range(n) if rng.random() < p) > n - q
+        )
+        assert failures / trials == pytest.approx(exact, abs=0.012)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            crash_failure_probability_uniform(0, 1, 0.5)
+        with pytest.raises(ValueError):
+            crash_failure_probability_uniform(10, 0, 0.5)
+        with pytest.raises(ValueError):
+            crash_failure_probability_uniform(10, 3, 1.5)
+
+    @given(
+        st.integers(min_value=1, max_value=80),
+        st.data(),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_in_unit_interval(self, n, data, p):
+        q = data.draw(st.integers(min_value=1, max_value=n))
+        value = crash_failure_probability_uniform(n, q, p)
+        assert 0.0 <= value <= 1.0
+
+
+class TestThresholdAndReferenceCurves:
+    def test_threshold_equals_uniform(self):
+        assert threshold_failure_probability(100, 51, 0.3) == pytest.approx(
+            crash_failure_probability_uniform(100, 51, 0.3)
+        )
+
+    def test_majority_quorum_size(self):
+        # Majority uses quorums of ceil((n+1)/2).
+        assert majority_failure_probability(5, 0.5) == pytest.approx(
+            threshold_failure_probability(5, 3, 0.5)
+        )
+        assert majority_failure_probability(6, 0.5) == pytest.approx(
+            threshold_failure_probability(6, 4, 0.5)
+        )
+
+    def test_singleton(self):
+        assert singleton_failure_probability(0.37) == 0.37
+        with pytest.raises(ValueError):
+            singleton_failure_probability(-0.1)
+
+    def test_lower_bound_is_min_of_majority_and_singleton(self):
+        for p in (0.1, 0.4, 0.5, 0.7, 0.95):
+            expected = min(majority_failure_probability(300, p), p)
+            assert strict_lower_bound(300, p) == pytest.approx(expected)
+
+    def test_lower_bound_behaviour_around_half(self):
+        # Below 1/2 the majority wins (tiny Fp); above 1/2 the singleton (Fp = p).
+        assert strict_lower_bound(300, 0.3) < 1e-6
+        assert strict_lower_bound(300, 0.8) == pytest.approx(0.8)
+
+    def test_curves_have_requested_grid(self):
+        ps = [0.0, 0.25, 0.5, 0.75, 1.0]
+        curve = strict_lower_bound_curve(100, ps)
+        assert [point.p for point in curve] == ps
+        curve2 = failure_curve_uniform(100, 23, ps)
+        assert [point.p for point in curve2] == ps
+        assert curve2[0].failure_probability == 0.0
+        assert curve2[-1].failure_probability == 1.0
+
+
+class TestGridFailureProbability:
+    def test_boundaries(self):
+        assert grid_failure_probability(5, 5, 0.0) == 0.0
+        assert grid_failure_probability(5, 5, 1.0) == 1.0
+
+    def test_single_cell_grid(self):
+        assert grid_failure_probability(1, 1, 0.3) == pytest.approx(0.3)
+
+    def test_one_row_grid(self):
+        # A 1xc grid needs the full row alive plus one cell: i.e. all c cells alive.
+        c, p = 4, 0.2
+        assert grid_failure_probability(1, c, p) == pytest.approx(1 - (1 - p) ** c)
+
+    def test_matches_monte_carlo(self):
+        rows = cols = 5
+        p = 0.3
+        exact = grid_failure_probability(rows, cols, p)
+        rng = random.Random(23)
+        trials = 20_000
+        failures = 0
+        for _ in range(trials):
+            alive = [[rng.random() >= p for _ in range(cols)] for _ in range(rows)]
+            has_row = any(all(row) for row in alive)
+            has_col = any(all(alive[r][c] for r in range(rows)) for c in range(cols))
+            if not (has_row and has_col):
+                failures += 1
+        assert failures / trials == pytest.approx(exact, abs=0.012)
+
+    def test_monotone_in_p(self):
+        values = [grid_failure_probability(6, 6, p / 10) for p in range(11)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_worse_than_majority_for_moderate_p(self):
+        # Grids trade availability for load: for p = 0.3 and n = 36 the grid
+        # fails far more often than the majority system.
+        assert grid_failure_probability(6, 6, 0.3) > majority_failure_probability(36, 0.3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            grid_failure_probability(0, 5, 0.5)
+        with pytest.raises(ValueError):
+            grid_failure_probability(5, 5, -0.1)
+
+
+class TestMonteCarloFailureProbability:
+    def test_agrees_with_exact_threshold(self):
+        quorums = [frozenset(combo) for combo in _all_subsets(6, 4)]
+        estimate = monte_carlo_failure_probability(quorums, 6, 0.5, trials=20_000, seed=1)
+        exact = threshold_failure_probability(6, 4, 0.5)
+        assert estimate == pytest.approx(exact, abs=0.015)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            monte_carlo_failure_probability([], 5, 0.5)
+        with pytest.raises(ValueError):
+            monte_carlo_failure_probability([frozenset({0})], 5, 0.5, trials=0)
+        with pytest.raises(ValueError):
+            monte_carlo_failure_probability([frozenset({0})], 0, 0.5)
+
+
+def _all_subsets(n, size):
+    import itertools
+
+    return itertools.combinations(range(n), size)

@@ -1,0 +1,214 @@
+"""Tests for the exact/bounded intersection probabilities (the heart of the paper)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.intersection import (
+    default_masking_threshold,
+    dissemination_epsilon_bound,
+    dissemination_epsilon_exact,
+    expected_overlap,
+    intersection_epsilon_bound,
+    intersection_epsilon_exact,
+    intersection_probability,
+    masking_epsilon_bound,
+    masking_epsilon_exact,
+    masking_error_decomposition,
+    masking_expectations,
+)
+
+
+def monte_carlo_disjoint(n, q, trials, seed=0):
+    rng = random.Random(seed)
+    population = range(n)
+    misses = 0
+    for _ in range(trials):
+        first = set(rng.sample(population, q))
+        second = set(rng.sample(population, q))
+        if not first & second:
+            misses += 1
+    return misses / trials
+
+
+def monte_carlo_dissemination(n, q, b, trials, seed=0):
+    rng = random.Random(seed)
+    population = range(n)
+    bad = set(range(b))  # by symmetry any fixed B works
+    misses = 0
+    for _ in range(trials):
+        first = set(rng.sample(population, q))
+        second = set(rng.sample(population, q))
+        if (first & second) <= bad:
+            misses += 1
+    return misses / trials
+
+
+def monte_carlo_masking(n, q, b, k, trials, seed=0):
+    rng = random.Random(seed)
+    population = range(n)
+    bad = set(range(b))
+    errors = 0
+    for _ in range(trials):
+        read = set(rng.sample(population, q))
+        write = set(rng.sample(population, q))
+        faulty_hit = len(read & bad)
+        correct_fresh = len((read & write) - bad)
+        if not (faulty_hit < k and correct_fresh >= k):
+            errors += 1
+    return errors / trials
+
+
+class TestIntersectionEpsilon:
+    def test_exact_small_case_by_hand(self):
+        # n=4, q=2: P(disjoint) = C(2,2)/C(4,2) = 1/6.
+        assert intersection_epsilon_exact(4, 2) == pytest.approx(1.0 / 6.0)
+
+    def test_asymmetric_quorum_sizes(self):
+        # n=5, |Q|=2, |Q'|=3: P(disjoint) = C(3,3)/C(5,3) = 1/10.
+        assert intersection_epsilon_exact(5, 2, 3) == pytest.approx(0.1)
+
+    def test_certain_intersection_when_oversized(self):
+        assert intersection_epsilon_exact(10, 6) == 0.0
+        assert intersection_probability(10, 6) == 1.0
+
+    def test_bound_dominates_exact(self):
+        for n in (25, 100, 400):
+            for q in range(1, int(math.sqrt(n) * 3)):
+                assert intersection_epsilon_exact(n, q) <= intersection_epsilon_bound(n, q) + 1e-12
+
+    def test_matches_monte_carlo(self):
+        n, q = 36, 8
+        exact = intersection_epsilon_exact(n, q)
+        estimate = monte_carlo_disjoint(n, q, trials=30_000, seed=3)
+        assert estimate == pytest.approx(exact, abs=0.01)
+
+    def test_monotone_decreasing_in_q(self):
+        values = [intersection_epsilon_exact(100, q) for q in range(1, 51)]
+        assert all(a >= b - 1e-15 for a, b in zip(values, values[1:]))
+
+    def test_expected_overlap(self):
+        assert expected_overlap(100, 10) == pytest.approx(1.0)
+        assert expected_overlap(100, 20, 10) == pytest.approx(2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            intersection_epsilon_exact(0, 1)
+        with pytest.raises(ValueError):
+            intersection_epsilon_exact(10, 0)
+        with pytest.raises(ValueError):
+            intersection_epsilon_exact(10, 11)
+
+    @given(st.integers(min_value=2, max_value=120), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_probability_in_unit_interval(self, n, data):
+        q = data.draw(st.integers(min_value=1, max_value=n))
+        eps = intersection_epsilon_exact(n, q)
+        assert 0.0 <= eps <= 1.0
+
+
+class TestDisseminationEpsilon:
+    def test_reduces_to_intersection_for_b_zero(self):
+        assert dissemination_epsilon_exact(50, 10, 0) == pytest.approx(
+            intersection_epsilon_exact(50, 10)
+        )
+
+    def test_exact_larger_than_plain_intersection(self):
+        # Requiring intersection outside B is harder than plain intersection.
+        n, q, b = 64, 16, 10
+        assert dissemination_epsilon_exact(n, q, b) >= intersection_epsilon_exact(n, q)
+
+    def test_monotone_in_b(self):
+        n, q = 100, 24
+        values = [dissemination_epsilon_exact(n, q, b) for b in range(0, 40, 5)]
+        assert all(a <= b + 1e-15 for a, b in zip(values, values[1:]))
+
+    def test_matches_monte_carlo(self):
+        n, q, b = 49, 12, 8
+        exact = dissemination_epsilon_exact(n, q, b)
+        estimate = monte_carlo_dissemination(n, q, b, trials=30_000, seed=11)
+        assert estimate == pytest.approx(exact, abs=0.01)
+
+    def test_bound_dominates_exact_for_third(self):
+        # Lemma 4.3 regime: b = n/3.
+        n = 99
+        b = n // 3
+        for q in range(6, 40, 4):
+            assert dissemination_epsilon_exact(n, q, b) <= dissemination_epsilon_bound(n, q, b) + 1e-12
+
+    def test_bound_dominates_exact_for_large_fraction(self):
+        # Lemma 4.5 regime: alpha = 1/2.
+        n = 100
+        b = 50
+        for q in range(6, 40, 4):
+            assert dissemination_epsilon_exact(n, q, b) <= dissemination_epsilon_bound(n, q, b) + 1e-12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            dissemination_epsilon_exact(10, 5, 10)
+        with pytest.raises(ValueError):
+            dissemination_epsilon_exact(10, 0, 2)
+
+
+class TestMaskingEpsilon:
+    def test_default_threshold(self):
+        assert default_masking_threshold(100, 40) == pytest.approx(8.0)
+
+    def test_expectations_bracket_threshold(self):
+        # With ell = q/b > 2 the paper's threshold separates the expectations.
+        n, q, b = 100, 40, 10
+        e_faulty, e_correct = masking_expectations(n, q, b)
+        k = default_masking_threshold(n, q)
+        assert e_faulty < k < e_correct
+
+    def test_decomposition_consistency(self):
+        n, q, b = 100, 40, 10
+        decomposition = masking_error_decomposition(n, q, b)
+        # The exact error is at most the union bound and at least each part
+        # minus the other (union bound sandwich).
+        assert decomposition.exact_error <= decomposition.union_bound + 1e-12
+        assert decomposition.exact_error >= decomposition.p_too_few_correct - 1e-12
+        assert 0.0 <= decomposition.p_too_many_faulty <= 1.0
+        assert 0.0 <= decomposition.p_too_few_correct <= 1.0
+
+    def test_matches_monte_carlo(self):
+        n, q, b = 49, 21, 4
+        k = default_masking_threshold(n, q)
+        exact = masking_epsilon_exact(n, q, b, k)
+        estimate = monte_carlo_masking(n, q, b, k, trials=30_000, seed=5)
+        assert estimate == pytest.approx(exact, abs=0.012)
+
+    def test_bound_dominates_exact(self):
+        # Theorem 5.10 regime: ell = q/b > 2 and k = q^2/(2n).
+        n = 400
+        for b in (4, 8, 16):
+            for ell in (3, 5, 8):
+                q = ell * b
+                if q > n - b:
+                    continue
+                assert masking_epsilon_exact(n, q, b) <= masking_epsilon_bound(n, q, b) + 1e-12
+
+    def test_bound_requires_ell_above_two(self):
+        with pytest.raises(ValueError):
+            masking_epsilon_bound(100, 20, 10)
+        with pytest.raises(ValueError):
+            masking_epsilon_bound(100, 20, 0)
+
+    def test_error_decreases_with_quorum_size(self):
+        n, b = 225, 7
+        values = [masking_epsilon_exact(n, q, b) for q in range(40, 100, 10)]
+        assert values[-1] < values[0]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            masking_error_decomposition(100, 40, 10, k=0)
+
+    def test_zero_byzantine_never_fabricates(self):
+        # With b = 0 the only failure mode is too few fresh servers.
+        decomposition = masking_error_decomposition(100, 30, 0)
+        assert decomposition.p_too_many_faulty == 0.0

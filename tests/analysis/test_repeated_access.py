@@ -1,0 +1,127 @@
+"""Tests for the repeated-access (compounded epsilon) analysis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.repeated_access import (
+    all_attempts_miss_probability,
+    at_least_one_hit_probability,
+    attempts_needed_for_confidence,
+    epsilon_budget_per_operation,
+    expected_staleness,
+    staleness_distribution,
+    union_bound_over_operations,
+)
+from repro.core.epsilon_intersecting import UniformEpsilonIntersectingSystem
+from repro.exceptions import ConfigurationError
+from repro.protocol.variable import ProbabilisticRegister
+from repro.simulation.cluster import Cluster
+
+
+class TestCompoundedMissProbability:
+    def test_basic_values(self):
+        assert all_attempts_miss_probability(0.1, 0) == 1.0
+        assert all_attempts_miss_probability(0.1, 1) == pytest.approx(0.1)
+        assert all_attempts_miss_probability(0.1, 3) == pytest.approx(1e-3)
+        assert at_least_one_hit_probability(0.1, 3) == pytest.approx(0.999)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            all_attempts_miss_probability(1.0, 2)
+        with pytest.raises(ConfigurationError):
+            all_attempts_miss_probability(0.1, -1)
+
+    def test_attempts_needed(self):
+        assert attempts_needed_for_confidence(0.0, 0.999) == 1
+        assert attempts_needed_for_confidence(0.1, 0.999) == 3
+        assert attempts_needed_for_confidence(0.5, 0.99) == 7
+        with pytest.raises(ConfigurationError):
+            attempts_needed_for_confidence(0.1, 1.0)
+
+    def test_attempts_needed_is_consistent(self):
+        for epsilon in (0.05, 0.2, 0.6):
+            for confidence in (0.9, 0.99, 0.9999):
+                r = attempts_needed_for_confidence(epsilon, confidence)
+                assert at_least_one_hit_probability(epsilon, r) >= confidence
+                if r > 1:
+                    assert at_least_one_hit_probability(epsilon, r - 1) < confidence
+
+    def test_matches_simulated_repeat_attempts(self):
+        # The voting scenario: once a value is written, how often do r
+        # independent reads all miss it?  Compare epsilon^r with simulation.
+        system = UniformEpsilonIntersectingSystem(25, 5)
+        attempts = 2
+        predicted = all_attempts_miss_probability(system.epsilon, attempts)
+        all_missed = 0
+        trials = 400
+        for seed in range(trials):
+            cluster = Cluster(25, seed=seed)
+            register = ProbabilisticRegister(system, cluster, rng=random.Random(seed))
+            write = register.write("v")
+            if all(register.read().timestamp != write.timestamp for _ in range(attempts)):
+                all_missed += 1
+        assert all_missed / trials == pytest.approx(predicted, abs=0.06)
+
+    @given(st.floats(min_value=0.0, max_value=0.99), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_complementary(self, epsilon, attempts):
+        total = all_attempts_miss_probability(epsilon, attempts) + at_least_one_hit_probability(
+            epsilon, attempts
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestStaleness:
+    def test_distribution_sums_to_one(self):
+        distribution = staleness_distribution(0.2, 5)
+        assert len(distribution) == 6
+        assert sum(distribution) == pytest.approx(1.0)
+        # Geometric decay.
+        assert all(a >= b for a, b in zip(distribution[:-1], distribution[1:-1]))
+
+    def test_zero_epsilon_is_always_fresh(self):
+        distribution = staleness_distribution(0.0, 4)
+        assert distribution[0] == 1.0
+        assert sum(distribution[1:]) == 0.0
+        assert expected_staleness(0.0, 4) == 0.0
+
+    def test_expected_staleness_grows_with_epsilon(self):
+        assert expected_staleness(0.4, 6) > expected_staleness(0.1, 6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            staleness_distribution(0.1, 0)
+
+
+class TestBudgets:
+    def test_union_bound(self):
+        assert union_bound_over_operations(1e-4, 100) == pytest.approx(1e-2)
+        assert union_bound_over_operations(0.5, 10) == 1.0
+        assert union_bound_over_operations(0.1, 0) == 0.0
+
+    def test_budget_per_operation_round_trip(self):
+        per_operation = epsilon_budget_per_operation(0.01, 500)
+        assert per_operation == pytest.approx(2e-5)
+        assert union_bound_over_operations(per_operation, 500) == pytest.approx(0.01)
+
+    def test_budget_drives_calibration(self):
+        # An end-to-end budget translates into a concrete quorum size.
+        from repro.core.calibration import minimal_quorum_size_for_epsilon
+
+        per_operation = epsilon_budget_per_operation(0.01, 1000)
+        q = minimal_quorum_size_for_epsilon(400, per_operation)
+        loose_q = minimal_quorum_size_for_epsilon(400, 1e-3)
+        assert q > loose_q  # a tighter budget needs bigger quorums
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            epsilon_budget_per_operation(0.0, 10)
+        with pytest.raises(ConfigurationError):
+            epsilon_budget_per_operation(0.5, 0)
+        with pytest.raises(ConfigurationError):
+            union_bound_over_operations(0.1, -1)

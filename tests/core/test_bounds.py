@@ -1,0 +1,134 @@
+"""Tests for the load lower bounds and Table 1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    construction_beats_strict_dissemination_load,
+    construction_beats_strict_masking_load,
+    corollary_3_12_load_bound,
+    lemma_5_4_quorum_size_probability,
+    masking_load_lower_bound,
+    naor_wool_load_bound,
+    probabilistic_load_lower_bound,
+    strict_load_lower_bound,
+    strict_resilience_bound,
+    table1_bounds,
+)
+from repro.core.epsilon_intersecting import UniformEpsilonIntersectingSystem
+from repro.core.masking import ProbabilisticMaskingSystem
+from repro.exceptions import ConfigurationError
+
+
+class TestStrictBounds:
+    def test_table1_formulas(self):
+        n, b = 100, 4
+        rows = table1_bounds(n, b)
+        assert rows["strict"].load_lower_bound == pytest.approx(0.1)
+        assert rows["dissemination"].load_lower_bound == pytest.approx(math.sqrt(5 / 100))
+        assert rows["masking"].load_lower_bound == pytest.approx(0.3)
+        assert rows["strict"].max_resilience is None
+        assert rows["dissemination"].max_resilience == 33
+        assert rows["masking"].max_resilience == 24
+
+    def test_strict_load_lower_bound_kinds(self):
+        assert strict_load_lower_bound(400) == pytest.approx(0.05)
+        assert strict_load_lower_bound(400, 9, "dissemination") == pytest.approx(
+            math.sqrt(10 / 400)
+        )
+        assert strict_load_lower_bound(400, 9, "masking") == pytest.approx(
+            math.sqrt(19 / 400)
+        )
+        with pytest.raises(ConfigurationError):
+            strict_load_lower_bound(400, 9, "bogus")
+
+    def test_resilience_bounds(self):
+        assert strict_resilience_bound(100, "dissemination") == 33
+        assert strict_resilience_bound(100, "masking") == 24
+        assert strict_resilience_bound(100, "strict") is None
+        with pytest.raises(ConfigurationError):
+            strict_resilience_bound(100, "bogus")
+
+    def test_naor_wool_bound(self):
+        assert naor_wool_load_bound(100, 10) == pytest.approx(0.1)
+        assert naor_wool_load_bound(100, 4) == pytest.approx(0.25)
+        with pytest.raises(ConfigurationError):
+            naor_wool_load_bound(100, 0)
+
+
+class TestProbabilisticBounds:
+    def test_theorem_3_9_holds_for_uniform_construction(self):
+        # The construction's load q/n must respect the bound computed from its
+        # own epsilon and expected quorum size.
+        for n, q in ((25, 10), (100, 23), (400, 50)):
+            system = UniformEpsilonIntersectingSystem(n, q)
+            bound = probabilistic_load_lower_bound(n, system.epsilon, q)
+            assert system.load() >= bound - 1e-12
+
+    def test_corollary_3_12(self):
+        for n in (25, 100, 900):
+            system = UniformEpsilonIntersectingSystem.for_epsilon(n, 1e-3)
+            assert system.load() >= corollary_3_12_load_bound(n, system.epsilon) - 1e-12
+        # The bound approaches 1/sqrt(n) as epsilon -> 0.
+        assert corollary_3_12_load_bound(100, 0.0) == pytest.approx(0.1)
+
+    def test_theorem_5_5_holds_for_masking_construction(self):
+        for n, b, ell in ((400, 20, 4.0), (900, 30, 3.0)):
+            system = ProbabilisticMaskingSystem.from_ell_times_b(n, ell, b)
+            bound = masking_load_lower_bound(n, b, system.epsilon)
+            assert system.load() >= bound - 1e-12
+
+    def test_masking_bound_degenerates_for_large_epsilon(self):
+        assert masking_load_lower_bound(100, 10, 0.6) == 0.0
+
+    def test_lemma_5_4(self):
+        assert lemma_5_4_quorum_size_probability(0.0) == 1.0
+        assert lemma_5_4_quorum_size_probability(0.1) == pytest.approx(0.8 / 0.9)
+        assert lemma_5_4_quorum_size_probability(0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            probabilistic_load_lower_bound(0, 0.1, 5)
+        with pytest.raises(ConfigurationError):
+            probabilistic_load_lower_bound(10, 1.5, 5)
+        with pytest.raises(ConfigurationError):
+            probabilistic_load_lower_bound(10, 0.1, 0)
+        with pytest.raises(ConfigurationError):
+            masking_load_lower_bound(10, 0, 0.1)
+
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.floats(min_value=0.0, max_value=0.99),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_corollary_dominated_by_theorem(self, n, epsilon):
+        # Corollary 3.12 follows from Theorem 3.9, so it can never exceed the
+        # theorem's bound at the optimal expected quorum size sqrt(n)(1-sqrt(eps)).
+        expected_size = max(1e-9, math.sqrt(n) * (1 - math.sqrt(epsilon)))
+        theorem = probabilistic_load_lower_bound(n, epsilon, expected_size)
+        corollary = corollary_3_12_load_bound(n, epsilon)
+        assert corollary <= theorem + 1e-9
+
+
+class TestComparisons:
+    def test_beats_strict_masking_load_helper(self):
+        n, b = 900, 90
+        system = ProbabilisticMaskingSystem.from_ell_times_b(n, 3.0, b)
+        assert construction_beats_strict_masking_load(n, b, system.load())
+        assert not construction_beats_strict_masking_load(n, b, 1.0)
+
+    def test_beats_strict_dissemination_load_helper(self):
+        n, b = 900, 300
+        assert construction_beats_strict_dissemination_load(n, b, 0.1)
+        assert not construction_beats_strict_dissemination_load(n, b, 0.9)
+
+    def test_table1_validation(self):
+        with pytest.raises(ConfigurationError):
+            table1_bounds(0, 1)
+        with pytest.raises(ConfigurationError):
+            table1_bounds(10, -1)

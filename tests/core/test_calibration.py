@@ -1,0 +1,159 @@
+"""Tests for the calibration logic that sizes the constructions (Tables 2-4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.intersection import (
+    dissemination_epsilon_exact,
+    intersection_epsilon_exact,
+    masking_epsilon_exact,
+)
+from repro.core.calibration import (
+    ell_for_quorum_size,
+    minimal_ell_for_dissemination,
+    minimal_ell_for_epsilon,
+    minimal_ell_for_masking,
+    minimal_quorum_size_for_dissemination,
+    minimal_quorum_size_for_epsilon,
+    minimal_quorum_size_for_masking,
+    quorum_size_for_ell,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestEllHelpers:
+    def test_round_trip(self):
+        assert ell_for_quorum_size(100, 23) == pytest.approx(2.3)
+        assert quorum_size_for_ell(100, 2.3) == 23
+        assert quorum_size_for_ell(100, 2.31) == 24
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ell_for_quorum_size(0, 1)
+        with pytest.raises(ConfigurationError):
+            ell_for_quorum_size(10, 0)
+        with pytest.raises(ConfigurationError):
+            quorum_size_for_ell(10, 0.0)
+        with pytest.raises(ConfigurationError):
+            quorum_size_for_ell(25, 6.0)
+
+
+class TestIntersectingCalibration:
+    def test_meets_target_and_is_minimal(self):
+        for n in (25, 64, 100, 400):
+            q = minimal_quorum_size_for_epsilon(n, 1e-3)
+            assert intersection_epsilon_exact(n, q) <= 1e-3
+            if q > 1:
+                assert intersection_epsilon_exact(n, q - 1) > 1e-3
+
+    def test_matches_linear_scan(self):
+        n, epsilon = 50, 0.01
+        expected = next(
+            q for q in range(1, n + 1) if intersection_epsilon_exact(n, q) <= epsilon
+        )
+        assert minimal_quorum_size_for_epsilon(n, epsilon) == expected
+
+    def test_larger_epsilon_means_smaller_quorums(self):
+        loose = minimal_quorum_size_for_epsilon(225, 0.05)
+        tight = minimal_quorum_size_for_epsilon(225, 1e-4)
+        assert loose <= tight
+
+    def test_quorum_size_scales_like_sqrt_n(self):
+        # Theta(sqrt(n)) scaling: the ell parameter stays bounded as n grows.
+        ells = [minimal_ell_for_epsilon(n, 1e-3) for n in (100, 400, 900)]
+        assert all(1.5 < ell < 3.5 for ell in ells)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            minimal_quorum_size_for_epsilon(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            minimal_quorum_size_for_epsilon(10, 0.0)
+        with pytest.raises(ConfigurationError):
+            minimal_quorum_size_for_epsilon(10, 1.0)
+
+    @given(st.integers(min_value=2, max_value=300), st.floats(min_value=1e-6, max_value=0.5))
+    @settings(max_examples=50, deadline=None)
+    def test_always_meets_target(self, n, epsilon):
+        q = minimal_quorum_size_for_epsilon(n, epsilon)
+        assert 1 <= q <= n // 2 + 1
+        assert intersection_epsilon_exact(n, q) <= epsilon
+
+
+class TestDisseminationCalibration:
+    def test_meets_target_and_is_minimal(self):
+        n, b = 100, 4
+        q = minimal_quorum_size_for_dissemination(n, b, 1e-3)
+        assert q is not None
+        assert dissemination_epsilon_exact(n, q, b) <= 1e-3
+        assert dissemination_epsilon_exact(n, q - 1, b) > 1e-3
+
+    def test_matches_paper_table3_sizes(self):
+        # Our exact calibration reproduces the paper's Table 3 quorum sizes.
+        expected = {25: 11, 100: 24, 225: 37, 400: 50, 625: 63, 900: 77}
+        for n, size in expected.items():
+            b = int((math.isqrt(n) - 1) // 2)
+            assert minimal_quorum_size_for_dissemination(n, b, 1e-3) == size
+
+    def test_respects_fault_tolerance_cap(self):
+        # The returned size never exceeds n - b.
+        q = minimal_quorum_size_for_dissemination(30, 10, 0.05)
+        assert q is not None and q <= 20
+
+    def test_returns_none_when_impossible(self):
+        assert minimal_quorum_size_for_dissemination(10, 8, 1e-9) is None
+        assert minimal_ell_for_dissemination(10, 8, 1e-9) is None
+
+    def test_b_zero_reduces_to_intersection(self):
+        assert minimal_quorum_size_for_dissemination(100, 0, 1e-3) == (
+            minimal_quorum_size_for_epsilon(100, 1e-3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            minimal_quorum_size_for_dissemination(10, 10, 0.1)
+        with pytest.raises(ConfigurationError):
+            minimal_quorum_size_for_dissemination(10, -1, 0.1)
+
+
+class TestMaskingCalibration:
+    def test_meets_target(self):
+        n, b = 100, 4
+        q = minimal_quorum_size_for_masking(n, b, 1e-3)
+        assert q is not None
+        assert masking_epsilon_exact(n, q, b) <= 1e-3
+
+    def test_close_to_paper_table4_sizes(self):
+        # The paper's Table 4 sizes (likely produced with a slightly different
+        # threshold optimisation) should be within a few servers of ours.
+        paper = {25: 15, 100: 38, 225: 64, 400: 94, 625: 123, 900: 152}
+        for n, paper_q in paper.items():
+            b = int((math.isqrt(n) - 1) // 2)
+            ours = minimal_quorum_size_for_masking(n, b, 1e-3)
+            assert ours is not None
+            assert abs(ours - paper_q) <= 6
+
+    def test_fixed_threshold_variant(self):
+        q = minimal_quorum_size_for_masking(100, 4, 1e-2, threshold=6.0)
+        assert q is not None
+        assert masking_epsilon_exact(100, q, 4, 6.0) <= 1e-2
+
+    def test_returns_none_when_impossible(self):
+        assert minimal_quorum_size_for_masking(12, 5, 1e-9) is None
+        assert minimal_ell_for_masking(12, 5, 1e-9) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            minimal_quorum_size_for_masking(10, 0, 0.1)
+        with pytest.raises(ConfigurationError):
+            minimal_quorum_size_for_masking(0, 1, 0.1)
+
+    def test_ell_helper_consistent(self):
+        n, b = 225, 7
+        q = minimal_quorum_size_for_masking(n, b, 1e-3)
+        ell = minimal_ell_for_masking(n, b, 1e-3)
+        assert ell == pytest.approx(q / math.sqrt(n))

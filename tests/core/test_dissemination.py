@@ -1,0 +1,129 @@
+"""Tests for (b, ε)-dissemination quorum systems (Section 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.intersection import dissemination_epsilon_exact
+from repro.core.bounds import strict_load_lower_bound, strict_resilience_bound
+from repro.core.dissemination import ProbabilisticDisseminationSystem
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_basic_parameters(self, dissemination_system):
+        system = dissemination_system
+        assert system.n == 100
+        assert system.byzantine_threshold == 10
+        assert system.byzantine_fraction == pytest.approx(0.1)
+        assert system.epsilon <= 1e-3
+        assert "Dissemination" in system.describe()
+
+    def test_epsilon_matches_exact_formula(self, dissemination_system):
+        system = dissemination_system
+        assert system.epsilon == pytest.approx(
+            dissemination_epsilon_exact(100, system.quorum_size, 10)
+        )
+
+    def test_bound_dominates_exact(self):
+        # Theorem 4.4 regime (b = n/3) and Theorem 4.6 regime (b = n/2).
+        for n, b in ((99, 33), (100, 50)):
+            system = ProbabilisticDisseminationSystem(n, 30, b)
+            assert system.epsilon <= system.epsilon_bound() + 1e-12
+
+    def test_from_ell(self):
+        system = ProbabilisticDisseminationSystem.from_ell(100, 2.4, 4)
+        assert system.quorum_size == 24
+
+    def test_for_epsilon_minimality(self):
+        system = ProbabilisticDisseminationSystem.for_epsilon(225, 7, 1e-3)
+        assert system.epsilon <= 1e-3
+        smaller = ProbabilisticDisseminationSystem(225, system.quorum_size - 1, 7)
+        assert smaller.epsilon > 1e-3
+
+    def test_for_epsilon_impossible_raises(self):
+        # Tiny universe, huge b, tiny epsilon: no admissible quorum size.
+        with pytest.raises(ConfigurationError):
+            ProbabilisticDisseminationSystem.for_epsilon(10, 8, 1e-6)
+
+    def test_fault_tolerance_condition_enforced(self):
+        # Definition 4.1 requires A > b, i.e. q <= n - b.
+        with pytest.raises(ConfigurationError):
+            ProbabilisticDisseminationSystem(100, 95, 10)
+
+    def test_byzantine_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProbabilisticDisseminationSystem(100, 20, 0)
+        with pytest.raises(ConfigurationError):
+            ProbabilisticDisseminationSystem(100, 20, 100)
+
+
+class TestBreakingStrictLimits:
+    def test_tolerates_more_than_a_third(self):
+        # Strict dissemination systems stop at b <= (n-1)/3; the probabilistic
+        # construction works for b = n/2 with a small epsilon for large n.
+        n = 900
+        b = 450
+        assert b > strict_resilience_bound(n, "dissemination")
+        system = ProbabilisticDisseminationSystem(n, 180, b)
+        assert system.epsilon < 0.01
+
+    def test_beats_strict_load_lower_bound(self):
+        # For b = n/3 the strict bound is sqrt((b+1)/n) ~ 0.58 while the
+        # probabilistic construction's load is O(1/sqrt(n)).
+        n = 900
+        b = n // 3
+        system = ProbabilisticDisseminationSystem.for_epsilon(n, b, 1e-3)
+        assert system.load() < strict_load_lower_bound(n, b, "dissemination")
+
+    def test_graceful_degradation(self, dissemination_system):
+        # Fewer actual faults -> better epsilon (remark after Theorem 4.6).
+        system = dissemination_system
+        eps_full = system.epsilon
+        eps_half = system.epsilon_for(5)
+        eps_none = system.epsilon_for(0)
+        assert eps_none <= eps_half <= eps_full
+
+    def test_epsilon_for_validation(self, dissemination_system):
+        with pytest.raises(ConfigurationError):
+            dissemination_system.epsilon_for(11)
+        with pytest.raises(ConfigurationError):
+            dissemination_system.epsilon_for(-1)
+
+
+class TestMeasures:
+    def test_load_and_fault_tolerance(self, dissemination_system):
+        system = dissemination_system
+        assert system.load() == pytest.approx(system.quorum_size / 100)
+        assert system.fault_tolerance() == 100 - system.quorum_size + 1
+        assert system.fault_tolerance() > system.byzantine_threshold
+
+    def test_failure_probability(self, dissemination_system):
+        system = dissemination_system
+        assert system.failure_probability(0.0) == 0.0
+        assert system.failure_probability(1.0) == 1.0
+        for p in (0.3, 0.6):
+            assert system.failure_probability(p) <= system.failure_probability_bound(p) + 1e-12
+
+    def test_profile_records_byzantine_threshold(self, dissemination_system):
+        assert dissemination_system.profile().byzantine_threshold == 10
+
+    def test_sample_and_live_quorum(self, dissemination_system, rng):
+        system = dissemination_system
+        assert len(system.sample_quorum(rng)) == system.quorum_size
+        assert system.find_live_quorum(set(range(100))) is not None
+        assert system.find_live_quorum(set(range(system.quorum_size - 1))) is None
+
+    @given(st.integers(min_value=10, max_value=150), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_valid_parameters(self, n, data):
+        b = data.draw(st.integers(min_value=1, max_value=n - 2))
+        q = data.draw(st.integers(min_value=1, max_value=n - b))
+        system = ProbabilisticDisseminationSystem(n, q, b)
+        assert 0.0 <= system.epsilon <= 1.0
+        assert system.fault_tolerance() > b
+        assert system.epsilon >= dissemination_epsilon_exact(n, q, 0) - 1e-12

@@ -1,0 +1,172 @@
+"""Tests for ε-intersecting quorum systems (Section 3)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.intersection import intersection_epsilon_exact
+from repro.core.epsilon_intersecting import (
+    EpsilonIntersectingSystem,
+    UniformEpsilonIntersectingSystem,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestUniformConstruction:
+    def test_basic_parameters(self, medium_uniform_system):
+        system = medium_uniform_system
+        assert system.n == 100
+        assert system.quorum_size == 23
+        assert system.ell == pytest.approx(2.3)
+        assert system.expected_overlap() == pytest.approx(23 * 23 / 100)
+        assert "R(" in system.describe()
+
+    def test_epsilon_exact_and_bound(self, medium_uniform_system):
+        system = medium_uniform_system
+        assert system.epsilon == pytest.approx(intersection_epsilon_exact(100, 23))
+        # Theorem 3.16: the construction is e^{-ell^2}-intersecting.
+        assert system.epsilon <= system.epsilon_bound()
+        assert system.epsilon_bound() == pytest.approx(math.exp(-(2.3 ** 2)))
+
+    def test_for_epsilon_meets_target(self):
+        for n in (25, 100, 400):
+            system = UniformEpsilonIntersectingSystem.for_epsilon(n, 1e-3)
+            assert system.epsilon <= 1e-3
+            # Minimality: one server fewer misses the target.
+            if system.quorum_size > 1:
+                smaller = UniformEpsilonIntersectingSystem(n, system.quorum_size - 1)
+                assert smaller.epsilon > 1e-3
+
+    def test_from_ell(self):
+        system = UniformEpsilonIntersectingSystem.from_ell(100, 2.2)
+        assert system.quorum_size == 22
+
+    def test_load_is_q_over_n(self, medium_uniform_system):
+        assert medium_uniform_system.load() == pytest.approx(0.23)
+
+    def test_fault_tolerance_theta_n(self, medium_uniform_system):
+        # Definition 3.7 evaluates to n - q + 1 for the symmetric construction.
+        assert medium_uniform_system.fault_tolerance() == 100 - 23 + 1
+
+    def test_escapes_strict_tradeoff(self, medium_uniform_system):
+        # Strict systems obey A(Q) <= n L(Q); the probabilistic construction
+        # does not (that is the point of Section 3.4).
+        system = medium_uniform_system
+        assert system.fault_tolerance() > system.n * system.load()
+
+    def test_failure_probability_exact_and_bound(self, medium_uniform_system):
+        system = medium_uniform_system
+        for p in (0.2, 0.5, 0.7):
+            exact = system.failure_probability(p)
+            assert 0.0 <= exact <= 1.0
+            assert exact <= system.failure_probability_bound(p) + 1e-12
+
+    def test_beats_strict_failure_probability_above_half(self):
+        # For 1/2 <= p <= 1 - ell/sqrt(n) the construction beats every strict
+        # system, whose failure probability is at least p (Peleg-Wool).
+        system = UniformEpsilonIntersectingSystem.for_epsilon(400, 1e-3)
+        for p in (0.5, 0.6, 0.7):
+            assert system.failure_probability(p) < p
+
+    def test_sample_quorum_size(self, medium_uniform_system, rng):
+        for _ in range(20):
+            assert len(medium_uniform_system.sample_quorum(rng)) == 23
+
+    def test_find_live_quorum(self, small_uniform_system):
+        system = small_uniform_system
+        assert system.find_live_quorum(set(range(25))) is not None
+        assert system.find_live_quorum(set(range(9))) is None
+        quorum = system.find_live_quorum(set(range(12)))
+        assert quorum is not None and len(quorum) == 10
+
+    def test_profile(self, small_uniform_system):
+        profile = small_uniform_system.profile()
+        assert profile.n == 25
+        assert profile.quorum_size == 10
+        assert profile.epsilon == pytest.approx(small_uniform_system.epsilon)
+        assert profile.byzantine_threshold == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            UniformEpsilonIntersectingSystem(10, 0)
+        with pytest.raises(ConfigurationError):
+            UniformEpsilonIntersectingSystem(10, 11)
+        with pytest.raises(ConfigurationError):
+            UniformEpsilonIntersectingSystem.from_ell(25, 6.0)  # q > n
+
+    @given(st.integers(min_value=4, max_value=200), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_measures_consistent(self, n, data):
+        q = data.draw(st.integers(min_value=1, max_value=n))
+        system = UniformEpsilonIntersectingSystem(n, q)
+        assert 0.0 <= system.epsilon <= 1.0
+        assert system.epsilon <= system.epsilon_bound() + 1e-12
+        assert system.load() == pytest.approx(q / n)
+        assert system.fault_tolerance() == n - q + 1
+
+    def test_empirical_intersection_rate(self):
+        # Draw quorum pairs through the strategy and check the empirical
+        # non-intersection frequency matches the analytical epsilon.
+        system = UniformEpsilonIntersectingSystem(36, 8)
+        rng = random.Random(11)
+        trials = 20_000
+        misses = 0
+        for _ in range(trials):
+            if not system.sample_quorum(rng) & system.sample_quorum(rng):
+                misses += 1
+        assert misses / trials == pytest.approx(system.epsilon, abs=0.01)
+
+
+class TestExplicitEpsilonIntersecting:
+    def build(self):
+        quorums = [{0, 1, 2}, {2, 3, 4}, {5, 6, 7}]
+        weights = [0.45, 0.45, 0.1]
+        return EpsilonIntersectingSystem(8, quorums, weights)
+
+    def test_epsilon_exact_summation(self):
+        system = self.build()
+        # Non-intersecting pairs: ({0,1,2},{5,6,7}) and ({2,3,4},{5,6,7}) in
+        # both orders, plus ({5,6,7},{5,6,7}) intersects itself.
+        expected = 2 * (0.45 * 0.1) * 2
+        assert system.epsilon == pytest.approx(expected)
+        assert system.epsilon_bound() == pytest.approx(system.epsilon)
+
+    def test_load_of_supplied_strategy(self):
+        system = self.build()
+        # Server 2 is in the two heavy quorums.
+        assert system.load() == pytest.approx(0.9)
+
+    def test_fault_tolerance_ignores_low_quality_quorums(self):
+        system = self.build()
+        # The {5,6,7} quorum intersects others with probability 0.1 only, so
+        # it is not high quality; the transversal of the two heavy quorums is
+        # a single server (server 2).
+        assert system.fault_tolerance() == 1
+
+    def test_failure_probability_bounds(self):
+        system = self.build()
+        value = system.failure_probability(0.3, trials=2000, seed=4)
+        assert 0.0 <= value <= 1.0
+
+    def test_rejects_quorum_outside_universe(self):
+        with pytest.raises(ConfigurationError):
+            EpsilonIntersectingSystem(3, [{0, 5}])
+
+    def test_high_quality_quorums_exposed(self):
+        system = self.build()
+        high_quality = system.high_quality_quorums()
+        assert frozenset({0, 1, 2}) in high_quality
+        assert frozenset({5, 6, 7}) not in high_quality
+
+    def test_find_live_quorum(self):
+        system = self.build()
+        assert system.find_live_quorum({0, 1, 2, 9}) == frozenset({0, 1, 2})
+        assert system.find_live_quorum({0, 1}) is None
+
+    def test_describe(self):
+        assert "EpsilonIntersecting" in self.build().describe()

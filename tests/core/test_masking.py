@@ -1,0 +1,155 @@
+"""Tests for (b, ε)-masking quorum systems Rk(n, q) (Section 5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.intersection import masking_epsilon_exact
+from repro.core.bounds import masking_load_lower_bound, strict_load_lower_bound
+from repro.core.masking import ProbabilisticMaskingSystem
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_basic_parameters(self, masking_system):
+        system = masking_system
+        assert system.n == 100
+        assert system.byzantine_threshold == 5
+        assert system.threshold == pytest.approx(
+            system.quorum_size ** 2 / (2 * system.n)
+        )
+        assert system.read_threshold == math.ceil(system.threshold)
+        assert "Rk(" in system.describe()
+
+    def test_epsilon_matches_exact_formula(self, masking_system):
+        system = masking_system
+        assert system.epsilon == pytest.approx(
+            masking_epsilon_exact(100, system.quorum_size, 5, system.threshold)
+        )
+        assert system.epsilon <= 1e-3
+
+    def test_threshold_separates_expectations(self, masking_system):
+        system = masking_system
+        e_faulty, e_correct = system.expectations()
+        assert e_faulty < system.threshold < e_correct
+        assert system.threshold_is_separating()
+
+    def test_custom_threshold(self):
+        system = ProbabilisticMaskingSystem(100, 40, 5, threshold=12.0)
+        assert system.threshold == 12.0
+        assert system.read_threshold == 12
+        # With a non-default threshold the closed-form bound does not apply,
+        # so epsilon_bound falls back to the exact value.
+        assert system.epsilon_bound() == pytest.approx(system.epsilon)
+
+    def test_theorem_5_10_bound_dominates(self):
+        # Default threshold, ell = q/b > 2: the closed form must hold.
+        for n, b, ell in ((400, 10, 4), (400, 20, 3), (625, 12, 5)):
+            system = ProbabilisticMaskingSystem.from_ell_times_b(n, ell, b)
+            assert system.ell_over_b > 2
+            assert system.epsilon <= system.epsilon_bound() + 1e-12
+
+    def test_lemma_bounds_dominate_decomposition(self):
+        system = ProbabilisticMaskingSystem.from_ell_times_b(400, 4.0, 10)
+        bound_x, bound_y = system.lemma_bounds()
+        decomposition = system.error_decomposition()
+        assert decomposition.p_too_many_faulty <= bound_x + 1e-12
+        assert decomposition.p_too_few_correct <= bound_y + 1e-12
+
+    def test_from_ell_conventions(self):
+        by_b = ProbabilisticMaskingSystem.from_ell_times_b(100, 4.0, 5)
+        assert by_b.quorum_size == 20
+        by_sqrt = ProbabilisticMaskingSystem.from_ell(100, 4.0, 5)
+        assert by_sqrt.quorum_size == 40
+        assert by_sqrt.ell_over_sqrt_n == pytest.approx(4.0)
+
+    def test_from_ell_times_b_requires_ell_above_two(self):
+        with pytest.raises(ConfigurationError):
+            ProbabilisticMaskingSystem.from_ell_times_b(100, 2.0, 5)
+
+    def test_for_epsilon(self):
+        system = ProbabilisticMaskingSystem.for_epsilon(225, 7, 1e-3)
+        assert system.epsilon <= 1e-3
+
+    def test_for_epsilon_impossible(self):
+        with pytest.raises(ConfigurationError):
+            ProbabilisticMaskingSystem.for_epsilon(20, 9, 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProbabilisticMaskingSystem(100, 96, 5)  # q > n - b
+        with pytest.raises(ConfigurationError):
+            ProbabilisticMaskingSystem(100, 40, 0)
+        with pytest.raises(ConfigurationError):
+            ProbabilisticMaskingSystem(100, 40, 5, threshold=0.0)
+
+
+class TestBreakingStrictLimits:
+    def test_tolerates_more_than_a_quarter(self):
+        # Strict masking systems stop at b <= (n-1)/4; Rk works for b < n/2.
+        n = 900
+        big_b = 250  # well above the strict ceiling (n-1)/4 = 224
+        system = ProbabilisticMaskingSystem(n, 600, big_b)
+        assert big_b > (n - 1) // 4
+        assert system.epsilon < 0.05
+
+    def test_beats_strict_masking_load_for_large_b(self):
+        # Section 5.5: for b = omega(sqrt(n)) a constant ell gives load O(b/n)
+        # which beats the strict bound sqrt((2b+1)/n).
+        n = 900
+        b = 90  # omega(sqrt(n)) territory for this concrete size
+        system = ProbabilisticMaskingSystem.from_ell_times_b(n, 3.0, b)
+        assert system.load() < strict_load_lower_bound(n, b, "masking")
+
+    def test_respects_probabilistic_load_lower_bound(self):
+        # Theorem 5.5: L >= ((1-2eps)/(1-eps)) b/n.
+        n, b = 400, 20
+        system = ProbabilisticMaskingSystem.from_ell_times_b(n, 4.0, b)
+        bound = masking_load_lower_bound(n, b, system.epsilon)
+        assert system.load() >= bound - 1e-12
+
+    def test_paper_headline_example_shape(self):
+        # "a system that can mask up to b = sqrt(n) Byzantine failures with a
+        # load of only O(n^-0.3)": check the direction for a concrete n.
+        n = 900
+        b = int(math.sqrt(n))
+        system = ProbabilisticMaskingSystem.for_epsilon(n, b, 1e-3)
+        strict_bound = math.sqrt((2 * b + 1) / n)
+        assert system.load() < 3 * strict_bound  # same ballpark or better
+        assert system.epsilon <= 1e-3
+
+
+class TestMeasures:
+    def test_load_fault_tolerance_failure_probability(self, masking_system):
+        system = masking_system
+        assert system.load() == pytest.approx(system.quorum_size / 100)
+        assert system.fault_tolerance() == 100 - system.quorum_size + 1
+        assert system.failure_probability(0.0) == 0.0
+        assert system.failure_probability(1.0) == 1.0
+        assert system.failure_probability(0.4) <= system.failure_probability_bound(0.4) + 1e-12
+
+    def test_profile(self, masking_system):
+        profile = masking_system.profile()
+        assert profile.byzantine_threshold == 5
+        assert profile.quorum_size == masking_system.quorum_size
+
+    def test_sample_and_live_quorum(self, masking_system, rng):
+        system = masking_system
+        assert len(system.sample_quorum(rng)) == system.quorum_size
+        assert system.find_live_quorum(set(range(100))) is not None
+        assert system.find_live_quorum(set(range(3))) is None
+
+    @given(st.integers(min_value=20, max_value=200), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_for_valid_parameters(self, n, data):
+        # Keep 2b + 1 <= n - b so that the quorum-size range is never empty.
+        b = data.draw(st.integers(min_value=1, max_value=max(1, (n - 1) // 3)))
+        q = data.draw(st.integers(min_value=min(2 * b + 1, n - b), max_value=n - b))
+        system = ProbabilisticMaskingSystem(n, q, b)
+        assert 0.0 <= system.epsilon <= 1.0
+        assert system.fault_tolerance() > b
+        assert system.read_threshold >= 1

@@ -1,0 +1,165 @@
+"""Tests for the probabilistic quality measures (Definitions 3.4-3.8)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measures import (
+    high_quality_quorums,
+    high_quality_weight,
+    inflate_with_singletons,
+    pairwise_intersection_probability,
+    per_quorum_intersection_probability,
+    probabilistic_failure_probability,
+    probabilistic_fault_tolerance,
+)
+from repro.exceptions import ConfigurationError, StrategyError
+from repro.quorum.measures import fault_tolerance_exact
+
+
+def heavy_light_system():
+    """Two heavy intersecting quorums plus one light disconnected quorum."""
+    quorums = (frozenset({0, 1, 2}), frozenset({2, 3, 4}), frozenset({5, 6}))
+    weights = (0.475, 0.475, 0.05)
+    return quorums, weights
+
+
+class TestPairwiseIntersection:
+    def test_exact_value(self):
+        quorums, weights = heavy_light_system()
+        # Intersecting pairs: all pairs among the two heavy quorums plus the
+        # light quorum with itself.
+        expected = (0.475 + 0.475) ** 2 + 0.05 ** 2
+        assert pairwise_intersection_probability(quorums, weights) == pytest.approx(expected)
+
+    def test_per_quorum_probabilities(self):
+        quorums, weights = heavy_light_system()
+        per_quorum = per_quorum_intersection_probability(quorums, weights)
+        assert per_quorum[0] == pytest.approx(0.95)
+        assert per_quorum[2] == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            pairwise_intersection_probability([], [])
+        with pytest.raises(StrategyError):
+            pairwise_intersection_probability([frozenset({0})], [0.5])
+        with pytest.raises(StrategyError):
+            pairwise_intersection_probability([frozenset({0})], [1.0, 0.0])
+
+
+class TestHighQualityQuorums:
+    def test_default_delta_is_sqrt_epsilon(self):
+        quorums, weights = heavy_light_system()
+        selected = high_quality_quorums(quorums, weights)
+        assert frozenset({0, 1, 2}) in selected
+        assert frozenset({2, 3, 4}) in selected
+        assert frozenset({5, 6}) not in selected
+
+    def test_explicit_delta(self):
+        quorums, weights = heavy_light_system()
+        # With delta = 1 every quorum qualifies.
+        assert len(high_quality_quorums(quorums, weights, delta=1.0)) == 3
+        # With delta = 0 only quorums that intersect everything qualify.
+        strict = high_quality_quorums(quorums, weights, delta=0.0)
+        assert strict == ()
+
+    def test_lemma_3_5_weight_bound(self):
+        # P(Q in R) >= 1 - eps/delta.
+        quorums, weights = heavy_light_system()
+        epsilon = 1.0 - pairwise_intersection_probability(quorums, weights)
+        delta = math.sqrt(epsilon)
+        weight = high_quality_weight(quorums, weights, delta)
+        assert weight >= 1.0 - epsilon / delta - 1e-12
+
+    def test_delta_validation(self):
+        quorums, weights = heavy_light_system()
+        with pytest.raises(ConfigurationError):
+            high_quality_quorums(quorums, weights, delta=1.5)
+
+    @given(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lemma_3_5_property(self, quorum_list):
+        weights = [1.0 / len(quorum_list)] * len(quorum_list)
+        epsilon = 1.0 - pairwise_intersection_probability(quorum_list, weights)
+        if epsilon <= 0.0:
+            return
+        delta = math.sqrt(epsilon)
+        weight = high_quality_weight(quorum_list, weights, delta)
+        assert weight >= 1.0 - epsilon / delta - 1e-9
+
+
+class TestInflationResistance:
+    def test_strict_measures_can_be_gamed_but_probabilistic_cannot(self):
+        # Section 3.2's argument: adding rarely used singletons inflates the
+        # *strict* fault tolerance to n but barely moves the probabilistic one.
+        quorums, weights = heavy_light_system()
+        quorums = quorums[:2]
+        weights = (0.5, 0.5)
+        n = 7
+        base_ft = probabilistic_fault_tolerance(quorums, weights, n)
+
+        inflated_quorums, inflated_weights = inflate_with_singletons(
+            quorums, weights, n, gamma=1e-6
+        )
+        # Strict measure on the inflated system: hitting every quorum now
+        # requires hitting every singleton, i.e. all n servers.
+        assert fault_tolerance_exact(inflated_quorums, n) == n
+        # Probabilistic measure: unchanged (the singletons are not high quality).
+        inflated_ft = probabilistic_fault_tolerance(inflated_quorums, inflated_weights, n)
+        assert inflated_ft == base_ft
+
+    def test_epsilon_essentially_unchanged_by_inflation(self):
+        quorums, weights = heavy_light_system()
+        eps_before = 1.0 - pairwise_intersection_probability(quorums, weights)
+        inflated_quorums, inflated_weights = inflate_with_singletons(
+            quorums, weights, 7, gamma=1e-6
+        )
+        eps_after = 1.0 - pairwise_intersection_probability(inflated_quorums, inflated_weights)
+        assert eps_after == pytest.approx(eps_before, abs=1e-4)
+
+    def test_gamma_validation(self):
+        quorums, weights = heavy_light_system()
+        with pytest.raises(ConfigurationError):
+            inflate_with_singletons(quorums, weights, 7, gamma=0.0)
+
+
+class TestProbabilisticFaultToleranceAndFailure:
+    def test_fault_tolerance_of_symmetric_system(self):
+        # For a small uniform family every quorum is high quality, and the
+        # transversal matches the strict computation.
+        import itertools
+
+        quorums = [frozenset(c) for c in itertools.combinations(range(5), 3)]
+        weights = [1.0 / len(quorums)] * len(quorums)
+        assert probabilistic_fault_tolerance(quorums, weights, 5) == 3
+
+    def test_failure_probability_extremes(self):
+        quorums, weights = heavy_light_system()
+        assert probabilistic_failure_probability(quorums, weights, 7, 0.0, trials=500) == 0.0
+        assert probabilistic_failure_probability(quorums, weights, 7, 1.0, trials=500) == 1.0
+
+    def test_failure_probability_ignores_low_quality_quorums(self):
+        # Crashing only server 2 kills both high quality quorums even though
+        # the light quorum {5,6} survives; Definition 3.8 counts that as failure.
+        quorums, weights = heavy_light_system()
+        # Deterministic check via the hitting structure instead of sampling:
+        assert probabilistic_fault_tolerance(quorums, weights, 7) == 1
+
+    def test_validation(self):
+        quorums, weights = heavy_light_system()
+        with pytest.raises(ConfigurationError):
+            probabilistic_failure_probability(quorums, weights, 7, 1.5)
+        with pytest.raises(ConfigurationError):
+            probabilistic_failure_probability(quorums, weights, 7, 0.5, trials=0)
+        with pytest.raises(ConfigurationError):
+            probabilistic_fault_tolerance([frozenset({9})], [1.0], 5)

@@ -1,0 +1,148 @@
+"""Tests for the Figure 1-3 generators (shape checks against the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.figures import (
+    FIGURE_EPSILON,
+    default_probability_grid,
+    figure1_curves,
+    figure2_curves,
+    figure3_curves,
+)
+from repro.experiments.report import render_figure
+
+
+GRID = default_probability_grid(21)
+
+
+def series_by_prefix(figure, prefix):
+    matches = [label for label in figure.labels() if label.startswith(prefix)]
+    assert matches, f"no series starting with {prefix!r} in {figure.labels()}"
+    return {label: figure.series[label] for label in matches}
+
+
+class TestProbabilityGrid:
+    def test_grid_spans_unit_interval(self):
+        grid = default_probability_grid(11)
+        assert grid[0] == 0.0
+        assert grid[-1] == 1.0
+        assert len(grid) == 11
+
+    def test_grid_validation(self):
+        with pytest.raises(ExperimentError):
+            default_probability_grid(1)
+
+
+class TestFigure1:
+    def test_contains_expected_series(self):
+        figure = figure1_curves(ps=GRID)
+        labels = figure.labels()
+        assert any("strict lower bound" in label for label in labels)
+        assert any("R(n=100" in label for label in labels)
+        assert any("R(n=300" in label for label in labels)
+        assert any("strict threshold (n=100" in label for label in labels)
+
+    def test_probabilistic_beats_threshold_at_moderate_p(self):
+        # The paper's right-hand graphs: the probabilistic construction
+        # decisively beats the strict threshold construction.
+        figure = figure1_curves(ps=GRID)
+        prob = next(iter(series_by_prefix(figure, "probabilistic R(n=300").values()))
+        thresh = next(iter(series_by_prefix(figure, "strict threshold (n=300").values()))
+        for index, p in enumerate(GRID):
+            if 0.3 <= p <= 0.6:
+                assert prob[index].failure_probability <= thresh[index].failure_probability + 1e-12
+
+    def test_probabilistic_beats_strict_lower_bound_above_half(self):
+        # The paper's headline: for p in [1/2, 1 - ell/sqrt(n)] the
+        # construction beats *every* strict system (whose Fp >= p there).
+        figure = figure1_curves(ps=GRID)
+        prob = next(iter(series_by_prefix(figure, "probabilistic R(n=300").values()))
+        bound = next(iter(series_by_prefix(figure, "strict lower bound").values()))
+        beats = [
+            prob[i].failure_probability < bound[i].failure_probability
+            for i, p in enumerate(GRID)
+            if 0.5 <= p <= 0.7
+        ]
+        assert all(beats)
+
+    def test_curves_are_monotone_in_p(self):
+        figure = figure1_curves(ps=GRID)
+        for label, curve in figure.series.items():
+            values = [point.failure_probability for point in curve]
+            assert all(a <= b + 1e-9 for a, b in zip(values, values[1:])), label
+
+    def test_crossover_helper(self):
+        figure = figure1_curves(ps=GRID)
+        prob_label = next(iter(series_by_prefix(figure, "probabilistic R(n=300")))
+        bound_label = next(iter(series_by_prefix(figure, "strict lower bound")))
+        crossover = figure.crossover(prob_label, bound_label)
+        assert crossover is not None
+        assert 0.0 < crossover <= 0.6
+
+    def test_epsilon_recorded(self):
+        assert figure1_curves(ps=GRID).epsilon == FIGURE_EPSILON
+
+    def test_render(self):
+        text = render_figure(figure1_curves(ps=GRID))
+        assert "Figure 1" in text
+        assert "p" in text
+
+
+class TestFigure2:
+    def test_dissemination_construction_beats_strict_threshold(self):
+        figure = figure2_curves(ps=GRID)
+        prob = next(iter(series_by_prefix(figure, "probabilistic dissemination R(n=300").values()))
+        thresh = next(
+            iter(series_by_prefix(figure, "strict dissemination threshold (n=300").values())
+        )
+        # The strict threshold quorums are larger than a majority, so the gap
+        # is even more pronounced than in Figure 1.
+        for index, p in enumerate(GRID):
+            if 0.3 <= p <= 0.6:
+                assert prob[index].failure_probability <= thresh[index].failure_probability + 1e-12
+
+    def test_beats_lower_bound_above_half(self):
+        figure = figure2_curves(ps=GRID)
+        prob = next(iter(series_by_prefix(figure, "probabilistic dissemination R(n=300").values()))
+        bound = next(iter(series_by_prefix(figure, "strict lower bound").values()))
+        for index, p in enumerate(GRID):
+            if 0.5 <= p <= 0.7:
+                assert prob[index].failure_probability < bound[index].failure_probability
+
+    def test_monotone_curves(self):
+        figure = figure2_curves(ps=GRID)
+        for label, curve in figure.series.items():
+            values = [point.failure_probability for point in curve]
+            assert all(a <= b + 1e-9 for a, b in zip(values, values[1:])), label
+
+
+class TestFigure3:
+    def test_masking_construction_beats_strict_threshold(self):
+        figure = figure3_curves(ps=GRID)
+        prob = next(iter(series_by_prefix(figure, "probabilistic masking Rk(n=300").values()))
+        thresh = next(iter(series_by_prefix(figure, "strict masking threshold (n=300").values()))
+        for index, p in enumerate(GRID):
+            if 0.3 <= p <= 0.6:
+                assert prob[index].failure_probability <= thresh[index].failure_probability + 1e-12
+
+    def test_masking_quorums_larger_than_plain_but_still_win(self):
+        figure1 = figure1_curves(ps=GRID)
+        figure3 = figure3_curves(ps=GRID)
+        plain = next(iter(series_by_prefix(figure1, "probabilistic R(n=100").values()))
+        masking = next(iter(series_by_prefix(figure3, "probabilistic masking Rk(n=100").values()))
+        # Larger quorums -> (weakly) worse failure probability at every p.
+        for index in range(len(GRID)):
+            assert masking[index].failure_probability >= plain[index].failure_probability - 1e-12
+
+    def test_monotone_curves(self):
+        figure = figure3_curves(ps=GRID)
+        for label, curve in figure.series.items():
+            values = [point.failure_probability for point in curve]
+            assert all(a <= b + 1e-9 for a, b in zip(values, values[1:])), label
+
+    def test_render(self):
+        text = render_figure(figure3_curves(ps=GRID), sample_every=5)
+        assert "Figure 3" in text

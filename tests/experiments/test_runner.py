@@ -1,0 +1,57 @@
+"""Tests for the experiment CLI runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import (
+    EXPERIMENT_NAMES,
+    main,
+    run_experiment,
+    run_figure1,
+    run_table1,
+    run_table2,
+)
+
+
+class TestRunExperiment:
+    def test_single_experiment(self):
+        reports = run_experiment("table1")
+        assert len(reports) == 1
+        assert "Table 1" in reports[0]
+
+    def test_all_experiments(self):
+        reports = run_experiment("all", points=9)
+        assert len(reports) == 7
+        joined = "\n".join(reports)
+        for marker in ("Table 1", "Table 2", "Table 3", "Table 4", "Figure 1", "Figure 2", "Figure 3"):
+            assert marker in joined
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("table99")
+
+    def test_individual_runners_return_text(self):
+        assert "Table 1" in run_table1()
+        assert "Table 2" in run_table2()
+        assert "Figure 1" in run_figure1(points=9)
+
+
+class TestCli:
+    def test_main_success(self, capsys):
+        assert main(["--experiment", "table1"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+
+    def test_main_figure_with_points(self, capsys):
+        assert main(["--experiment", "figure1", "--points", "9"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_main_rejects_unknown_choice(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "bogus"])
+
+    def test_experiment_names_constant(self):
+        assert "all" in EXPERIMENT_NAMES
+        assert len(EXPERIMENT_NAMES) == 8

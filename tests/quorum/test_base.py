@@ -1,0 +1,136 @@
+"""Tests for the quorum system base classes and explicit systems."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, QuorumPropertyError
+from repro.quorum.base import (
+    ENUMERATION_LIMIT,
+    ExplicitQuorumSystem,
+    enumerate_subsets_of_size,
+    sample_subset,
+)
+
+
+def simple_system():
+    """A tiny intersecting system used throughout these tests."""
+    return ExplicitQuorumSystem(5, [{0, 1, 2}, {2, 3, 4}, {0, 2, 4}])
+
+
+class TestExplicitQuorumSystem:
+    def test_basic_properties(self):
+        system = simple_system()
+        assert system.n == 5
+        assert len(system) == 3
+        assert system.min_quorum_size() == 3
+        assert system.universe == frozenset(range(5))
+        assert "Explicit" in system.describe()
+
+    def test_rejects_non_intersecting(self):
+        with pytest.raises(QuorumPropertyError):
+            ExplicitQuorumSystem(4, [{0, 1}, {2, 3}])
+
+    def test_validation_can_be_disabled(self):
+        system = ExplicitQuorumSystem(4, [{0, 1}, {2, 3}], validate=False)
+        assert len(system) == 2
+
+    def test_rejects_empty_quorum(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitQuorumSystem(4, [{0, 1}, set()], validate=False)
+
+    def test_rejects_out_of_universe(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitQuorumSystem(3, [{0, 5}])
+
+    def test_rejects_empty_system(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitQuorumSystem(3, [])
+
+    def test_deduplicates_quorums(self):
+        system = ExplicitQuorumSystem(4, [{0, 1}, {1, 0}, {1, 2}])
+        assert len(system) == 2
+
+    def test_enumeration(self):
+        system = simple_system()
+        quorums = list(system.enumerate_quorums())
+        assert frozenset({0, 1, 2}) in quorums
+        assert len(quorums) == 3
+        assert system.is_enumerable()
+
+    def test_sampling_stays_in_support(self, rng):
+        system = simple_system()
+        support = set(system.quorums)
+        for _ in range(50):
+            assert system.sample_quorum(rng) in support
+
+    def test_find_live_quorum(self):
+        system = simple_system()
+        assert system.find_live_quorum({0, 1, 2, 3}) == frozenset({0, 1, 2})
+        assert system.find_live_quorum({2, 3, 4}) == frozenset({2, 3, 4})
+        assert system.find_live_quorum({0, 1, 3}) is None
+        assert system.is_quorum_available({0, 2, 4})
+        assert not system.is_quorum_available({1, 3})
+
+    def test_measures_against_known_values(self):
+        # The 3-quorum system over 5 servers: server 2 is in every quorum, so
+        # the optimal load is 1 (server 2 is always hit) ... actually the LP
+        # can do no better than 1 for server 2 since every quorum contains it.
+        system = simple_system()
+        assert system.load() == pytest.approx(1.0)
+        # Killing server 2 alone disables every quorum.
+        assert system.fault_tolerance() == 1
+
+    def test_failure_probability_monotone(self):
+        system = simple_system()
+        low = system.failure_probability(0.1, trials=4000, seed=1)
+        high = system.failure_probability(0.6, trials=4000, seed=1)
+        assert low <= high
+
+    def test_profile(self):
+        profile = simple_system().profile()
+        assert profile.n == 5
+        assert profile.quorum_size == 3
+        assert profile.epsilon == 0.0
+
+
+class TestSubsetHelpers:
+    def test_enumerate_subsets(self):
+        subsets = list(enumerate_subsets_of_size(5, 2))
+        assert len(subsets) == 10
+        assert all(len(s) == 2 for s in subsets)
+
+    def test_enumerate_refuses_explosion(self):
+        with pytest.raises(ConfigurationError):
+            list(enumerate_subsets_of_size(200, 100))
+
+    def test_enumerate_validates_size(self):
+        with pytest.raises(ConfigurationError):
+            list(enumerate_subsets_of_size(5, 0))
+        with pytest.raises(ConfigurationError):
+            list(enumerate_subsets_of_size(5, 6))
+
+    def test_sample_subset_size_and_range(self, rng):
+        for _ in range(20):
+            subset = sample_subset(30, 7, rng)
+            assert len(subset) == 7
+            assert subset <= frozenset(range(30))
+
+    def test_sample_subset_validates(self):
+        with pytest.raises(ConfigurationError):
+            sample_subset(5, 6)
+
+    @given(st.integers(min_value=1, max_value=40), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_sample_subset_property(self, n, data):
+        size = data.draw(st.integers(min_value=1, max_value=n))
+        subset = sample_subset(n, size, random.Random(0))
+        assert len(subset) == size
+        assert all(0 <= s < n for s in subset)
+
+    def test_enumeration_limit_is_reasonable(self):
+        assert ENUMERATION_LIMIT >= 1_000_000

@@ -1,0 +1,127 @@
+"""Tests for strict b-dissemination and b-masking threshold systems."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.quorum.byzantine import (
+    ThresholdDisseminationQuorumSystem,
+    ThresholdMaskingQuorumSystem,
+    dissemination_quorum_size,
+    masking_quorum_size,
+    max_dissemination_threshold,
+    max_masking_threshold,
+)
+from repro.quorum.verification import (
+    minimum_pairwise_overlap,
+    verify_dissemination_property,
+    verify_masking_property,
+)
+
+
+class TestQuorumSizeFormulas:
+    def test_paper_table3_threshold_column(self):
+        expected = {25: (2, 14), 100: (4, 53), 400: (9, 205), 625: (12, 319), 900: (14, 458)}
+        for n, (b, size) in expected.items():
+            assert dissemination_quorum_size(n, b) == size
+
+    def test_paper_table4_threshold_column(self):
+        expected = {
+            25: (2, 15),
+            100: (4, 55),
+            225: (7, 120),
+            400: (9, 210),
+            625: (12, 325),
+            900: (14, 465),
+        }
+        for n, (b, size) in expected.items():
+            assert masking_quorum_size(n, b) == size
+
+    def test_resilience_ceilings(self):
+        assert max_dissemination_threshold(100) == 33
+        assert max_masking_threshold(100) == 24
+        assert max_dissemination_threshold(4) == 1
+        assert max_masking_threshold(5) == 1
+
+
+class TestThresholdDissemination:
+    def test_overlap_guarantee(self):
+        system = ThresholdDisseminationQuorumSystem(10, 2)
+        assert system.min_overlap() >= 3
+        quorums = list(system.enumerate_quorums())
+        verify_dissemination_property(quorums, 2)
+
+    def test_rejects_excessive_b(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdDisseminationQuorumSystem(10, 4)  # limit is (10-1)//3 = 3
+        with pytest.raises(ConfigurationError):
+            ThresholdDisseminationQuorumSystem(10, 0)
+
+    def test_byzantine_threshold_attribute(self):
+        system = ThresholdDisseminationQuorumSystem(100, 20)
+        assert system.byzantine_threshold == 20
+        assert system.profile().byzantine_threshold == 20
+
+    def test_load_exceeds_two_thirds_at_max_resilience(self):
+        # Section 1.3: at b ~ n/3 the strict dissemination load is >= 2/3.
+        n = 100
+        b = max_dissemination_threshold(n)
+        system = ThresholdDisseminationQuorumSystem(n, b)
+        assert system.load() >= 2.0 / 3.0 - 1e-9
+
+    @given(st.integers(min_value=4, max_value=150))
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_always_sufficient(self, n):
+        limit = max_dissemination_threshold(n)
+        if limit < 1:
+            return
+        b = limit
+        system = ThresholdDisseminationQuorumSystem(n, b)
+        # Pairwise overlap of two quorums of size m is at least 2m - n >= b + 1.
+        assert 2 * system.quorum_size - n >= b + 1
+
+    def test_describe(self):
+        assert "ThresholdDissemination" in ThresholdDisseminationQuorumSystem(10, 2).describe()
+
+
+class TestThresholdMasking:
+    def test_overlap_guarantee(self):
+        system = ThresholdMaskingQuorumSystem(13, 2)
+        assert system.min_overlap() >= 5
+        quorums = list(system.enumerate_quorums())
+        verify_masking_property(quorums, 2)
+
+    def test_rejects_excessive_b(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdMaskingQuorumSystem(10, 3)  # limit is (10-1)//4 = 2
+        with pytest.raises(ConfigurationError):
+            ThresholdMaskingQuorumSystem(10, 0)
+
+    def test_fault_tolerance_drops_with_b(self):
+        lighter = ThresholdMaskingQuorumSystem(100, 4)
+        heavier = ThresholdMaskingQuorumSystem(100, 20)
+        assert heavier.fault_tolerance() < lighter.fault_tolerance()
+
+    def test_load_lower_bound_of_table1_holds(self):
+        # L(Q) >= sqrt((2b+1)/n) for strict masking systems.
+        n, b = 400, 9
+        system = ThresholdMaskingQuorumSystem(n, b)
+        assert system.load() >= math.sqrt((2 * b + 1) / n) - 1e-9
+
+    @given(st.integers(min_value=5, max_value=150))
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_always_sufficient(self, n):
+        limit = max_masking_threshold(n)
+        if limit < 1:
+            return
+        b = limit
+        system = ThresholdMaskingQuorumSystem(n, b)
+        assert 2 * system.quorum_size - n >= 2 * b + 1
+
+    def test_describe(self):
+        assert "ThresholdMasking" in ThresholdMaskingQuorumSystem(13, 2).describe()

@@ -1,0 +1,124 @@
+"""Tests for crumbling-wall quorum systems."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.quorum.crumbling_walls import CrumblingWallQuorumSystem, near_square_row_widths
+from repro.quorum.grid import GridQuorumSystem
+from repro.quorum.measures import fault_tolerance_exact, optimal_load
+from repro.quorum.verification import verify_intersection_property
+
+
+class TestLayout:
+    def test_near_square_widths_cover_universe(self):
+        for n in (1, 5, 25, 40, 100, 137):
+            widths = near_square_row_widths(n)
+            assert sum(widths) == n
+            assert all(w >= 1 for w in widths)
+
+    def test_invalid_layouts(self):
+        with pytest.raises(ConfigurationError):
+            CrumblingWallQuorumSystem([])
+        with pytest.raises(ConfigurationError):
+            CrumblingWallQuorumSystem([3, 0, 2])
+        with pytest.raises(ConfigurationError):
+            CrumblingWallQuorumSystem([3, 3], n=7)
+        with pytest.raises(ConfigurationError):
+            CrumblingWallQuorumSystem(None, n=None)
+        with pytest.raises(ConfigurationError):
+            near_square_row_widths(0)
+
+    def test_rows_partition_the_universe(self):
+        wall = CrumblingWallQuorumSystem([3, 4, 2])
+        assert wall.n == 9
+        union = frozenset().union(*wall.rows)
+        assert union == frozenset(range(9))
+        assert wall.row_of(0) == 0
+        assert wall.row_of(5) == 1
+        assert wall.row_of(8) == 2
+
+
+class TestQuorumStructure:
+    def test_quorums_intersect(self):
+        wall = CrumblingWallQuorumSystem([2, 3, 2])
+        quorums = list(wall.enumerate_quorums())
+        assert quorums
+        verify_intersection_property(quorums)
+
+    def test_quorum_for_validation(self):
+        wall = CrumblingWallQuorumSystem([2, 3, 2])
+        with pytest.raises(ConfigurationError):
+            wall.quorum_for(0, [2])  # needs two representatives
+        with pytest.raises(ConfigurationError):
+            wall.quorum_for(0, [0, 7])  # 0 is not in a lower row
+        with pytest.raises(ConfigurationError):
+            wall.quorum_for(5, [])
+
+    def test_min_quorum_size(self):
+        # widths [2,3,2]: full row 0 + 2 reps = 4; row 1 + 1 = 4; row 2 alone = 2.
+        wall = CrumblingWallQuorumSystem([2, 3, 2])
+        assert wall.min_quorum_size() == 2
+
+    def test_sampled_quorums_are_quorums(self, rng):
+        wall = CrumblingWallQuorumSystem([3, 3, 3])
+        enumerated = set(wall.enumerate_quorums())
+        for _ in range(30):
+            assert wall.sample_quorum(rng) in enumerated
+
+    def test_find_live_quorum(self):
+        wall = CrumblingWallQuorumSystem([3, 3, 3])
+        assert wall.find_live_quorum(set(range(9))) is not None
+        # Crash one server per row: no full row survives.
+        assert wall.find_live_quorum(set(range(9)) - {0, 3, 6}) is None
+        # Crash a whole middle row only: the bottom row alone is still a quorum.
+        live = set(range(9)) - {3, 4, 5}
+        quorum = wall.find_live_quorum(live)
+        assert quorum is not None and quorum <= live
+
+
+class TestMeasures:
+    def test_fault_tolerance_matches_exact_transversal(self):
+        for widths in ([2, 3, 2], [3, 3, 3], [1, 4, 4], [4, 3], [5]):
+            wall = CrumblingWallQuorumSystem(widths)
+            quorums = list(wall.enumerate_quorums())
+            assert wall.fault_tolerance() == fault_tolerance_exact(quorums, wall.n)
+
+    def test_load_close_to_lp_optimum_for_square_wall(self):
+        wall = CrumblingWallQuorumSystem([3, 3, 3])
+        quorums = list(wall.enumerate_quorums())
+        lp = optimal_load(quorums, wall.n)
+        # The simple uniform-row strategy is within a small factor of optimal.
+        assert lp <= wall.load() <= 2.5 * lp
+
+    def test_load_comparable_to_grid(self):
+        n = 100
+        wall = CrumblingWallQuorumSystem(n=n)
+        grid = GridQuorumSystem(n)
+        assert wall.load() < 3 * grid.load()
+        assert wall.min_quorum_size() <= grid.min_quorum_size() + 2
+
+    def test_failure_probability_monotone(self):
+        wall = CrumblingWallQuorumSystem(n=25)
+        low = wall.failure_probability(0.05, trials=3000, seed=1)
+        high = wall.failure_probability(0.5, trials=3000, seed=1)
+        assert 0.0 <= low <= high <= 1.0
+        with pytest.raises(ConfigurationError):
+            wall.failure_probability(1.5)
+
+    def test_describe(self):
+        assert "CrumblingWall" in CrumblingWallQuorumSystem([2, 2]).describe()
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fault_tolerance_formula_property(self, widths):
+        wall = CrumblingWallQuorumSystem(widths)
+        quorums = list(wall.enumerate_quorums())
+        assert wall.fault_tolerance() == fault_tolerance_exact(quorums, wall.n)

@@ -1,0 +1,172 @@
+"""Tests for grid quorum systems and their Byzantine variants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.quorum.grid import (
+    ByzantineGridQuorumSystem,
+    GridDisseminationQuorumSystem,
+    GridMaskingQuorumSystem,
+    GridQuorumSystem,
+)
+from repro.quorum.verification import (
+    minimum_pairwise_overlap,
+    verify_dissemination_property,
+    verify_intersection_property,
+    verify_masking_property,
+)
+
+
+class TestGridQuorumSystem:
+    def test_requires_perfect_square(self):
+        with pytest.raises(ConfigurationError):
+            GridQuorumSystem(20)
+
+    def test_layout(self):
+        grid = GridQuorumSystem(9)
+        assert grid.side == 3
+        assert grid.row(0) == frozenset({0, 1, 2})
+        assert grid.column(0) == frozenset({0, 3, 6})
+        assert grid.quorum_for(1, 2) == frozenset({3, 4, 5, 2, 8})
+
+    def test_row_column_validation(self):
+        grid = GridQuorumSystem(9)
+        with pytest.raises(ConfigurationError):
+            grid.row(3)
+        with pytest.raises(ConfigurationError):
+            grid.column(-1)
+
+    def test_quorum_size(self):
+        for n in (25, 100, 225):
+            grid = GridQuorumSystem(n)
+            assert grid.min_quorum_size() == 2 * math.isqrt(n) - 1
+
+    def test_paper_table2_grid_column(self):
+        # Table 2's grid quorum sizes and fault tolerances.
+        expected = {
+            25: (9, 5),
+            100: (19, 10),
+            225: (29, 15),
+            400: (39, 20),
+            625: (49, 25),
+            900: (59, 30),
+        }
+        for n, (size, ft) in expected.items():
+            grid = GridQuorumSystem(n)
+            assert grid.min_quorum_size() == size
+            assert grid.fault_tolerance() == ft
+
+    def test_enumerated_quorums_intersect(self):
+        grid = GridQuorumSystem(16)
+        quorums = list(grid.enumerate_quorums())
+        assert len(quorums) == 16
+        verify_intersection_property(quorums)
+
+    def test_sampling(self, rng):
+        grid = GridQuorumSystem(25)
+        for _ in range(20):
+            quorum = grid.sample_quorum(rng)
+            assert len(quorum) == 9
+
+    def test_find_live_quorum(self):
+        grid = GridQuorumSystem(9)
+        assert grid.find_live_quorum(set(range(9))) is not None
+        # Kill one full row: no quorum survives.
+        alive = set(range(9)) - grid.row(1)
+        assert grid.find_live_quorum(alive) is None
+        # Kill a partial row: row 0 and some column survive.
+        alive = set(range(9)) - {4}
+        quorum = grid.find_live_quorum(alive)
+        assert quorum is not None and quorum <= alive
+
+    def test_load(self):
+        grid = GridQuorumSystem(100)
+        assert grid.load() == pytest.approx(19 / 100)
+
+    def test_failure_probability_boundaries(self):
+        grid = GridQuorumSystem(25)
+        assert grid.failure_probability(0.0) == 0.0
+        assert grid.failure_probability(1.0) == 1.0
+
+
+class TestByzantineGrids:
+    def test_dissemination_rows_per_quorum(self):
+        # r = ceil(sqrt((b+1)/2)).
+        assert GridDisseminationQuorumSystem(25, 2).rows_per_quorum == 2
+        assert GridDisseminationQuorumSystem(400, 9).rows_per_quorum == 3
+
+    def test_masking_rows_per_quorum(self):
+        # r = ceil(sqrt((2b+1)/2)).
+        assert GridMaskingQuorumSystem(25, 2).rows_per_quorum == 2
+        assert GridMaskingQuorumSystem(100, 4).rows_per_quorum == 3
+
+    def test_paper_table3_grid_column(self):
+        expected = {25: 16, 100: 36, 225: 56, 400: 111, 625: 141, 900: 171}
+        for n, size in expected.items():
+            b = int((math.isqrt(n) - 1) // 2)
+            assert GridDisseminationQuorumSystem(n, b).min_quorum_size() == size
+
+    def test_paper_table4_grid_column(self):
+        expected = {25: 16, 100: 51, 225: 81, 400: 144, 625: 184, 900: 224}
+        for n, size in expected.items():
+            b = int((math.isqrt(n) - 1) // 2)
+            assert GridMaskingQuorumSystem(n, b).min_quorum_size() == size
+
+    def test_dissemination_overlap_property(self):
+        b = 2
+        grid = GridDisseminationQuorumSystem(25, b)
+        quorums = list(grid.enumerate_quorums())
+        verify_dissemination_property(quorums, b)
+        assert minimum_pairwise_overlap(quorums) >= b + 1
+
+    def test_masking_overlap_property(self):
+        b = 2
+        grid = GridMaskingQuorumSystem(25, b)
+        quorums = list(grid.enumerate_quorums())
+        verify_masking_property(quorums, b)
+        assert minimum_pairwise_overlap(quorums) >= 2 * b + 1
+
+    def test_fault_tolerance_is_one_row(self):
+        assert GridDisseminationQuorumSystem(100, 4).fault_tolerance() == 10
+        assert GridMaskingQuorumSystem(100, 4).fault_tolerance() == 10
+
+    def test_sampling_and_live_quorum(self, rng):
+        grid = GridMaskingQuorumSystem(25, 2)
+        quorum = grid.sample_quorum(rng)
+        assert len(quorum) == grid.min_quorum_size()
+        assert grid.find_live_quorum(set(range(25))) is not None
+        # Remove one full row: with r=2 rows needed out of 5, still available.
+        alive = set(range(25)) - grid.row(0)
+        assert grid.find_live_quorum(alive) is None or grid.rows_per_quorum <= 4
+        # Removing 4 rows leaves only 1 complete row < r=2.
+        alive = set(grid.row(0))
+        assert grid.find_live_quorum(alive) is None
+
+    def test_quorum_for_sets_validation(self):
+        grid = GridMaskingQuorumSystem(25, 2)
+        with pytest.raises(ConfigurationError):
+            grid.quorum_for_sets([0], [1, 2])
+
+    def test_rejects_excessive_b(self):
+        with pytest.raises(ConfigurationError):
+            GridDisseminationQuorumSystem(25, 0)
+        with pytest.raises(ConfigurationError):
+            GridMaskingQuorumSystem(25, 40)
+
+    def test_byzantine_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            ByzantineGridQuorumSystem(25, 0, 1)
+        with pytest.raises(ConfigurationError):
+            ByzantineGridQuorumSystem(25, 6, 1)
+        with pytest.raises(ConfigurationError):
+            ByzantineGridQuorumSystem(25, 2, -1)
+
+    def test_monte_carlo_failure_probability_bounds(self):
+        grid = GridDisseminationQuorumSystem(25, 2)
+        low = grid.failure_probability(0.05, trials=3000, seed=2)
+        high = grid.failure_probability(0.5, trials=3000, seed=2)
+        assert 0.0 <= low <= high <= 1.0

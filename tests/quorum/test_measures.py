@@ -1,0 +1,162 @@
+"""Tests for the exact strict measures (LP load, minimum hitting set)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, StrategyError
+from repro.quorum.grid import GridQuorumSystem
+from repro.quorum.measures import (
+    fault_tolerance_exact,
+    load_of_strategy,
+    minimum_hitting_set,
+    optimal_load,
+    optimal_strategy,
+    per_server_loads,
+)
+
+
+def threshold_quorums(n, m):
+    return [frozenset(c) for c in itertools.combinations(range(n), m)]
+
+
+class TestLoadOfStrategy:
+    def test_uniform_majority_load(self):
+        quorums = threshold_quorums(5, 3)
+        weights = [1.0 / len(quorums)] * len(quorums)
+        assert load_of_strategy(quorums, weights, 5) == pytest.approx(0.6)
+
+    def test_skewed_strategy_increases_load(self):
+        quorums = [frozenset({0, 1, 2}), frozenset({2, 3, 4})]
+        assert load_of_strategy(quorums, [1.0, 0.0], 5) == pytest.approx(1.0)
+        assert load_of_strategy(quorums, [0.5, 0.5], 5) == pytest.approx(1.0)  # server 2
+
+    def test_validation(self):
+        quorums = [frozenset({0, 1})]
+        with pytest.raises(StrategyError):
+            load_of_strategy(quorums, [0.5, 0.5], 3)
+        with pytest.raises(StrategyError):
+            load_of_strategy(quorums, [0.5], 3)
+        with pytest.raises(StrategyError):
+            load_of_strategy(quorums, [-1.0], 3)
+        with pytest.raises(ConfigurationError):
+            load_of_strategy([], [], 3)
+        with pytest.raises(ConfigurationError):
+            load_of_strategy([frozenset({5})], [1.0], 3)
+
+    def test_per_server_loads(self):
+        quorums = [frozenset({0, 1}), frozenset({1, 2})]
+        loads = per_server_loads(quorums, [0.5, 0.5], 3)
+        assert loads == pytest.approx([0.5, 1.0, 0.5])
+
+
+class TestOptimalLoad:
+    def test_majority_threshold_is_m_over_n(self):
+        # The LP should recover the known optimal load m/n of threshold systems.
+        quorums = threshold_quorums(6, 4)
+        assert optimal_load(quorums, 6) == pytest.approx(4 / 6, abs=1e-6)
+
+    def test_grid_load(self):
+        grid = GridQuorumSystem(9)
+        quorums = list(grid.enumerate_quorums())
+        assert optimal_load(quorums, 9) == pytest.approx(5 / 9, abs=1e-6)
+
+    def test_singleton_load_is_one(self):
+        assert optimal_load([frozenset({0})], 4) == pytest.approx(1.0, abs=1e-9)
+
+    def test_naor_wool_lower_bound_respected(self):
+        # L(Q) >= max(1/c(Q), c(Q)/n) for every strict system.
+        quorums = [frozenset({0, 1, 2}), frozenset({2, 3, 4}), frozenset({0, 2, 4})]
+        load = optimal_load(quorums, 5)
+        c = min(len(q) for q in quorums)
+        assert load >= max(1.0 / c, c / 5.0) - 1e-9
+
+    def test_optimal_strategy_achieves_reported_load(self):
+        quorums = threshold_quorums(5, 3)
+        weights, load = optimal_strategy(quorums, 5)
+        assert sum(weights) == pytest.approx(1.0)
+        assert load_of_strategy(quorums, weights, 5) == pytest.approx(load, abs=1e-6)
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_load([], 4)
+        with pytest.raises(ConfigurationError):
+            optimal_strategy([], 4)
+
+
+class TestMinimumHittingSet:
+    def test_simple_cases(self):
+        assert minimum_hitting_set([]) == frozenset()
+        assert minimum_hitting_set([frozenset({3})]) == frozenset({3})
+
+    def test_common_element(self):
+        sets = [frozenset({0, 1}), frozenset({0, 2}), frozenset({0, 3})]
+        assert minimum_hitting_set(sets) == frozenset({0})
+
+    def test_disjoint_sets_need_one_each(self):
+        sets = [frozenset({0, 1}), frozenset({2, 3}), frozenset({4, 5})]
+        hitting = minimum_hitting_set(sets)
+        assert len(hitting) == 3
+        assert all(hitting & s for s in sets)
+
+    def test_greedy_is_not_blindly_trusted(self):
+        # A case where pure greedy can be led astray but branch and bound
+        # still finds an optimal transversal of size 2.
+        sets = [
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+            frozenset({1, 3}),
+            frozenset({2, 3}),
+        ]
+        hitting = minimum_hitting_set(sets)
+        assert len(hitting) == 2
+        assert all(hitting & s for s in sets)
+
+    def test_rejects_empty_member(self):
+        with pytest.raises(ConfigurationError):
+            minimum_hitting_set([frozenset()])
+
+    @given(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, sets):
+        hitting = minimum_hitting_set(sets)
+        assert all(hitting & s for s in sets)
+        universe = sorted(set().union(*sets))
+        # Brute-force the true optimum.
+        best = None
+        for size in range(0, len(universe) + 1):
+            for combo in itertools.combinations(universe, size):
+                candidate = frozenset(combo)
+                if all(candidate & s for s in sets):
+                    best = candidate
+                    break
+            if best is not None:
+                break
+        assert len(hitting) == len(best)
+
+
+class TestFaultToleranceExact:
+    def test_majority_fault_tolerance(self):
+        quorums = threshold_quorums(5, 3)
+        assert fault_tolerance_exact(quorums, 5) == 3
+
+    def test_grid_fault_tolerance(self):
+        grid = GridQuorumSystem(9)
+        quorums = list(grid.enumerate_quorums())
+        assert fault_tolerance_exact(quorums, 9) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fault_tolerance_exact([], 5)
+        with pytest.raises(ConfigurationError):
+            fault_tolerance_exact([frozenset({9})], 5)

@@ -1,0 +1,141 @@
+"""Tests for adaptive probing (probe complexity)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.quorum.grid import GridQuorumSystem
+from repro.quorum.probe import (
+    GreedyProbeStrategy,
+    UniformProbeStrategy,
+    expected_probes_uniform,
+    oracle_from_alive_set,
+)
+from repro.quorum.threshold import MajorityQuorumSystem
+
+
+class TestUniformProbeStrategy:
+    def test_all_alive_uses_exactly_q_probes(self, rng):
+        strategy = UniformProbeStrategy(50, 10)
+        result = strategy.probe(oracle_from_alive_set(range(50)), rng)
+        assert result.found
+        assert len(result.quorum) == 10
+        assert result.probes_used == 10
+
+    def test_partial_liveness_assembles_live_quorum(self, rng):
+        alive = set(range(0, 50, 2))  # 25 alive servers
+        strategy = UniformProbeStrategy(50, 10)
+        result = strategy.probe(oracle_from_alive_set(alive), rng)
+        assert result.found
+        assert result.quorum <= frozenset(alive)
+        assert result.probes_used >= 10
+
+    def test_not_enough_alive_servers(self, rng):
+        strategy = UniformProbeStrategy(20, 10)
+        result = strategy.probe(oracle_from_alive_set(range(5)), rng)
+        assert not result.found
+        assert result.quorum is None
+        assert result.servers_alive == 5
+        assert result.probes_used == 20
+
+    def test_max_probes_cap(self, rng):
+        strategy = UniformProbeStrategy(50, 10)
+        result = strategy.probe(oracle_from_alive_set(range(50)), rng, max_probes=5)
+        assert not result.found
+        assert result.probes_used == 5
+
+    def test_mean_probe_count_matches_expectation(self):
+        n, q, alive_count = 60, 12, 40
+        strategy = UniformProbeStrategy(n, q)
+        alive = set(range(alive_count))
+        oracle = oracle_from_alive_set(alive)
+        rng = random.Random(7)
+        trials = 800
+        mean = sum(strategy.probe(oracle, rng).probes_used for _ in range(trials)) / trials
+        assert mean == pytest.approx(expected_probes_uniform(n, q, alive_count), rel=0.08)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformProbeStrategy(0, 1)
+        with pytest.raises(ConfigurationError):
+            UniformProbeStrategy(10, 11)
+
+    @given(st.integers(min_value=2, max_value=60), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_probe_count_bounds(self, n, data):
+        q = data.draw(st.integers(min_value=1, max_value=n))
+        alive_count = data.draw(st.integers(min_value=0, max_value=n))
+        strategy = UniformProbeStrategy(n, q)
+        result = strategy.probe(
+            oracle_from_alive_set(range(alive_count)), random.Random(0)
+        )
+        assert result.found == (alive_count >= q)
+        assert q <= result.probes_used <= n or not result.found
+
+
+class TestExpectedProbes:
+    def test_all_alive(self):
+        # With every server alive, expectation is q (n+1)/(n+1) = q.
+        assert expected_probes_uniform(50, 10, 50) == pytest.approx(10.0, rel=0.02)
+
+    def test_half_alive_roughly_doubles(self):
+        assert expected_probes_uniform(100, 10, 50) == pytest.approx(
+            2 * expected_probes_uniform(100, 10, 101 - 1) , rel=0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_probes_uniform(10, 5, 3)
+        with pytest.raises(ConfigurationError):
+            expected_probes_uniform(10, 0, 5)
+        with pytest.raises(ConfigurationError):
+            expected_probes_uniform(10, 5, 11)
+
+
+class TestGreedyProbeStrategy:
+    def test_finds_grid_quorum_with_few_probes(self):
+        grid = GridQuorumSystem(25)
+        strategy = GreedyProbeStrategy(grid)
+        result = strategy.probe(oracle_from_alive_set(range(25)))
+        assert result.found
+        # One row plus one column is 9 servers; an adaptive prober should not
+        # need to touch the whole universe.
+        assert result.probes_used < 25
+
+    def test_respects_custom_priority(self):
+        majority = MajorityQuorumSystem(9)
+        priority = list(range(9))
+        strategy = GreedyProbeStrategy(majority, priority=priority)
+        result = strategy.probe(oracle_from_alive_set(range(9)))
+        assert result.found
+        assert result.probes_used == majority.quorum_size
+        assert result.quorum == frozenset(range(majority.quorum_size))
+
+    def test_dead_row_forces_more_probes_or_failure(self):
+        grid = GridQuorumSystem(9)
+        # Kill one full row: no quorum exists, so probing must fail after
+        # touching every server.
+        alive = set(range(9)) - grid.row(0)
+        strategy = GreedyProbeStrategy(grid)
+        result = strategy.probe(oracle_from_alive_set(alive))
+        assert not result.found
+        assert result.probes_used == 9
+
+    def test_max_probes_cap(self):
+        grid = GridQuorumSystem(25)
+        strategy = GreedyProbeStrategy(grid)
+        result = strategy.probe(oracle_from_alive_set(range(25)), max_probes=3)
+        assert not result.found
+        assert result.probes_used == 3
+
+    def test_invalid_priority_rejected(self):
+        grid = GridQuorumSystem(9)
+        with pytest.raises(ConfigurationError):
+            GreedyProbeStrategy(grid, priority=[0, 1, 2])
+        with pytest.raises(ConfigurationError):
+            GreedyProbeStrategy(grid, priority=[0] * 9)

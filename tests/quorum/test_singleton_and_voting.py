@@ -1,0 +1,128 @@
+"""Tests for the singleton and weighted-voting quorum systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.quorum.singleton import SingletonQuorumSystem
+from repro.quorum.threshold import MajorityQuorumSystem
+from repro.quorum.verification import verify_intersection_property
+from repro.quorum.weighted_voting import WeightedVotingQuorumSystem
+
+
+class TestSingleton:
+    def test_basic_properties(self):
+        system = SingletonQuorumSystem(10, leader=3)
+        assert system.leader == 3
+        assert system.min_quorum_size() == 1
+        assert list(system.enumerate_quorums()) == [frozenset({3})]
+        assert system.load() == 1.0
+        assert system.fault_tolerance() == 1
+
+    def test_failure_probability_is_p(self):
+        system = SingletonQuorumSystem(5)
+        assert system.failure_probability(0.42) == 0.42
+        with pytest.raises(ConfigurationError):
+            system.failure_probability(1.2)
+
+    def test_find_live_quorum(self):
+        system = SingletonQuorumSystem(5, leader=2)
+        assert system.find_live_quorum({1, 2, 3}) == frozenset({2})
+        assert system.find_live_quorum({0, 1}) is None
+
+    def test_sample_is_constant(self, rng):
+        system = SingletonQuorumSystem(5, leader=4)
+        assert system.sample_quorum(rng) == frozenset({4})
+
+    def test_leader_validation(self):
+        with pytest.raises(ConfigurationError):
+            SingletonQuorumSystem(5, leader=5)
+
+    def test_best_strict_system_for_large_p(self):
+        # For p >= 1/2 the singleton beats the majority system (footnote 3).
+        singleton = SingletonQuorumSystem(25)
+        majority = MajorityQuorumSystem(25)
+        for p in (0.6, 0.8, 0.95):
+            assert singleton.failure_probability(p) <= majority.failure_probability(p)
+
+
+class TestWeightedVoting:
+    def test_uniform_weights_reduce_to_majority(self):
+        voting = WeightedVotingQuorumSystem([1] * 7)
+        majority = MajorityQuorumSystem(7)
+        assert voting.min_quorum_size() == majority.quorum_size
+        assert voting.fault_tolerance() == majority.fault_tolerance()
+
+    def test_dominant_server_behaves_like_singleton(self):
+        # One server holds most of the votes: it alone forms a quorum.
+        voting = WeightedVotingQuorumSystem([10, 1, 1, 1, 1])
+        assert voting.min_quorum_size() == 1
+        assert voting.is_quorum({0})
+        assert not voting.is_quorum({1, 2, 3, 4})
+        assert voting.fault_tolerance() == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeightedVotingQuorumSystem([1, 1, 1, 1], threshold=2)  # 2T <= total
+        with pytest.raises(ConfigurationError):
+            WeightedVotingQuorumSystem([1, 1], threshold=3)
+        with pytest.raises(ConfigurationError):
+            WeightedVotingQuorumSystem([])
+        with pytest.raises(ConfigurationError):
+            WeightedVotingQuorumSystem([0, 0])
+        with pytest.raises(ConfigurationError):
+            WeightedVotingQuorumSystem([1, -1, 3])
+
+    def test_votes_of_and_is_quorum(self):
+        voting = WeightedVotingQuorumSystem([3, 2, 2, 1], threshold=5)
+        assert voting.total_votes == 8
+        assert voting.votes_of({0, 1}) == 5
+        assert voting.is_quorum({0, 1})
+        assert not voting.is_quorum({1, 2})
+
+    def test_minimal_quorums_intersect(self):
+        voting = WeightedVotingQuorumSystem([3, 2, 2, 1, 1], threshold=5)
+        minimal = list(voting.minimal_quorums())
+        assert minimal
+        verify_intersection_property(minimal)
+        # Minimality: removing any server breaks the quorum.
+        for quorum in minimal:
+            assert voting.is_quorum(quorum)
+            for server in quorum:
+                assert not voting.is_quorum(quorum - {server})
+
+    def test_sample_quorum_is_minimal(self, rng):
+        voting = WeightedVotingQuorumSystem([3, 2, 2, 1, 1], threshold=5)
+        for _ in range(30):
+            quorum = voting.sample_quorum(rng)
+            assert voting.is_quorum(quorum)
+            for server in quorum:
+                assert not voting.is_quorum(quorum - {server})
+
+    def test_find_live_quorum(self):
+        voting = WeightedVotingQuorumSystem([3, 2, 2, 1], threshold=5)
+        assert voting.find_live_quorum({0, 1}) is not None
+        assert voting.find_live_quorum({3}) is None
+        assert voting.find_live_quorum({1, 2, 3}) == frozenset({1, 2, 3})
+
+    def test_fault_tolerance_targets_heavy_servers(self):
+        voting = WeightedVotingQuorumSystem([5, 1, 1, 1, 1], threshold=5)
+        # Crashing the 5-vote server leaves 4 < 5 votes: one crash suffices.
+        assert voting.fault_tolerance() == 1
+
+    def test_load_of_uniform_weights_close_to_majority(self):
+        voting = WeightedVotingQuorumSystem([1] * 5)
+        majority_load = MajorityQuorumSystem(5).load()
+        assert voting.load() == pytest.approx(majority_load, abs=0.05)
+
+    def test_failure_probability_monotone(self):
+        voting = WeightedVotingQuorumSystem([2, 2, 1, 1, 1])
+        low = voting.failure_probability(0.1, trials=4000, seed=3)
+        high = voting.failure_probability(0.7, trials=4000, seed=3)
+        assert low <= high
+        with pytest.raises(ConfigurationError):
+            voting.failure_probability(1.5)
+
+    def test_describe(self):
+        assert "WeightedVoting" in WeightedVotingQuorumSystem([1, 1, 1]).describe()

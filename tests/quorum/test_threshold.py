@@ -1,0 +1,101 @@
+"""Tests for majority and threshold quorum systems."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.failure_probability import threshold_failure_probability
+from repro.exceptions import ConfigurationError
+from repro.quorum.threshold import MajorityQuorumSystem, ThresholdQuorumSystem
+from repro.quorum.verification import verify_intersection_property
+
+
+class TestThresholdQuorumSystem:
+    def test_basic_properties(self):
+        system = ThresholdQuorumSystem(10, 6)
+        assert system.n == 10
+        assert system.quorum_size == 6
+        assert system.min_quorum_size() == 6
+        assert "Threshold" in system.describe()
+
+    def test_requires_majority_size(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdQuorumSystem(10, 5)
+
+    def test_relaxed_mode_allows_small_quorums(self):
+        system = ThresholdQuorumSystem(10, 3, require_intersection=False)
+        assert system.quorum_size == 3
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdQuorumSystem(10, 0, require_intersection=False)
+        with pytest.raises(ConfigurationError):
+            ThresholdQuorumSystem(10, 11)
+
+    def test_enumerated_quorums_intersect(self):
+        system = ThresholdQuorumSystem(7, 4)
+        quorums = list(system.enumerate_quorums())
+        assert len(quorums) == 35
+        verify_intersection_property(quorums)
+
+    def test_sampling_size(self, rng):
+        system = ThresholdQuorumSystem(20, 11)
+        for _ in range(25):
+            assert len(system.sample_quorum(rng)) == 11
+
+    def test_find_live_quorum(self):
+        system = ThresholdQuorumSystem(10, 6)
+        assert system.find_live_quorum(set(range(10))) is not None
+        assert system.find_live_quorum(set(range(6))) == frozenset(range(6))
+        assert system.find_live_quorum(set(range(5))) is None
+
+    def test_load_and_fault_tolerance(self):
+        system = ThresholdQuorumSystem(100, 51)
+        assert system.load() == pytest.approx(0.51)
+        assert system.fault_tolerance() == 50
+
+    def test_failure_probability_delegates_to_exact_formula(self):
+        system = ThresholdQuorumSystem(40, 21)
+        for p in (0.1, 0.5, 0.9):
+            assert system.failure_probability(p) == pytest.approx(
+                threshold_failure_probability(40, 21, p)
+            )
+
+    def test_profile(self):
+        profile = ThresholdQuorumSystem(30, 16).profile()
+        assert profile.quorum_size == 16
+        assert profile.fault_tolerance == 15
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_majority_invariants(self, n):
+        system = MajorityQuorumSystem(n)
+        # Quorum size is ceil((n+1)/2) and quorums always intersect.
+        assert system.quorum_size == n // 2 + 1
+        assert 2 * system.quorum_size > n
+        # The load / fault-tolerance trade-off of strict systems:
+        # A(Q) <= n * L(Q) (Section 2.2).
+        assert system.fault_tolerance() <= n * system.load() + 1e-9
+
+
+class TestMajorityQuorumSystem:
+    def test_paper_table2_threshold_column(self):
+        # Table 2's "Threshold" quorum sizes: ceil((n+1)/2).
+        expected = {25: 13, 100: 51, 225: 113, 400: 201, 625: 313, 900: 451}
+        for n, size in expected.items():
+            assert MajorityQuorumSystem(n).quorum_size == size
+
+    def test_describe_mentions_majority(self):
+        assert "Majority" in MajorityQuorumSystem(9).describe()
+
+    def test_odd_n_fault_tolerance_equals_quorum_size(self):
+        # For odd n, A(Q) = n - m + 1 = m (the values printed in Table 2).
+        for n in (25, 225, 625):
+            system = MajorityQuorumSystem(n)
+            assert system.fault_tolerance() == system.quorum_size
+
+    def test_even_n_fault_tolerance(self):
+        system = MajorityQuorumSystem(100)
+        assert system.fault_tolerance() == 50

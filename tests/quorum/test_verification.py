@@ -1,0 +1,115 @@
+"""Tests for quorum property verification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QuorumPropertyError
+from repro.quorum.verification import (
+    check_dissemination_property,
+    check_intersection_property,
+    check_masking_property,
+    classify_overlap,
+    find_violating_pair,
+    minimum_pairwise_overlap,
+    verify_dissemination_property,
+    verify_intersection_property,
+    verify_masking_property,
+)
+
+
+class TestOverlapComputation:
+    def test_minimum_overlap(self):
+        quorums = [{0, 1, 2, 3}, {2, 3, 4, 5}, {3, 4, 5, 6}]
+        assert minimum_pairwise_overlap(quorums) == 1  # {0,1,2,3} vs {3,4,5,6}
+
+    def test_single_quorum_overlap_is_its_size(self):
+        assert minimum_pairwise_overlap([{0, 1, 2}]) == 3
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(QuorumPropertyError):
+            minimum_pairwise_overlap([])
+
+    def test_empty_quorum_rejected(self):
+        with pytest.raises(QuorumPropertyError):
+            minimum_pairwise_overlap([{0}, set()])
+
+    def test_find_violating_pair(self):
+        quorums = [{0, 1}, {1, 2}, {3, 4}]
+        pair = find_violating_pair(quorums, 1)
+        assert pair is not None
+        first, second = pair
+        assert not (first & second)
+        assert find_violating_pair([{0, 1}, {1, 2}], 1) is None
+
+
+class TestVerifiers:
+    def test_intersection_passes_and_fails(self):
+        verify_intersection_property([{0, 1}, {1, 2}])
+        with pytest.raises(QuorumPropertyError):
+            verify_intersection_property([{0, 1}, {2, 3}])
+        assert check_intersection_property([{0, 1}, {1, 2}])
+        assert not check_intersection_property([{0, 1}, {2, 3}])
+
+    def test_dissemination_requires_b_plus_one(self):
+        quorums = [{0, 1, 2}, {1, 2, 3}]
+        verify_dissemination_property(quorums, 1)  # overlap 2 >= 2
+        with pytest.raises(QuorumPropertyError):
+            verify_dissemination_property(quorums, 2)  # needs overlap 3
+        assert check_dissemination_property(quorums, 1)
+        assert not check_dissemination_property(quorums, 2)
+
+    def test_masking_requires_two_b_plus_one(self):
+        quorums = [{0, 1, 2, 3, 4}, {2, 3, 4, 5, 6}]
+        verify_masking_property(quorums, 1)  # overlap 3 >= 3
+        with pytest.raises(QuorumPropertyError):
+            verify_masking_property(quorums, 2)  # needs overlap 5
+        assert check_masking_property(quorums, 1)
+        assert not check_masking_property(quorums, 2)
+
+    def test_negative_b_rejected(self):
+        with pytest.raises(QuorumPropertyError):
+            verify_dissemination_property([{0}], -1)
+        with pytest.raises(QuorumPropertyError):
+            verify_masking_property([{0}], -1)
+
+
+class TestClassifyOverlap:
+    def test_classification_of_strict_system(self):
+        quorums = [{0, 1, 2, 3, 4}, {2, 3, 4, 5, 6}, {0, 2, 3, 4, 6}]
+        info = classify_overlap(quorums)
+        assert info["is_strict"]
+        assert info["min_overlap"] == 3
+        assert info["max_dissemination_b"] == 2
+        assert info["max_masking_b"] == 1
+
+    def test_classification_of_non_intersecting_system(self):
+        info = classify_overlap([{0, 1}, {2, 3}])
+        assert not info["is_strict"]
+        assert info["min_overlap"] == 0
+        assert info["max_dissemination_b"] == -1
+
+    @given(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=8), min_size=1, max_size=6),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_classification_consistent_with_checks(self, quorums):
+        info = classify_overlap(quorums)
+        assert info["is_strict"] == check_intersection_property(quorums)
+        # With a single quorum every pairwise condition is vacuous, so the
+        # "b + 1 fails" half only makes sense for families of two or more.
+        multiple = len(set(map(frozenset, quorums))) >= 2
+        if info["max_dissemination_b"] >= 1:
+            assert check_dissemination_property(quorums, info["max_dissemination_b"])
+            if multiple:
+                assert not check_dissemination_property(quorums, info["max_dissemination_b"] + 1)
+        if info["max_masking_b"] >= 1:
+            assert check_masking_property(quorums, info["max_masking_b"])
+            if multiple:
+                assert not check_masking_property(quorums, info["max_masking_b"] + 1)

@@ -1,0 +1,115 @@
+"""Tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(3.0, lambda: fired.append("c"))
+        scheduler.schedule(1.0, lambda: fired.append("a"))
+        scheduler.schedule(2.0, lambda: fired.append("b"))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+        assert scheduler.now == 3.0
+        assert scheduler.processed_events == 3
+
+    def test_ties_break_by_insertion_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append("first"))
+        scheduler.schedule(1.0, lambda: fired.append("second"))
+        scheduler.run()
+        assert fired == ["first", "second"]
+
+    def test_schedule_at_absolute_time(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(5.0, lambda: fired.append(scheduler.now))
+        scheduler.run()
+        assert fired == [5.0]
+
+    def test_negative_delay_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(SimulationError):
+            scheduler.schedule(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(-0.5, lambda: None)
+
+    def test_cancellation(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.schedule(1.0, lambda: fired.append("cancelled"))
+        scheduler.schedule(2.0, lambda: fired.append("kept"))
+        assert len(scheduler) == 2
+        handle.cancel()
+        assert handle.cancelled
+        assert len(scheduler) == 1
+        scheduler.run()
+        assert fired == ["kept"]
+
+    def test_events_can_schedule_more_events(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                scheduler.schedule(1.0, lambda: chain(depth + 1))
+
+        scheduler.schedule(1.0, lambda: chain(0))
+        scheduler.run()
+        assert fired == [0, 1, 2, 3]
+        assert scheduler.now == 4.0
+
+
+class TestRunUntil:
+    def test_only_events_up_to_deadline_fire(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.schedule(5.0, lambda: fired.append(5))
+        count = scheduler.run_until(2.0)
+        assert count == 1
+        assert fired == [1]
+        assert scheduler.now == 2.0
+        scheduler.run_until(10.0)
+        assert fired == [1, 5]
+
+    def test_clock_advances_even_without_events(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(7.5)
+        assert scheduler.now == 7.5
+
+    def test_cannot_run_backwards(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(3.0)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(1.0)
+
+    def test_runaway_loop_detected(self):
+        scheduler = EventScheduler()
+
+        def reschedule():
+            scheduler.schedule(0.0, reschedule)
+
+        scheduler.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(1.0, max_events=100)
+
+    def test_run_with_max_events(self):
+        scheduler = EventScheduler()
+        for i in range(10):
+            scheduler.schedule(i, lambda: None)
+        ran = scheduler.run(max_events=4)
+        assert ran == 4
+        assert len(scheduler) == 6
+
+    def test_step_on_empty_queue(self):
+        assert EventScheduler().step() is False

@@ -1,0 +1,142 @@
+"""Tests for failure plans and cluster orchestration."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.protocol.timestamps import Timestamp
+from repro.simulation.cluster import Cluster
+from repro.simulation.failures import CrashEvent, FailurePlan
+from repro.simulation.network import Network
+from repro.simulation.server import ByzantineReplayBehavior, ByzantineSilentBehavior
+
+
+class TestFailurePlan:
+    def test_none_plan(self):
+        plan = FailurePlan.none()
+        assert not plan.crashed
+        assert not plan.byzantine
+        assert plan.faulty_servers == frozenset()
+
+    def test_random_crashes(self):
+        plan = FailurePlan.random_crashes(20, 5, rng=random.Random(0))
+        assert len(plan.crashed) == 5
+        assert plan.crashed <= frozenset(range(20))
+
+    def test_independent_crashes_rate(self):
+        rng = random.Random(1)
+        sizes = [len(FailurePlan.independent_crashes(100, 0.3, rng=rng).crashed) for _ in range(200)]
+        assert sum(sizes) / len(sizes) == pytest.approx(30, rel=0.1)
+
+    def test_random_byzantine_uses_fresh_behaviors(self):
+        plan = FailurePlan.random_byzantine(
+            10, 3, behavior_factory=ByzantineReplayBehavior, rng=random.Random(2)
+        )
+        behaviors = list(plan.byzantine.values())
+        assert len(behaviors) == 3
+        assert len({id(b) for b in behaviors}) == 3  # not shared state
+
+    def test_colluding_forgers_share_the_story(self):
+        plan = FailurePlan.colluding_forgers(
+            10, 3, "FORGED", Timestamp.forged_maximum(), rng=random.Random(3)
+        )
+        values = {b.fabricated_value for b in plan.byzantine.values()}
+        assert values == {"FORGED"}
+
+    def test_replay_attack_constructor(self):
+        plan = FailurePlan.replay_attack(10, 2, rng=random.Random(4))
+        assert len(plan.byzantine) == 2
+
+    def test_crashed_and_byzantine_must_be_disjoint(self):
+        with pytest.raises(ConfigurationError):
+            FailurePlan(crashed=frozenset({1}), byzantine={1: ByzantineSilentBehavior()})
+
+    def test_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailurePlan.random_crashes(5, 6)
+        with pytest.raises(ConfigurationError):
+            FailurePlan.independent_crashes(5, 1.5)
+        with pytest.raises(ConfigurationError):
+            FailurePlan.random_crashes(0, 0)
+
+    def test_with_schedule_sorts_events(self):
+        plan = FailurePlan.none().with_schedule(
+            [CrashEvent(5.0, 1), CrashEvent(2.0, 0), CrashEvent(7.0, 0, recover=True)]
+        )
+        assert [event.time for event in plan.schedule] == [2.0, 5.0, 7.0]
+        assert "FailurePlan" in plan.describe()
+
+
+class TestCluster:
+    def test_initial_state(self, healthy_cluster):
+        assert healthy_cluster.n == 25
+        assert healthy_cluster.alive_servers() == set(range(25))
+        assert healthy_cluster.correct_servers() == set(range(25))
+        assert not healthy_cluster.byzantine_servers
+
+    def test_failure_plan_applied(self):
+        plan = FailurePlan(
+            crashed=frozenset({0, 1}), byzantine={2: ByzantineSilentBehavior()}
+        )
+        cluster = Cluster(10, failure_plan=plan)
+        assert cluster.crashed_servers == frozenset({0, 1})
+        assert cluster.byzantine_servers == frozenset({2})
+        assert cluster.correct_servers() == set(range(3, 10))
+        assert cluster.failure_plan is plan
+
+    def test_write_and_read_quorum(self, healthy_cluster):
+        quorum = frozenset(range(5))
+        acks = healthy_cluster.write_quorum(quorum, "x", "v", Timestamp(1, 0))
+        assert set(acks) == set(quorum)
+        replies = healthy_cluster.read_quorum(quorum, "x")
+        assert set(replies) == set(quorum)
+        assert all(reply.value == "v" for reply in replies.values())
+        assert healthy_cluster.servers_holding("x", "v") == quorum
+
+    def test_crashed_servers_do_not_reply(self):
+        cluster = Cluster(10, failure_plan=FailurePlan(crashed=frozenset({0, 1, 2})))
+        quorum = frozenset(range(6))
+        acks = cluster.write_quorum(quorum, "x", "v", Timestamp(1, 0))
+        assert set(acks) == {3, 4, 5}
+        replies = cluster.read_quorum(quorum, "x")
+        assert set(replies) == {3, 4, 5}
+
+    def test_lossy_network_loses_some_messages(self):
+        network = Network(drop_probability=0.4, rng=random.Random(9))
+        cluster = Cluster(20, network=network, seed=9)
+        quorum = frozenset(range(20))
+        acks = cluster.write_quorum(quorum, "x", "v", Timestamp(1, 0))
+        assert 0 < len(acks) < 20
+
+    def test_crash_and_recover_api(self, healthy_cluster):
+        healthy_cluster.crash(3)
+        assert 3 in healthy_cluster.crashed_servers
+        healthy_cluster.recover(3)
+        assert 3 not in healthy_cluster.crashed_servers
+
+    def test_scheduled_crashes_apply_with_time(self):
+        plan = FailurePlan.none().with_schedule(
+            [CrashEvent(5.0, 0), CrashEvent(10.0, 0, recover=True)]
+        )
+        cluster = Cluster(5, failure_plan=plan)
+        assert 0 not in cluster.crashed_servers
+        cluster.advance_time(6.0)
+        assert 0 in cluster.crashed_servers
+        cluster.advance_time(6.0)
+        assert 0 not in cluster.crashed_servers
+
+    def test_server_id_validation(self, healthy_cluster):
+        with pytest.raises(ConfigurationError):
+            healthy_cluster.crash(99)
+        with pytest.raises(ConfigurationError):
+            healthy_cluster.write_quorum({99}, "x", "v", Timestamp(1, 0))
+        with pytest.raises(ConfigurationError):
+            Cluster(0)
+
+    def test_plan_with_invalid_server_rejected(self):
+        plan = FailurePlan(crashed=frozenset({10}))
+        with pytest.raises(ConfigurationError):
+            Cluster(5, failure_plan=plan)

@@ -1,0 +1,102 @@
+"""Tests for the message-passing network model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import EventScheduler
+from repro.simulation.network import ConstantLatency, Message, Network, UniformLatency
+
+
+class TestLatencyModels:
+    def test_constant_latency(self):
+        model = ConstantLatency(2.5)
+        assert model.sample(random.Random(0)) == 2.5
+        with pytest.raises(SimulationError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_latency_range(self):
+        model = UniformLatency(1.0, 3.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            value = model.sample(rng)
+            assert 1.0 <= value <= 3.0
+        with pytest.raises(SimulationError):
+            UniformLatency(2.0, 1.0)
+        with pytest.raises(SimulationError):
+            UniformLatency(-1.0, 1.0)
+
+
+class TestAsynchronousDelivery:
+    def test_message_delivered_after_latency(self):
+        scheduler = EventScheduler()
+        network = Network(scheduler, latency=ConstantLatency(2.0))
+        received = []
+        message = Message(sender=-1, recipient=3, kind="read", payload="x")
+        assert network.send(message, received.append)
+        assert received == []
+        scheduler.run()
+        assert received == [message]
+        assert scheduler.now == 2.0
+        assert network.messages_delivered == 1
+
+    def test_dropped_messages_never_arrive(self):
+        scheduler = EventScheduler()
+        network = Network(scheduler, drop_probability=1.0 - 1e-12, rng=random.Random(0))
+        received = []
+        sent = network.send(Message(-1, 0, "read", None), received.append)
+        assert not sent
+        scheduler.run()
+        assert received == []
+        assert network.messages_dropped == 1
+
+    def test_invalid_drop_probability(self):
+        with pytest.raises(SimulationError):
+            Network(drop_probability=1.0)
+        with pytest.raises(SimulationError):
+            Network(drop_probability=-0.1)
+
+
+class TestSynchronousPath:
+    def test_reliable_network_delivers_everything(self):
+        network = Network()
+        for i in range(20):
+            assert network.send_sync(Message(-1, i, "write", None))
+        assert network.messages_sent == 20
+        assert network.messages_dropped == 0
+        assert network.messages_delivered == 20
+
+    def test_drop_rate_is_respected(self):
+        network = Network(drop_probability=0.3, rng=random.Random(42))
+        delivered = sum(
+            1 for i in range(5000) if network.send_sync(Message(-1, i % 10, "read", None))
+        )
+        assert delivered / 5000 == pytest.approx(0.7, abs=0.03)
+
+
+class TestPartitions:
+    def test_cross_partition_messages_drop(self):
+        network = Network()
+        network.partition([{0, 1}, {2, 3}])
+        assert network.can_communicate(0, 1)
+        assert not network.can_communicate(0, 2)
+        assert not network.send_sync(Message(0, 2, "read", None))
+        assert network.send_sync(Message(0, 1, "read", None))
+
+    def test_unlisted_nodes_can_reach_everyone(self):
+        network = Network()
+        network.partition([{0, 1}, {2, 3}])
+        # Node 9 appears in no group: it talks to both sides.
+        assert network.can_communicate(9, 0)
+        assert network.can_communicate(9, 3)
+
+    def test_heal_partition(self):
+        network = Network()
+        network.partition([{0}, {1}])
+        assert not network.can_communicate(0, 1)
+        network.heal_partition()
+        assert network.can_communicate(0, 1)
+        assert network.send_sync(Message(0, 1, "read", None))

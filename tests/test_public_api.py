@@ -1,0 +1,51 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_core_constructions_importable_from_top_level(self):
+        system = repro.UniformEpsilonIntersectingSystem.for_epsilon(100, 1e-3)
+        assert isinstance(system, repro.ProbabilisticQuorumSystem)
+        dissemination = repro.ProbabilisticDisseminationSystem.for_epsilon(100, 10, 1e-2)
+        assert dissemination.byzantine_threshold == 10
+        masking = repro.ProbabilisticMaskingSystem.for_epsilon(100, 5, 1e-2)
+        assert masking.read_threshold >= 1
+
+    def test_strict_baselines_importable_from_top_level(self):
+        assert repro.MajorityQuorumSystem(25).quorum_size == 13
+        assert repro.GridQuorumSystem(25).fault_tolerance() == 5
+        assert repro.ThresholdMaskingQuorumSystem(25, 2).quorum_size == 15
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.StrategyError, repro.ConfigurationError)
+        assert issubclass(repro.VerificationError, repro.ProtocolError)
+        with pytest.raises(repro.ReproError):
+            repro.UniformEpsilonIntersectingSystem(10, 0)
+
+    def test_profile_round_trip(self):
+        system = repro.UniformEpsilonIntersectingSystem(25, 10)
+        profile = system.profile()
+        assert isinstance(profile, repro.SystemProfile)
+        row = profile.as_row()
+        assert row[1] == 25 and row[2] == 10
+
+    def test_bounds_helpers(self):
+        assert repro.strict_load_lower_bound(100) == pytest.approx(0.1)
+        assert repro.strict_resilience_bound(100, "masking") == 24
+        assert repro.minimal_quorum_size_for_epsilon(100, 1e-3) == 23
+
+    def test_docstring_mentions_the_paper(self):
+        assert "Probabilistic Quorum Systems" in repro.__doc__
