@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import random
 
+import pytest
+
 from repro.core.epsilon_intersecting import UniformEpsilonIntersectingSystem
 from repro.protocol.variable import ProbabilisticRegister
 from repro.simulation.monte_carlo import estimate_staleness_distribution
@@ -44,6 +46,7 @@ def sweep_gossip_rounds():
     return {"epsilon": system.epsilon, "reports": results}
 
 
+@pytest.mark.slow
 def test_ablation_diffusion(benchmark, report_sink):
     outcome = benchmark.pedantic(sweep_gossip_rounds, rounds=1, iterations=1)
     reports = outcome["reports"]

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import random
 
+import pytest
+
 from repro.core.epsilon_intersecting import UniformEpsilonIntersectingSystem
 from repro.quorum.grid import GridQuorumSystem
 from repro.quorum.probe import (
@@ -71,6 +73,7 @@ def run_probe_sweep():
     return {"quorum_size": system.quorum_size, "rows": rows}
 
 
+@pytest.mark.slow
 def test_ablation_probe_complexity(benchmark, report_sink):
     outcome = benchmark.pedantic(run_probe_sweep, rounds=1, iterations=1)
     rows = outcome["rows"]

@@ -19,11 +19,17 @@ paper's closed-form ε.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 #: The constant ``4e`` that splits the two Chernoff regimes in Lemma 5.7.
 FOUR_E = 4.0 * math.e
 
+#: All functions here are pure closed forms; the estimators evaluate them in
+#: inner loops with heavily repeated arguments, so the bounds are memoised.
+_BOUND_CACHE_SIZE = 1 << 16
 
+
+@lru_cache(maxsize=_BOUND_CACHE_SIZE)
 def chernoff_upper_tail(mean: float, gamma: float) -> float:
     """Chernoff bound ``P(X > (1 + γ) E[X])`` for a sum of Bernoulli variables.
 
@@ -50,6 +56,7 @@ def chernoff_upper_tail(mean: float, gamma: float) -> float:
     return 2.0 ** (-(1.0 + gamma) * mean)
 
 
+@lru_cache(maxsize=_BOUND_CACHE_SIZE)
 def chernoff_lower_tail(mean: float, delta: float) -> float:
     """Chernoff bound ``P(X < (1 - δ) E[X]) <= exp(-E[X] δ² / 2)``.
 
@@ -62,6 +69,7 @@ def chernoff_lower_tail(mean: float, delta: float) -> float:
     return math.exp(-mean * delta * delta / 2.0)
 
 
+@lru_cache(maxsize=_BOUND_CACHE_SIZE)
 def hoeffding_binomial_tail(n: int, p: float, threshold: float) -> float:
     """Hoeffding bound ``P(Bin(n, p) > threshold) <= exp(-2 n (t - p)^2)``.
 
@@ -126,6 +134,7 @@ def masking_psi(ell: float) -> float:
     return min(psi_one(ell), psi_two(ell))
 
 
+@lru_cache(maxsize=_BOUND_CACHE_SIZE)
 def lemma_5_7_bound(n: int, q: int, ell: float) -> float:
     """Upper bound of Lemma 5.7: ``P(X >= k) <= exp(-ψ₁(ℓ) q² / n)``."""
     if n <= 0 or q <= 0 or q > n:
@@ -133,6 +142,7 @@ def lemma_5_7_bound(n: int, q: int, ell: float) -> float:
     return math.exp(-psi_one(ell) * q * q / n)
 
 
+@lru_cache(maxsize=_BOUND_CACHE_SIZE)
 def lemma_5_9_bound(n: int, q: int, ell: float) -> float:
     """Upper bound of Lemma 5.9: ``P(Y < k) <= exp(-ψ₂(ℓ) q² / n)``."""
     if n <= 0 or q <= 0 or q > n:

@@ -20,6 +20,15 @@ import math
 from functools import lru_cache
 from typing import Iterable, List
 
+import numpy as np
+from scipy.special import gammaln
+
+#: Cache bound for the distribution tails.  The calibration scans evaluate
+#: the same (n, marked, draws) tails for many thresholds, and the estimator
+#: inner loops re-query identical parameters across sweep points; a bounded
+#: cache keeps those lookups O(1) without letting memory grow with the sweep.
+_TAIL_CACHE_SIZE = 1 << 16
+
 
 @lru_cache(maxsize=None)
 def log_factorial(n: int) -> float:
@@ -63,6 +72,66 @@ def binomial(n: int, k: int) -> int:
     return math.comb(n, k)
 
 
+@lru_cache(maxsize=64)
+def log_factorial_table(n: int) -> np.ndarray:
+    """Return ``[ln(0!), ln(1!), ..., ln(n!)]`` as a read-only array.
+
+    The vectorised hypergeometric kernels replace per-cell ``lgamma``
+    evaluations with three lookups into this table, which is what makes the
+    calibration scans cheap.  Cached per ``n`` (one table per universe size).
+    """
+    if n < 0:
+        raise ValueError(f"log_factorial_table requires n >= 0, got {n}")
+    table = gammaln(np.arange(n + 1, dtype=np.float64) + 1.0)
+    table.setflags(write=False)
+    return table
+
+
+def log_binomial_grid(n_values, k_values) -> np.ndarray:
+    """Vectorised ``ln(C(n, k))`` over broadcastable arrays.
+
+    Entries with ``k < 0`` or ``k > n`` get ``-inf`` (a zero coefficient),
+    mirroring :func:`log_binomial`, so hypergeometric grids can be summed
+    without masking out the boundary of the support first.
+    """
+    n_arr = np.asarray(n_values, dtype=np.float64)
+    k_arr = np.asarray(k_values, dtype=np.float64)
+    n_arr, k_arr = np.broadcast_arrays(n_arr, k_arr)
+    valid = (k_arr >= 0.0) & (k_arr <= n_arr) & (n_arr >= 0.0)
+    k_safe = np.where(valid, k_arr, 0.0)
+    n_safe = np.where(n_arr >= 0.0, n_arr, 0.0)
+    out = gammaln(n_safe + 1.0) - gammaln(k_safe + 1.0) - gammaln(n_safe - k_safe + 1.0)
+    return np.where(valid, out, -np.inf)
+
+
+def hypergeometric_pmf_grid(n: int, marked_values, draws: int) -> np.ndarray:
+    """Pmf matrix of ``Hypergeom(n, m, draws)`` for several marked counts ``m``.
+
+    Returns an array of shape ``(len(marked_values), draws + 1)`` whose row
+    ``i`` is the pmf of ``Hypergeom(n, marked_values[i], draws)`` over
+    ``k = 0..draws``.  This is the kernel of the exact masking-error
+    computation, where the number of correct servers in the read quorum
+    varies with the number of faulty ones.
+    """
+    _validate_hypergeometric(n, 0, draws)
+    marked = np.asarray(marked_values, dtype=np.int64)
+    if marked.size and (marked.min() < 0 or marked.max() > n):
+        raise ValueError(f"marked counts must lie in [0, {n}]")
+    lf = log_factorial_table(n)
+    m = marked[:, None]
+    k = np.arange(draws + 1, dtype=np.int64)[None, :]
+    # Support: 0 <= k <= m and draws - k <= n - m.
+    valid = (k <= m) & (k >= draws + m - n)
+    mk = np.where(valid, m - k, 0)
+    rest = np.where(valid, n - m - draws + k, 0)
+    log_pmf = (
+        lf[m] - lf[np.where(valid, k, 0)] - lf[mk]
+        + lf[n - m] - lf[np.where(valid, draws - k, 0)] - lf[rest]
+        - (lf[n] - lf[draws] - lf[n - draws])
+    )
+    return np.exp(np.where(valid, log_pmf, -np.inf))
+
+
 def log_sum_exp(values: Iterable[float]) -> float:
     """Numerically stable ``ln(sum(exp(v)))`` over an iterable of log-values."""
     vals = [v for v in values if v != float("-inf")]
@@ -101,8 +170,9 @@ def binomial_pmf(k: int, n: int, p: float) -> float:
     return math.exp(log_pmf)
 
 
+@lru_cache(maxsize=_TAIL_CACHE_SIZE)
 def binomial_cdf(k: int, n: int, p: float) -> float:
-    """Exact ``P(Bin(n, p) <= k)``."""
+    """Exact ``P(Bin(n, p) <= k)`` (memoised: pure in its arguments)."""
     _validate_binomial(n, p)
     if k < 0:
         return 0.0
@@ -116,8 +186,9 @@ def binomial_cdf(k: int, n: int, p: float) -> float:
     return max(0.0, 1.0 - upper)
 
 
+@lru_cache(maxsize=_TAIL_CACHE_SIZE)
 def binomial_sf(k: int, n: int, p: float) -> float:
-    """Exact survival function ``P(Bin(n, p) > k)``."""
+    """Exact survival function ``P(Bin(n, p) > k)`` (memoised)."""
     _validate_binomial(n, p)
     if k < 0:
         return 1.0
@@ -175,8 +246,9 @@ def hypergeometric_pmf_vector(n: int, marked: int, draws: int) -> List[float]:
     return [hypergeometric_pmf(k, n, marked, draws) for k in range(draws + 1)]
 
 
+@lru_cache(maxsize=_TAIL_CACHE_SIZE)
 def hypergeometric_cdf(k: int, n: int, marked: int, draws: int) -> float:
-    """Exact ``P(X <= k)`` for ``X ~ Hypergeom(n, marked, draws)``."""
+    """Exact ``P(X <= k)`` for ``X ~ Hypergeom(n, marked, draws)`` (memoised)."""
     _validate_hypergeometric(n, marked, draws)
     support = hypergeometric_support(n, marked, draws)
     if k < support.start:
@@ -187,8 +259,9 @@ def hypergeometric_cdf(k: int, n: int, marked: int, draws: int) -> float:
     return min(1.0, total)
 
 
+@lru_cache(maxsize=_TAIL_CACHE_SIZE)
 def hypergeometric_sf(k: int, n: int, marked: int, draws: int) -> float:
-    """Exact ``P(X > k)`` for ``X ~ Hypergeom(n, marked, draws)``."""
+    """Exact ``P(X > k)`` for ``X ~ Hypergeom(n, marked, draws)`` (memoised)."""
     _validate_hypergeometric(n, marked, draws)
     support = hypergeometric_support(n, marked, draws)
     if k < support.start:

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import math
 import random
+from functools import lru_cache
 from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.analysis.combinatorics import binomial, binomial_sf
 from repro.types import FailureCurvePoint
@@ -38,6 +41,7 @@ def _validate_probability(p: float) -> None:
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=1 << 16)
 def crash_failure_probability_uniform(n: int, quorum_size: int, p: float) -> float:
     """Exact ``Fp`` of a system whose quorums are *all* subsets of size ``q``.
 
@@ -112,6 +116,7 @@ def failure_curve_uniform(
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=1 << 14)
 def grid_failure_probability(rows: int, cols: int, p: float) -> float:
     """Exact ``Fp`` of the Maekawa grid on a ``rows x cols`` array of servers.
 
@@ -153,6 +158,8 @@ def monte_carlo_failure_probability(
     p: float,
     trials: int = 20_000,
     seed: int | None = 0,
+    engine: str = "sequential",
+    chunk_size: int = 8192,
 ) -> float:
     """Monte-Carlo estimate of ``Fp`` for an arbitrary explicit set system.
 
@@ -160,6 +167,11 @@ def monte_carlo_failure_probability(
     checks whether any quorum survives intact.  Intended for explicit systems
     whose structure admits no closed form (e.g. weighted-voting systems);
     threshold and grid systems should use the exact functions above.
+
+    ``engine="batch"`` draws crash masks for a whole chunk of trials at once
+    and counts each quorum's dead members with one integer matrix product;
+    ``engine="sequential"`` is the per-trial oracle (and the default, so
+    seeded callers keep their exact historical estimates).
     """
     if n <= 0:
         raise ValueError(f"universe size must be positive, got {n}")
@@ -168,6 +180,10 @@ def monte_carlo_failure_probability(
     if not quorums:
         raise ValueError("cannot estimate the failure probability of an empty system")
     _validate_probability(p)
+    if engine == "batch":
+        return _batch_failure_probability(quorums, n, p, trials, seed, chunk_size)
+    if engine != "sequential":
+        raise ValueError(f"unknown engine {engine!r}; expected 'sequential' or 'batch'")
     rng = random.Random(seed)
     failures = 0
     quorum_list: List[Tuple[int, ...]] = [tuple(sorted(q)) for q in quorums]
@@ -175,4 +191,25 @@ def monte_carlo_failure_probability(
         alive = [rng.random() >= p for _ in range(n)]
         if not any(all(alive[s] for s in q) for q in quorum_list):
             failures += 1
+    return failures / trials
+
+
+def _batch_failure_probability(
+    quorums: Sequence[frozenset],
+    n: int,
+    p: float,
+    trials: int,
+    seed: int | None,
+    chunk_size: int,
+) -> float:
+    """Vectorised ``Fp`` estimate: a quorum survives iff it has zero dead members."""
+    from repro.quorum.base import membership_matrix
+    from repro.rngs import chunked_substreams
+
+    member = membership_matrix(quorums, n).astype(np.int32)
+    failures = 0
+    for generator, size in chunked_substreams(seed, trials, chunk_size):
+        dead = (generator.random((size, n)) < p).astype(np.int32)
+        dead_per_quorum = dead @ member.T
+        failures += int((dead_per_quorum > 0).all(axis=1).sum())
     return failures / trials

@@ -29,11 +29,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from repro.analysis.chernoff import masking_psi
 from repro.analysis.combinatorics import (
     hypergeometric_pmf,
-    hypergeometric_sf,
+    hypergeometric_pmf_grid,
     log_binomial,
 )
 
@@ -49,6 +52,7 @@ def _validate_universe_quorum(n: int, q: int) -> None:
         raise ValueError(f"quorum size must lie in (0, {n}], got {q}")
 
 
+@lru_cache(maxsize=1 << 16)
 def intersection_epsilon_exact(n: int, q: int, q2: int | None = None) -> float:
     """Exact probability that two uniform random quorums do not intersect.
 
@@ -99,6 +103,7 @@ def _validate_byzantine(n: int, q: int, b: int) -> None:
         raise ValueError(f"Byzantine threshold must lie in [0, {n}), got {b}")
 
 
+@lru_cache(maxsize=1 << 16)
 def dissemination_epsilon_exact(n: int, q: int, b: int) -> float:
     """Exact ``P(Q ∩ Q' ⊆ B)`` for a worst-case Byzantine set of size ``b``.
 
@@ -180,6 +185,7 @@ def default_masking_threshold(n: int, q: int) -> float:
     return q * q / (2.0 * n)
 
 
+@lru_cache(maxsize=1 << 14)
 def masking_error_decomposition(
     n: int, q: int, b: int, k: float | None = None
 ) -> MaskingErrorDecomposition:
@@ -192,6 +198,10 @@ def masking_error_decomposition(
     read threshold is an integer count, so a real-valued ``k`` is applied as
     ``count >= ceil(k)`` (equivalently ``count < k`` means
     ``count <= ceil(k) - 1``).
+
+    Both distributions are evaluated as one ``(x, y)`` pmf grid in log space
+    (calibration scans thousands of ``(q, k)`` candidates, so this is a hot
+    path), and results are memoised — the function is pure.
     """
     _validate_byzantine(n, q, b)
     if k is None:
@@ -200,22 +210,23 @@ def masking_error_decomposition(
         raise ValueError(f"threshold k must be positive, got {k}")
     k_int = math.ceil(k)
 
-    # P(X >= k) -- too many faulty servers in the read quorum.
-    p_x_high = hypergeometric_sf(k_int - 1, n, b, q) if b > 0 else 0.0
+    # P(X = x) over the support of X = |Q ∩ B| ~ Hypergeom(n, b, q).
+    x = np.arange(min(q, b) + 1)
+    p_x = hypergeometric_pmf_grid(n, [b], q)[0, : x.size] if b > 0 else np.ones(1)
 
-    # Conditional structure for Y.
-    p_y_low = 0.0      # P(Y < k), marginal
-    p_success = 0.0    # P(X < k and Y >= k), exact
-    max_x = min(q, b)
-    for x in range(0, max_x + 1):
-        p_x = hypergeometric_pmf(x, n, b, q) if b > 0 else (1.0 if x == 0 else 0.0)
-        if p_x == 0.0:
-            continue
-        correct_in_q = q - x
-        p_y_ge_k = hypergeometric_sf(k_int - 1, n, correct_in_q, q)
-        p_y_low += p_x * (1.0 - p_y_ge_k)
-        if x < k:
-            p_success += p_x * p_y_ge_k
+    # P(X >= k) -- too many faulty servers in the read quorum.
+    p_x_high = float(p_x[x >= k_int].sum()) if b > 0 else 0.0
+
+    # Row x of the grid is the pmf of Y | X = x ~ Hypergeom(n, q - x, q);
+    # summing columns >= ceil(k) gives P(Y >= k | X = x) for every x at once.
+    p_y_given_x = hypergeometric_pmf_grid(n, q - x, q)
+    if k_int <= q:
+        p_y_ge_k = np.clip(p_y_given_x[:, k_int:].sum(axis=1), 0.0, 1.0)
+    else:
+        p_y_ge_k = np.zeros(x.size)
+
+    p_y_low = float((p_x * (1.0 - p_y_ge_k)).sum())
+    p_success = float((p_x * p_y_ge_k)[x < k].sum())
     exact_error = max(0.0, 1.0 - p_success)
     return MaskingErrorDecomposition(
         p_too_many_faulty=min(1.0, p_x_high),

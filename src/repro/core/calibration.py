@@ -26,6 +26,9 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
+from repro.analysis.combinatorics import log_binomial_grid
 from repro.analysis.intersection import (
     dissemination_epsilon_exact,
     intersection_epsilon_exact,
@@ -131,23 +134,72 @@ def minimal_quorum_size_for_masking(
     The scan is limited to ``q <= n - b`` for the same fault-tolerance reason
     as the dissemination case.  Returns ``None`` if no admissible ``q``
     reaches the target ε.
+
+    Two vectorised necessary conditions prune the scan before the exact
+    ``O(q·b)`` error decomposition runs: the exact error is bounded below
+    both by ``P(|Q ∩ B| >= k)`` (Lemma 5.7's event) and by
+    ``P(Hypergeom(n, q, q) < k)`` (``Y | X = x`` is stochastically dominated
+    by the ``x = 0`` case), so any ``q`` failing either bound cannot meet ε.
     """
     if n < 1:
         raise ConfigurationError(f"universe size must be positive, got {n}")
     if not 1 <= b < n:
         raise ConfigurationError(f"Byzantine threshold must lie in [1, {n}), got {b}")
     _validate_epsilon(epsilon)
-    for q in range(1, n - b + 1):
-        k = threshold if threshold is not None else q * q / (2.0 * n)
-        if k <= 0:
-            continue
-        # The threshold must exceed b, otherwise b Byzantine servers alone can
-        # reach it and fabricate a value.
-        if k <= 0 or math.ceil(k) <= 0:
-            continue
-        if masking_epsilon_exact(n, q, b, k) <= epsilon:
-            return q
+    qs = np.arange(1, n - b + 1, dtype=np.int64)
+    if qs.size == 0:
+        return None
+    ks = np.full(qs.shape, float(threshold)) if threshold is not None else qs * qs / (2.0 * n)
+    admissible = ks > 0
+    if not admissible.any():
+        return None
+    k_int = np.where(admissible, np.ceil(ks).astype(np.int64), 1)
+    # Tiny slack so floating-point noise in the vectorised bounds can never
+    # exclude a candidate whose exact error sits right at epsilon.
+    cutoff = epsilon * (1.0 + 1e-9) + 1e-15
+    feasible = admissible & (_faulty_overlap_sf(n, b, qs, k_int) <= cutoff)
+    feasible[feasible] &= _self_overlap_cdf(n, qs[feasible], k_int[feasible] - 1) <= cutoff
+    for q, k in zip(qs[feasible], ks[feasible]):
+        if masking_epsilon_exact(n, int(q), b, float(k)) <= epsilon:
+            return int(q)
     return None
+
+
+def _faulty_overlap_sf(n: int, b: int, qs: np.ndarray, k_int: np.ndarray) -> np.ndarray:
+    """``P(|Q ∩ B| >= k)`` for each quorum size, in one vectorised pass.
+
+    ``|Q ∩ B| ~ Hypergeom(n, b, q)``; the pmf grid over (q, x) comes from
+    :func:`log_binomial_grid` (whose ``-inf`` outside the support makes the
+    boundary handling free) and is summed cumulatively so the tail at each
+    candidate's own threshold is a single gather.
+    """
+    q = qs[:, None]
+    x = np.arange(min(b, int(qs.max())) + 1, dtype=np.int64)[None, :]
+    log_pmf = (
+        log_binomial_grid(b, x) + log_binomial_grid(n - b, q - x) - log_binomial_grid(n, q)
+    )
+    cdf = np.cumsum(np.exp(log_pmf), axis=1)
+    # P(X >= k) = 1 - P(X <= k - 1); k - 1 may fall outside the tabulated
+    # range, in which case the tail is empty.
+    idx = np.clip(k_int - 1, -1, x.size - 1)
+    below = np.where(idx >= 0, np.take_along_axis(cdf, np.maximum(idx, 0)[:, None], 1)[:, 0], 0.0)
+    tail = np.where(k_int - 1 >= x.size, 0.0, 1.0 - below)
+    return np.clip(tail, 0.0, 1.0)
+
+
+def _self_overlap_cdf(n: int, qs: np.ndarray, upper: np.ndarray) -> np.ndarray:
+    """``P(Hypergeom(n, q, q) <= upper)`` for each quorum size, vectorised."""
+    if qs.size == 0:
+        return np.zeros(0)
+    q = qs[:, None]
+    y = np.arange(int(upper.max()) + 1 if upper.size else 1, dtype=np.int64)[None, :]
+    log_pmf = (
+        log_binomial_grid(q, y) + log_binomial_grid(n - q, q - y) - log_binomial_grid(n, q)
+    )
+    cdf = np.cumsum(np.exp(log_pmf), axis=1)
+    idx = np.clip(upper, -1, y.size - 1)
+    out = np.where(idx >= 0, np.take_along_axis(cdf, np.maximum(idx, 0)[:, None], 1)[:, 0], 0.0)
+    return np.clip(out, 0.0, 1.0)
 
 
 def minimal_ell_for_epsilon(n: int, epsilon: float) -> float:

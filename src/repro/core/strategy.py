@@ -25,8 +25,10 @@ import math
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError, StrategyError
-from repro.quorum.base import sample_subset
+from repro.quorum.base import membership_matrix, sample_subset, sample_subset_batch
 from repro.types import Quorum, make_quorum
 
 
@@ -40,6 +42,22 @@ class AccessStrategy(abc.ABC):
     @abc.abstractmethod
     def expected_quorum_size(self) -> float:
         """``E[|Q|]`` under the strategy (used by the load bound of Theorem 3.9)."""
+
+    def sample_batch_membership(
+        self, n: int, trials: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``trials`` quorums at once as a boolean ``(trials, n)`` matrix.
+
+        Row ``t`` marks the servers of the ``t``-th sampled quorum.  This is
+        the entry point of the batched Monte-Carlo engine; the base
+        implementation falls back to one :meth:`sample` call per trial (so
+        any custom strategy stays batch-compatible), while the two concrete
+        strategies override it with fully vectorised draws.
+        """
+        if trials < 0:
+            raise ConfigurationError(f"trial count must be non-negative, got {trials}")
+        rng = random.Random(int(generator.integers(2**63)))
+        return membership_matrix([self.sample(rng) for _ in range(trials)], n)
 
     @abc.abstractmethod
     def describe(self) -> str:
@@ -78,6 +96,23 @@ class UniformSubsetStrategy(AccessStrategy):
 
     def sample(self, rng: Optional[random.Random] = None) -> Quorum:
         return sample_subset(self._n, self._q, rng)
+
+    def sample_batch_indices(
+        self, trials: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        """``trials`` uniform access sets as a ``(trials, q)`` index matrix."""
+        return sample_subset_batch(self._n, self._q, trials, generator)
+
+    def sample_batch_membership(
+        self, n: int, trials: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        if n != self._n:
+            raise ConfigurationError(
+                f"strategy is over {self._n} servers but the batch asked for {n}"
+            )
+        member = np.zeros((trials, n), dtype=bool)
+        np.put_along_axis(member, self.sample_batch_indices(trials, generator), True, axis=1)
+        return member
 
     def expected_quorum_size(self) -> float:
         return float(self._q)
@@ -148,6 +183,16 @@ class ExplicitStrategy(AccessStrategy):
     def sample(self, rng: Optional[random.Random] = None) -> Quorum:
         rng = rng or random.Random()
         return rng.choices(self._quorums, weights=self._weights, k=1)[0]
+
+    def sample_batch_membership(
+        self, n: int, trials: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorised draw: pick support indices, then gather membership rows."""
+        if trials < 0:
+            raise ConfigurationError(f"trial count must be non-negative, got {trials}")
+        support = membership_matrix(self._quorums, n)
+        chosen = generator.choice(len(self._quorums), size=trials, p=np.asarray(self._weights))
+        return support[chosen]
 
     def expected_quorum_size(self) -> float:
         return sum(len(q) * w for q, w in zip(self._quorums, self._weights))

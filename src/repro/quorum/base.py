@@ -268,3 +268,46 @@ def sample_subset(n: int, size: int, rng: Optional[random.Random] = None) -> Quo
         raise ConfigurationError(f"subset size must lie in (0, {n}], got {size}")
     rng = rng or random.Random()
     return frozenset(rng.sample(range(n), size))
+
+
+def membership_matrix(quorums: Sequence[Iterable[int]], n: int) -> "np.ndarray":
+    """Boolean ``(len(quorums), n)`` matrix marking each quorum's servers.
+
+    The shared kernel of every batched path that reduces quorum logic to
+    array membership (strategy sampling, empirical load, Monte-Carlo
+    failure probability).  Rejects server ids outside ``{0..n-1}``.
+    """
+    import numpy as np
+
+    member = np.zeros((len(quorums), n), dtype=bool)
+    for idx, quorum in enumerate(quorums):
+        for server in quorum:
+            if not 0 <= server < n:
+                raise ConfigurationError(
+                    f"server {server} outside the universe of size {n}"
+                )
+            member[idx, server] = True
+    return member
+
+
+def sample_subset_batch(n: int, size: int, trials: int, generator) -> "np.ndarray":
+    """Sample ``trials`` uniformly random size-``size`` subsets in one call.
+
+    Returns an ``(trials, size)`` integer matrix whose rows are the sampled
+    access sets (distinct ids, unordered).  Each row is drawn by ranking a
+    row of i.i.d. uniforms and keeping the ``size`` smallest ranks, which is
+    exactly a uniform draw without replacement — the vectorised equivalent
+    of :func:`sample_subset`.  ``generator`` is a
+    :class:`numpy.random.Generator`; callers chunk the trial count to keep
+    the ``(trials, n)`` scratch matrix bounded.
+    """
+    import numpy as np
+
+    if not 0 < size <= n:
+        raise ConfigurationError(f"subset size must lie in (0, {n}], got {size}")
+    if trials < 0:
+        raise ConfigurationError(f"trial count must be non-negative, got {trials}")
+    if size == n:
+        return np.broadcast_to(np.arange(n), (trials, n)).copy()
+    ranks = generator.random((trials, n))
+    return np.argpartition(ranks, size - 1, axis=1)[:, :size].copy()

@@ -20,12 +20,14 @@ the three traditional measures of Section 2 exactly:
 
 from __future__ import annotations
 
+import random
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 
 from repro.exceptions import ConfigurationError, StrategyError
+from repro.quorum.base import membership_matrix
 from repro.types import Quorum, ServerId
 
 
@@ -36,15 +38,27 @@ def _touched_servers(quorums: Sequence[Quorum]) -> Set[ServerId]:
     return touched
 
 
+
+
 def load_of_strategy(
     quorums: Sequence[Quorum],
     weights: Sequence[float],
     n: int,
+    empirical_trials: Optional[int] = None,
+    seed: int = 0,
+    engine: str = "batch",
 ) -> float:
     """Load induced by an explicit strategy ``w`` (Definition 2.4).
 
     ``L_w(Q) = max_u Σ_{Q ∋ u} w(Q)``.  The weights must form a probability
-    distribution over the quorums.
+    distribution over the quorums.  The analytical value is computed as a
+    weight-vector/membership-matrix product.
+
+    With ``empirical_trials`` set, the load is instead *measured*: that many
+    quorum accesses are drawn from the strategy and the busiest server's
+    observed access fraction is returned.  ``engine="batch"`` draws them
+    vectorised; ``engine="sequential"`` replays the object-by-object
+    workload client (the oracle the batched path is tested against).
     """
     if len(quorums) != len(weights):
         raise StrategyError(
@@ -57,13 +71,44 @@ def load_of_strategy(
     total = float(sum(weights))
     if abs(total - 1.0) > 1e-9:
         raise StrategyError(f"strategy weights must sum to 1, got {total}")
-    per_server = [0.0] * n
-    for quorum, weight in zip(quorums, weights):
-        for server in quorum:
-            if not 0 <= server < n:
-                raise ConfigurationError(f"server {server} outside the universe of size {n}")
-            per_server[server] += weight
-    return max(per_server) if per_server else 0.0
+    if empirical_trials is not None:
+        return _empirical_load(quorums, weights, n, empirical_trials, seed, engine)
+    member = membership_matrix(quorums, n)
+    per_server = np.asarray(weights, dtype=np.float64) @ member
+    return float(per_server.max()) if n else 0.0
+
+
+def _empirical_load(
+    quorums: Sequence[Quorum],
+    weights: Sequence[float],
+    n: int,
+    trials: int,
+    seed: int,
+    engine: str,
+) -> float:
+    """Measured load: busiest server's access fraction over sampled draws."""
+    if trials <= 0:
+        raise ConfigurationError(f"empirical trial count must be positive, got {trials}")
+    if engine == "sequential":
+        from repro.core.strategy import ExplicitStrategy
+        from repro.simulation.client import WorkloadClient
+
+        client = WorkloadClient(
+            n, ExplicitStrategy(quorums, weights), random.Random(seed)
+        )
+        return client.run(trials).max_load
+    if engine != "batch":
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'sequential' or 'batch'"
+        )
+    member = membership_matrix(quorums, n)
+    probabilities = np.asarray(weights, dtype=np.float64)
+    probabilities = probabilities / probabilities.sum()
+    generator = np.random.default_rng(np.random.SeedSequence(seed))
+    drawn = generator.choice(len(quorums), size=trials, p=probabilities)
+    draw_counts = np.bincount(drawn, minlength=len(quorums)).astype(np.float64)
+    per_server = draw_counts @ member
+    return float(per_server.max()) / trials
 
 
 def optimal_load(quorums: Sequence[Quorum], n: int) -> float:
@@ -244,8 +289,5 @@ def per_server_loads(
         raise StrategyError(
             f"strategy assigns {len(weights)} weights to {len(quorums)} quorums"
         )
-    loads = [0.0] * n
-    for quorum, weight in zip(quorums, weights):
-        for server in quorum:
-            loads[server] += weight
-    return loads
+    member = membership_matrix(quorums, n)
+    return (np.asarray(weights, dtype=np.float64) @ member).tolist()

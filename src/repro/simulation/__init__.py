@@ -17,13 +17,16 @@ same code path:
 * :mod:`repro.simulation.diffusion` — the gossip/anti-entropy update
   propagation sketched in Section 1.1;
 * :mod:`repro.simulation.monte_carlo` — empirical consistency estimation
-  used to validate Theorems 3.2, 4.2 and 5.2 against the analytical ε.
+  used to validate Theorems 3.2, 4.2 and 5.2 against the analytical ε;
+* :mod:`repro.simulation.batch` — the vectorised (NumPy) trial engine
+  behind the estimators' ``engine="batch"`` switch.
 """
 
+from repro.simulation.batch import BatchTrialEngine
 from repro.simulation.cluster import Cluster
-from repro.simulation.diffusion import DiffusionEngine
+from repro.simulation.diffusion import DiffusionEngine, gossip_rounds_batch
 from repro.simulation.events import EventScheduler
-from repro.simulation.failures import FailurePlan
+from repro.simulation.failures import BatchFailureMasks, FailureModel, FailurePlan
 from repro.simulation.network import ConstantLatency, Network, UniformLatency
 from repro.simulation.server import (
     ByzantineForgeBehavior,
@@ -55,8 +58,12 @@ __all__ = [
     "ByzantineReplayBehavior",
     "ByzantineSilentBehavior",
     "FailurePlan",
+    "FailureModel",
+    "BatchFailureMasks",
+    "BatchTrialEngine",
     "Cluster",
     "DiffusionEngine",
+    "gossip_rounds_batch",
     "ConsistencyReport",
     "StalenessReport",
     "estimate_read_consistency",

@@ -15,9 +15,12 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.probabilistic import ProbabilisticQuorumSystem
 from repro.core.strategy import AccessStrategy
 from repro.exceptions import ConfigurationError
+from repro.rngs import chunked_substreams
 from repro.types import Quorum, ServerId
 
 
@@ -111,7 +114,30 @@ def measure_system_load(
     system: ProbabilisticQuorumSystem,
     accesses: int = 10_000,
     seed: int = 0,
+    engine: str = "sequential",
+    chunk_size: int = 4096,
 ) -> LoadMeasurement:
-    """Convenience wrapper: measure the empirical load of a probabilistic system."""
-    client = WorkloadClient(system.n, system.strategy, random.Random(seed))
-    return client.run(accesses)
+    """Convenience wrapper: measure the empirical load of a probabilistic system.
+
+    ``engine="batch"`` draws the whole access stream through the strategy's
+    vectorised sampler (chunked to bound memory) and accumulates per-server
+    touch counts with array sums; ``engine="sequential"`` is the
+    object-by-object oracle.  Both estimate the same distribution.
+    """
+    if engine == "sequential":
+        client = WorkloadClient(system.n, system.strategy, random.Random(seed))
+        return client.run(accesses)
+    if engine != "batch":
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'sequential' or 'batch'"
+        )
+    if accesses < 0:
+        raise ConfigurationError(f"access count must be non-negative, got {accesses}")
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk size must be positive, got {chunk_size}")
+    n = system.n
+    counts = np.zeros(n, dtype=np.int64)
+    for generator, size in chunked_substreams(seed, accesses, chunk_size):
+        member = system.strategy.sample_batch_membership(n, size, generator)
+        counts += member.sum(axis=0)
+    return LoadMeasurement(n=n, accesses=accesses, per_server_counts=counts.tolist())

@@ -24,6 +24,8 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.simulation.cluster import Cluster
 from repro.simulation.server import StoredValue
@@ -147,3 +149,64 @@ class DiffusionEngine:
             self.run_round([variable])
             profile.append(self.coverage(variable, value))
         return profile
+
+
+# ---------------------------------------------------------------------------
+# Batched gossip kernel
+# ---------------------------------------------------------------------------
+
+
+def gossip_rounds_batch(
+    versions: np.ndarray,
+    eligible: np.ndarray,
+    fanout: int,
+    rounds: int,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    """Run push anti-entropy over a whole batch of independent trials at once.
+
+    ``versions`` is an integer ``(trials, n)`` matrix holding, per trial,
+    the newest version each server stores (``-1`` = nothing); versions are
+    totally ordered, so "adopt if newer" is an elementwise maximum.
+    ``eligible`` marks the servers that participate — correct, non-crashed
+    replicas; crashed servers neither push nor receive and Byzantine
+    servers ignore gossip, exactly as in :meth:`DiffusionEngine.run_round`.
+
+    Each eligible server pushes to ``fanout`` uniformly chosen peers
+    (excluding itself).  Unlike the object engine, peers are drawn *with*
+    replacement and rounds are synchronous (adoptions become visible to the
+    next round, not later in the same one); both simplifications leave the
+    per-round adoption probability of any fixed server unchanged to first
+    order and only slow measured convergence by a fraction of a round,
+    which is inside Monte-Carlo noise for the staleness estimators.
+
+    Returns the updated version matrix (a new array; the input is not
+    mutated).
+    """
+    trials, n = versions.shape
+    if fanout < 1:
+        raise ConfigurationError(f"gossip fanout must be at least 1, got {fanout}")
+    if fanout >= n:
+        raise ConfigurationError(
+            f"gossip fanout must be smaller than the cluster size {n}, got {fanout}"
+        )
+    if rounds < 0:
+        raise ConfigurationError(f"round count must be non-negative, got {rounds}")
+    current = versions.copy()
+    if trials == 0 or rounds == 0:
+        return current
+    row_offset = (np.arange(trials, dtype=np.int64) * n)[:, None, None]
+    for _ in range(rounds):
+        pushed = np.where(eligible, current, -1)
+        # Uniform peer != self: draw from n-1 and shift past the sender.
+        raw = generator.integers(0, n - 1, size=(trials, n, fanout))
+        peers = raw + (raw >= np.arange(n)[None, :, None])
+        incoming = np.full(trials * n, -1, dtype=current.dtype)
+        np.maximum.at(
+            incoming,
+            (peers + row_offset).ravel(),
+            np.broadcast_to(pushed[:, :, None], peers.shape).ravel(),
+        )
+        incoming = incoming.reshape(trials, n)
+        current = np.where(eligible, np.maximum(current, incoming), current)
+    return current

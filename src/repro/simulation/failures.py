@@ -6,13 +6,22 @@ and at simulated times (for crash/recover schedules).  Plans are the single
 knob the Monte-Carlo harness, the examples and the benchmark workloads use
 to stress the protocols, so keeping them declarative keeps the experiment
 configurations readable.
+
+A :class:`FailureModel` sits one level up: it is a *distribution* over
+failure plans.  The sequential Monte-Carlo engine draws one
+:class:`FailurePlan` from it per trial (``model.bind(n)`` yields an
+ordinary plan factory), while the batched engine draws the whole batch at
+once as boolean server masks (:class:`BatchFailureMasks`) without
+materialising per-trial plan objects.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.simulation.server import (
@@ -171,3 +180,188 @@ def _validate_counts(n: int, count: int) -> None:
         raise ConfigurationError(f"universe size must be positive, got {n}")
     if not 0 <= count <= n:
         raise ConfigurationError(f"failure count must lie in [0, {n}], got {count}")
+
+
+# ---------------------------------------------------------------------------
+# Failure models: distributions over failure plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchFailureMasks:
+    """One batch of sampled failures as boolean ``(trials, n)`` server masks.
+
+    Each mask marks, per trial, which servers run the corresponding
+    behaviour; a server is marked in at most one mask.  The forger fields
+    carry the (shared) fabricated value/timestamp of colluding forgers so
+    the batched read classification can rank the forgery against honest
+    timestamps without touching server objects.
+    """
+
+    crashed: np.ndarray
+    silent: np.ndarray
+    forgers: np.ndarray
+    replay: np.ndarray
+    fabricated_value: Any = None
+    fabricated_timestamp: Any = None
+
+    @property
+    def byzantine(self) -> np.ndarray:
+        """Servers running any Byzantine behaviour."""
+        return self.silent | self.forgers | self.replay
+
+    @property
+    def responsive_storers(self) -> np.ndarray:
+        """Servers that store honest writes and answer reads with them.
+
+        Correct servers do both; replay servers accept writes and answer
+        (albeit with their first-seen value); crashed, silent and forging
+        servers either say nothing or discard the data.
+        """
+        return ~(self.crashed | self.silent | self.forgers)
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """A declarative distribution over :class:`FailurePlan` draws.
+
+    The constructors mirror the :class:`FailurePlan` ones, but describe the
+    *randomised* experiment instead of one sampled outcome, which is what
+    lets the batched Monte-Carlo engine sample thousands of trials' failures
+    as boolean masks in a single vectorised call.  :meth:`bind` turns a
+    model into an ordinary sequential plan factory, so one model drives both
+    engines — that is what the batch-vs-sequential equivalence tests rely
+    on.
+    """
+
+    kind: str = "none"
+    p: float = 0.0
+    count: int = 0
+    fabricated_value: Any = None
+    fabricated_timestamp: Any = None
+
+    _KINDS = (
+        "none",
+        "independent_crashes",
+        "random_crashes",
+        "random_byzantine",
+        "colluding_forgers",
+        "replay_attack",
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(
+                f"unknown failure model kind {self.kind!r}; expected one of {self._KINDS}"
+            )
+        if self.kind == "independent_crashes" and not 0.0 <= self.p <= 1.0:
+            raise ConfigurationError(f"crash probability must lie in [0, 1], got {self.p}")
+        if self.kind in ("random_crashes", "random_byzantine", "colluding_forgers", "replay_attack"):
+            if self.count < 0:
+                raise ConfigurationError(f"failure count must be non-negative, got {self.count}")
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FailureModel":
+        """No failures in any trial."""
+        return cls(kind="none")
+
+    @classmethod
+    def independent_crashes(cls, p: float) -> "FailureModel":
+        """Each server crashes independently with probability ``p`` per trial."""
+        return cls(kind="independent_crashes", p=p)
+
+    @classmethod
+    def random_crashes(cls, count: int) -> "FailureModel":
+        """``count`` uniformly random servers crash in every trial."""
+        return cls(kind="random_crashes", count=count)
+
+    @classmethod
+    def random_byzantine(cls, count: int) -> "FailureModel":
+        """``count`` uniformly random servers run the silent Byzantine behaviour."""
+        return cls(kind="random_byzantine", count=count)
+
+    @classmethod
+    def colluding_forgers(
+        cls, count: int, fabricated_value: Any, fabricated_timestamp: Any
+    ) -> "FailureModel":
+        """``count`` uniformly random servers forge the same value per trial."""
+        return cls(
+            kind="colluding_forgers",
+            count=count,
+            fabricated_value=fabricated_value,
+            fabricated_timestamp=fabricated_timestamp,
+        )
+
+    @classmethod
+    def replay_attack(cls, count: int) -> "FailureModel":
+        """``count`` uniformly random servers serve stale but once-valid data."""
+        return cls(kind="replay_attack", count=count)
+
+    # -- sequential bridge --------------------------------------------------------
+
+    def sample_plan_for(self, n: int, rng: random.Random) -> FailurePlan:
+        """Draw one concrete plan over a universe of ``n`` servers."""
+        if self.kind == "none":
+            return FailurePlan.none()
+        if self.kind == "independent_crashes":
+            return FailurePlan.independent_crashes(n, self.p, rng=rng)
+        if self.kind == "random_crashes":
+            return FailurePlan.random_crashes(n, self.count, rng=rng)
+        if self.kind == "random_byzantine":
+            return FailurePlan.random_byzantine(n, self.count, rng=rng)
+        if self.kind == "colluding_forgers":
+            return FailurePlan.colluding_forgers(
+                n, self.count, self.fabricated_value, self.fabricated_timestamp, rng=rng
+            )
+        assert self.kind == "replay_attack"
+        return FailurePlan.replay_attack(n, self.count, rng=rng)
+
+    def bind(self, n: int) -> Callable[[random.Random], FailurePlan]:
+        """A plan factory over a fixed universe (usable as ``plan_factory=``)."""
+        return lambda rng: self.sample_plan_for(n, rng)
+
+    # -- batched sampling ---------------------------------------------------------
+
+    def sample_masks(self, n: int, trials: int, generator: np.random.Generator) -> BatchFailureMasks:
+        """Draw a whole batch of failures as boolean ``(trials, n)`` masks."""
+        if n < 1:
+            raise ConfigurationError(f"universe size must be positive, got {n}")
+        if trials < 0:
+            raise ConfigurationError(f"trial count must be non-negative, got {trials}")
+        empty = np.zeros((trials, n), dtype=bool)
+        crashed = silent = forgers = replay = empty
+        if self.kind == "independent_crashes":
+            crashed = generator.random((trials, n)) < self.p
+        elif self.kind != "none":
+            _validate_counts(n, self.count)
+            chosen = np.zeros((trials, n), dtype=bool)
+            if self.count:
+                ranks = generator.random((trials, n))
+                picks = np.argpartition(ranks, self.count - 1, axis=1)[:, : self.count]
+                np.put_along_axis(chosen, picks, True, axis=1)
+            if self.kind == "random_crashes":
+                crashed = chosen
+            elif self.kind == "random_byzantine":
+                silent = chosen
+            elif self.kind == "colluding_forgers":
+                forgers = chosen
+            else:
+                replay = chosen
+        return BatchFailureMasks(
+            crashed=crashed,
+            silent=silent,
+            forgers=forgers,
+            replay=replay,
+            fabricated_value=self.fabricated_value,
+            fabricated_timestamp=self.fabricated_timestamp,
+        )
+
+    def describe(self) -> str:
+        """One-line summary used in experiment logs."""
+        if self.kind == "none":
+            return "FailureModel(none)"
+        if self.kind == "independent_crashes":
+            return f"FailureModel(independent_crashes, p={self.p})"
+        return f"FailureModel({self.kind}, count={self.count})"

@@ -17,13 +17,29 @@ Estimators
   read; reports how many versions behind the read was (0 = fresh), with or
   without gossip rounds between writes, which quantifies the Section 1.1
   claim that diffusion drives inconsistency toward zero.
+
+Engines
+-------
+
+Both estimators accept ``engine="sequential"`` (default) or
+``engine="batch"``.  The sequential engine drives the real protocol stack
+object by object and accepts arbitrary register/plan factories — it is the
+semantic oracle.  The batch engine
+(:class:`repro.simulation.batch.BatchTrialEngine`) vectorises trials with
+NumPy and is one to two orders of magnitude faster, but requires the
+experiment to be described declaratively: pass the
+:class:`~repro.core.probabilistic.ProbabilisticQuorumSystem` itself in
+place of a register factory and a
+:class:`~repro.simulation.failures.FailureModel` in place of a plan
+factory.  (Both declarative forms also work with the sequential engine,
+which is how the equivalence tests run the same experiment on both.)
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from typing import TYPE_CHECKING
 
@@ -32,7 +48,7 @@ from repro.exceptions import ConfigurationError
 from repro.protocol.timestamps import Timestamp
 from repro.simulation.cluster import Cluster
 from repro.simulation.diffusion import DiffusionEngine
-from repro.simulation.failures import FailurePlan
+from repro.simulation.failures import FailureModel, FailurePlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.protocol.variable import ProbabilisticRegister
@@ -41,6 +57,57 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
 RegisterFactory = Callable[[Cluster, random.Random], "ProbabilisticRegister"]
 #: Builds the failure plan for one trial (may be randomised per trial).
 PlanFactory = Callable[[random.Random], FailurePlan]
+#: Either a register factory or a system the default register wraps.
+RegisterSpec = Union[RegisterFactory, ProbabilisticQuorumSystem]
+#: Either a plan factory or a declarative failure model.
+PlanSpec = Union[PlanFactory, FailureModel]
+
+_ENGINES = ("sequential", "batch")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in _ENGINES:
+        raise ConfigurationError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+
+
+def _batch_engine(register_spec, plan_spec, n: int, seed: int, chunk_size: int):
+    """Validate the declarative specs and build a :class:`BatchTrialEngine`."""
+    from repro.simulation.batch import BatchTrialEngine
+
+    if not isinstance(register_spec, ProbabilisticQuorumSystem):
+        raise ConfigurationError(
+            "engine='batch' samples through the system's access strategy; pass "
+            "the ProbabilisticQuorumSystem itself instead of a register factory "
+            "(arbitrary factories need engine='sequential')"
+        )
+    if plan_spec is not None and not isinstance(plan_spec, FailureModel):
+        raise ConfigurationError(
+            "engine='batch' needs a declarative FailureModel instead of a plan "
+            "factory (arbitrary factories need engine='sequential')"
+        )
+    if register_spec.n != n:
+        raise ConfigurationError(
+            f"system is over {register_spec.n} servers but the estimate asked for n={n}"
+        )
+    return BatchTrialEngine(
+        register_spec, failure_model=plan_spec, seed=seed, chunk_size=chunk_size
+    )
+
+
+def _sequential_specs(register_spec, plan_spec, n: int):
+    """Lower declarative specs to the factory callables the oracle loop uses."""
+    if isinstance(register_spec, ProbabilisticQuorumSystem):
+        from repro.protocol.variable import ProbabilisticRegister
+
+        system = register_spec
+
+        def register_factory(cluster: Cluster, rng: random.Random):
+            return ProbabilisticRegister(system, cluster, rng=rng)
+
+    else:
+        register_factory = register_spec
+    plan_factory = plan_spec.bind(n) if isinstance(plan_spec, FailureModel) else plan_spec
+    return register_factory, plan_factory
 
 
 @dataclass
@@ -77,12 +144,14 @@ class ConsistencyReport:
 
 
 def estimate_read_consistency(
-    register_factory: RegisterFactory,
+    register_factory: RegisterSpec,
     n: int,
-    plan_factory: Optional[PlanFactory] = None,
+    plan_factory: Optional[PlanSpec] = None,
     trials: int = 500,
     seed: int = 0,
     written_value: object = "v",
+    engine: str = "sequential",
+    chunk_size: int = 4096,
 ) -> ConsistencyReport:
     """Measure how often a read sees the latest write.
 
@@ -92,9 +161,18 @@ def estimate_read_consistency(
     distinguishes fabricated values (never written) from stale/⊥ ones so
     that dissemination and masking experiments can check that fabrication in
     particular is (essentially) never observed.
+
+    With ``engine="batch"`` the same experiment runs vectorised (see the
+    module docstring for the declarative-spec requirements); the two
+    engines agree in distribution, not trial for trial.
     """
+    _check_engine(engine)
     if trials <= 0:
         raise ConfigurationError(f"trial count must be positive, got {trials}")
+    if engine == "batch":
+        batch = _batch_engine(register_factory, plan_factory, n, seed, chunk_size)
+        return batch.estimate_read_consistency(trials)
+    register_factory, plan_factory = _sequential_specs(register_factory, plan_factory, n)
     rng = random.Random(seed)
     fresh = stale = empty = fabricated = 0
     for _ in range(trials):
@@ -147,14 +225,16 @@ class StalenessReport:
 
 
 def estimate_staleness_distribution(
-    register_factory: RegisterFactory,
+    register_factory: RegisterSpec,
     n: int,
     writes: int = 5,
     gossip_rounds_between_writes: int = 0,
     gossip_fanout: int = 2,
-    plan_factory: Optional[PlanFactory] = None,
+    plan_factory: Optional[PlanSpec] = None,
     trials: int = 200,
     seed: int = 0,
+    engine: str = "sequential",
+    chunk_size: int = 4096,
 ) -> StalenessReport:
     """Measure how many versions behind a read lands after a write history.
 
@@ -162,11 +242,25 @@ def estimate_staleness_distribution(
     :class:`~repro.simulation.diffusion.DiffusionEngine` propagates each
     write before the next one, which is the paper's Section 1.1 recipe for
     driving staleness toward zero when updates are dispersed in time.
+
+    ``engine="batch"`` vectorises the write history and the gossip rounds
+    (synchronous-round gossip with with-replacement fanout — statistically
+    equivalent, see :func:`repro.simulation.diffusion.gossip_rounds_batch`).
     """
+    _check_engine(engine)
     if writes < 1:
         raise ConfigurationError(f"the write history needs at least one write, got {writes}")
     if trials <= 0:
         raise ConfigurationError(f"trial count must be positive, got {trials}")
+    if engine == "batch":
+        batch = _batch_engine(register_factory, plan_factory, n, seed, chunk_size)
+        return batch.estimate_staleness_distribution(
+            trials,
+            writes=writes,
+            gossip_rounds_between_writes=gossip_rounds_between_writes,
+            gossip_fanout=gossip_fanout,
+        )
+    register_factory, plan_factory = _sequential_specs(register_factory, plan_factory, n)
     rng = random.Random(seed)
     lags: List[int] = []
     for _ in range(trials):

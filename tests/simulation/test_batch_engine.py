@@ -1,0 +1,330 @@
+"""Tests for the batched Monte-Carlo trial engine.
+
+Two kinds of guarantees are pinned down here:
+
+* **equivalence** — the batch engine estimates the same probabilities as
+  the sequential protocol-stack oracle.  The engines share no RNG stream,
+  so agreement is statistical: by Hoeffding, each engine's estimate of a
+  Bernoulli mean over ``m`` trials deviates from the truth by more than
+  ``t = sqrt(ln(2/δ) / (2m))`` with probability at most ``δ``; the two
+  estimates therefore differ by more than ``t_seq + t_bat`` with
+  probability below ``2δ``.  With ``δ = 1e-9`` per side the tests are
+  deterministic for all practical purposes while still failing loudly on
+  any systematic bias;
+* **invariants** — batched access-set sampling produces exactly the
+  uniform size-``q`` subsets the strategy promises (property-tested with
+  hypothesis), failure masks are disjoint and correctly sized, and the
+  chunked substreams make runs reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.epsilon_intersecting import UniformEpsilonIntersectingSystem
+from repro.core.strategy import ExplicitStrategy, UniformSubsetStrategy
+from repro.exceptions import ConfigurationError
+from repro.protocol.timestamps import Timestamp
+from repro.protocol.variable import ProbabilisticRegister
+from repro.quorum.base import sample_subset_batch
+from repro.quorum.measures import load_of_strategy
+from repro.simulation.batch import BatchTrialEngine
+from repro.simulation.client import measure_system_load
+from repro.simulation.failures import FailureModel
+from repro.simulation.monte_carlo import (
+    estimate_read_consistency,
+    estimate_staleness_distribution,
+)
+
+EQUIVALENCE_TRIALS = 10_000
+
+
+def hoeffding_tolerance(trials: int, delta: float = 1e-9) -> float:
+    """Deviation bound ``t`` with ``P(|p̂ - p| > t) <= delta`` (Hoeffding)."""
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * trials))
+
+
+def two_sided_tolerance(trials_a: int, trials_b: int) -> float:
+    """Tolerance for comparing two independent empirical means."""
+    return hoeffding_tolerance(trials_a) + hoeffding_tolerance(trials_b)
+
+
+class TestEngineEquivalence:
+    """Batch and sequential engines agree within Chernoff-derived tolerance."""
+
+    # A deliberately loose construction keeps the miss probability far from
+    # 0/1, where disagreement is easiest to detect.
+    SYSTEM = UniformEpsilonIntersectingSystem(25, 5)
+
+    def _both(self, model, trials=EQUIVALENCE_TRIALS):
+        sequential = estimate_read_consistency(
+            self.SYSTEM, n=25, plan_factory=model, trials=trials, seed=42
+        )
+        batch = estimate_read_consistency(
+            self.SYSTEM, n=25, plan_factory=model, trials=trials, seed=42, engine="batch"
+        )
+        return sequential, batch
+
+    def test_no_failures(self):
+        sequential, batch = self._both(None)
+        tol = two_sided_tolerance(EQUIVALENCE_TRIALS, EQUIVALENCE_TRIALS)
+        assert batch.fresh_fraction == pytest.approx(sequential.fresh_fraction, abs=tol)
+        assert batch.fabricated == sequential.fabricated == 0
+        assert batch.stale == sequential.stale == 0
+
+    def test_independent_crashes(self):
+        sequential, batch = self._both(FailureModel.independent_crashes(0.3))
+        tol = two_sided_tolerance(EQUIVALENCE_TRIALS, EQUIVALENCE_TRIALS)
+        assert batch.fresh_fraction == pytest.approx(sequential.fresh_fraction, abs=tol)
+        assert batch.fabricated == sequential.fabricated == 0
+
+    def test_colluding_forgers(self):
+        model = FailureModel.colluding_forgers(4, "FORGED", Timestamp.forged_maximum())
+        sequential, batch = self._both(model)
+        tol = two_sided_tolerance(EQUIVALENCE_TRIALS, EQUIVALENCE_TRIALS)
+        assert batch.fresh_fraction == pytest.approx(sequential.fresh_fraction, abs=tol)
+        assert batch.fabricated_fraction == pytest.approx(
+            sequential.fabricated_fraction, abs=tol
+        )
+
+    def test_silent_byzantine_and_replay(self):
+        for model in (FailureModel.random_byzantine(4), FailureModel.replay_attack(4)):
+            sequential, batch = self._both(model, trials=4_000)
+            tol = two_sided_tolerance(4_000, 4_000)
+            assert batch.fresh_fraction == pytest.approx(
+                sequential.fresh_fraction, abs=tol
+            )
+            assert batch.fabricated == sequential.fabricated == 0
+
+    def test_matches_analytical_epsilon(self):
+        # The batch engine on its own must track the exact closed form.
+        batch = estimate_read_consistency(
+            self.SYSTEM, n=25, trials=40_000, seed=7, engine="batch"
+        )
+        assert batch.error_fraction == pytest.approx(
+            self.SYSTEM.epsilon, abs=hoeffding_tolerance(40_000)
+        )
+
+    def test_staleness_distribution_agrees(self):
+        sequential = estimate_staleness_distribution(
+            self.SYSTEM, n=25, writes=4, trials=3_000, seed=9
+        )
+        batch = estimate_staleness_distribution(
+            self.SYSTEM, n=25, writes=4, trials=EQUIVALENCE_TRIALS, seed=9, engine="batch"
+        )
+        tol = two_sided_tolerance(3_000, EQUIVALENCE_TRIALS)
+        assert batch.fresh_fraction == pytest.approx(sequential.fresh_fraction, abs=tol)
+        # Mean lag over writes=4 is bounded by 4; scale the tolerance with it.
+        assert batch.mean_lag == pytest.approx(sequential.mean_lag, abs=4 * tol)
+
+    def test_gossip_drives_staleness_down_in_batch_mode(self):
+        without = estimate_staleness_distribution(
+            self.SYSTEM, n=25, writes=4, trials=4_000, seed=13, engine="batch"
+        )
+        with_gossip = estimate_staleness_distribution(
+            self.SYSTEM,
+            n=25,
+            writes=4,
+            gossip_rounds_between_writes=3,
+            gossip_fanout=3,
+            trials=4_000,
+            seed=13,
+            engine="batch",
+        )
+        assert with_gossip.fresh_fraction > without.fresh_fraction
+        assert with_gossip.mean_lag < without.mean_lag
+
+
+class TestBatchSamplingInvariants:
+    """Property tests: batched access sets respect the strategy's contract."""
+
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sample_subset_batch_rows_are_uniform_subsets(self, n, data):
+        size = data.draw(st.integers(min_value=1, max_value=n))
+        trials = data.draw(st.integers(min_value=0, max_value=40))
+        seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+        matrix = sample_subset_batch(n, size, trials, np.random.default_rng(seed))
+        assert matrix.shape == (trials, size)
+        assert np.issubdtype(matrix.dtype, np.integer)
+        if trials:
+            assert matrix.min() >= 0 and matrix.max() < n
+            # Every row is a subset: exactly `size` *distinct* server ids.
+            for row in matrix:
+                assert len(set(row.tolist())) == size
+
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_strategy_membership_row_sums(self, n, data):
+        size = data.draw(st.integers(min_value=1, max_value=n))
+        trials = data.draw(st.integers(min_value=0, max_value=40))
+        seed = data.draw(st.integers(min_value=0, max_value=2**32 - 1))
+        strategy = UniformSubsetStrategy(n, size)
+        member = strategy.sample_batch_membership(n, trials, np.random.default_rng(seed))
+        assert member.shape == (trials, n)
+        assert member.dtype == bool
+        assert (member.sum(axis=1) == size).all()
+
+    def test_uniform_strategy_rejects_mismatched_universe(self):
+        strategy = UniformSubsetStrategy(10, 3)
+        with pytest.raises(ConfigurationError):
+            strategy.sample_batch_membership(11, 5, np.random.default_rng(0))
+
+    def test_explicit_strategy_membership_rows_come_from_support(self):
+        quorums = [{0, 1, 2}, {2, 3}, {4}]
+        strategy = ExplicitStrategy(quorums, weights=[0.5, 0.3, 0.2])
+        member = strategy.sample_batch_membership(6, 200, np.random.default_rng(1))
+        support = {frozenset(q) for q in quorums}
+        for row in member:
+            assert frozenset(np.flatnonzero(row).tolist()) in support
+
+    def test_base_class_fallback_matches_membership_contract(self):
+        # Strategies that do not override the batched sampler still work
+        # through the AccessStrategy fallback (one sample() per trial).
+        strategy = ExplicitStrategy([{0, 1}, {2}])
+        fallback = super(ExplicitStrategy, strategy).sample_batch_membership
+        member = fallback(4, 50, np.random.default_rng(2))
+        assert member.shape == (50, 4)
+        support = {frozenset({0, 1}), frozenset({2})}
+        for row in member:
+            assert frozenset(np.flatnonzero(row).tolist()) in support
+
+    def test_failure_masks_are_disjoint_and_sized(self):
+        model = FailureModel.colluding_forgers(7, "F", Timestamp.forged_maximum())
+        masks = model.sample_masks(30, 100, np.random.default_rng(3))
+        assert masks.forgers.sum() == 7 * 100
+        assert not masks.crashed.any() and not masks.silent.any()
+        crashes = FailureModel.random_crashes(5).sample_masks(
+            30, 100, np.random.default_rng(4)
+        )
+        assert (crashes.crashed.sum(axis=1) == 5).all()
+        independent = FailureModel.independent_crashes(0.25).sample_masks(
+            30, 2_000, np.random.default_rng(5)
+        )
+        assert independent.crashed.mean() == pytest.approx(0.25, abs=0.02)
+
+    def test_failure_model_bind_produces_matching_plans(self):
+        model = FailureModel.random_byzantine(3)
+        plan = model.bind(20)(random.Random(0))
+        assert len(plan.byzantine) == 3
+        assert not plan.crashed
+
+
+class TestEngineDispatchAndDeterminism:
+    SYSTEM = UniformEpsilonIntersectingSystem(25, 8)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_read_consistency(self.SYSTEM, n=25, trials=10, engine="warp")
+
+    def test_batch_engine_requires_declarative_specs(self):
+        factory = lambda cluster, rng: ProbabilisticRegister(self.SYSTEM, cluster, rng=rng)
+        with pytest.raises(ConfigurationError):
+            estimate_read_consistency(factory, n=25, trials=10, engine="batch")
+        with pytest.raises(ConfigurationError):
+            estimate_read_consistency(
+                self.SYSTEM,
+                n=25,
+                plan_factory=lambda rng: None,
+                trials=10,
+                engine="batch",
+            )
+
+    def test_sequential_engine_accepts_declarative_specs(self):
+        report = estimate_read_consistency(
+            self.SYSTEM,
+            n=25,
+            plan_factory=FailureModel.independent_crashes(0.1),
+            trials=50,
+            seed=1,
+        )
+        assert report.trials == 50
+
+    def test_batch_runs_are_reproducible(self):
+        first = estimate_read_consistency(
+            self.SYSTEM, n=25, trials=5_000, seed=21, engine="batch"
+        )
+        second = estimate_read_consistency(
+            self.SYSTEM, n=25, trials=5_000, seed=21, engine="batch"
+        )
+        assert (first.fresh, first.stale, first.empty, first.fabricated) == (
+            second.fresh,
+            second.stale,
+            second.empty,
+            second.fabricated,
+        )
+
+    def test_chunked_execution_covers_every_trial(self):
+        engine = BatchTrialEngine(self.SYSTEM, seed=0, chunk_size=700)
+        report = engine.estimate_read_consistency(5_000)
+        assert report.trials == 5_000
+        assert report.fresh + report.stale + report.empty + report.fabricated == 5_000
+
+    def test_trial_validation(self):
+        with pytest.raises(ConfigurationError):
+            estimate_read_consistency(self.SYSTEM, n=25, trials=0, engine="batch")
+        with pytest.raises(ConfigurationError):
+            BatchTrialEngine(self.SYSTEM, chunk_size=0)
+
+    def test_forged_timestamp_tying_a_write_is_rejected(self):
+        # A forgery whose timestamp equals an honest one is resolved by reply
+        # iteration order in the sequential register — an outcome the batch
+        # engine refuses to model rather than silently diverge on.
+        tying = FailureModel.colluding_forgers(3, "FORGED", Timestamp(1, 0))
+        with pytest.raises(ConfigurationError, match="ties the"):
+            estimate_read_consistency(
+                self.SYSTEM, n=25, plan_factory=tying, trials=100, engine="batch"
+            )
+        with pytest.raises(ConfigurationError, match="ties the"):
+            estimate_staleness_distribution(
+                self.SYSTEM, n=25, writes=4, plan_factory=FailureModel.colluding_forgers(
+                    3, "FORGED", Timestamp(3, 0)
+                ), trials=100, engine="batch",
+            )
+        # Non-tying forgeries (the paper's forged_maximum) still run.
+        report = estimate_read_consistency(
+            self.SYSTEM,
+            n=25,
+            plan_factory=FailureModel.colluding_forgers(3, "F", Timestamp.forged_maximum()),
+            trials=100,
+            engine="batch",
+        )
+        assert report.trials == 100
+
+
+class TestBatchLoadMeasurement:
+    def test_measure_system_load_engines_agree(self):
+        system = UniformEpsilonIntersectingSystem(50, 10)
+        sequential = measure_system_load(system, accesses=6_000, seed=1)
+        batch = measure_system_load(system, accesses=6_000, seed=1, engine="batch")
+        assert batch.accesses == 6_000
+        assert sum(batch.per_server_counts) == 6_000 * 10
+        # Analytical load is q/n = 0.2 for every server.
+        assert batch.max_load == pytest.approx(0.2, abs=0.03)
+        assert batch.mean_load == pytest.approx(sequential.mean_load, abs=1e-9)
+
+    def test_load_of_strategy_empirical_mode(self):
+        quorums = [frozenset({0, 1, 2}), frozenset({2, 3, 4})]
+        weights = [0.6, 0.4]
+        exact = load_of_strategy(quorums, weights, 5)
+        for engine in ("batch", "sequential"):
+            empirical = load_of_strategy(
+                quorums, weights, 5, empirical_trials=20_000, seed=3, engine=engine
+            )
+            assert empirical == pytest.approx(exact, abs=hoeffding_tolerance(20_000))
+        with pytest.raises(ConfigurationError):
+            load_of_strategy(quorums, weights, 5, empirical_trials=0)
+        with pytest.raises(ConfigurationError):
+            load_of_strategy(quorums, weights, 5, empirical_trials=100, engine="warp")
