@@ -24,9 +24,12 @@ from repro.core.bounds import strict_load_lower_bound
 from repro.core.masking import ProbabilisticMaskingSystem
 from repro.exceptions import ConfigurationError
 from repro.quorum.byzantine import ThresholdMaskingQuorumSystem
+from repro.simulation.client import measure_system_load
 
 N = 900
 EPSILON = 1e-3
+#: Quorum accesses per construction for the empirical (batch-engine) load check.
+EMPIRICAL_ACCESSES = 20_000
 # b up to one quarter of the universe: beyond that the paper's threshold
 # k = q²/2n stops separating the two expectations for any admissible q <= n-b
 # (l = q/b must exceed 2), so the construction needs a different k.
@@ -41,11 +44,17 @@ def sweep_b():
             strict_load = ThresholdMaskingQuorumSystem(N, b).load()
         except ConfigurationError:
             strict_load = None
+        # Cross-check the analytical q/n with the batch engine's empirical
+        # measurement (the vectorised access stream through the strategy).
+        measured = measure_system_load(
+            system, accesses=EMPIRICAL_ACCESSES, seed=b, engine="batch"
+        )
         rows.append(
             {
                 "b": b,
                 "q": system.quorum_size,
                 "load": system.load(),
+                "measured_load": measured.max_load,
                 "strict_bound": strict_load_lower_bound(N, b, "masking"),
                 "strict_threshold_load": strict_load,
                 "epsilon": system.epsilon,
@@ -59,7 +68,7 @@ def test_ablation_masking_load_vs_b(benchmark, report_sink):
 
     lines = [
         f"Ablation: masking load vs b (n={N}, epsilon <= {EPSILON})",
-        "     b     q     load   strict lower bound   strict threshold load",
+        "     b     q     load   measured   strict lower bound   strict threshold load",
     ]
     for row in rows:
         strict_text = (
@@ -68,7 +77,7 @@ def test_ablation_masking_load_vs_b(benchmark, report_sink):
             else f"{row['strict_threshold_load']:20.3f}"
         )
         lines.append(
-            f"  {row['b']:4d}  {row['q']:4d}   {row['load']:.3f}   "
+            f"  {row['b']:4d}  {row['q']:4d}   {row['load']:.3f}   {row['measured_load']:.3f}   "
             f"{row['strict_bound']:18.3f}   {strict_text}"
         )
     report_sink("\n".join(lines))
@@ -76,6 +85,8 @@ def test_ablation_masking_load_vs_b(benchmark, report_sink):
     sqrt_n = math.isqrt(N)
     for row in rows:
         assert row["epsilon"] <= EPSILON
+        # The batch-measured empirical load tracks the analytical q/n.
+        assert abs(row["measured_load"] - row["load"]) <= 0.02
         # For b well above sqrt(n) the construction beats the strict masking
         # load lower bound (Section 5.5's headline), and a fortiori the actual
         # strict threshold construction where it exists.

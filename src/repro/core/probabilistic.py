@@ -14,11 +14,56 @@ from __future__ import annotations
 
 import abc
 import random
+from dataclasses import dataclass
 from typing import Optional, Set
 
 from repro.core.strategy import AccessStrategy
 from repro.exceptions import ConfigurationError
 from repro.types import Quorum, ServerId, SystemProfile
+
+
+@dataclass(frozen=True)
+class ReadSemantics:
+    """Declarative read-side semantics of the protocol a system is meant for.
+
+    The three access protocols of the paper differ only in how a reader
+    filters replies before the highest timestamp wins:
+
+    * the benign Section 3.1 read believes any single reply
+      (``threshold=1``, ``self_verifying=False``);
+    * the Section 4 dissemination read verifies signatures and discards
+      forgeries (``self_verifying=True``);
+    * the Section 5 masking read requires each value/timestamp pair to be
+      vouched for by at least ``threshold`` servers of the quorum.
+
+    Exposing these two knobs declaratively (via
+    :meth:`ProbabilisticQuorumSystem.read_semantics`) is what lets the
+    batched Monte-Carlo engine classify Byzantine reads without driving
+    register objects, while the sequential engine builds the matching
+    register class from the same description.
+    """
+
+    threshold: int = 1
+    self_verifying: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigurationError(
+                f"a read needs at least one vouching server, got threshold={self.threshold}"
+            )
+        if self.self_verifying and self.threshold != 1:
+            raise ConfigurationError(
+                "self-verifying data needs no vote threshold (Section 4 reads "
+                f"believe any verified reply); got threshold={self.threshold}"
+            )
+
+    def describe(self) -> str:
+        """One-line summary used in experiment logs."""
+        if self.self_verifying:
+            return "ReadSemantics(self-verifying)"
+        if self.threshold > 1:
+            return f"ReadSemantics(threshold k={self.threshold})"
+        return "ReadSemantics(benign)"
 
 
 class ProbabilisticQuorumSystem(abc.ABC):
@@ -56,6 +101,16 @@ class ProbabilisticQuorumSystem(abc.ABC):
     def sample_quorum(self, rng: Optional[random.Random] = None) -> Quorum:
         """Draw a quorum according to the access strategy."""
         return self._strategy.sample(rng)
+
+    def read_semantics(self) -> ReadSemantics:
+        """The read-side semantics of the protocol this system was built for.
+
+        The base class describes the benign Section 3.1 read (any single
+        reply is believed); the dissemination and masking constructions
+        override this to declare signature verification and the vote
+        threshold ``k`` respectively.
+        """
+        return ReadSemantics()
 
     @abc.abstractmethod
     def find_live_quorum(self, alive: Set[ServerId]) -> Optional[Quorum]:

@@ -5,11 +5,18 @@ Usage::
     python -m repro.experiments.runner --experiment all
     python -m repro.experiments.runner --experiment table2
     python -m repro.experiments.runner --experiment figure3 --points 21
+    python -m repro.experiments.runner --experiment consistency --engine batch --seed 7
 
 Each experiment regenerates the corresponding table or figure of the paper
 and prints it in plain text (see :mod:`repro.experiments.report`).  The
-benchmark suite wraps the same generators; this runner exists so that a user
-can reproduce the paper's evaluation without pytest.
+``consistency`` experiment additionally runs the Monte-Carlo validation of
+Theorems 3.2/4.2/5.2 on the engine selected with ``--engine``
+(``batch`` is the vectorised fast path, ``sequential`` the protocol-stack
+oracle).  ``--seed`` seeds the chosen engine *and* installs the shared
+sequential RNG root (:func:`repro.rngs.seed_sequential`), so a sequential
+run is reproducible end to end from that one number.  The benchmark suite
+wraps the same generators; this runner exists so that a user can reproduce
+the paper's evaluation without pytest.
 """
 
 from __future__ import annotations
@@ -19,6 +26,11 @@ import sys
 from typing import Callable, Dict, List
 
 from repro.exceptions import ExperimentError
+from repro.experiments.consistency import (
+    render_consistency,
+    run_consistency_scenarios,
+    theorem_scenarios,
+)
 from repro.experiments.figures import (
     default_probability_grid,
     figure1_curves,
@@ -39,6 +51,7 @@ from repro.experiments.tables import (
     table3_rows,
     table4_rows,
 )
+from repro.rngs import seed_sequential
 
 EXPERIMENT_NAMES = (
     "table1",
@@ -48,8 +61,15 @@ EXPERIMENT_NAMES = (
     "figure1",
     "figure2",
     "figure3",
+    "consistency",
     "all",
 )
+
+ENGINE_NAMES = ("sequential", "batch")
+
+#: Default trial counts per engine for the consistency experiment: the batch
+#: engine is ~two orders of magnitude faster, so it gets the tight estimate.
+DEFAULT_TRIALS = {"sequential": 300, "batch": 20_000}
 
 
 def run_table1(n: int = 100) -> str:
@@ -88,8 +108,36 @@ def run_figure3(points: int = 41) -> str:
     return render_figure(figure3_curves(ps=default_probability_grid(points)))
 
 
-def run_experiment(name: str, points: int = 41) -> List[str]:
-    """Run one named experiment (or ``all``) and return the rendered reports."""
+def run_consistency(
+    engine: str = "batch", seed: int = 0, trials: int = None
+) -> str:
+    """Run the three theorem scenarios on the chosen Monte-Carlo engine."""
+    if engine not in ENGINE_NAMES:
+        raise ExperimentError(
+            f"unknown engine {engine!r}; choose from {', '.join(ENGINE_NAMES)}"
+        )
+    if trials is None:
+        trials = DEFAULT_TRIALS[engine]
+    if trials < 1:
+        raise ExperimentError(f"trial count must be positive, got {trials}")
+    scenarios = theorem_scenarios()
+    reports = run_consistency_scenarios(scenarios, trials=trials, seed=seed, engine=engine)
+    return render_consistency(scenarios, reports, engine=engine, seed=seed)
+
+
+def run_experiment(
+    name: str,
+    points: int = 41,
+    engine: str = "batch",
+    seed: int = 0,
+    trials: int = None,
+) -> List[str]:
+    """Run one named experiment (or ``all``) and return the rendered reports.
+
+    ``all`` covers the paper's tables and figures; the Monte-Carlo
+    ``consistency`` experiment is run by name (its cost depends on the
+    engine and trial count).
+    """
     runners: Dict[str, Callable[[], str]] = {
         "table1": run_table1,
         "table2": run_table2,
@@ -99,6 +147,8 @@ def run_experiment(name: str, points: int = 41) -> List[str]:
         "figure2": lambda: run_figure2(points),
         "figure3": lambda: run_figure3(points),
     }
+    if name == "consistency":
+        return [run_consistency(engine=engine, seed=seed, trials=trials)]
     if name == "all":
         return [runners[key]() for key in sorted(runners)]
     if name not in runners:
@@ -126,12 +176,43 @@ def main(argv: List[str] = None) -> int:
         default=41,
         help="number of crash-probability grid points for the figures (default: 41)",
     )
+    parser.add_argument(
+        "--engine",
+        default="batch",
+        choices=ENGINE_NAMES,
+        help="Monte-Carlo engine for the consistency experiment (default: batch)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed: seeds the chosen engine and the shared sequential "
+        "RNG streams (default: 0)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="trial count for the consistency experiment "
+        f"(default: {DEFAULT_TRIALS['batch']} batch / "
+        f"{DEFAULT_TRIALS['sequential']} sequential)",
+    )
     args = parser.parse_args(argv)
+    seed_sequential(args.seed)
     try:
-        reports = run_experiment(args.experiment, points=args.points)
+        reports = run_experiment(
+            args.experiment,
+            points=args.points,
+            engine=args.engine,
+            seed=args.seed,
+            trials=args.trials,
+        )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Do not leak the root into programmatic callers (tests, notebooks).
+        seed_sequential(None)
     print("\n\n".join(reports))
     return 0
 

@@ -23,6 +23,7 @@ subpackage implements all three against the
 from repro.protocol.timestamps import Timestamp, TimestampGenerator
 from repro.protocol.signatures import SignatureScheme, SignedPayload
 from repro.protocol.variable import ProbabilisticRegister, ReadOutcome
+from repro.protocol.classification import OUTCOME_LABELS, classify_read_outcome
 from repro.protocol.dissemination_variable import DisseminationRegister
 from repro.protocol.masking_variable import MaskingRegister
 from repro.protocol.lock import LockAttempt, QuorumLock
@@ -35,6 +36,8 @@ __all__ = [
     "SignedPayload",
     "ProbabilisticRegister",
     "ReadOutcome",
+    "OUTCOME_LABELS",
+    "classify_read_outcome",
     "DisseminationRegister",
     "MaskingRegister",
     "QuorumLock",

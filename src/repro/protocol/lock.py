@@ -32,6 +32,7 @@ from repro.core.probabilistic import ProbabilisticQuorumSystem
 from repro.exceptions import ConfigurationError, ProtocolError
 from repro.protocol.signatures import SignatureScheme
 from repro.protocol.timestamps import Timestamp
+from repro.rngs import fresh_rng
 from repro.simulation.cluster import Cluster
 from repro.types import Quorum
 
@@ -86,7 +87,7 @@ class QuorumLock:
         self.cluster = cluster
         self.name = str(name)
         self.signatures = signatures
-        self.rng = rng or random.Random()
+        self.rng = rng or fresh_rng()
         self._client_counters: Dict[int, int] = {}
         self._highest_seen_counter = 0
         self.acquire_attempts = 0

@@ -116,21 +116,7 @@ class MaskingRegister(ProbabilisticRegister):
             threshold=threshold,
         )
 
-    def classify_read(self, outcome: MaskingReadOutcome) -> str:
-        """Classify a read against the last local write (Monte-Carlo helper).
-
-        Returns one of ``"fresh"`` (the last written value), ``"stale"``
-        (an older value or ⊥) or ``"fabricated"`` (a value that was never
-        written — only possible when at least ``k`` Byzantine servers were
-        hit).
-        """
-        if self._last_written is None:
-            raise ProtocolError("no write has been performed yet")
-        if outcome.timestamp == self._last_written.timestamp:
-            return "fresh"
-        if outcome.is_empty or (
-            isinstance(outcome.timestamp, Timestamp)
-            and outcome.timestamp < self._last_written.timestamp
-        ):
-            return "stale"
-        return "fabricated"
+    # classify_read is inherited from ProbabilisticRegister: all register
+    # variants label outcomes through the shared classifier in
+    # repro.protocol.classification ("fabricated" here is only possible when
+    # at least k Byzantine servers were hit — the Lemma 5.7 event).

@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional, Set
 from repro.core.probabilistic import ProbabilisticQuorumSystem
 from repro.exceptions import ProtocolError, QuorumUnavailableError
 from repro.protocol.timestamps import Timestamp, TimestampGenerator
+from repro.rngs import fresh_rng
 from repro.simulation.cluster import Cluster
 from repro.simulation.server import StoredValue
 from repro.types import Quorum, ServerId
@@ -99,7 +100,7 @@ class ProbabilisticRegister:
         self.system = system
         self.cluster = cluster
         self.name = str(name)
-        self.rng = rng or random.Random()
+        self.rng = rng or fresh_rng()
         self._timestamps = TimestampGenerator(writer_id)
         self._last_written: Optional[WriteOutcome] = None
         self.writes_performed = 0
@@ -182,3 +183,17 @@ class ProbabilisticRegister:
             outcome.timestamp == self._last_written.timestamp
             and not outcome.is_empty
         )
+
+    def classify_read(self, outcome: ReadOutcome) -> str:
+        """Label a read against the last local write (Monte-Carlo helper).
+
+        Returns one of :data:`repro.protocol.classification.OUTCOME_LABELS`
+        (``"fresh"``, ``"stale"``, ``"empty"`` or ``"fabricated"``) via the
+        shared classifier, so every register variant — and the batched
+        engine — labels outcomes identically.
+        """
+        from repro.protocol.classification import classify_read_outcome
+
+        if self._last_written is None:
+            raise ProtocolError("no write has been performed yet")
+        return classify_read_outcome(outcome, self._last_written)

@@ -1,4 +1,4 @@
-"""Random-stream utilities shared by the batched Monte-Carlo paths.
+"""Random-stream utilities shared by the sequential and batched Monte-Carlo paths.
 
 Every vectorised estimator processes its trials in fixed-size chunks so
 peak memory stays bounded regardless of the trial count.  Each chunk gets
@@ -7,14 +7,52 @@ root, which makes a run fully determined by ``(seed, chunk_size)`` — the
 reproducibility contract the batch engines advertise.  Keeping the scheme
 in one place means a future change to the seeding policy cannot silently
 de-synchronise the estimators.
+
+The sequential protocol stack draws through :func:`fresh_rng` instead of
+bare ``random.Random()`` constructors: by default it is equivalent to an
+unseeded ``random.Random``, but :func:`seed_sequential` installs a shared
+root from which every subsequently requested stream is derived
+deterministically, so a whole sequential run (registers, locks, workload
+clients) is reproducible from a single seed — the sequential counterpart of
+the batch engines' ``SeedSequence`` tree.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
+
+#: Root stream installed by :func:`seed_sequential` (``None`` = OS entropy).
+_sequential_root: Optional[random.Random] = None
+
+
+def seed_sequential(seed: Optional[int]) -> None:
+    """Install (or with ``None`` clear) the root of all sequential RNG streams.
+
+    After ``seed_sequential(s)`` the ``k``-th stream handed out by
+    :func:`fresh_rng` is a deterministic function of ``(s, k)``, so any
+    sequential experiment that takes its randomness through
+    :func:`fresh_rng` replays exactly.
+    """
+    global _sequential_root
+    _sequential_root = None if seed is None else random.Random(seed)
+
+
+def fresh_rng(seed: Optional[int] = None) -> random.Random:
+    """The central constructor for sequential ``random.Random`` streams.
+
+    An explicit ``seed`` always wins; otherwise the stream is derived from
+    the :func:`seed_sequential` root when one is installed, and falls back
+    to OS entropy (plain ``random.Random()``) when it is not.
+    """
+    if seed is not None:
+        return random.Random(seed)
+    if _sequential_root is not None:
+        return random.Random(_sequential_root.randrange(2**63))
+    return random.Random()
 
 
 def chunked_substreams(

@@ -16,13 +16,16 @@ same code path:
   protocol layer talks to;
 * :mod:`repro.simulation.diffusion` — the gossip/anti-entropy update
   propagation sketched in Section 1.1;
+* :mod:`repro.simulation.scenario` — declarative scenario descriptions
+  (:class:`ScenarioSpec`) consumed by both Monte-Carlo engines;
 * :mod:`repro.simulation.monte_carlo` — empirical consistency estimation
   used to validate Theorems 3.2, 4.2 and 5.2 against the analytical ε;
 * :mod:`repro.simulation.batch` — the vectorised (NumPy) trial engine
   behind the estimators' ``engine="batch"`` switch.
 """
 
-from repro.simulation.batch import BatchTrialEngine
+from repro.simulation.batch import BatchTrialEngine, classify_threshold_votes
+from repro.simulation.scenario import ScenarioSpec, WorkloadSpec
 from repro.simulation.cluster import Cluster
 from repro.simulation.diffusion import DiffusionEngine, gossip_rounds_batch
 from repro.simulation.events import EventScheduler
@@ -61,6 +64,9 @@ __all__ = [
     "FailureModel",
     "BatchFailureMasks",
     "BatchTrialEngine",
+    "classify_threshold_votes",
+    "ScenarioSpec",
+    "WorkloadSpec",
     "Cluster",
     "DiffusionEngine",
     "gossip_rounds_batch",

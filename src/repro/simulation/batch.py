@@ -17,6 +17,20 @@ to set-membership logic over those arrays.  Gossip between writes runs
 through the vectorised kernel in
 :func:`repro.simulation.diffusion.gossip_rounds_batch`.
 
+All three of the paper's read protocols are modelled, driven by the
+:class:`~repro.core.probabilistic.ReadSemantics` the quorum system (or an
+explicit :class:`~repro.simulation.scenario.ScenarioSpec`) declares:
+
+* **benign** (Section 3.1) — any single reply is believed; the highest
+  timestamp wins (``threshold=1``);
+* **dissemination** (Section 4) — replies are signature-checked, so forged
+  values are discarded before the comparison (``self_verifying=True``;
+  Byzantine servers can only suppress or replay);
+* **masking** (Section 5) — a value/timestamp pair needs at least ``k``
+  vouching votes from the read quorum, computed here as vectorised
+  per-trial vote counts over the boolean membership masks
+  (:func:`classify_threshold_votes`).
+
 Reproducibility and memory
 --------------------------
 
@@ -25,29 +39,32 @@ substream via ``numpy.random.SeedSequence(seed).spawn(...)``, so a run is
 fully determined by ``(seed, chunk_size)`` and peak memory stays bounded at
 ``O(chunk_size * n)`` regardless of the trial count.
 
-The classification mirrors the sequential read of Section 3.1 (highest
-timestamp wins): with one write of timestamp ``ts₁``, a trial is *fresh*
-when the read quorum contains a responsive server that stored the write and
-no forgery outranks ``ts₁``; *fabricated* when a forgery is returned;
-*stale* when only an out-ranked forgery answered; *empty* when nobody
-answered with a value.  Equivalence with the sequential engine (same
-failure model, same system) is asserted by
+The classification mirrors the sequential reads: with one write of
+timestamp ``ts₁``, a trial is *fresh* when at least ``k`` responsive
+storers of the read quorum saw the write and no accepted forgery outranks
+``ts₁``; *fabricated* when a forgery clears the filter (``k`` forger votes,
+valid only where data is not self-verifying) and outranks the write;
+*stale* when only an out-ranked forgery cleared it; *empty* when nothing
+did.  Equivalence with the sequential engine (same scenario) is asserted by
 ``tests/simulation/test_batch_engine.py`` at 10k trials within
-Chernoff-derived tolerances.
+Chernoff-derived tolerances for all three protocols.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.probabilistic import ProbabilisticQuorumSystem
+from repro.core.probabilistic import ProbabilisticQuorumSystem, ReadSemantics
 from repro.exceptions import ConfigurationError
 from repro.protocol.timestamps import Timestamp
 from repro.rngs import chunked_substreams
 from repro.simulation.diffusion import gossip_rounds_batch
 from repro.simulation.failures import BatchFailureMasks, FailureModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.scenario import ScenarioSpec
 
 #: Default number of trials processed per vectorised chunk.  4096 trials over
 #: a 1000-server universe is ~4 MB of boolean masks — large enough to
@@ -76,6 +93,41 @@ def _timestamp_rank(fabricated_timestamp, writer_id: int, writes: int) -> int:
     return rank
 
 
+def classify_threshold_votes(
+    honest_votes: np.ndarray,
+    forged_votes: np.ndarray,
+    threshold: int,
+    forgery_outranks: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The threshold-vote read classification kernel (Section 5, Read).
+
+    Given per-trial vote counts for the honest value/timestamp pair and the
+    (colluding) forged pair, returns the four outcome masks
+    ``(fresh, stale, empty, fabricated)`` of the highest-timestamp-wins rule
+    applied to the candidates that collected at least ``threshold`` votes:
+
+    * both candidates clear — the forgery wins iff it outranks the honest
+      timestamp (``forgery_outranks``);
+    * only one clears — it wins; a winning *out-ranked* forgery carries an
+      honest-looking but older timestamp, which the shared classifier labels
+      stale;
+    * neither clears — the read returns ⊥ (empty).
+
+    With ``threshold=1`` this is exactly the benign Section 3.1 classifier
+    (a vote count ``>= 1`` is set membership), which the hypothesis property
+    tests pin down.  The masks partition every trial.
+    """
+    if threshold < 1:
+        raise ConfigurationError(f"vote threshold must be positive, got {threshold}")
+    honest_ok = honest_votes >= threshold
+    forged_ok = forged_votes >= threshold
+    fresh = honest_ok & ~(forged_ok & forgery_outranks)
+    fabricated = forged_ok & forgery_outranks
+    stale = forged_ok & ~forgery_outranks & ~honest_ok
+    empty = ~honest_ok & ~forged_ok
+    return fresh, stale, empty, fabricated
+
+
 class BatchTrialEngine:
     """Vectorised Monte-Carlo trials over a probabilistic quorum system.
 
@@ -95,6 +147,12 @@ class BatchTrialEngine:
     writer_id:
         Writer identity baked into honest timestamps, matching the default
         register configuration of the sequential engine.
+    semantics:
+        Read-protocol semantics (threshold ``k``, signature verifiability).
+        Defaults to ``system.read_semantics()``, so a masking system gets
+        the threshold read and a dissemination system the signature-checked
+        read — the same resolution the sequential engine applies through
+        :class:`~repro.simulation.scenario.ScenarioSpec`.
     """
 
     def __init__(
@@ -104,6 +162,7 @@ class BatchTrialEngine:
         seed: int = 0,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         writer_id: int = 0,
+        semantics: Optional[ReadSemantics] = None,
     ) -> None:
         if not isinstance(system, ProbabilisticQuorumSystem):
             raise ConfigurationError(
@@ -123,6 +182,24 @@ class BatchTrialEngine:
         self.seed = int(seed)
         self.chunk_size = int(chunk_size)
         self.writer_id = int(writer_id)
+        self.semantics = semantics if semantics is not None else system.read_semantics()
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: "ScenarioSpec",
+        seed: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> "BatchTrialEngine":
+        """Build the engine for a declarative scenario description."""
+        return cls(
+            spec.system,
+            failure_model=spec.failure_model,
+            seed=seed,
+            chunk_size=chunk_size,
+            writer_id=spec.writer_id,
+            semantics=spec.read_semantics(),
+        )
 
     # -- chunked substreams -------------------------------------------------------
 
@@ -138,9 +215,10 @@ class BatchTrialEngine:
         (fabrication under-counted by the batch path).  Rather than model an
         order-dependent outcome, the batch engine rejects the configuration;
         ``Timestamp.forged_maximum()`` and any other non-tying timestamp are
-        unaffected.
+        unaffected.  Self-verifying scenarios are exempt: there the forgery
+        is discarded before any comparison, tie or not.
         """
-        if self.model.kind != "colluding_forgers":
+        if self.model.kind != "colluding_forgers" or self.semantics.self_verifying:
             return
         for counter in range(1, writes + 1):
             if self.model.fabricated_timestamp == Timestamp(counter, self.writer_id):
@@ -160,6 +238,12 @@ class BatchTrialEngine:
         member_r = self.system.strategy.sample_batch_membership(n, size, generator)
         return member_w, member_r, masks
 
+    def _forged_votes(self, member_r: np.ndarray, masks: BatchFailureMasks) -> np.ndarray:
+        """Per-trial forger vote counts; zero where signatures filter them out."""
+        if self.semantics.self_verifying:
+            return np.zeros(member_r.shape[0], dtype=np.int64)
+        return (member_r & masks.forgers).sum(axis=1)
+
     # -- estimators ---------------------------------------------------------------
 
     def estimate_read_consistency(self, trials: int) -> "ConsistencyReport":
@@ -167,8 +251,8 @@ class BatchTrialEngine:
 
         Matches the sequential estimator in distribution: both sample the
         write quorum, the read quorum and the failure plan independently
-        per trial from the same distributions and apply the same
-        highest-timestamp-wins read rule.
+        per trial from the same distributions and apply the same read rule
+        (benign, signature-checked or threshold-vote, per the semantics).
         """
         from repro.simulation.monte_carlo import ConsistencyReport
 
@@ -176,15 +260,15 @@ class BatchTrialEngine:
             raise ConfigurationError(f"trial count must be positive, got {trials}")
         self._reject_tying_forgery(1)
         fab_beats = _timestamp_rank(self.model.fabricated_timestamp, self.writer_id, 1) >= 1
+        threshold = self.semantics.threshold
         fresh = stale = empty = fabricated = 0
         for generator, size in self._chunks(trials):
             member_w, member_r, masks = self._sample_round(generator, size)
-            has_fresh = (member_r & member_w & masks.responsive_storers).any(axis=1)
-            has_forged = (member_r & masks.forgers).any(axis=1)
-            fresh_mask = has_fresh & ~(has_forged & fab_beats)
-            fab_mask = has_forged & fab_beats
-            stale_mask = has_forged & ~fab_beats & ~has_fresh
-            empty_mask = ~has_fresh & ~has_forged
+            honest_votes = (member_r & member_w & masks.responsive_storers).sum(axis=1)
+            forged_votes = self._forged_votes(member_r, masks)
+            fresh_mask, stale_mask, empty_mask, fab_mask = classify_threshold_votes(
+                honest_votes, forged_votes, threshold, fab_beats
+            )
             fresh += int(fresh_mask.sum())
             fabricated += int(fab_mask.sum())
             stale += int(stale_mask.sum())
@@ -192,6 +276,34 @@ class BatchTrialEngine:
         return ConsistencyReport(
             trials=trials, fresh=fresh, stale=stale, empty=empty, fabricated=fabricated
         )
+
+    def _best_credible_version(
+        self,
+        member_r: np.ndarray,
+        masks: BatchFailureMasks,
+        latest: np.ndarray,
+        first_seen: np.ndarray,
+        writes: int,
+    ) -> np.ndarray:
+        """Highest write version that clears the vote threshold (-1 if none).
+
+        Correct servers vouch for their (possibly gossip-updated) latest
+        version, replay servers for the first version they accepted; the
+        value attached to a version is the same at every honest holder, so
+        per-version vote counting over the membership masks reproduces the
+        sequential register's ``Counter`` over value/timestamp pairs.
+        """
+        correct = ~(masks.crashed | masks.byzantine)
+        honest = np.where(member_r & correct, latest, -1)
+        replayed = np.where(member_r & masks.replay, first_seen, -1)
+        threshold = self.semantics.threshold
+        if threshold <= 1:
+            return np.maximum(honest, replayed).max(axis=1)
+        best = np.full(member_r.shape[0], -1, dtype=np.int64)
+        for version in range(writes):
+            votes = ((honest == version) | (replayed == version)).sum(axis=1)
+            best = np.where(votes >= threshold, version, best)
+        return best
 
     def estimate_staleness_distribution(
         self,
@@ -212,6 +324,7 @@ class BatchTrialEngine:
         self._reject_tying_forgery(writes)
         n = self.system.n
         fab_rank = _timestamp_rank(self.model.fabricated_timestamp, self.writer_id, writes)
+        threshold = self.semantics.threshold
         lags: List[np.ndarray] = []
         for generator, size in self._chunks(trials):
             masks = self.model.sample_masks(n, size, generator)
@@ -229,11 +342,11 @@ class BatchTrialEngine:
                         latest, correct, gossip_fanout, gossip_rounds_between_writes, generator
                     )
             member_r = self.system.strategy.sample_batch_membership(n, size, generator)
-            honest = np.where(member_r & correct, latest, -1)
-            replayed = np.where(member_r & masks.replay, first_seen, -1)
-            best_version = np.maximum(honest, replayed).max(axis=1)
-            has_forged = (member_r & masks.forgers).any(axis=1)
-            forged_wins = has_forged & (best_version < fab_rank)
+            best_version = self._best_credible_version(
+                member_r, masks, latest, first_seen, writes
+            )
+            forged_votes = self._forged_votes(member_r, masks)
+            forged_wins = (forged_votes >= threshold) & (best_version < fab_rank)
             lag = np.where(best_version >= 0, writes - 1 - best_version, writes)
             lag = np.where(forged_wins, writes, lag)
             lags.append(lag.astype(np.int64))

@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.probabilistic import ProbabilisticQuorumSystem
 from repro.core.strategy import AccessStrategy
 from repro.exceptions import ConfigurationError
-from repro.rngs import chunked_substreams
+from repro.rngs import chunked_substreams, fresh_rng
 from repro.types import Quorum, ServerId
 
 
@@ -79,7 +79,7 @@ class WorkloadClient:
             raise ConfigurationError(f"universe size must be positive, got {n}")
         self.n = int(n)
         self.strategy = strategy
-        self.rng = rng or random.Random(0)
+        self.rng = rng or fresh_rng(0)
         self._counts = [0] * self.n
         self._accesses = 0
 
@@ -125,7 +125,7 @@ def measure_system_load(
     object-by-object oracle.  Both estimate the same distribution.
     """
     if engine == "sequential":
-        client = WorkloadClient(system.n, system.strategy, random.Random(seed))
+        client = WorkloadClient(system.n, system.strategy, fresh_rng(seed))
         return client.run(accesses)
     if engine != "batch":
         raise ConfigurationError(

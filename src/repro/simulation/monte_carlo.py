@@ -18,37 +18,49 @@ Estimators
   without gossip rounds between writes, which quantifies the Section 1.1
   claim that diffusion drives inconsistency toward zero.
 
+Scenario dispatch
+-----------------
+
+The preferred experiment description is a declarative
+:class:`~repro.simulation.scenario.ScenarioSpec` — quorum system, failure
+model and workload in one object — passed as the first argument.  Both
+engines consume the same spec: the sequential oracle lowers it to the
+matching register class (plain, signed-dissemination or threshold-masking)
+over per-trial clusters, while the batch engine reads its declared
+:class:`~repro.core.probabilistic.ReadSemantics` and classifies trials with
+vectorised kernels.  A bare ``ProbabilisticQuorumSystem`` (optionally with a
+:class:`~repro.simulation.failures.FailureModel`) is promoted to an
+``auto``-resolved spec, so a masking system automatically gets the Section 5
+threshold read on both engines.  Arbitrary register/plan *factories* remain
+supported on ``engine="sequential"`` only — that path is the escape hatch
+for experiments no declarative spec describes.
+
 Engines
 -------
 
 Both estimators accept ``engine="sequential"`` (default) or
 ``engine="batch"``.  The sequential engine drives the real protocol stack
-object by object and accepts arbitrary register/plan factories — it is the
-semantic oracle.  The batch engine
+object by object and is the semantic oracle; the batch engine
 (:class:`repro.simulation.batch.BatchTrialEngine`) vectorises trials with
-NumPy and is one to two orders of magnitude faster, but requires the
-experiment to be described declaratively: pass the
-:class:`~repro.core.probabilistic.ProbabilisticQuorumSystem` itself in
-place of a register factory and a
-:class:`~repro.simulation.failures.FailureModel` in place of a plan
-factory.  (Both declarative forms also work with the sequential engine,
-which is how the equivalence tests run the same experiment on both.)
+NumPy and is one to two orders of magnitude faster.  The two agree in
+distribution, not trial for trial; ``tests/simulation/test_batch_engine.py``
+pins the agreement down for all three protocols.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from typing import TYPE_CHECKING
 
 from repro.core.probabilistic import ProbabilisticQuorumSystem
 from repro.exceptions import ConfigurationError
-from repro.protocol.timestamps import Timestamp
 from repro.simulation.cluster import Cluster
 from repro.simulation.diffusion import DiffusionEngine
 from repro.simulation.failures import FailureModel, FailurePlan
+from repro.simulation.scenario import ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.protocol.variable import ProbabilisticRegister
@@ -57,8 +69,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
 RegisterFactory = Callable[[Cluster, random.Random], "ProbabilisticRegister"]
 #: Builds the failure plan for one trial (may be randomised per trial).
 PlanFactory = Callable[[random.Random], FailurePlan]
-#: Either a register factory or a system the default register wraps.
-RegisterSpec = Union[RegisterFactory, ProbabilisticQuorumSystem]
+#: A scenario spec, a system the spec can wrap, or a raw register factory.
+RegisterSpec = Union[ScenarioSpec, RegisterFactory, ProbabilisticQuorumSystem]
 #: Either a plan factory or a declarative failure model.
 PlanSpec = Union[PlanFactory, FailureModel]
 
@@ -70,13 +82,48 @@ def _check_engine(engine: str) -> None:
         raise ConfigurationError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
 
 
-def _batch_engine(register_spec, plan_spec, n: int, seed: int, chunk_size: int):
-    """Validate the declarative specs and build a :class:`BatchTrialEngine`."""
-    from repro.simulation.batch import BatchTrialEngine
+def _as_scenario(register_spec, plan_spec) -> Optional[ScenarioSpec]:
+    """Promote declarative argument forms to a :class:`ScenarioSpec`.
 
-    if not isinstance(register_spec, ProbabilisticQuorumSystem):
+    Returns ``None`` for the legacy factory forms, which only the sequential
+    engine can run.
+    """
+    if isinstance(register_spec, ScenarioSpec):
+        if plan_spec is not None:
+            raise ConfigurationError(
+                "a ScenarioSpec already carries its failure model; "
+                "do not pass plan_factory alongside it"
+            )
+        return register_spec
+    if isinstance(register_spec, ProbabilisticQuorumSystem) and (
+        plan_spec is None or isinstance(plan_spec, FailureModel)
+    ):
+        return ScenarioSpec(
+            system=register_spec, failure_model=plan_spec or FailureModel.none()
+        )
+    return None
+
+
+def _resolve_n(spec: Optional[ScenarioSpec], n: Optional[int]) -> int:
+    if spec is not None:
+        if n is not None and n != spec.n:
+            raise ConfigurationError(
+                f"scenario is over {spec.n} servers but the estimate asked for n={n}"
+            )
+        return spec.n
+    if n is None:
         raise ConfigurationError(
-            "engine='batch' samples through the system's access strategy; pass "
+            "n is required when passing register/plan factories "
+            "(a ScenarioSpec carries it implicitly)"
+        )
+    return int(n)
+
+
+def _require_declarative(register_spec, plan_spec) -> None:
+    """The batch engine's error messages for non-declarative argument forms."""
+    if not isinstance(register_spec, (ScenarioSpec, ProbabilisticQuorumSystem)):
+        raise ConfigurationError(
+            "engine='batch' needs a declarative scenario; pass a ScenarioSpec or "
             "the ProbabilisticQuorumSystem itself instead of a register factory "
             "(arbitrary factories need engine='sequential')"
         )
@@ -85,25 +132,16 @@ def _batch_engine(register_spec, plan_spec, n: int, seed: int, chunk_size: int):
             "engine='batch' needs a declarative FailureModel instead of a plan "
             "factory (arbitrary factories need engine='sequential')"
         )
-    if register_spec.n != n:
-        raise ConfigurationError(
-            f"system is over {register_spec.n} servers but the estimate asked for n={n}"
-        )
-    return BatchTrialEngine(
-        register_spec, failure_model=plan_spec, seed=seed, chunk_size=chunk_size
-    )
 
 
-def _sequential_specs(register_spec, plan_spec, n: int):
-    """Lower declarative specs to the factory callables the oracle loop uses."""
+def _sequential_specs(spec: Optional[ScenarioSpec], register_spec, plan_spec, n: int):
+    """Lower the scenario (or legacy specs) to the oracle loop's factories."""
+    if spec is not None:
+        return spec.register_factory(), spec.failure_model.bind(n)
     if isinstance(register_spec, ProbabilisticQuorumSystem):
-        from repro.protocol.variable import ProbabilisticRegister
-
-        system = register_spec
-
-        def register_factory(cluster: Cluster, rng: random.Random):
-            return ProbabilisticRegister(system, cluster, rng=rng)
-
+        # A bare system paired with an arbitrary plan *factory*: no spec was
+        # promoted, but the register side still lowers declaratively.
+        register_factory = ScenarioSpec(system=register_spec).register_factory()
     else:
         register_factory = register_spec
     plan_factory = plan_spec.bind(n) if isinstance(plan_spec, FailureModel) else plan_spec
@@ -145,36 +183,51 @@ class ConsistencyReport:
 
 def estimate_read_consistency(
     register_factory: RegisterSpec,
-    n: int,
+    n: Optional[int] = None,
     plan_factory: Optional[PlanSpec] = None,
     trials: int = 500,
     seed: int = 0,
-    written_value: object = "v",
+    written_value: Optional[object] = None,
     engine: str = "sequential",
     chunk_size: int = 4096,
 ) -> ConsistencyReport:
     """Measure how often a read sees the latest write.
 
     Each trial builds a fresh cluster (with a possibly randomised failure
-    plan), performs one write and then one read through the register built
-    by ``register_factory``, and classifies the outcome.  The classification
-    distinguishes fabricated values (never written) from stale/⊥ ones so
-    that dissemination and masking experiments can check that fabrication in
-    particular is (essentially) never observed.
+    plan), performs one write and then one read through the scenario's
+    register, and classifies the outcome with the shared labelling rule of
+    :mod:`repro.protocol.classification`.  Fabricated values (never written)
+    are distinguished from stale/⊥ ones so that dissemination and masking
+    experiments can check that fabrication in particular is (essentially)
+    never observed.
 
-    With ``engine="batch"`` the same experiment runs vectorised (see the
-    module docstring for the declarative-spec requirements); the two
-    engines agree in distribution, not trial for trial.
+    Pass a :class:`~repro.simulation.scenario.ScenarioSpec` (or a bare
+    system, auto-promoted to one) to run the same description on either
+    engine; the two agree in distribution, not trial for trial.
+    ``written_value`` defaults to the scenario workload's value (``"v"``).
     """
     _check_engine(engine)
     if trials <= 0:
         raise ConfigurationError(f"trial count must be positive, got {trials}")
+    spec = _as_scenario(register_factory, plan_factory)
+    n = _resolve_n(spec, n)
     if engine == "batch":
-        batch = _batch_engine(register_factory, plan_factory, n, seed, chunk_size)
-        return batch.estimate_read_consistency(trials)
-    register_factory, plan_factory = _sequential_specs(register_factory, plan_factory, n)
+        from repro.simulation.batch import BatchTrialEngine
+
+        if spec is None:
+            _require_declarative(register_factory, plan_factory)
+        return BatchTrialEngine.from_spec(
+            spec, seed=seed, chunk_size=chunk_size
+        ).estimate_read_consistency(trials)
+    if written_value is None:
+        written_value = spec.workload.written_value if spec is not None else "v"
+    register_factory, plan_factory = _sequential_specs(
+        spec, register_factory, plan_factory, n
+    )
+    from repro.protocol.classification import classify_read_outcome
+
     rng = random.Random(seed)
-    fresh = stale = empty = fabricated = 0
+    counts = {"fresh": 0, "stale": 0, "empty": 0, "fabricated": 0}
     for _ in range(trials):
         trial_rng = random.Random(rng.randrange(2**63))
         plan = plan_factory(trial_rng) if plan_factory is not None else FailurePlan.none()
@@ -182,17 +235,11 @@ def estimate_read_consistency(
         register = register_factory(cluster, trial_rng)
         write = register.write(written_value)
         outcome = register.read()
-        if outcome.timestamp == write.timestamp and outcome.value == written_value:
-            fresh += 1
-        elif outcome.is_empty:
-            empty += 1
-        elif isinstance(outcome.timestamp, Timestamp) and outcome.timestamp < write.timestamp:
-            stale += 1
-        else:
-            fabricated += 1
-    return ConsistencyReport(
-        trials=trials, fresh=fresh, stale=stale, empty=empty, fabricated=fabricated
-    )
+        label = classify_read_outcome(
+            outcome, write, expected_value=written_value, check_value=True
+        )
+        counts[label] += 1
+    return ConsistencyReport(trials=trials, **counts)
 
 
 @dataclass
@@ -226,10 +273,10 @@ class StalenessReport:
 
 def estimate_staleness_distribution(
     register_factory: RegisterSpec,
-    n: int,
-    writes: int = 5,
-    gossip_rounds_between_writes: int = 0,
-    gossip_fanout: int = 2,
+    n: Optional[int] = None,
+    writes: Optional[int] = None,
+    gossip_rounds_between_writes: Optional[int] = None,
+    gossip_fanout: Optional[int] = None,
     plan_factory: Optional[PlanSpec] = None,
     trials: int = 200,
     seed: int = 0,
@@ -243,24 +290,46 @@ def estimate_staleness_distribution(
     write before the next one, which is the paper's Section 1.1 recipe for
     driving staleness toward zero when updates are dispersed in time.
 
-    ``engine="batch"`` vectorises the write history and the gossip rounds
-    (synchronous-round gossip with with-replacement fanout — statistically
-    equivalent, see :func:`repro.simulation.diffusion.gossip_rounds_batch`).
+    The workload parameters default to the scenario's
+    :class:`~repro.simulation.scenario.WorkloadSpec` when a spec is passed
+    (and to ``writes=5``, no gossip, fanout 2 otherwise); explicit arguments
+    override the spec.  ``engine="batch"`` vectorises the write history and
+    the gossip rounds (synchronous-round gossip with with-replacement
+    fanout — statistically equivalent, see
+    :func:`repro.simulation.diffusion.gossip_rounds_batch`).
     """
     _check_engine(engine)
-    if writes < 1:
-        raise ConfigurationError(f"the write history needs at least one write, got {writes}")
     if trials <= 0:
         raise ConfigurationError(f"trial count must be positive, got {trials}")
+    spec = _as_scenario(register_factory, plan_factory)
+    workload = spec.workload if spec is not None else None
+    if writes is None:
+        writes = workload.writes if workload is not None else 5
+    if gossip_rounds_between_writes is None:
+        gossip_rounds_between_writes = (
+            workload.gossip_rounds_between_writes if workload is not None else 0
+        )
+    if gossip_fanout is None:
+        gossip_fanout = workload.gossip_fanout if workload is not None else 2
+    if writes < 1:
+        raise ConfigurationError(f"the write history needs at least one write, got {writes}")
+    n = _resolve_n(spec, n)
     if engine == "batch":
-        batch = _batch_engine(register_factory, plan_factory, n, seed, chunk_size)
-        return batch.estimate_staleness_distribution(
+        from repro.simulation.batch import BatchTrialEngine
+
+        if spec is None:
+            _require_declarative(register_factory, plan_factory)
+        return BatchTrialEngine.from_spec(
+            spec, seed=seed, chunk_size=chunk_size
+        ).estimate_staleness_distribution(
             trials,
             writes=writes,
             gossip_rounds_between_writes=gossip_rounds_between_writes,
             gossip_fanout=gossip_fanout,
         )
-    register_factory, plan_factory = _sequential_specs(register_factory, plan_factory, n)
+    register_factory, plan_factory = _sequential_specs(
+        spec, register_factory, plan_factory, n
+    )
     rng = random.Random(seed)
     lags: List[int] = []
     for _ in range(trials):
@@ -268,7 +337,7 @@ def estimate_staleness_distribution(
         plan = plan_factory(trial_rng) if plan_factory is not None else FailurePlan.none()
         cluster = Cluster(n, failure_plan=plan, seed=trial_rng.randrange(2**63))
         register = register_factory(cluster, trial_rng)
-        engine = (
+        diffusion = (
             DiffusionEngine(cluster, fanout=gossip_fanout, rng=trial_rng)
             if gossip_rounds_between_writes > 0
             else None
@@ -277,8 +346,8 @@ def estimate_staleness_distribution(
         for version in range(writes):
             outcome = register.write(("value", version))
             timestamps.append(outcome.timestamp)
-            if engine is not None:
-                engine.run_rounds(gossip_rounds_between_writes, [register.name])
+            if diffusion is not None:
+                diffusion.run_rounds(gossip_rounds_between_writes, [register.name])
         read = register.read()
         if read.is_empty:
             lags.append(writes)  # behind every version

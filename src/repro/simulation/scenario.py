@@ -1,0 +1,186 @@
+"""Declarative scenario descriptions consumed by both Monte-Carlo engines.
+
+A :class:`ScenarioSpec` is the single description of one consistency
+experiment: which quorum system (and therefore which of the paper's three
+access protocols), which :class:`~repro.simulation.failures.FailureModel`,
+and which workload (write history, gossip schedule, written value).  The
+sequential engine lowers a spec to register/cluster objects via
+:meth:`ScenarioSpec.register_factory`; the batched engine reads the same
+spec's :meth:`read_semantics` — threshold ``k`` and signature verifiability,
+exposed declaratively by the core systems — and classifies trials with
+vectorised kernels.  One spec, two independent execution semantics, which is
+what keeps the engines' equivalence testable as new workloads are added.
+
+The register kind defaults to ``"auto"``: a system exposing a masking
+``read_threshold`` gets the Section 5 threshold read, a system whose
+:meth:`~repro.core.probabilistic.ProbabilisticQuorumSystem.read_semantics`
+declares self-verifying data gets the signed Section 4 protocol, and
+everything else gets the benign Section 3.1 register.  Forcing
+``register_kind="plain"`` on a Byzantine system is allowed (it models a
+reader that ignores the protocol's filter), but ``"masking"`` requires a
+system that actually carries a threshold.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.core.probabilistic import ProbabilisticQuorumSystem, ReadSemantics
+from repro.exceptions import ConfigurationError
+from repro.simulation.failures import FailureModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids circular imports
+    from repro.protocol.variable import ProbabilisticRegister
+    from repro.simulation.cluster import Cluster
+
+#: Register kinds a spec can name; ``auto`` resolves from the system.
+REGISTER_KINDS = ("auto", "plain", "dissemination", "masking")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The client-side workload of one scenario.
+
+    ``writes=1`` describes the read-consistency experiment (one write, one
+    read — Theorems 3.2/4.2/5.2); larger histories with optional gossip
+    rounds between writes describe the staleness-distribution experiment of
+    Section 1.1.
+    """
+
+    writes: int = 1
+    gossip_rounds_between_writes: int = 0
+    gossip_fanout: int = 2
+    written_value: Any = "v"
+
+    def __post_init__(self) -> None:
+        if self.writes < 1:
+            raise ConfigurationError(
+                f"the write history needs at least one write, got {self.writes}"
+            )
+        if self.gossip_rounds_between_writes < 0:
+            raise ConfigurationError(
+                f"gossip round count must be non-negative, "
+                f"got {self.gossip_rounds_between_writes}"
+            )
+        if self.gossip_fanout < 1:
+            raise ConfigurationError(
+                f"gossip fanout must be positive, got {self.gossip_fanout}"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One experiment, described declaratively for both engines.
+
+    Attributes
+    ----------
+    system:
+        The probabilistic quorum system; its access strategy draws every
+        quorum and its :meth:`read_semantics` supplies the default read
+        protocol.
+    failure_model:
+        Distribution over per-trial failures (default: none).
+    workload:
+        Write history / gossip schedule / written value.
+    register_kind:
+        ``"auto"`` (resolve from the system) or an explicit protocol name.
+    writer_id:
+        Writer identity baked into honest timestamps.
+    signing_key:
+        Writer key for the dissemination protocol's signature scheme
+        (readers hold the same instance; servers never see it).
+    """
+
+    system: ProbabilisticQuorumSystem
+    failure_model: FailureModel = field(default_factory=FailureModel.none)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    register_kind: str = "auto"
+    writer_id: int = 0
+    signing_key: bytes = b"scenario"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.system, ProbabilisticQuorumSystem):
+            raise ConfigurationError(
+                "a scenario is described over a ProbabilisticQuorumSystem, "
+                f"got {type(self.system).__name__}"
+            )
+        if not isinstance(self.failure_model, FailureModel):
+            raise ConfigurationError(
+                "a scenario needs a declarative FailureModel, "
+                f"got {type(self.failure_model).__name__}"
+            )
+        if self.register_kind not in REGISTER_KINDS:
+            raise ConfigurationError(
+                f"unknown register kind {self.register_kind!r}; "
+                f"expected one of {REGISTER_KINDS}"
+            )
+        if self.register_kind == "masking" and not hasattr(self.system, "read_threshold"):
+            raise ConfigurationError(
+                "the masking protocol needs a system with a read_threshold "
+                f"(got {type(self.system).__name__})"
+            )
+        # Resolve eagerly so a mis-described scenario fails at construction.
+        self.resolved_register_kind()
+
+    # -- resolution ---------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Universe size (from the system)."""
+        return self.system.n
+
+    def resolved_register_kind(self) -> str:
+        """The concrete protocol this scenario runs (``auto`` resolved)."""
+        if self.register_kind != "auto":
+            return self.register_kind
+        if hasattr(self.system, "read_threshold"):
+            return "masking"
+        if self.system.read_semantics().self_verifying:
+            return "dissemination"
+        return "plain"
+
+    def read_semantics(self) -> ReadSemantics:
+        """Threshold/verifiability of this scenario's read protocol.
+
+        For ``auto`` scenarios this is exactly the system's declared
+        semantics; forcing a register kind overrides them (e.g. a plain
+        register over a masking system reads with ``threshold=1``).
+        """
+        kind = self.resolved_register_kind()
+        if kind == "masking":
+            return ReadSemantics(threshold=int(self.system.read_threshold))
+        if kind == "dissemination":
+            return ReadSemantics(self_verifying=True)
+        return ReadSemantics()
+
+    # -- sequential lowering ------------------------------------------------------
+
+    def register_factory(self) -> Callable[["Cluster", random.Random], "ProbabilisticRegister"]:
+        """A per-trial register factory for the sequential oracle engine."""
+        from repro.protocol.dissemination_variable import DisseminationRegister
+        from repro.protocol.masking_variable import MaskingRegister
+        from repro.protocol.signatures import SignatureScheme
+        from repro.protocol.variable import ProbabilisticRegister
+
+        kind = self.resolved_register_kind()
+        if kind == "masking":
+            return lambda cluster, rng: MaskingRegister(
+                self.system, cluster, writer_id=self.writer_id, rng=rng
+            )
+        if kind == "dissemination":
+            scheme = SignatureScheme(self.signing_key)
+            return lambda cluster, rng: DisseminationRegister(
+                self.system, cluster, signatures=scheme, writer_id=self.writer_id, rng=rng
+            )
+        return lambda cluster, rng: ProbabilisticRegister(
+            self.system, cluster, writer_id=self.writer_id, rng=rng
+        )
+
+    def describe(self) -> str:
+        """One-line summary used in experiment logs."""
+        return (
+            f"ScenarioSpec({self.system.describe()}, {self.failure_model.describe()}, "
+            f"register={self.resolved_register_kind()}, writes={self.workload.writes})"
+        )

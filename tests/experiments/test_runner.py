@@ -6,8 +6,10 @@ import pytest
 
 from repro.exceptions import ExperimentError
 from repro.experiments.runner import (
+    ENGINE_NAMES,
     EXPERIMENT_NAMES,
     main,
+    run_consistency,
     run_experiment,
     run_figure1,
     run_table1,
@@ -37,6 +39,23 @@ class TestRunExperiment:
         assert "Table 2" in run_table2()
         assert "Figure 1" in run_figure1(points=9)
 
+    def test_consistency_experiment_on_the_batch_engine(self):
+        report = run_consistency(engine="batch", seed=3, trials=2_000)
+        assert "engine=batch" in report
+        for name in ("plain", "dissemination", "masking"):
+            assert name in report
+
+    def test_consistency_experiment_on_the_sequential_engine(self):
+        report = run_consistency(engine="sequential", seed=3, trials=30)
+        assert "engine=sequential" in report
+        assert "register=masking" in report
+
+    def test_consistency_validation(self):
+        with pytest.raises(ExperimentError):
+            run_consistency(engine="warp")
+        with pytest.raises(ExperimentError):
+            run_consistency(trials=0)
+
 
 class TestCli:
     def test_main_success(self, capsys):
@@ -52,6 +71,27 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--experiment", "bogus"])
 
+    def test_main_consistency_with_engine_and_seed(self, capsys):
+        assert (
+            main(
+                [
+                    "--experiment", "consistency",
+                    "--engine", "batch",
+                    "--seed", "7",
+                    "--trials", "1000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "engine=batch" in out and "seed=7" in out
+
+    def test_main_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "consistency", "--engine", "warp"])
+
     def test_experiment_names_constant(self):
         assert "all" in EXPERIMENT_NAMES
-        assert len(EXPERIMENT_NAMES) == 8
+        assert "consistency" in EXPERIMENT_NAMES
+        assert ENGINE_NAMES == ("sequential", "batch")
+        assert len(EXPERIMENT_NAMES) == 9

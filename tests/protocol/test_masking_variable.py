@@ -63,7 +63,7 @@ class TestThresholdRead:
         outcome = register.read()
         assert outcome.value in (None, "value")
         if outcome.value is None:
-            assert register.classify_read(outcome) == "stale"
+            assert register.classify_read(outcome) == "empty"
 
 
 class TestByzantineMasking:

@@ -27,20 +27,23 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.dissemination import ProbabilisticDisseminationSystem
 from repro.core.epsilon_intersecting import UniformEpsilonIntersectingSystem
+from repro.core.masking import ProbabilisticMaskingSystem
 from repro.core.strategy import ExplicitStrategy, UniformSubsetStrategy
 from repro.exceptions import ConfigurationError
 from repro.protocol.timestamps import Timestamp
 from repro.protocol.variable import ProbabilisticRegister
 from repro.quorum.base import sample_subset_batch
 from repro.quorum.measures import load_of_strategy
-from repro.simulation.batch import BatchTrialEngine
+from repro.simulation.batch import BatchTrialEngine, classify_threshold_votes
 from repro.simulation.client import measure_system_load
 from repro.simulation.failures import FailureModel
 from repro.simulation.monte_carlo import (
     estimate_read_consistency,
     estimate_staleness_distribution,
 )
+from repro.simulation.scenario import ScenarioSpec
 
 EQUIVALENCE_TRIALS = 10_000
 
@@ -139,6 +142,202 @@ class TestEngineEquivalence:
         )
         assert with_gossip.fresh_fraction > without.fresh_fraction
         assert with_gossip.mean_lag < without.mean_lag
+
+
+class TestByzantineEngineEquivalence:
+    """Masking and dissemination scenarios agree across engines (Hoeffding).
+
+    The systems are deliberately loose (mid-range epsilon) so every outcome
+    class — fresh, stale/⊥ and, for masking, fabricated — has probability
+    far from 0/1, where a systematic divergence is easiest to detect.
+    """
+
+    # Rk(25, 10) with b=5: threshold k = ceil(100/50) = 2.
+    MASKING = ProbabilisticMaskingSystem(25, 10, 5)
+    DISSEMINATION = ProbabilisticDisseminationSystem(25, 5, 4)
+
+    def _both(self, spec, trials=EQUIVALENCE_TRIALS):
+        sequential = estimate_read_consistency(spec, trials=trials, seed=42)
+        batch = estimate_read_consistency(spec, trials=trials, seed=42, engine="batch")
+        return sequential, batch
+
+    def test_masking_colluding_forgers(self):
+        spec = ScenarioSpec(
+            system=self.MASKING,
+            failure_model=FailureModel.colluding_forgers(
+                5, "FORGED", Timestamp.forged_maximum()
+            ),
+        )
+        assert spec.read_semantics().threshold == 2
+        sequential, batch = self._both(spec)
+        tol = two_sided_tolerance(EQUIVALENCE_TRIALS, EQUIVALENCE_TRIALS)
+        assert batch.fresh_fraction == pytest.approx(sequential.fresh_fraction, abs=tol)
+        assert batch.fabricated_fraction == pytest.approx(
+            sequential.fabricated_fraction, abs=tol
+        )
+        # The threshold must actually bite: fabrication needs >= 2 forgers in
+        # the read quorum, so it is rarer than under the benign single-vote
+        # read of the same system and failure model.
+        benign = ScenarioSpec(
+            system=self.MASKING,
+            failure_model=spec.failure_model,
+            register_kind="plain",
+        )
+        benign_batch = estimate_read_consistency(
+            benign, trials=EQUIVALENCE_TRIALS, seed=42, engine="batch"
+        )
+        assert batch.fabricated < benign_batch.fabricated
+
+    def test_masking_silent_and_crash_models(self):
+        for model in (
+            FailureModel.random_byzantine(5),
+            FailureModel.independent_crashes(0.2),
+        ):
+            spec = ScenarioSpec(system=self.MASKING, failure_model=model)
+            sequential, batch = self._both(spec, trials=4_000)
+            tol = two_sided_tolerance(4_000, 4_000)
+            assert batch.fresh_fraction == pytest.approx(
+                sequential.fresh_fraction, abs=tol
+            )
+            assert batch.fabricated == sequential.fabricated == 0
+
+    def test_dissemination_forgers_are_discarded(self):
+        spec = ScenarioSpec(
+            system=self.DISSEMINATION,
+            failure_model=FailureModel.colluding_forgers(
+                4, "FORGED", Timestamp.forged_maximum()
+            ),
+        )
+        assert spec.read_semantics().self_verifying
+        sequential, batch = self._both(spec)
+        tol = two_sided_tolerance(EQUIVALENCE_TRIALS, EQUIVALENCE_TRIALS)
+        assert batch.fresh_fraction == pytest.approx(sequential.fresh_fraction, abs=tol)
+        # Signature verification makes fabrication impossible on both engines.
+        assert batch.fabricated == sequential.fabricated == 0
+
+    def test_dissemination_silent_and_replay(self):
+        for model in (FailureModel.random_byzantine(4), FailureModel.replay_attack(4)):
+            spec = ScenarioSpec(system=self.DISSEMINATION, failure_model=model)
+            sequential, batch = self._both(spec, trials=4_000)
+            tol = two_sided_tolerance(4_000, 4_000)
+            assert batch.fresh_fraction == pytest.approx(
+                sequential.fresh_fraction, abs=tol
+            )
+            assert batch.fabricated == sequential.fabricated == 0
+
+    def test_masking_staleness_distribution_agrees(self):
+        spec = ScenarioSpec(
+            system=self.MASKING,
+            failure_model=FailureModel.colluding_forgers(
+                5, "FORGED", Timestamp.forged_maximum()
+            ),
+        )
+        sequential = estimate_staleness_distribution(
+            spec, writes=3, trials=3_000, seed=9
+        )
+        batch = estimate_staleness_distribution(
+            spec, writes=3, trials=EQUIVALENCE_TRIALS, seed=9, engine="batch"
+        )
+        tol = two_sided_tolerance(3_000, EQUIVALENCE_TRIALS)
+        assert batch.fresh_fraction == pytest.approx(sequential.fresh_fraction, abs=tol)
+        # Mean lag over writes=3 is bounded by 3; scale the tolerance with it.
+        assert batch.mean_lag == pytest.approx(sequential.mean_lag, abs=3 * tol)
+
+    def test_dissemination_staleness_distribution_agrees(self):
+        spec = ScenarioSpec(
+            system=self.DISSEMINATION,
+            failure_model=FailureModel.replay_attack(4),
+        )
+        sequential = estimate_staleness_distribution(
+            spec, writes=4, trials=3_000, seed=15
+        )
+        batch = estimate_staleness_distribution(
+            spec, writes=4, trials=EQUIVALENCE_TRIALS, seed=15, engine="batch"
+        )
+        tol = two_sided_tolerance(3_000, EQUIVALENCE_TRIALS)
+        assert batch.fresh_fraction == pytest.approx(sequential.fresh_fraction, abs=tol)
+        assert batch.mean_lag == pytest.approx(sequential.mean_lag, abs=4 * tol)
+
+
+class TestThresholdVoteKernel:
+    """Property tests for the threshold-vote classification kernel."""
+
+    @given(
+        votes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=12),
+                st.integers(min_value=0, max_value=12),
+            ),
+            min_size=1,
+            max_size=64,
+        ),
+        threshold=st.integers(min_value=1, max_value=13),
+        outranks=st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_masks_partition_every_trial(self, votes, threshold, outranks):
+        honest = np.array([h for h, _ in votes])
+        forged = np.array([f for _, f in votes])
+        fresh, stale, empty, fabricated = classify_threshold_votes(
+            honest, forged, threshold, outranks
+        )
+        total = (
+            fresh.astype(int) + stale.astype(int) + empty.astype(int) + fabricated.astype(int)
+        )
+        assert (total == 1).all()
+        # Fabrication requires the forgery to clear the threshold AND outrank.
+        assert not fabricated[forged < threshold].any()
+        if not outranks:
+            assert not fabricated.any()
+
+    @given(
+        votes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=64,
+        ),
+        outranks=st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_k_equals_one_reduces_to_benign_classifier(self, votes, outranks):
+        honest = np.array([h for h, _ in votes])
+        forged = np.array([f for _, f in votes])
+        fresh, stale, empty, fabricated = classify_threshold_votes(
+            honest, forged, 1, outranks
+        )
+        # The benign Section 3.1 classifier, written as set membership.
+        has_fresh = honest >= 1
+        has_forged = forged >= 1
+        assert (fresh == (has_fresh & ~(has_forged & outranks))).all()
+        assert (fabricated == (has_forged & outranks)).all()
+        assert (stale == (has_forged & ~outranks & ~has_fresh)).all()
+        assert (empty == (~has_fresh & ~has_forged)).all()
+
+    @given(
+        votes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=12),
+                st.integers(min_value=0, max_value=12),
+            ),
+            min_size=1,
+            max_size=32,
+        ),
+        threshold=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_raising_threshold_never_increases_fabrication(self, votes, threshold):
+        honest = np.array([h for h, _ in votes])
+        forged = np.array([f for _, f in votes])
+        _, _, _, fab_low = classify_threshold_votes(honest, forged, threshold, True)
+        _, _, _, fab_high = classify_threshold_votes(honest, forged, threshold + 1, True)
+        assert fab_high.sum() <= fab_low.sum()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            classify_threshold_votes(np.array([1]), np.array([0]), 0, False)
 
 
 class TestBatchSamplingInvariants:

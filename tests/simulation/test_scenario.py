@@ -1,0 +1,200 @@
+"""Tests for the declarative ScenarioSpec layer.
+
+The spec is the single experiment description both engines consume, so the
+things pinned down here are (a) validation and auto-resolution of the
+register kind from the system's declared read semantics, (b) the sequential
+lowering to the matching register class, and (c) the estimator dispatch —
+spec in, identical experiment out, on either engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dissemination import ProbabilisticDisseminationSystem
+from repro.core.epsilon_intersecting import UniformEpsilonIntersectingSystem
+from repro.core.masking import ProbabilisticMaskingSystem
+from repro.core.probabilistic import ReadSemantics
+from repro.exceptions import ConfigurationError
+from repro.protocol.dissemination_variable import DisseminationRegister
+from repro.protocol.masking_variable import MaskingRegister
+from repro.protocol.variable import ProbabilisticRegister
+from repro.simulation.batch import BatchTrialEngine
+from repro.simulation.cluster import Cluster
+from repro.simulation.failures import FailureModel
+from repro.simulation.monte_carlo import (
+    estimate_read_consistency,
+    estimate_staleness_distribution,
+)
+from repro.simulation.scenario import ScenarioSpec, WorkloadSpec
+
+PLAIN = UniformEpsilonIntersectingSystem(25, 8)
+DISSEMINATION = ProbabilisticDisseminationSystem(25, 8, 5)
+MASKING = ProbabilisticMaskingSystem(25, 10, 5)
+
+
+class TestReadSemantics:
+    def test_system_declarations(self):
+        assert PLAIN.read_semantics() == ReadSemantics()
+        assert DISSEMINATION.read_semantics() == ReadSemantics(self_verifying=True)
+        assert MASKING.read_semantics() == ReadSemantics(threshold=MASKING.read_threshold)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReadSemantics(threshold=0)
+        with pytest.raises(ConfigurationError):
+            ReadSemantics(threshold=2, self_verifying=True)
+
+    def test_describe(self):
+        assert "benign" in ReadSemantics().describe()
+        assert "self-verifying" in ReadSemantics(self_verifying=True).describe()
+        assert "k=3" in ReadSemantics(threshold=3).describe()
+
+
+class TestScenarioResolution:
+    def test_auto_resolution_follows_the_system(self):
+        assert ScenarioSpec(system=PLAIN).resolved_register_kind() == "plain"
+        assert (
+            ScenarioSpec(system=DISSEMINATION).resolved_register_kind()
+            == "dissemination"
+        )
+        assert ScenarioSpec(system=MASKING).resolved_register_kind() == "masking"
+
+    def test_read_semantics_follow_the_resolved_kind(self):
+        assert ScenarioSpec(system=MASKING).read_semantics().threshold == 2
+        assert ScenarioSpec(system=DISSEMINATION).read_semantics().self_verifying
+        # Forcing a plain register overrides the system's own semantics.
+        forced = ScenarioSpec(system=MASKING, register_kind="plain")
+        assert forced.read_semantics() == ReadSemantics()
+
+    def test_register_factory_builds_the_matching_register(self):
+        cluster = Cluster(25)
+        rng = random.Random(0)
+        plain = ScenarioSpec(system=PLAIN).register_factory()(cluster, rng)
+        assert type(plain) is ProbabilisticRegister
+        masking = ScenarioSpec(system=MASKING).register_factory()(Cluster(25), rng)
+        assert isinstance(masking, MaskingRegister)
+        dissemination = ScenarioSpec(system=DISSEMINATION).register_factory()(
+            Cluster(25), rng
+        )
+        assert isinstance(dissemination, DisseminationRegister)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(system="not a system")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(system=PLAIN, failure_model=lambda rng: None)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(system=PLAIN, register_kind="warp")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(system=PLAIN, register_kind="masking")  # no threshold
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(writes=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(gossip_rounds_between_writes=-1)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(gossip_fanout=0)
+
+    def test_describe_names_the_parts(self):
+        spec = ScenarioSpec(
+            system=MASKING, failure_model=FailureModel.random_byzantine(3)
+        )
+        text = spec.describe()
+        assert "register=masking" in text
+        assert "random_byzantine" in text
+
+
+class TestEstimatorDispatch:
+    def test_spec_carries_n_and_rejects_mismatches(self):
+        spec = ScenarioSpec(system=PLAIN)
+        report = estimate_read_consistency(spec, trials=50, seed=1)
+        assert report.trials == 50
+        with pytest.raises(ConfigurationError):
+            estimate_read_consistency(spec, n=26, trials=50)
+
+    def test_spec_rejects_extra_plan_factory(self):
+        spec = ScenarioSpec(system=PLAIN)
+        with pytest.raises(ConfigurationError):
+            estimate_read_consistency(
+                spec, plan_factory=FailureModel.none(), trials=10
+            )
+
+    def test_legacy_factories_require_n(self):
+        factory = lambda cluster, rng: ProbabilisticRegister(PLAIN, cluster, rng=rng)
+        with pytest.raises(ConfigurationError):
+            estimate_read_consistency(factory, trials=10)
+        report = estimate_read_consistency(factory, n=25, trials=10)
+        assert report.trials == 10
+
+    def test_bare_system_with_arbitrary_plan_factory_stays_sequential(self):
+        # A plan *factory* (not a FailureModel) cannot be promoted to a spec,
+        # but the bare system must still lower to a register on the oracle.
+        from repro.simulation.failures import FailurePlan
+
+        report = estimate_read_consistency(
+            PLAIN,
+            plan_factory=lambda rng: FailurePlan.independent_crashes(25, 0.1, rng=rng),
+            n=25,
+            trials=40,
+            seed=6,
+        )
+        assert report.trials == 40
+        staleness = estimate_staleness_distribution(
+            PLAIN,
+            plan_factory=lambda rng: FailurePlan.none(),
+            n=25,
+            writes=2,
+            trials=20,
+            seed=6,
+        )
+        assert staleness.trials == 20
+
+    def test_bare_masking_system_gets_the_threshold_read_on_both_engines(self):
+        # Promotion to an auto spec means a masking system drives the
+        # Section 5 protocol even when passed bare, on either engine.
+        model = FailureModel.random_byzantine(12)
+        sequential = estimate_read_consistency(
+            MASKING, plan_factory=model, trials=400, seed=3
+        )
+        batch = estimate_read_consistency(
+            MASKING, plan_factory=model, trials=400, seed=3, engine="batch"
+        )
+        # With 12 of 25 servers silent, a single-vote read would almost always
+        # still find one storer; the k=2 threshold visibly fails more often.
+        assert sequential.fresh_fraction < 0.9
+        assert batch.fresh_fraction < 0.9
+
+    def test_staleness_defaults_come_from_the_workload(self):
+        spec = ScenarioSpec(
+            system=PLAIN,
+            workload=WorkloadSpec(writes=3, gossip_rounds_between_writes=2),
+        )
+        report = estimate_staleness_distribution(spec, trials=200, seed=2, engine="batch")
+        assert max(report.versions_behind) <= 3
+        # Explicit arguments override the workload.
+        report = estimate_staleness_distribution(
+            spec, writes=2, gossip_rounds_between_writes=0, trials=200, seed=2,
+            engine="batch",
+        )
+        assert max(report.versions_behind) <= 2
+
+    def test_batch_engine_from_spec_is_reproducible(self):
+        spec = ScenarioSpec(
+            system=MASKING, failure_model=FailureModel.random_byzantine(5)
+        )
+        first = BatchTrialEngine.from_spec(spec, seed=11).estimate_read_consistency(2_000)
+        second = BatchTrialEngine.from_spec(spec, seed=11).estimate_read_consistency(2_000)
+        assert (first.fresh, first.stale, first.empty, first.fabricated) == (
+            second.fresh,
+            second.stale,
+            second.empty,
+            second.fabricated,
+        )
+        assert BatchTrialEngine.from_spec(spec).semantics.threshold == 2
+
+    def test_spec_written_value_is_used_by_the_sequential_engine(self):
+        spec = ScenarioSpec(system=PLAIN, workload=WorkloadSpec(written_value="payload"))
+        report = estimate_read_consistency(spec, trials=20, seed=4)
+        assert report.fresh == 20  # no failures: every read sees "payload"
