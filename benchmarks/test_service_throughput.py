@@ -1,0 +1,78 @@
+"""Benchmark: live service throughput and Byzantine safety under load.
+
+Two workloads exercise the asyncio service layer (`repro.service`):
+
+* **throughput** — 1,000 concurrent in-process clients reading a masking
+  register on a loss-free transport.  The acceptance floor is 2,000 ops/s:
+  the point is not raw speed but that the genuinely concurrent stack (fan-
+  out RPCs, per-RPC deadlines, deterministic selection, shared
+  classification) sustains real traffic rather than only scoring offline
+  trials.
+* **fault-injection soak** — the `serve` experiment's configuration:
+  colluding forgers at the system's declared tolerance (``b = 3`` below
+  the read threshold ``k = 5``), 1% message drops, latency + jitter, and
+  rolling live crash/recovery churn.  Safety expectation: *zero*
+  ``fabricated`` outcomes (classified via the shared
+  ``repro.protocol.classification`` labels) — with ``k > b`` a fabricated
+  accept would be a stack bug, not bad luck.
+"""
+
+from __future__ import annotations
+
+from repro.core.masking import ProbabilisticMaskingSystem
+from repro.experiments.serve import render_serve, serve_load_spec
+from repro.service.load import ServiceLoadSpec, run_service_load
+from repro.simulation.scenario import ScenarioSpec
+
+#: Acceptance floor for the 1k-client in-process throughput run.
+MIN_OPS_PER_SECOND = 2_000.0
+
+
+def test_masking_register_throughput_1k_clients(report_sink):
+    spec = ServiceLoadSpec(
+        scenario=ScenarioSpec(system=ProbabilisticMaskingSystem(25, 10, 3)),
+        clients=1_000,
+        reads_per_client=3,
+        writes=50,
+        rpc_timeout=1.0,
+        seed=11,
+    )
+    report = run_service_load(spec)
+
+    assert report.reads_completed == 3_000
+    assert report.writes_completed == 50
+    assert report.throughput >= MIN_OPS_PER_SECOND, (
+        f"masking service sustained only {report.throughput:,.0f} ops/s "
+        f"with 1k concurrent clients (floor: {MIN_OPS_PER_SECOND:,.0f})"
+    )
+    # Healthy deployment: nothing fabricated, nothing stale; the only
+    # non-fresh reads are those racing the very first write.
+    assert report.violations == 0
+    assert report.outcomes["stale"] == 0
+    assert report.outcomes["fresh"] + report.outcomes["empty"] == 3_000
+
+    report_sink(report.render())
+
+
+def test_fault_injection_soak_accepts_no_fabricated_reads(report_sink):
+    spec = serve_load_spec(clients=150, reads_per_client=4, writes=15, seed=23)
+    # The scenario's threshold strictly exceeds the forger count, making the
+    # zero-fabrication assertion structural rather than statistical.
+    assert spec.scenario.system.read_threshold > spec.scenario.failure_model.count
+    report = run_service_load(spec)
+
+    assert report.reads_completed == 600
+    assert report.violations == 0, (
+        f"{report.violations} fabricated reads were accepted under "
+        f"{spec.scenario.failure_model.describe()}"
+    )
+    # The soak must actually have exercised the failure paths it claims to:
+    # dropped messages, timed-out RPCs, live churn and probe-based repair.
+    assert report.rpc_dropped > 0
+    assert report.rpc_timeouts > 0
+    assert report.injected_crashes > 0
+    assert report.probe_fallbacks > 0
+    # Liveness under all of that: the masking read still mostly succeeds.
+    assert report.fresh_fraction > 0.9
+
+    report_sink(render_serve(report))

@@ -51,6 +51,8 @@ from repro.exceptions import (
     QuorumPropertyError,
     QuorumUnavailableError,
     ReproError,
+    RpcTimeoutError,
+    ServiceError,
     SimulationError,
     StrategyError,
     VerificationError,
@@ -119,5 +121,7 @@ __all__ = [
     "ProtocolError",
     "VerificationError",
     "SimulationError",
+    "ServiceError",
+    "RpcTimeoutError",
     "ExperimentError",
 ]

@@ -122,7 +122,7 @@ class ProbabilisticDisseminationSystem(ProbabilisticQuorumSystem):
 
     def read_semantics(self) -> ReadSemantics:
         """Section 4 reads: signatures are verified, forgeries discarded."""
-        return ReadSemantics(self_verifying=True)
+        return ReadSemantics(self_verifying=True, byzantine_tolerance=self._b)
 
     def find_live_quorum(self, alive: Set[ServerId]) -> Optional[Quorum]:
         live = sorted(s for s in alive if 0 <= s < self.n)

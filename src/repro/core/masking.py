@@ -141,7 +141,7 @@ class ProbabilisticMaskingSystem(ProbabilisticQuorumSystem):
 
     def read_semantics(self) -> ReadSemantics:
         """Section 5 reads: ``⌈k⌉`` vouching votes per value/timestamp pair."""
-        return ReadSemantics(threshold=self.read_threshold)
+        return ReadSemantics(threshold=self.read_threshold, byzantine_tolerance=self._b)
 
     @property
     def ell_over_b(self) -> float:

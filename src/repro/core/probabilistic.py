@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import abc
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Set
 
 from repro.core.strategy import AccessStrategy
@@ -41,10 +41,20 @@ class ReadSemantics:
     batched Monte-Carlo engine classify Byzantine reads without driving
     register objects, while the sequential engine builds the matching
     register class from the same description.
+
+    ``byzantine_tolerance`` is the ``b`` the protocol's guarantee is stated
+    for (Theorems 4.2 and 5.2 assume *at most* ``b`` Byzantine failures);
+    ``None`` means the protocol makes no Byzantine claim at all (the benign
+    Section 3.1 read).  The field is informational for equality purposes
+    (``compare=False``) but :class:`~repro.simulation.scenario.ScenarioSpec`
+    enforces it: a failure model injecting more Byzantine servers than the
+    declared tolerance voids the theorem the scenario is meant to measure
+    and used to silently produce all-stale runs.
     """
 
     threshold: int = 1
     self_verifying: bool = False
+    byzantine_tolerance: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.threshold < 1:
@@ -55,6 +65,11 @@ class ReadSemantics:
             raise ConfigurationError(
                 "self-verifying data needs no vote threshold (Section 4 reads "
                 f"believe any verified reply); got threshold={self.threshold}"
+            )
+        if self.byzantine_tolerance is not None and self.byzantine_tolerance < 0:
+            raise ConfigurationError(
+                f"a Byzantine tolerance must be non-negative, "
+                f"got {self.byzantine_tolerance}"
             )
 
     def describe(self) -> str:

@@ -59,5 +59,13 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent internal state."""
 
 
+class ServiceError(ReproError):
+    """The asyncio service layer failed outside the protocol's own semantics."""
+
+
+class RpcTimeoutError(ServiceError):
+    """A single RPC exceeded its deadline (dropped message or silent server)."""
+
+
 class ExperimentError(ReproError):
     """An experiment/benchmark harness was asked for an unknown table or figure."""

@@ -2,21 +2,30 @@
 
 Usage::
 
-    python -m repro.experiments.runner --experiment all
-    python -m repro.experiments.runner --experiment table2
-    python -m repro.experiments.runner --experiment figure3 --points 21
-    python -m repro.experiments.runner --experiment consistency --engine batch --seed 7
+    python -m repro.experiments.runner all
+    python -m repro.experiments.runner table2
+    python -m repro.experiments.runner figure3 --points 21
+    python -m repro.experiments.runner consistency --engine batch --seed 7
+    python -m repro.experiments.runner serve --clients 500
 
-Each experiment regenerates the corresponding table or figure of the paper
-and prints it in plain text (see :mod:`repro.experiments.report`).  The
-``consistency`` experiment additionally runs the Monte-Carlo validation of
-Theorems 3.2/4.2/5.2 on the engine selected with ``--engine``
-(``batch`` is the vectorised fast path, ``sequential`` the protocol-stack
-oracle).  ``--seed`` seeds the chosen engine *and* installs the shared
-sequential RNG root (:func:`repro.rngs.seed_sequential`), so a sequential
-run is reproducible end to end from that one number.  The benchmark suite
-wraps the same generators; this runner exists so that a user can reproduce
-the paper's evaluation without pytest.
+(The experiment can also be named with ``--experiment``, the original
+spelling.)  Each experiment regenerates the corresponding table or figure
+of the paper and prints it in plain text (see
+:mod:`repro.experiments.report`).  Two experiments go beyond the tables:
+
+* ``consistency`` runs the Monte-Carlo validation of Theorems 3.2/4.2/5.2
+  on the engine selected with ``--engine`` (``batch`` is the vectorised
+  fast path, ``sequential`` the protocol-stack oracle);
+* ``serve`` deploys the masking scenario as a live asyncio service
+  (:mod:`repro.service`) — ``--clients`` concurrent readers, Byzantine
+  forgers, message drops and live crash churn — and reports throughput,
+  latency percentiles and the zero-fabrication safety verdict.
+
+``--seed`` seeds the chosen experiment *and* installs the shared sequential
+RNG root (:func:`repro.rngs.seed_sequential`), so a run is reproducible end
+to end from that one number.  The benchmark suite wraps the same
+generators; this runner exists so that a user can reproduce the paper's
+evaluation without pytest.
 """
 
 from __future__ import annotations
@@ -51,6 +60,11 @@ from repro.experiments.tables import (
     table3_rows,
     table4_rows,
 )
+from repro.experiments.serve import (
+    DEFAULT_CLIENTS,
+    DEFAULT_READS_PER_CLIENT,
+    run_serve,
+)
 from repro.rngs import seed_sequential
 
 EXPERIMENT_NAMES = (
@@ -62,6 +76,7 @@ EXPERIMENT_NAMES = (
     "figure2",
     "figure3",
     "consistency",
+    "serve",
     "all",
 )
 
@@ -131,12 +146,14 @@ def run_experiment(
     engine: str = "batch",
     seed: int = 0,
     trials: int = None,
+    clients: int = DEFAULT_CLIENTS,
+    ops: int = DEFAULT_READS_PER_CLIENT,
 ) -> List[str]:
     """Run one named experiment (or ``all``) and return the rendered reports.
 
     ``all`` covers the paper's tables and figures; the Monte-Carlo
-    ``consistency`` experiment is run by name (its cost depends on the
-    engine and trial count).
+    ``consistency`` experiment and the live-service ``serve`` experiment are
+    run by name (their cost depends on the engine / client configuration).
     """
     runners: Dict[str, Callable[[], str]] = {
         "table1": run_table1,
@@ -149,6 +166,8 @@ def run_experiment(
     }
     if name == "consistency":
         return [run_consistency(engine=engine, seed=seed, trials=trials)]
+    if name == "serve":
+        return [run_serve(clients=clients, reads_per_client=ops, seed=seed)]
     if name == "all":
         return [runners[key]() for key in sorted(runners)]
     if name not in runners:
@@ -165,8 +184,16 @@ def main(argv: List[str] = None) -> int:
         description="Regenerate the tables and figures of 'Probabilistic Quorum Systems'.",
     )
     parser.add_argument(
+        "experiment_name",
+        nargs="?",
+        default=None,
+        metavar="experiment",
+        choices=EXPERIMENT_NAMES,
+        help="which experiment to run (positional spelling of --experiment)",
+    )
+    parser.add_argument(
         "--experiment",
-        default="all",
+        default=None,
         choices=EXPERIMENT_NAMES,
         help="which table/figure to regenerate (default: all)",
     )
@@ -197,15 +224,34 @@ def main(argv: List[str] = None) -> int:
         f"(default: {DEFAULT_TRIALS['batch']} batch / "
         f"{DEFAULT_TRIALS['sequential']} sequential)",
     )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=DEFAULT_CLIENTS,
+        help="concurrent reader clients for the serve experiment "
+        f"(default: {DEFAULT_CLIENTS})",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=DEFAULT_READS_PER_CLIENT,
+        help="reads each serve client issues "
+        f"(default: {DEFAULT_READS_PER_CLIENT})",
+    )
     args = parser.parse_args(argv)
+    if args.experiment_name is not None and args.experiment is not None:
+        parser.error("name the experiment positionally or with --experiment, not both")
+    experiment = args.experiment_name or args.experiment or "all"
     seed_sequential(args.seed)
     try:
         reports = run_experiment(
-            args.experiment,
+            experiment,
             points=args.points,
             engine=args.engine,
             seed=args.seed,
             trials=args.trials,
+            clients=args.clients,
+            ops=args.ops,
         )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)

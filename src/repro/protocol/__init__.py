@@ -24,6 +24,7 @@ from repro.protocol.timestamps import Timestamp, TimestampGenerator
 from repro.protocol.signatures import SignatureScheme, SignedPayload
 from repro.protocol.variable import ProbabilisticRegister, ReadOutcome
 from repro.protocol.classification import OUTCOME_LABELS, classify_read_outcome
+from repro.protocol.selection import SelectedValue, select_credible_value, tiebreak_key
 from repro.protocol.dissemination_variable import DisseminationRegister
 from repro.protocol.masking_variable import MaskingRegister
 from repro.protocol.lock import LockAttempt, QuorumLock
@@ -38,6 +39,9 @@ __all__ = [
     "ReadOutcome",
     "OUTCOME_LABELS",
     "classify_read_outcome",
+    "SelectedValue",
+    "select_credible_value",
+    "tiebreak_key",
     "DisseminationRegister",
     "MaskingRegister",
     "QuorumLock",

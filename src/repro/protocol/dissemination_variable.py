@@ -21,6 +21,7 @@ from typing import Any, Dict, Optional
 
 from repro.core.probabilistic import ProbabilisticQuorumSystem
 from repro.exceptions import ProtocolError
+from repro.protocol.selection import select_credible_value
 from repro.protocol.signatures import SignatureScheme
 from repro.protocol.timestamps import Timestamp
 from repro.protocol.variable import ProbabilisticRegister, ReadOutcome, WriteOutcome
@@ -91,16 +92,19 @@ class DisseminationRegister(ProbabilisticRegister):
         return verified
 
     def read(self) -> ReadOutcome:
-        """Read with verification (Section 4, Read): only verifiable pairs compete."""
+        """Read with verification (Section 4, Read): only verifiable pairs compete.
+
+        Verification leaves only honestly signed pairs, which cannot disagree
+        at a given timestamp (the writer signs one value per timestamp), but
+        the selection still goes through the shared deterministic rule so all
+        read paths resolve replies identically.
+        """
         quorum = self._choose_quorum()
         replies = self._collect(quorum)
         self.reads_performed += 1
         verified = self._verified_replies(replies)
-        best: Optional[StoredValue] = None
-        for stored in verified.values():
-            if best is None or stored.timestamp > best.timestamp:
-                best = stored
-        if best is None:
+        selected = select_credible_value(verified)
+        if selected is None:
             return ReadOutcome(
                 value=None,
                 timestamp=None,
@@ -108,15 +112,10 @@ class DisseminationRegister(ProbabilisticRegister):
                 reporting_servers=frozenset(),
                 replies=len(replies),
             )
-        reporting = frozenset(
-            server
-            for server, stored in verified.items()
-            if stored.timestamp == best.timestamp and stored.value == best.value
-        )
         return ReadOutcome(
-            value=best.value,
-            timestamp=best.timestamp,
+            value=selected.value,
+            timestamp=selected.timestamp,
             quorum=quorum,
-            reporting_servers=reporting,
+            reporting_servers=selected.servers,
             replies=len(replies),
         )

@@ -20,17 +20,14 @@ modes separately (they correspond to the two terms of Lemma 5.7/5.9).
 from __future__ import annotations
 
 import random
-from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Optional
 
 from repro.core.masking import ProbabilisticMaskingSystem
 from repro.exceptions import ProtocolError
-from repro.protocol.timestamps import Timestamp
-from repro.protocol.variable import ProbabilisticRegister, ReadOutcome, WriteOutcome
+from repro.protocol.selection import select_credible_value
+from repro.protocol.variable import ProbabilisticRegister, ReadOutcome
 from repro.simulation.cluster import Cluster
-from repro.simulation.server import StoredValue
-from repro.types import Quorum, ServerId
 
 
 @dataclass(frozen=True)
@@ -76,25 +73,18 @@ class MaskingRegister(ProbabilisticRegister):
     # -- read -------------------------------------------------------------------
 
     def read(self) -> MaskingReadOutcome:
-        """Threshold read (Section 5, Read): a value needs ``>= k`` matching votes."""
+        """Threshold read (Section 5, Read): a value needs ``>= k`` matching votes.
+
+        Among the pairs that clear the threshold the highest timestamp wins;
+        ties between distinct values resolve deterministically through
+        :func:`repro.protocol.selection.select_credible_value`.
+        """
         quorum = self._choose_quorum()
         replies = self._collect(quorum)
         self.reads_performed += 1
         threshold = self.read_threshold
-
-        votes: Counter = Counter()
-        witnesses: Dict[Tuple[Any, Timestamp], set] = {}
-        for server, stored in replies.items():
-            if stored.timestamp is None:
-                continue
-            key = (stored.value, stored.timestamp)
-            votes[key] += 1
-            witnesses.setdefault(key, set()).add(server)
-
-        candidates = [
-            (key, count) for key, count in votes.items() if count >= threshold
-        ]
-        if not candidates:
+        selected = select_credible_value(replies, threshold)
+        if selected is None:
             return MaskingReadOutcome(
                 value=None,
                 timestamp=None,
@@ -104,15 +94,13 @@ class MaskingRegister(ProbabilisticRegister):
                 votes=0,
                 threshold=threshold,
             )
-        # Highest timestamp among candidates that cleared the threshold.
-        (value, timestamp), count = max(candidates, key=lambda item: item[0][1])
         return MaskingReadOutcome(
-            value=value,
-            timestamp=timestamp,
+            value=selected.value,
+            timestamp=selected.timestamp,
             quorum=quorum,
-            reporting_servers=frozenset(witnesses[(value, timestamp)]),
+            reporting_servers=selected.servers,
             replies=len(replies),
-            votes=count,
+            votes=selected.votes,
             threshold=threshold,
         )
 

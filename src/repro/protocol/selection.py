@@ -1,0 +1,87 @@
+"""Deterministic reply selection shared by every read protocol.
+
+All three read protocols of the paper end the same way: among the candidate
+value/timestamp pairs that survive the protocol's filter (any reply for the
+Section 3.1 read, signature-verified replies for Section 4, pairs with at
+least ``k`` vouching votes for Section 5), the highest timestamp wins.  The
+paper leaves unspecified what a reader does when two *distinct* values carry
+the same highest timestamp — an event only a faulty server can cause, since
+an honest writer never reuses a timestamp.  The registers used to resolve
+such ties by reply iteration order, which made the outcome depend on dict
+insertion order and was impossible for the batched engine to model (the PR 2
+known gap).
+
+This module fixes the rule once, for the sequential registers, the batched
+engine and the async service frontends alike:
+
+1. only pairs with at least ``threshold`` vouching votes are candidates;
+2. among candidates, the highest timestamp wins;
+3. a timestamp tie between distinct values is broken by the larger vote
+   count, and a remaining tie by the larger :func:`tiebreak_key` — a pure
+   function of the value, so the winner is independent of reply order.
+
+Grouping is by ``(timestamp, tiebreak_key(value))``, so values only need a
+stable ``repr``, not hashability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.server import StoredValue
+from repro.types import ServerId
+
+
+def tiebreak_key(value: Any) -> str:
+    """The order-independent token that breaks exhausted ties (rule 3)."""
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class SelectedValue:
+    """The winning value/timestamp pair of a read, with its supporters."""
+
+    value: Any
+    timestamp: Any
+    servers: frozenset
+    votes: int
+
+
+def select_credible_value(
+    replies: Mapping[ServerId, StoredValue],
+    threshold: int = 1,
+) -> Optional[SelectedValue]:
+    """Apply the deterministic highest-timestamp-wins rule to a reply map.
+
+    ``threshold=1`` is the benign Section 3.1 (and post-verification
+    Section 4) read; a larger threshold is the Section 5 masking read.
+    Returns ``None`` when no pair clears the threshold (the read is ⊥).
+    """
+    if threshold < 1:
+        raise ConfigurationError(f"vote threshold must be positive, got {threshold}")
+    groups: Dict[Tuple[Any, str], List[ServerId]] = {}
+    values: Dict[Tuple[Any, str], Any] = {}
+    for server in sorted(replies):
+        stored = replies[server]
+        if stored.timestamp is None:
+            continue
+        key = (stored.timestamp, tiebreak_key(stored.value))
+        groups.setdefault(key, []).append(server)
+        values.setdefault(key, stored.value)
+    candidates = [key for key, servers in groups.items() if len(servers) >= threshold]
+    if not candidates:
+        return None
+    best_timestamp = None
+    for timestamp, _ in candidates:
+        if best_timestamp is None or timestamp > best_timestamp:
+            best_timestamp = timestamp
+    tied = [key for key in candidates if key[0] == best_timestamp]
+    winner = max(tied, key=lambda key: (len(groups[key]), key[1]))
+    return SelectedValue(
+        value=values[winner],
+        timestamp=best_timestamp,
+        servers=frozenset(groups[winner]),
+        votes=len(groups[winner]),
+    )

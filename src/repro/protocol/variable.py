@@ -22,6 +22,7 @@ from typing import Any, Dict, Optional, Set
 
 from repro.core.probabilistic import ProbabilisticQuorumSystem
 from repro.exceptions import ProtocolError, QuorumUnavailableError
+from repro.protocol.selection import select_credible_value
 from repro.protocol.timestamps import Timestamp, TimestampGenerator
 from repro.rngs import fresh_rng
 from repro.simulation.cluster import Cluster
@@ -139,17 +140,18 @@ class ProbabilisticRegister:
         return self.cluster.read_quorum(quorum, self.name)
 
     def read(self) -> ReadOutcome:
-        """Read the register (Section 3.1, Read): highest timestamp wins."""
+        """Read the register (Section 3.1, Read): highest timestamp wins.
+
+        Ties between distinct values at the winning timestamp — possible only
+        under Byzantine failures — are resolved by the deterministic rule of
+        :func:`repro.protocol.selection.select_credible_value`, so the outcome
+        never depends on reply iteration order.
+        """
         quorum = self._choose_quorum()
         replies = self._collect(quorum)
         self.reads_performed += 1
-        best: Optional[StoredValue] = None
-        for stored in replies.values():
-            if stored.timestamp is None:
-                continue
-            if best is None or stored.timestamp > best.timestamp:
-                best = stored
-        if best is None:
+        selected = select_credible_value(replies)
+        if selected is None:
             return ReadOutcome(
                 value=None,
                 timestamp=None,
@@ -157,16 +159,11 @@ class ProbabilisticRegister:
                 reporting_servers=frozenset(),
                 replies=len(replies),
             )
-        reporting = frozenset(
-            server
-            for server, stored in replies.items()
-            if stored.timestamp == best.timestamp and stored.value == best.value
-        )
         return ReadOutcome(
-            value=best.value,
-            timestamp=best.timestamp,
+            value=selected.value,
+            timestamp=selected.timestamp,
             quorum=quorum,
-            reporting_servers=reporting,
+            reporting_servers=selected.servers,
             replies=len(replies),
         )
 

@@ -1,0 +1,61 @@
+"""The asyncio quorum-replicated register service.
+
+Everything below :mod:`repro.simulation` evaluates the paper's protocols in
+*sequentialised* Monte-Carlo trials.  This subpackage is the repo's first
+layer that services genuinely concurrent traffic: replica nodes on an
+asyncio event loop, clients that fan RPCs out in parallel under per-RPC
+deadlines, and a load harness measuring throughput, latency percentiles and
+safety under live fault injection.
+
+* :mod:`repro.service.node` — replica nodes wrapping the simulation's
+  server behaviours (correct / crashed / silent / replay / forge), with
+  live behaviour swapping for fault injection;
+* :mod:`repro.service.transport` — message passing with latency, jitter,
+  drops and deadline enforcement;
+* :mod:`repro.service.client` — the concurrent quorum client, falling back
+  to :mod:`repro.quorum.probe` strategies to re-assemble a live quorum on
+  partial failure;
+* :mod:`repro.service.register` — async frontends for the plain (§3.1),
+  dissemination (§4) and masking (§5) read protocols, labelled through the
+  same classifier as both Monte-Carlo engines;
+* :mod:`repro.service.load` — :class:`ServiceLoadSpec` (mirroring
+  :class:`~repro.simulation.scenario.ScenarioSpec`) and the load harness
+  behind the ``serve`` experiment.
+"""
+
+from repro.service.client import AsyncQuorumClient, ReadRpcResult, WriteRpcResult
+from repro.service.load import (
+    FaultInjectionSpec,
+    ServiceLoadReport,
+    ServiceLoadSpec,
+    classify_service_read,
+    run_service_load,
+    serve_load,
+)
+from repro.service.node import NO_REPLY, ServiceNode
+from repro.service.register import (
+    AsyncDisseminationRegister,
+    AsyncMaskingRegister,
+    AsyncRegister,
+    async_register_for,
+)
+from repro.service.transport import AsyncTransport
+
+__all__ = [
+    "AsyncTransport",
+    "ServiceNode",
+    "NO_REPLY",
+    "AsyncQuorumClient",
+    "ReadRpcResult",
+    "WriteRpcResult",
+    "AsyncRegister",
+    "AsyncDisseminationRegister",
+    "AsyncMaskingRegister",
+    "async_register_for",
+    "ServiceLoadSpec",
+    "FaultInjectionSpec",
+    "ServiceLoadReport",
+    "classify_service_read",
+    "run_service_load",
+    "serve_load",
+]

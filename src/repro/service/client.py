@@ -1,0 +1,247 @@
+"""The asynchronous quorum client: concurrent fan-out plus quorum repair.
+
+A client performs one protocol operation (read or write) by sampling a
+quorum through the system's access strategy — the paper stresses the
+strategy must be followed for the ε guarantee to hold — and issuing every
+per-server RPC *concurrently* with a per-RPC deadline.  Under partial
+failure (some RPCs time out) the client falls back to the adaptive probing
+of :mod:`repro.quorum.probe`: it pings the whole universe concurrently,
+feeds the answers to a probe strategy as the liveness oracle, and re-issues
+the operation against the live quorum the strategy assembles.  Uniform
+constructions use :class:`~repro.quorum.probe.UniformProbeStrategy` (any
+``q`` live servers form a quorum, and random-order probing preserves the
+load profile); structured systems fall back to
+:class:`~repro.quorum.probe.GreedyProbeStrategy`.
+
+The repair pass *replaces* the original quorum rather than merging reply
+sets: a merged super-quorum would not be a strategy-drawn quorum, and for
+the masking protocol it would inflate ``|Q ∩ B|`` beyond what Lemma 5.7
+accounts for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Set, Union
+
+from repro.core.probabilistic import ProbabilisticQuorumSystem
+from repro.exceptions import (
+    ConfigurationError,
+    QuorumUnavailableError,
+    RpcTimeoutError,
+)
+from repro.quorum.probe import (
+    GreedyProbeStrategy,
+    ProbeResult,
+    UniformProbeStrategy,
+    oracle_from_alive_set,
+)
+from repro.rngs import fresh_rng
+from repro.service.node import ServiceNode
+from repro.service.transport import AsyncTransport
+from repro.simulation.server import StoredValue
+from repro.types import Quorum, ServerId
+
+
+@dataclass(frozen=True)
+class WriteRpcResult:
+    """Outcome of one fanned-out quorum write."""
+
+    quorum: Quorum
+    acknowledged: frozenset
+    retried: bool
+    probes_used: int
+
+
+@dataclass(frozen=True)
+class ReadRpcResult:
+    """Outcome of one fanned-out quorum read.
+
+    ``replies`` holds the value-bearing answers; ``responders`` counts every
+    server that answered at all (including explicit "I store nothing"), which
+    is what distinguishes an empty register from a dead quorum.
+    """
+
+    quorum: Quorum
+    replies: Dict[ServerId, StoredValue]
+    responders: int
+    retried: bool
+    probes_used: int
+
+
+class AsyncQuorumClient:
+    """Concurrent quorum RPCs over a set of service nodes.
+
+    Parameters
+    ----------
+    system:
+        The probabilistic quorum system; quorums are drawn from its access
+        strategy and repair uses its structure.
+    nodes:
+        The ``n`` replica nodes, indexed by server id.
+    transport:
+        The shared :class:`~repro.service.transport.AsyncTransport`.
+    timeout:
+        Per-RPC deadline in event-loop seconds (``None`` disables it).
+    rng:
+        Random source for quorum sampling and probe order.
+    repair:
+        Whether partial failures trigger the probe fallback (on by default;
+        the load harness counts how often it fires).
+    """
+
+    def __init__(
+        self,
+        system: ProbabilisticQuorumSystem,
+        nodes: Sequence[ServiceNode],
+        transport: AsyncTransport,
+        timeout: Optional[float] = 0.05,
+        rng: Optional[random.Random] = None,
+        repair: bool = True,
+    ) -> None:
+        if len(nodes) != system.n:
+            raise ConfigurationError(
+                f"the system is over {system.n} servers but {len(nodes)} nodes were given"
+            )
+        if timeout is not None and timeout <= 0.0:
+            raise ConfigurationError(f"the RPC timeout must be positive, got {timeout}")
+        self.system = system
+        self.nodes = list(nodes)
+        self.transport = transport
+        self.timeout = timeout
+        self.rng = rng or fresh_rng()
+        self.repair = bool(repair)
+        self.probe_fallbacks = 0
+
+    # -- raw RPC fan-out ----------------------------------------------------------
+
+    async def _rpc(self, server: ServerId, method: str, *args: Any) -> Any:
+        """One RPC; returns the reply envelope or ``None`` on timeout."""
+        try:
+            return await self.transport.call(
+                self.nodes[server], method, *args, timeout=self.timeout
+            )
+        except RpcTimeoutError:
+            return None
+
+    async def _fan_out(
+        self, servers: Sequence[ServerId], method: str, *args: Any
+    ) -> Dict[ServerId, Any]:
+        """Issue one RPC per server concurrently; map responders to payloads."""
+        envelopes = await asyncio.gather(
+            *(self._rpc(server, method, *args) for server in servers)
+        )
+        return {
+            server: envelope[1]
+            for server, envelope in zip(servers, envelopes)
+            if envelope is not None
+        }
+
+    # -- liveness probing ---------------------------------------------------------
+
+    def _probe_strategy(self) -> Union[UniformProbeStrategy, GreedyProbeStrategy]:
+        if hasattr(self.system, "quorum_size"):
+            return UniformProbeStrategy(self.system.n, int(self.system.quorum_size))
+        return GreedyProbeStrategy(self.system)
+
+    async def ping_alive(self) -> Set[ServerId]:
+        """Ping every node concurrently; return the responders."""
+        answers = await self._fan_out(range(self.system.n), "ping")
+        return set(answers)
+
+    async def assemble_live_quorum(self) -> ProbeResult:
+        """Probe for a quorum of currently-responding servers.
+
+        The concurrent ping sweep plays the role of the probe strategy's
+        liveness oracle; the strategy then decides which live servers form
+        a quorum (and reports how many probes that inspection cost).
+        """
+        alive = await self.ping_alive()
+        oracle = oracle_from_alive_set(alive)
+        strategy = self._probe_strategy()
+        if isinstance(strategy, UniformProbeStrategy):
+            return strategy.probe(oracle, rng=self.rng)
+        return strategy.probe(oracle)
+
+    # -- protocol operations ------------------------------------------------------
+
+    def sample_quorum(self) -> Quorum:
+        """Draw a quorum from the access strategy (sorted for stable fan-out)."""
+        return self.system.sample_quorum(self.rng)
+
+    async def write(
+        self,
+        variable: str,
+        value: Any,
+        timestamp: Any,
+        signature: Optional[bytes] = None,
+    ) -> WriteRpcResult:
+        """Fan a write out to a strategy-drawn quorum, repairing on failure.
+
+        Raises :class:`~repro.exceptions.QuorumUnavailableError` only when no
+        server at all acknowledged and no live quorum could be assembled —
+        short of that, missed servers are exactly the crash-misses the ε
+        analysis accounts for.
+        """
+        quorum = self.sample_quorum()
+        ordered = sorted(quorum)
+        acks = await self._fan_out(ordered, "write", variable, value, timestamp, signature)
+        retried = False
+        probes = 0
+        if len(acks) < len(ordered) and self.repair:
+            self.probe_fallbacks += 1
+            probe = await self.assemble_live_quorum()
+            probes = probe.probes_used
+            if probe.found:
+                retried = True
+                quorum = probe.quorum
+                retry_acks = await self._fan_out(
+                    sorted(probe.quorum), "write", variable, value, timestamp, signature
+                )
+                acks = {**acks, **retry_acks}
+            if not acks:
+                # Even a successfully probed quorum can lose every retry RPC
+                # on a lossy transport; a write nobody stored must not be
+                # reported as complete.
+                raise QuorumUnavailableError(
+                    f"write of {variable!r}: no server acknowledged "
+                    f"({probe.servers_alive} answered the liveness sweep)"
+                )
+        return WriteRpcResult(
+            quorum=quorum,
+            acknowledged=frozenset(acks),
+            retried=retried,
+            probes_used=probes,
+        )
+
+    async def read(self, variable: str) -> ReadRpcResult:
+        """Fan a read out to a strategy-drawn quorum, repairing on failure.
+
+        Never raises: with every reply missing the register layer returns ⊥,
+        which is the protocol's own account of an unreachable quorum.
+        """
+        quorum = self.sample_quorum()
+        ordered = sorted(quorum)
+        responses = await self._fan_out(ordered, "read", variable)
+        retried = False
+        probes = 0
+        if len(responses) < len(ordered) and self.repair:
+            self.probe_fallbacks += 1
+            probe = await self.assemble_live_quorum()
+            probes = probe.probes_used
+            if probe.found:
+                retried = True
+                quorum = probe.quorum
+                responses = await self._fan_out(sorted(probe.quorum), "read", variable)
+        replies = {
+            server: stored for server, stored in responses.items() if stored is not None
+        }
+        return ReadRpcResult(
+            quorum=quorum,
+            replies=replies,
+            responders=len(responses),
+            retried=retried,
+            probes_used=probes,
+        )

@@ -1,0 +1,393 @@
+"""The service load harness: N concurrent clients under live fault injection.
+
+:class:`ServiceLoadSpec` mirrors the declarative
+:class:`~repro.simulation.scenario.ScenarioSpec` one level up: it pairs a
+scenario (quorum system + failure model + register kind) with a *service*
+workload — how many concurrent reader clients, how many writes, which
+transport conditions (latency / jitter / drops), the per-RPC deadline, and a
+rolling crash/recovery schedule injected while requests are in flight.
+
+:func:`run_service_load` deploys the scenario as asyncio replica nodes,
+drives one writer and ``clients`` concurrent readers through
+:class:`~repro.service.client.AsyncQuorumClient` instances, and reports
+throughput, latency percentiles and — via the shared classifier of
+:mod:`repro.protocol.classification` — the same fresh/stale/empty/fabricated
+outcome counts the Monte-Carlo engines produce.  ``fabricated`` outcomes
+are the report's *safety violations*: values that were never written being
+accepted by a reader.
+
+Unlike the trial engines, reads here genuinely overlap writes, and the
+theorems say nothing about a read concurrent with a write.  The harness
+therefore classifies each read against the last write *completed before the
+read started* and re-labels as fresh any "fabricated" outcome that is in
+fact a concurrent honest write (its value/timestamp pair appears in the
+writer's issued history).  What remains fabricated is a true violation on
+any interleaving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError, QuorumUnavailableError
+from repro.protocol.classification import OUTCOME_LABELS, classify_read_outcome
+from repro.protocol.variable import ReadOutcome, WriteOutcome
+from repro.service.client import AsyncQuorumClient
+from repro.service.node import ServiceNode
+from repro.service.register import async_register_for
+from repro.service.transport import AsyncTransport
+from repro.simulation.scenario import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class FaultInjectionSpec:
+    """Rolling crash/recovery injected while the load runs.
+
+    Every ``interval`` event-loop seconds the injector crashes one currently
+    correct server, keeping at most ``crash_count`` injected crashes alive at
+    once (the oldest recovers first) — a churn model on top of whatever
+    static failures the scenario's failure model installed.
+    """
+
+    crash_count: int = 0
+    interval: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.crash_count < 0:
+            raise ConfigurationError(
+                f"the injected crash count must be non-negative, got {self.crash_count}"
+            )
+        if self.interval <= 0.0:
+            raise ConfigurationError(
+                f"the injection interval must be positive, got {self.interval}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceLoadSpec:
+    """One service load experiment, described declaratively.
+
+    Attributes
+    ----------
+    scenario:
+        What is deployed: system, static failure model, register kind.
+    clients:
+        Number of concurrent reader clients.
+    reads_per_client:
+        Reads each client issues back to back.
+    writes:
+        Writes the single writer issues (single-writer protocol).
+    write_interval:
+        Event-loop seconds between writes (0 = as fast as possible).
+    latency, jitter, drop_probability:
+        Transport conditions (see
+        :class:`~repro.service.transport.AsyncTransport`).
+    rpc_timeout:
+        Per-RPC deadline for every client (``None`` disables it).
+    fault_injection:
+        Live crash/recovery churn on top of the scenario's failures.
+    seed:
+        Root seed: failure sampling, transport noise and every client's
+        quorum sampling derive from it.
+    """
+
+    scenario: ScenarioSpec
+    clients: int = 100
+    reads_per_client: int = 5
+    writes: int = 10
+    write_interval: float = 0.0
+    latency: float = 0.0
+    jitter: float = 0.0
+    drop_probability: float = 0.0
+    rpc_timeout: Optional[float] = 0.05
+    fault_injection: FaultInjectionSpec = field(default_factory=FaultInjectionSpec)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.scenario, ScenarioSpec):
+            raise ConfigurationError(
+                f"a service load is described over a ScenarioSpec, "
+                f"got {type(self.scenario).__name__}"
+            )
+        if self.clients < 1:
+            raise ConfigurationError(f"need at least one client, got {self.clients}")
+        if self.reads_per_client < 1:
+            raise ConfigurationError(
+                f"each client needs at least one read, got {self.reads_per_client}"
+            )
+        if self.writes < 1:
+            raise ConfigurationError(f"need at least one write, got {self.writes}")
+        if self.write_interval < 0.0:
+            raise ConfigurationError(
+                f"the write interval must be non-negative, got {self.write_interval}"
+            )
+
+    @property
+    def total_ops(self) -> int:
+        """Operations the workload issues in total."""
+        return self.clients * self.reads_per_client + self.writes
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        return (
+            f"ServiceLoadSpec({self.scenario.describe()}, clients={self.clients}, "
+            f"reads/client={self.reads_per_client}, writes={self.writes}, "
+            f"latency={self.latency}, drop={self.drop_probability}, "
+            f"injected_crashes={self.fault_injection.crash_count})"
+        )
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted sample (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class ServiceLoadReport:
+    """What the harness measured: throughput, latency and safety."""
+
+    spec: ServiceLoadSpec
+    elapsed: float
+    reads_completed: int
+    writes_completed: int
+    write_failures: int
+    outcomes: Dict[str, int]
+    read_latencies: List[float]
+    write_latencies: List[float]
+    rpc_calls: int
+    rpc_dropped: int
+    rpc_timeouts: int
+    probe_fallbacks: int
+    injected_crashes: int
+
+    @property
+    def operations(self) -> int:
+        """Completed operations (reads + writes)."""
+        return self.reads_completed + self.writes_completed
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per wall-clock second."""
+        return self.operations / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def fresh_fraction(self) -> float:
+        """Fraction of completed reads that returned the latest settled write."""
+        if not self.reads_completed:
+            return 0.0
+        return self.outcomes.get("fresh", 0) / self.reads_completed
+
+    @property
+    def violations(self) -> int:
+        """Fabricated-accepted reads: values never written that a read returned."""
+        return self.outcomes.get("fabricated", 0)
+
+    def read_latency(self, fraction: float) -> float:
+        """A read-latency percentile in seconds (nearest rank)."""
+        return _percentile(sorted(self.read_latencies), fraction)
+
+    def render(self) -> str:
+        """Plain-text report block (the ``serve`` experiment's output)."""
+        reads_ms = sorted(self.read_latencies)
+        lines = [
+            "Service load report",
+            f"  {self.spec.describe()}",
+            f"  elapsed           {self.elapsed:.3f} s",
+            f"  throughput        {self.throughput:,.0f} ops/s "
+            f"({self.reads_completed} reads + {self.writes_completed} writes)",
+            "  read latency      "
+            + "  ".join(
+                f"p{int(fraction * 100)}={_percentile(reads_ms, fraction) * 1e3:.2f}ms"
+                for fraction in (0.50, 0.90, 0.99)
+            )
+            + (f"  max={reads_ms[-1] * 1e3:.2f}ms" if reads_ms else ""),
+            "  outcomes          "
+            + "  ".join(f"{label}={self.outcomes.get(label, 0)}" for label in OUTCOME_LABELS),
+            f"  safety violations {self.violations} fabricated-accepted reads",
+            f"  transport         {self.rpc_calls} rpcs, {self.rpc_dropped} dropped, "
+            f"{self.rpc_timeouts} timed out",
+            f"  resilience        {self.probe_fallbacks} probe fallbacks, "
+            f"{self.injected_crashes} live crashes injected, "
+            f"{self.write_failures} writes found no live quorum",
+        ]
+        return "\n".join(lines)
+
+
+def classify_service_read(
+    outcome: ReadOutcome,
+    settled_write: Optional[WriteOutcome],
+    history: Dict[Any, Any],
+) -> str:
+    """Label one service read with the shared classification rule.
+
+    ``settled_write`` is the last write that had *completed* when the read
+    started (``None`` before the first completion); ``history`` maps every
+    issued write timestamp to its value.  The label is exactly
+    :func:`~repro.protocol.classification.classify_read_outcome` against the
+    settled write, except that an outcome matching a *concurrent* issued
+    write is fresh, not fabricated — the theorems do not constrain reads
+    that overlap writes, and returning the newer honest value is not a
+    safety violation.
+    """
+
+    def is_issued(timestamp: Any, value: Any) -> bool:
+        try:
+            return timestamp in history and history[timestamp] == value
+        except TypeError:  # unhashable forged timestamp: never issued
+            return False
+
+    if settled_write is None:
+        if outcome.is_empty:
+            return "empty"
+        return "fresh" if is_issued(outcome.timestamp, outcome.value) else "fabricated"
+    label = classify_read_outcome(
+        outcome,
+        settled_write,
+        expected_value=history[settled_write.timestamp],
+        check_value=True,
+    )
+    if label == "fabricated" and is_issued(outcome.timestamp, outcome.value):
+        return "fresh"
+    if label == "stale" and not is_issued(outcome.timestamp, outcome.value):
+        # The shared classifier trusts any honest-*typed* timestamp below the
+        # settled write, but the harness knows the full issued history: a
+        # pair that was never written is a violation however old its forged
+        # timestamp looks.
+        return "fabricated"
+    return label
+
+
+async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
+    """Run one service load experiment on the current event loop."""
+    rng = random.Random(spec.seed)
+    scenario = spec.scenario
+    n = scenario.n
+
+    # -- deploy: nodes with the scenario's sampled static failures ----------------
+    nodes = [ServiceNode(server) for server in range(n)]
+    plan = scenario.failure_model.sample_plan_for(n, rng)
+    for server in plan.crashed:
+        nodes[server].crash()
+    for server, behavior in plan.byzantine.items():
+        nodes[server].set_behavior(behavior)
+    transport = AsyncTransport(
+        latency=spec.latency,
+        jitter=spec.jitter,
+        drop_probability=spec.drop_probability,
+        seed=rng.randrange(2**63),
+    )
+
+    def make_client() -> AsyncQuorumClient:
+        return AsyncQuorumClient(
+            scenario.system,
+            nodes,
+            transport,
+            timeout=spec.rpc_timeout,
+            rng=random.Random(rng.randrange(2**63)),
+        )
+
+    clients = [make_client() for _ in range(spec.clients + 1)]
+    writer = async_register_for(scenario, clients[0])
+    readers = [async_register_for(scenario, client) for client in clients[1:]]
+
+    # -- shared observation state -------------------------------------------------
+    history: Dict[Any, Any] = {}
+    settled: List[Optional[WriteOutcome]] = [None]
+    outcomes: Dict[str, int] = {label: 0 for label in OUTCOME_LABELS}
+    read_latencies: List[float] = []
+    write_latencies: List[float] = []
+    counters = {"reads": 0, "writes": 0, "write_failures": 0, "injected": 0}
+
+    # A reader may legitimately observe a write the moment its RPCs fan out,
+    # before the writer considers it complete — record issued pairs eagerly.
+    writer.on_issued = lambda timestamp, value: history.__setitem__(timestamp, value)
+
+    async def run_writer() -> None:
+        for version in range(spec.writes):
+            value = (scenario.workload.written_value, version)
+            started = time.perf_counter()
+            try:
+                outcome = await writer.write(value)
+            except QuorumUnavailableError:
+                counters["write_failures"] += 1
+            else:
+                write_latencies.append(time.perf_counter() - started)
+                settled[0] = outcome
+                counters["writes"] += 1
+            if spec.write_interval:
+                await asyncio.sleep(spec.write_interval)
+
+    async def run_reader(register) -> None:
+        for _ in range(spec.reads_per_client):
+            snapshot = settled[0]
+            started = time.perf_counter()
+            outcome = await register.read()
+            read_latencies.append(time.perf_counter() - started)
+            outcomes[classify_service_read(outcome, snapshot, history)] += 1
+            counters["reads"] += 1
+
+    async def run_injector() -> None:
+        injection = spec.fault_injection
+        if injection.crash_count < 1:
+            return
+        statically_faulty = set(plan.faulty_servers)
+        injected: deque = deque()
+        while True:
+            await asyncio.sleep(injection.interval)
+            if len(injected) >= injection.crash_count:
+                nodes[injected.popleft()].recover()
+            candidates = [
+                node.server_id
+                for node in nodes
+                if node.server_id not in statically_faulty
+                and node.server_id not in injected
+                and not node.server.is_crashed
+            ]
+            if not candidates:
+                continue
+            victim = rng.choice(candidates)
+            nodes[victim].crash()
+            injected.append(victim)
+            counters["injected"] += 1
+
+    injector = asyncio.ensure_future(run_injector())
+    started = time.perf_counter()
+    try:
+        await asyncio.gather(run_writer(), *(run_reader(reader) for reader in readers))
+    finally:
+        injector.cancel()
+        try:
+            await injector
+        except asyncio.CancelledError:
+            pass
+    elapsed = time.perf_counter() - started
+
+    return ServiceLoadReport(
+        spec=spec,
+        elapsed=elapsed,
+        reads_completed=counters["reads"],
+        writes_completed=counters["writes"],
+        write_failures=counters["write_failures"],
+        outcomes=outcomes,
+        read_latencies=read_latencies,
+        write_latencies=write_latencies,
+        rpc_calls=transport.calls,
+        rpc_dropped=transport.dropped,
+        rpc_timeouts=transport.timed_out,
+        probe_fallbacks=sum(client.probe_fallbacks for client in clients),
+        injected_crashes=counters["injected"],
+    )
+
+
+def run_service_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
+    """Run one service load experiment (sync entry point)."""
+    return asyncio.run(serve_load(spec))

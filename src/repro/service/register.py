@@ -1,0 +1,224 @@
+"""Async register frontends: the three read protocols over the RPC client.
+
+Each frontend pairs an :class:`~repro.service.client.AsyncQuorumClient`
+with one of the paper's read rules and produces the *same*
+:class:`~repro.protocol.variable.ReadOutcome` /
+:class:`~repro.protocol.variable.WriteOutcome` objects as the synchronous
+registers, selected through the shared deterministic rule of
+:mod:`repro.protocol.selection` and labelled through
+:mod:`repro.protocol.classification` — so an outcome observed by the live
+service means exactly what it means to both Monte-Carlo engines.
+
+* :class:`AsyncRegister` — the benign Section 3.1 read (any reply competes);
+* :class:`AsyncDisseminationRegister` — Section 4: writes are signed and
+  unverifiable replies are discarded before selection;
+* :class:`AsyncMaskingRegister` — Section 5: a value/timestamp pair needs at
+  least ``k`` vouching votes from the read quorum.
+
+:func:`async_register_for` resolves the frontend from a declarative
+:class:`~repro.simulation.scenario.ScenarioSpec`, mirroring the spec's
+sequential ``register_factory`` lowering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.exceptions import ProtocolError
+from repro.protocol.classification import classify_read_outcome
+from repro.protocol.masking_variable import MaskingReadOutcome
+from repro.protocol.selection import select_credible_value
+from repro.protocol.signatures import SignatureScheme
+from repro.protocol.timestamps import Timestamp, TimestampGenerator
+from repro.protocol.variable import ReadOutcome, WriteOutcome
+from repro.service.client import AsyncQuorumClient, ReadRpcResult
+from repro.simulation.scenario import ScenarioSpec
+
+
+class AsyncRegister:
+    """Single-writer multi-reader register frontend (Section 3.1, async)."""
+
+    def __init__(
+        self,
+        client: AsyncQuorumClient,
+        name: str = "x",
+        writer_id: int = 0,
+    ) -> None:
+        self.client = client
+        self.name = str(name)
+        self._timestamps = TimestampGenerator(writer_id)
+        self._last_written: Optional[WriteOutcome] = None
+        self.writes_performed = 0
+        self.reads_performed = 0
+        #: Optional ``(timestamp, value)`` callback fired when a write is
+        #: *issued*, before its RPCs fan out.  Concurrent observers (the load
+        #: harness's safety accounting, a write-ahead log) need the pair the
+        #: moment it can first reach a server, not when the write completes.
+        self.on_issued: Optional[Callable[[Timestamp, Any], None]] = None
+
+    # -- protocol hooks (overridden by the Byzantine variants) --------------------
+
+    def _sign(self, value: Any, timestamp: Timestamp) -> Optional[bytes]:
+        return None
+
+    def _filter(self, result: ReadRpcResult) -> dict:
+        """Which replies compete in selection (the protocol's read filter)."""
+        return result.replies
+
+    def _threshold(self) -> int:
+        return 1
+
+    # -- operations ---------------------------------------------------------------
+
+    @property
+    def last_write(self) -> Optional[WriteOutcome]:
+        """The most recent write outcome (``None`` before the first write)."""
+        return self._last_written
+
+    async def write(self, value: Any) -> WriteOutcome:
+        """Write ``value`` to a strategy-drawn quorum (repairing on failure)."""
+        timestamp = self._timestamps.next()
+        if self.on_issued is not None:
+            self.on_issued(timestamp, value)
+        result = await self.client.write(
+            self.name, value, timestamp, self._sign(value, timestamp)
+        )
+        outcome = WriteOutcome(
+            quorum=result.quorum,
+            timestamp=timestamp,
+            acknowledged=result.acknowledged,
+        )
+        self._last_written = outcome
+        self.writes_performed += 1
+        return outcome
+
+    def _build_outcome(self, result: ReadRpcResult) -> ReadOutcome:
+        selected = select_credible_value(self._filter(result), self._threshold())
+        if selected is None:
+            return ReadOutcome(
+                value=None,
+                timestamp=None,
+                quorum=result.quorum,
+                reporting_servers=frozenset(),
+                replies=len(result.replies),
+            )
+        return ReadOutcome(
+            value=selected.value,
+            timestamp=selected.timestamp,
+            quorum=result.quorum,
+            reporting_servers=selected.servers,
+            replies=len(result.replies),
+        )
+
+    async def read(self) -> ReadOutcome:
+        """Read the register: filter, then deterministic highest-timestamp-wins."""
+        result = await self.client.read(self.name)
+        self.reads_performed += 1
+        return self._build_outcome(result)
+
+    def classify_read(self, outcome: ReadOutcome) -> str:
+        """Label a read against the last local write (shared classifier)."""
+        if self._last_written is None:
+            raise ProtocolError("no write has been performed yet")
+        return classify_read_outcome(outcome, self._last_written)
+
+
+class AsyncDisseminationRegister(AsyncRegister):
+    """Self-verifying data (Section 4): sign writes, discard forgeries."""
+
+    def __init__(
+        self,
+        client: AsyncQuorumClient,
+        signatures: Optional[SignatureScheme] = None,
+        name: str = "x",
+        writer_id: int = 0,
+    ) -> None:
+        super().__init__(client, name=name, writer_id=writer_id)
+        self.signatures = signatures or SignatureScheme()
+        self.forged_replies_rejected = 0
+
+    def _sign(self, value: Any, timestamp: Timestamp) -> Optional[bytes]:
+        return self.signatures.sign(self.name, value, timestamp)
+
+    def _filter(self, result: ReadRpcResult) -> dict:
+        verified = {}
+        for server, stored in result.replies.items():
+            if isinstance(stored.timestamp, Timestamp) and self.signatures.verify(
+                self.name, stored.value, stored.timestamp, stored.signature
+            ):
+                verified[server] = stored
+            else:
+                self.forged_replies_rejected += 1
+        return verified
+
+
+class AsyncMaskingRegister(AsyncRegister):
+    """Arbitrary data (Section 5): ``>= k`` vouching votes per pair."""
+
+    def __init__(
+        self,
+        client: AsyncQuorumClient,
+        name: str = "x",
+        writer_id: int = 0,
+    ) -> None:
+        if not hasattr(client.system, "read_threshold"):
+            raise ProtocolError(
+                "AsyncMaskingRegister requires a masking quorum system "
+                "with a read_threshold"
+            )
+        super().__init__(client, name=name, writer_id=writer_id)
+
+    @property
+    def read_threshold(self) -> int:
+        """The vote count ``⌈k⌉`` a value needs to be accepted."""
+        return int(self.client.system.read_threshold)
+
+    def _threshold(self) -> int:
+        return self.read_threshold
+
+    def _build_outcome(self, result: ReadRpcResult) -> MaskingReadOutcome:
+        threshold = self.read_threshold
+        selected = select_credible_value(self._filter(result), threshold)
+        if selected is None:
+            return MaskingReadOutcome(
+                value=None,
+                timestamp=None,
+                quorum=result.quorum,
+                reporting_servers=frozenset(),
+                replies=len(result.replies),
+                votes=0,
+                threshold=threshold,
+            )
+        return MaskingReadOutcome(
+            value=selected.value,
+            timestamp=selected.timestamp,
+            quorum=result.quorum,
+            reporting_servers=selected.servers,
+            replies=len(result.replies),
+            votes=selected.votes,
+            threshold=threshold,
+        )
+
+
+def async_register_for(
+    spec: ScenarioSpec,
+    client: AsyncQuorumClient,
+    name: str = "x",
+) -> AsyncRegister:
+    """Build the frontend a scenario's resolved register kind calls for.
+
+    Mirrors :meth:`repro.simulation.scenario.ScenarioSpec.register_factory`,
+    so one declarative spec describes a Monte-Carlo experiment *and* a live
+    service deployment with identical read semantics.
+    """
+    kind = spec.resolved_register_kind()
+    if kind == "masking":
+        return AsyncMaskingRegister(client, name=name, writer_id=spec.writer_id)
+    if kind == "dissemination":
+        return AsyncDisseminationRegister(
+            client,
+            signatures=SignatureScheme(spec.signing_key),
+            name=name,
+            writer_id=spec.writer_id,
+        )
+    return AsyncRegister(client, name=name, writer_id=spec.writer_id)

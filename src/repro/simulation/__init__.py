@@ -24,7 +24,11 @@ same code path:
   behind the estimators' ``engine="batch"`` switch.
 """
 
-from repro.simulation.batch import BatchTrialEngine, classify_threshold_votes
+from repro.simulation.batch import (
+    BatchTrialEngine,
+    classify_threshold_votes,
+    classify_tying_votes,
+)
 from repro.simulation.scenario import ScenarioSpec, WorkloadSpec
 from repro.simulation.cluster import Cluster
 from repro.simulation.diffusion import DiffusionEngine, gossip_rounds_batch
@@ -65,6 +69,7 @@ __all__ = [
     "BatchFailureMasks",
     "BatchTrialEngine",
     "classify_threshold_votes",
+    "classify_tying_votes",
     "ScenarioSpec",
     "WorkloadSpec",
     "Cluster",

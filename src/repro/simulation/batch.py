@@ -128,6 +128,42 @@ def classify_threshold_votes(
     return fresh, stale, empty, fabricated
 
 
+def classify_tying_votes(
+    honest_votes: np.ndarray,
+    forged_votes: np.ndarray,
+    threshold: int,
+    forged_key_wins: bool,
+    values_collide: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Classification when the forged timestamp *ties* the honest write's.
+
+    Mirrors the deterministic tie rule of
+    :func:`repro.protocol.selection.select_credible_value`: both pairs carry
+    the winning timestamp, so among the candidates that clear ``threshold``
+    the larger vote count wins, and an exhausted tie goes to the pair with
+    the larger tiebreak key (``forged_key_wins`` says which that is).  When
+    the forged value equals the written value the two pairs are one
+    candidate (``values_collide``): the read is fresh iff the combined votes
+    clear the threshold, and fabrication is impossible.  Nothing can be
+    stale in a tie — a losing forgery carries the *winning* timestamp.
+    """
+    if threshold < 1:
+        raise ConfigurationError(f"vote threshold must be positive, got {threshold}")
+    zeros = np.zeros(honest_votes.shape, dtype=bool)
+    if values_collide:
+        fresh = (honest_votes + forged_votes) >= threshold
+        return fresh, zeros, ~fresh, zeros.copy()
+    honest_ok = honest_votes >= threshold
+    forged_ok = forged_votes >= threshold
+    forged_prefers = (forged_votes > honest_votes) | (
+        (forged_votes == honest_votes) & forged_key_wins
+    )
+    fresh = honest_ok & ~(forged_ok & forged_prefers)
+    fabricated = forged_ok & (~honest_ok | forged_prefers)
+    empty = ~honest_ok & ~forged_ok
+    return fresh, zeros, empty, fabricated
+
+
 class BatchTrialEngine:
     """Vectorised Monte-Carlo trials over a probabilistic quorum system.
 
@@ -153,6 +189,10 @@ class BatchTrialEngine:
         the threshold read and a dissemination system the signature-checked
         read — the same resolution the sequential engine applies through
         :class:`~repro.simulation.scenario.ScenarioSpec`.
+    written_value:
+        The value honest writes carry (the scenario workload's value).  Only
+        consulted when a forged timestamp *ties* an honest one, where the
+        deterministic tie rule compares the two values' tiebreak keys.
     """
 
     def __init__(
@@ -163,6 +203,7 @@ class BatchTrialEngine:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         writer_id: int = 0,
         semantics: Optional[ReadSemantics] = None,
+        written_value: object = "v",
     ) -> None:
         if not isinstance(system, ProbabilisticQuorumSystem):
             raise ConfigurationError(
@@ -183,6 +224,7 @@ class BatchTrialEngine:
         self.chunk_size = int(chunk_size)
         self.writer_id = int(writer_id)
         self.semantics = semantics if semantics is not None else system.read_semantics()
+        self.written_value = written_value
 
     @classmethod
     def from_spec(
@@ -199,6 +241,7 @@ class BatchTrialEngine:
             chunk_size=chunk_size,
             writer_id=spec.writer_id,
             semantics=spec.read_semantics(),
+            written_value=spec.workload.written_value,
         )
 
     # -- chunked substreams -------------------------------------------------------
@@ -207,25 +250,41 @@ class BatchTrialEngine:
         """Yield ``(generator, chunk_trials)`` pairs with spawned substreams."""
         return chunked_substreams(self.seed, trials, self.chunk_size)
 
-    def _reject_tying_forgery(self, writes: int) -> None:
-        """Refuse forged timestamps that tie an honest one.
+    def _forgery_ties_write(self, version_counter: int) -> bool:
+        """Whether the forged timestamp equals honest write ``version_counter``.
 
-        The sequential register resolves a timestamp tie by reply iteration
-        order, which is arbitrary — the two engines would diverge silently
-        (fabrication under-counted by the batch path).  Rather than model an
-        order-dependent outcome, the batch engine rejects the configuration;
+        Since the registers resolve such ties with the deterministic rule of
+        :mod:`repro.protocol.selection`, the single-write consistency
+        estimator models them exactly (see :func:`classify_tying_votes`);
+        only multi-write staleness histories remain fenced
+        (:meth:`_reject_tying_forgery`).
+        """
+        if self.model.kind != "colluding_forgers" or self.semantics.self_verifying:
+            return False
+        return self.model.fabricated_timestamp == Timestamp(version_counter, self.writer_id)
+
+    def _reject_tying_forgery(self, writes: int) -> None:
+        """Refuse multi-write histories whose forged timestamp ties a write.
+
+        The staleness estimators identify the version a read returned by its
+        timestamp alone (the sequential path looks the timestamp up in the
+        write history), so a forgery that ties an intermediate version is
+        indistinguishable from that version in the lag accounting.  The
+        single-write consistency estimator models ties exactly via the
+        deterministic tie rule; histories keep the explicit fence.
         ``Timestamp.forged_maximum()`` and any other non-tying timestamp are
-        unaffected.  Self-verifying scenarios are exempt: there the forgery
-        is discarded before any comparison, tie or not.
+        unaffected, and self-verifying scenarios are exempt (the forgery is
+        discarded before any comparison, tie or not).
         """
         if self.model.kind != "colluding_forgers" or self.semantics.self_verifying:
             return
         for counter in range(1, writes + 1):
             if self.model.fabricated_timestamp == Timestamp(counter, self.writer_id):
                 raise ConfigurationError(
-                    f"fabricated timestamp {self.model.fabricated_timestamp!r} ties the "
-                    f"honest write timestamp; the outcome is reply-order dependent and "
-                    f"only modelled by engine='sequential'"
+                    f"fabricated timestamp {self.model.fabricated_timestamp!r} ties a "
+                    f"timestamp of the {writes}-write history; version lags are "
+                    f"identified by timestamp, so tying forgeries are only modelled "
+                    f"by the single-write estimator or engine='sequential'"
                 )
 
     def _sample_round(
@@ -254,21 +313,32 @@ class BatchTrialEngine:
         per trial from the same distributions and apply the same read rule
         (benign, signature-checked or threshold-vote, per the semantics).
         """
+        from repro.protocol.selection import tiebreak_key
         from repro.simulation.monte_carlo import ConsistencyReport
 
         if trials <= 0:
             raise ConfigurationError(f"trial count must be positive, got {trials}")
-        self._reject_tying_forgery(1)
         fab_beats = _timestamp_rank(self.model.fabricated_timestamp, self.writer_id, 1) >= 1
+        ties = self._forgery_ties_write(1)
+        if ties:
+            forged_key = tiebreak_key(self.model.fabricated_value)
+            honest_key = tiebreak_key(self.written_value)
+            forged_key_wins = forged_key > honest_key
+            values_collide = forged_key == honest_key
         threshold = self.semantics.threshold
         fresh = stale = empty = fabricated = 0
         for generator, size in self._chunks(trials):
             member_w, member_r, masks = self._sample_round(generator, size)
             honest_votes = (member_r & member_w & masks.responsive_storers).sum(axis=1)
             forged_votes = self._forged_votes(member_r, masks)
-            fresh_mask, stale_mask, empty_mask, fab_mask = classify_threshold_votes(
-                honest_votes, forged_votes, threshold, fab_beats
-            )
+            if ties:
+                fresh_mask, stale_mask, empty_mask, fab_mask = classify_tying_votes(
+                    honest_votes, forged_votes, threshold, forged_key_wins, values_collide
+                )
+            else:
+                fresh_mask, stale_mask, empty_mask, fab_mask = classify_threshold_votes(
+                    honest_votes, forged_votes, threshold, fab_beats
+                )
             fresh += int(fresh_mask.sum())
             fabricated += int(fab_mask.sum())
             stale += int(stale_mask.sum())

@@ -299,6 +299,18 @@ class FailureModel:
         """``count`` uniformly random servers serve stale but once-valid data."""
         return cls(kind="replay_attack", count=count)
 
+    @property
+    def byzantine_count(self) -> int:
+        """How many Byzantine servers every sampled plan contains.
+
+        Crash-only models (and ``none``) inject zero; the three Byzantine
+        kinds inject exactly ``count`` per trial.  Scenario validation
+        compares this against the read protocol's declared tolerance ``b``.
+        """
+        if self.kind in ("random_byzantine", "colluding_forgers", "replay_attack"):
+            return self.count
+        return 0
+
     # -- sequential bridge --------------------------------------------------------
 
     def sample_plan_for(self, n: int, rng: random.Random) -> FailurePlan:

@@ -216,9 +216,10 @@ def estimate_read_consistency(
 
         if spec is None:
             _require_declarative(register_factory, plan_factory)
-        return BatchTrialEngine.from_spec(
-            spec, seed=seed, chunk_size=chunk_size
-        ).estimate_read_consistency(trials)
+        batch_engine = BatchTrialEngine.from_spec(spec, seed=seed, chunk_size=chunk_size)
+        if written_value is not None:
+            batch_engine.written_value = written_value
+        return batch_engine.estimate_read_consistency(trials)
     if written_value is None:
         written_value = spec.workload.written_value if spec is not None else "v"
     register_factory, plan_factory = _sequential_specs(

@@ -123,6 +123,33 @@ class ScenarioSpec:
             )
         # Resolve eagerly so a mis-described scenario fails at construction.
         self.resolved_register_kind()
+        self._check_byzantine_tolerance()
+
+    def _check_byzantine_tolerance(self) -> None:
+        """Reject failure models that void the read protocol's ``b`` guarantee.
+
+        Theorems 4.2 and 5.2 assume at most ``b`` Byzantine servers — the
+        tolerance the system declares through its
+        :class:`~repro.core.probabilistic.ReadSemantics`.  A model injecting
+        more does not make the experiment "more Byzantine": it silently
+        measures a regime the construction was never calibrated for
+        (typically all-stale runs), so it is a configuration error.  Forcing
+        ``register_kind="plain"`` stays exempt — that explicitly models a
+        reader that ignores the protocol's filter, where no tolerance is
+        claimed.
+        """
+        semantics = self.read_semantics()
+        injected = self.failure_model.byzantine_count
+        if semantics.byzantine_tolerance is None or injected <= semantics.byzantine_tolerance:
+            return
+        raise ConfigurationError(
+            f"the failure model injects {injected} Byzantine servers but the "
+            f"{self.resolved_register_kind()} protocol of {self.system.describe()} "
+            f"only tolerates b={semantics.byzantine_tolerance}; such runs silently "
+            f"degrade to stale/⊥ reads instead of measuring the theorem's regime. "
+            f"Use a system calibrated for b>={injected}, or force "
+            f"register_kind='plain' to model an unprotected reader."
+        )
 
     # -- resolution ---------------------------------------------------------------
 
@@ -149,10 +176,13 @@ class ScenarioSpec:
         register over a masking system reads with ``threshold=1``).
         """
         kind = self.resolved_register_kind()
+        tolerance = getattr(self.system, "byzantine_threshold", None)
         if kind == "masking":
-            return ReadSemantics(threshold=int(self.system.read_threshold))
+            return ReadSemantics(
+                threshold=int(self.system.read_threshold), byzantine_tolerance=tolerance
+            )
         if kind == "dissemination":
-            return ReadSemantics(self_verifying=True)
+            return ReadSemantics(self_verifying=True, byzantine_tolerance=tolerance)
         return ReadSemantics()
 
     # -- sequential lowering ------------------------------------------------------

@@ -15,6 +15,7 @@ from repro.experiments.runner import (
     run_table1,
     run_table2,
 )
+from repro.experiments.serve import run_serve
 
 
 class TestRunExperiment:
@@ -56,6 +57,17 @@ class TestRunExperiment:
         with pytest.raises(ExperimentError):
             run_consistency(trials=0)
 
+    def test_serve_experiment_reports_the_safety_verdict(self):
+        reports = run_experiment("serve", clients=20, ops=2, seed=3)
+        assert len(reports) == 1
+        assert "Service load report" in reports[0]
+        assert "safety verdict    OK" in reports[0]
+        assert "clients=20" in reports[0]
+
+    def test_serve_validation_becomes_an_experiment_error(self):
+        with pytest.raises(ExperimentError):
+            run_serve(clients=0)
+
 
 class TestCli:
     def test_main_success(self, capsys):
@@ -90,8 +102,19 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--experiment", "consistency", "--engine", "warp"])
 
+    def test_main_accepts_the_positional_spelling(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+        assert main(["serve", "--clients", "10", "--ops", "2"]) == 0
+        assert "safety verdict" in capsys.readouterr().out
+
+    def test_main_rejects_conflicting_experiment_spellings(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--experiment", "table2"])
+
     def test_experiment_names_constant(self):
         assert "all" in EXPERIMENT_NAMES
         assert "consistency" in EXPERIMENT_NAMES
+        assert "serve" in EXPERIMENT_NAMES
         assert ENGINE_NAMES == ("sequential", "batch")
-        assert len(EXPERIMENT_NAMES) == 9
+        assert len(EXPERIMENT_NAMES) == 10

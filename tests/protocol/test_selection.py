@@ -1,0 +1,78 @@
+"""Tests for the shared deterministic reply-selection rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.protocol.selection import select_credible_value, tiebreak_key
+from repro.protocol.timestamps import Timestamp
+from repro.simulation.server import StoredValue
+
+
+def _replies(*entries):
+    """Build a reply map from ``(server, value, counter)`` triples in order."""
+    return {
+        server: StoredValue(value=value, timestamp=Timestamp(counter))
+        for server, value, counter in entries
+    }
+
+
+class TestSelectCredibleValue:
+    def test_highest_timestamp_wins(self):
+        replies = _replies((0, "old", 1), (1, "new", 2), (2, "old", 1))
+        selected = select_credible_value(replies)
+        assert selected.value == "new"
+        assert selected.timestamp == Timestamp(2)
+        assert selected.servers == frozenset({1})
+        assert selected.votes == 1
+
+    def test_empty_and_valueless_replies_yield_none(self):
+        assert select_credible_value({}) is None
+        silent = {0: StoredValue(value=None, timestamp=None)}
+        assert select_credible_value(silent) is None
+
+    def test_threshold_filters_candidates(self):
+        # "new" has the highest timestamp but only one vote; with k=2 the
+        # twice-vouched older value is the only candidate.
+        replies = _replies((0, "old", 1), (1, "old", 1), (2, "new", 2))
+        selected = select_credible_value(replies, threshold=2)
+        assert selected.value == "old"
+        assert selected.votes == 2
+        assert select_credible_value(replies, threshold=3) is None
+        with pytest.raises(ConfigurationError):
+            select_credible_value(replies, threshold=0)
+
+    def test_timestamp_tie_broken_by_vote_count(self):
+        replies = _replies((0, "a", 5), (1, "b", 5), (2, "b", 5))
+        selected = select_credible_value(replies)
+        assert selected.value == "b"
+        assert selected.votes == 2
+
+    def test_exhausted_tie_broken_by_tiebreak_key(self):
+        replies = _replies((0, "alpha", 5), (1, "beta", 5))
+        selected = select_credible_value(replies)
+        assert tiebreak_key("beta") > tiebreak_key("alpha")
+        assert selected.value == "beta"
+
+    def test_selection_is_independent_of_reply_order(self):
+        # The PR 2 known gap: the old registers resolved ties by dict
+        # iteration order.  Every insertion order must now pick one winner.
+        entries = [(0, "a", 5), (1, "b", 5), (2, "c", 5), (3, "a", 4)]
+        import itertools
+
+        winners = set()
+        for permutation in itertools.permutations(entries):
+            selected = select_credible_value(_replies(*permutation))
+            winners.add((selected.value, selected.timestamp, selected.servers))
+        assert len(winners) == 1
+
+    def test_unhashable_values_are_supported(self):
+        # Grouping is by repr, so plain registers keep accepting list payloads.
+        replies = {
+            0: StoredValue(value=[1, 2], timestamp=Timestamp(3)),
+            1: StoredValue(value=[1, 2], timestamp=Timestamp(3)),
+        }
+        selected = select_credible_value(replies, threshold=2)
+        assert selected.value == [1, 2]
+        assert selected.votes == 2

@@ -139,3 +139,56 @@ class TestGreedyProbeStrategy:
             GreedyProbeStrategy(grid, priority=[0, 1, 2])
         with pytest.raises(ConfigurationError):
             GreedyProbeStrategy(grid, priority=[0] * 9)
+
+
+class TestProbeProperties:
+    """Hypothesis property tests for the adaptive probing strategies."""
+
+    @given(
+        st.sampled_from([4, 9, 16, 25]),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_terminates_and_finds_a_quorum_iff_one_exists(self, n, data):
+        # Completeness: over any alive set, greedy probing (bounded by one
+        # pass over the priority permutation, so it always terminates) must
+        # assemble a live quorum exactly when the system says one exists.
+        system = data.draw(
+            st.sampled_from([GridQuorumSystem(n), MajorityQuorumSystem(n)])
+        )
+        alive = data.draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+        strategy = GreedyProbeStrategy(system)
+        result = strategy.probe(oracle_from_alive_set(alive))
+        assert result.probes_used <= n  # termination, in probes
+        assert result.found == (system.find_live_quorum(alive) is not None)
+        if result.found:
+            assert result.quorum <= frozenset(alive)
+            # What came back really is a quorum: restricted to exactly those
+            # servers, the system still finds one.
+            assert system.find_live_quorum(set(result.quorum)) is not None
+        else:
+            # Nothing was missed: every alive server got probed.
+            assert result.servers_alive == len(alive)
+
+    @given(
+        st.integers(min_value=5, max_value=40),
+        st.data(),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_uniform_probe_counts_match_expectation(self, n, data):
+        # The empirical mean probe count must track the negative-
+        # hypergeometric expectation q (n+1)/(a+1) within five standard
+        # errors (a CLT bound, so the test is deterministic per seed and
+        # holds with overwhelming margin for any drawn configuration).
+        quorum_size = data.draw(st.integers(min_value=1, max_value=n))
+        alive_count = data.draw(st.integers(min_value=quorum_size, max_value=n))
+        strategy = UniformProbeStrategy(n, quorum_size)
+        oracle = oracle_from_alive_set(range(alive_count))
+        rng = random.Random(1234)
+        trials = 300
+        counts = [strategy.probe(oracle, rng).probes_used for _ in range(trials)]
+        mean = sum(counts) / trials
+        variance = sum((count - mean) ** 2 for count in counts) / max(1, trials - 1)
+        standard_error = (variance / trials) ** 0.5
+        expected = expected_probes_uniform(n, quorum_size, alive_count)
+        assert abs(mean - expected) <= 5 * standard_error + 1e-9

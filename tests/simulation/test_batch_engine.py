@@ -96,6 +96,31 @@ class TestEngineEquivalence:
             sequential.fabricated_fraction, abs=tol
         )
 
+    def test_tying_forgery_agreement_pins_the_deterministic_rule(self):
+        # PR 2 known-gap regression: a forged timestamp that *ties* the honest
+        # write used to be reply-order dependent sequentially and rejected by
+        # the batch engine.  Both engines now apply the shared deterministic
+        # tie rule, so they must agree on every outcome class.  Three value
+        # configurations cover both tiebreak branches and the collision case:
+        # repr('FORGED') < repr('v') (honest wins exhausted ties),
+        # repr('zFORGED') > repr('v') (forgery wins them), and a forged value
+        # equal to the honest one (the pairs merge).
+        for fabricated_value in ("FORGED", "zFORGED", "v"):
+            model = FailureModel.colluding_forgers(4, fabricated_value, Timestamp(1, 0))
+            sequential, batch = self._both(model)
+            tol = two_sided_tolerance(EQUIVALENCE_TRIALS, EQUIVALENCE_TRIALS)
+            assert batch.fresh_fraction == pytest.approx(
+                sequential.fresh_fraction, abs=tol
+            ), fabricated_value
+            assert batch.fabricated_fraction == pytest.approx(
+                sequential.fabricated_fraction, abs=tol
+            ), fabricated_value
+            # A losing tie is not stale — the forgery carries the winning
+            # timestamp — and an equal-value forgery cannot fabricate at all.
+            assert batch.stale == sequential.stale == 0
+            if fabricated_value == "v":
+                assert batch.fabricated == sequential.fabricated == 0
+
     def test_silent_byzantine_and_replay(self):
         for model in (FailureModel.random_byzantine(4), FailureModel.replay_attack(4)):
             sequential, batch = self._both(model, trials=4_000)
@@ -477,16 +502,20 @@ class TestEngineDispatchAndDeterminism:
         with pytest.raises(ConfigurationError):
             BatchTrialEngine(self.SYSTEM, chunk_size=0)
 
-    def test_forged_timestamp_tying_a_write_is_rejected(self):
-        # A forgery whose timestamp equals an honest one is resolved by reply
-        # iteration order in the sequential register — an outcome the batch
-        # engine refuses to model rather than silently diverge on.
+    def test_tying_forgery_is_modelled_for_single_write_scenarios(self):
+        # A forgery whose timestamp equals the honest write's resolves through
+        # the deterministic tie rule of repro.protocol.selection, so the
+        # single-write estimator now models it instead of rejecting it.
         tying = FailureModel.colluding_forgers(3, "FORGED", Timestamp(1, 0))
-        with pytest.raises(ConfigurationError, match="ties the"):
-            estimate_read_consistency(
-                self.SYSTEM, n=25, plan_factory=tying, trials=100, engine="batch"
-            )
-        with pytest.raises(ConfigurationError, match="ties the"):
+        report = estimate_read_consistency(
+            self.SYSTEM, n=25, plan_factory=tying, trials=100, engine="batch"
+        )
+        assert report.trials == 100
+
+    def test_tying_forgery_is_still_fenced_for_write_histories(self):
+        # Staleness lags are identified by timestamp, so a forgery tying an
+        # intermediate version stays rejected rather than silently miscounted.
+        with pytest.raises(ConfigurationError, match="ties a"):
             estimate_staleness_distribution(
                 self.SYSTEM, n=25, writes=4, plan_factory=FailureModel.colluding_forgers(
                     3, "FORGED", Timestamp(3, 0)
