@@ -1,0 +1,100 @@
+"""Warn-only comparison of a fresh BENCH_service.json against a baseline.
+
+Usage::
+
+    python benchmarks/compare_bench.py CURRENT [BASELINE]
+
+``CURRENT`` is the freshly regenerated trajectory file (the benchmark suite
+rewrites the top-level ``BENCH_service.json`` in place); ``BASELINE``
+defaults to the committed copy read via ``git show HEAD:BENCH_service.json``.
+For every bench present in both files the throughput-like fields
+(``ops_per_second``, ``batch_trials_per_second``, ``speedup``) are compared
+and a regression beyond :data:`REGRESSION_TOLERANCE` prints a GitHub-
+Actions ``::warning::`` line.
+
+The exit code is always 0: performance tracking is deliberately
+*non-blocking* (CI machines are too noisy to gate merges on wall-clock).
+Safety gates live in the test assertions, not here.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from typing import Optional
+
+#: Relative throughput drop that triggers a warning (satellite spec: 20%).
+REGRESSION_TOLERANCE = 0.20
+
+#: Higher-is-better numeric fields compared per bench entry.
+THROUGHPUT_FIELDS = ("ops_per_second", "batch_trials_per_second", "speedup")
+
+
+def load_baseline(path: Optional[str]) -> dict:
+    """The baseline document: an explicit file, or the committed copy."""
+    if path is not None:
+        with open(path) as source:
+            return json.load(source)
+    shown = subprocess.run(
+        ["git", "show", "HEAD:BENCH_service.json"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if shown.returncode != 0:
+        return {}
+    return json.loads(shown.stdout)
+
+
+def compare(current: dict, baseline: dict) -> list:
+    """Return ``(bench, field, old, new, drop)`` tuples beyond tolerance."""
+    regressions = []
+    current_benches = current.get("benches", {})
+    for name, old_payload in baseline.get("benches", {}).items():
+        new_payload = current_benches.get(name)
+        if not isinstance(new_payload, dict) or not isinstance(old_payload, dict):
+            continue
+        for field in THROUGHPUT_FIELDS:
+            old = old_payload.get(field)
+            new = new_payload.get(field)
+            if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+                continue
+            if old <= 0:
+                continue
+            drop = (old - new) / old
+            if drop > REGRESSION_TOLERANCE:
+                regressions.append((name, field, old, new, drop))
+    return regressions
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: compare_bench.py CURRENT [BASELINE]", file=sys.stderr)
+        return 0
+    try:
+        with open(argv[0]) as source:
+            current = json.load(source)
+        baseline = load_baseline(argv[1] if len(argv) > 1 else None)
+    except (OSError, ValueError) as error:
+        print(f"::warning::benchmark compare skipped: {error}")
+        return 0
+    if not baseline:
+        print("no committed baseline found; nothing to compare")
+        return 0
+    regressions = compare(current, baseline)
+    for name, field, old, new, drop in regressions:
+        print(
+            f"::warning::perf regression in {name}.{field}: "
+            f"{old:,.1f} -> {new:,.1f} ({drop:.0%} worse than the committed baseline)"
+        )
+    if not regressions:
+        print(
+            f"benchmark trajectory within {REGRESSION_TOLERANCE:.0%} of the "
+            f"committed baseline ({len(current.get('benches', {}))} benches)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -15,7 +15,10 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 from repro.core.strategy import AccessStrategy
 from repro.exceptions import ConfigurationError
@@ -116,6 +119,26 @@ class ProbabilisticQuorumSystem(abc.ABC):
     def sample_quorum(self, rng: Optional[random.Random] = None) -> Quorum:
         """Draw a quorum according to the access strategy."""
         return self._strategy.sample(rng)
+
+    def sample_quorum_block(
+        self,
+        rng: Optional[random.Random] = None,
+        count: int = 1,
+        generator: Optional["np.random.Generator"] = None,
+    ) -> List[Tuple[int, ...]]:
+        """Draw ``count`` i.i.d. strategy quorums at once (sorted id tuples).
+
+        The vectorised counterpart of calling :meth:`sample_quorum` in a
+        loop: each returned tuple is an independent draw from the access
+        strategy, so consumers that *pool* quorums (the service layer's
+        :class:`~repro.service.client.AsyncQuorumClient`) keep the exact load
+        profile and ε guarantee of per-operation sampling while amortising
+        the sampling cost.  The uniform and explicit strategies vectorise the
+        draw through the same kernels the batched Monte-Carlo engine uses.
+        A persistent NumPy ``generator`` (when given) skips the per-call
+        bit-generator construction the ``rng``-seeded path pays.
+        """
+        return self._strategy.sample_block(count, rng, generator=generator)
 
     def read_semantics(self) -> ReadSemantics:
         """The read-side semantics of the protocol this system was built for.

@@ -43,8 +43,38 @@ class AccessStrategy(abc.ABC):
     def expected_quorum_size(self) -> float:
         """``E[|Q|]`` under the strategy (used by the load bound of Theorem 3.9)."""
 
+    def sample_block(
+        self,
+        count: int,
+        rng: Optional[random.Random] = None,
+        generator: Optional[np.random.Generator] = None,
+    ) -> List[Tuple[int, ...]]:
+        """Draw ``count`` i.i.d. quorums at once, as sorted server-id tuples.
+
+        This is the block-sampling entry point of the service layer's quorum
+        pool: a client refills its pool with one call instead of paying the
+        per-operation sampling cost, and every pooled quorum is still an
+        independent draw from the strategy — so the ε guarantee is untouched.
+        The base implementation loops over :meth:`sample`; the two concrete
+        strategies override it with vectorised draws sharing the same kernels
+        as the batched Monte-Carlo engine.  Callers that refill repeatedly
+        should pass a persistent NumPy ``generator`` so each refill skips the
+        bit-generator construction cost.
+        """
+        if count < 0:
+            raise ConfigurationError(f"block size must be non-negative, got {count}")
+        if rng is None and generator is not None:
+            # Keep seeded determinism for custom strategies driven through a
+            # NumPy generator (mirrors sample_batch_membership's fallback).
+            rng = random.Random(int(generator.integers(2**63)))
+        return [tuple(sorted(self.sample(rng))) for _ in range(count)]
+
     def sample_batch_membership(
-        self, n: int, trials: int, generator: np.random.Generator
+        self,
+        n: int,
+        trials: int,
+        generator: np.random.Generator,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Draw ``trials`` quorums at once as a boolean ``(trials, n)`` matrix.
 
@@ -52,12 +82,19 @@ class AccessStrategy(abc.ABC):
         the entry point of the batched Monte-Carlo engine; the base
         implementation falls back to one :meth:`sample` call per trial (so
         any custom strategy stays batch-compatible), while the two concrete
-        strategies override it with fully vectorised draws.
+        strategies override it with fully vectorised draws.  ``out`` may name
+        a previously returned ``(trials, n)`` boolean array to fill in place,
+        letting chunked callers reuse one buffer across blocks instead of
+        allocating per chunk.
         """
         if trials < 0:
             raise ConfigurationError(f"trial count must be non-negative, got {trials}")
         rng = random.Random(int(generator.integers(2**63)))
-        return membership_matrix([self.sample(rng) for _ in range(trials)], n)
+        member = membership_matrix([self.sample(rng) for _ in range(trials)], n)
+        if out is not None and out.shape == member.shape and out.dtype == np.bool_:
+            out[:] = member
+            return out
+        return member
 
     @abc.abstractmethod
     def describe(self) -> str:
@@ -97,6 +134,29 @@ class UniformSubsetStrategy(AccessStrategy):
     def sample(self, rng: Optional[random.Random] = None) -> Quorum:
         return sample_subset(self._n, self._q, rng)
 
+    def sample_block(
+        self,
+        count: int,
+        rng: Optional[random.Random] = None,
+        generator: Optional[np.random.Generator] = None,
+    ) -> List[Tuple[int, ...]]:
+        """Vectorised block draw: rank one ``(count, n)`` uniform matrix.
+
+        Shares :func:`repro.quorum.base.sample_subset_batch` with the batched
+        Monte-Carlo engine, so the service client's quorum pool and the trial
+        engine draw from literally the same kernel.
+        """
+        if count < 0:
+            raise ConfigurationError(f"block size must be non-negative, got {count}")
+        if count == 0:
+            return []
+        if generator is None:
+            rng = rng or random.Random()
+            generator = np.random.default_rng(rng.randrange(2**63))
+        indices = sample_subset_batch(self._n, self._q, count, generator)
+        indices.sort(axis=1)
+        return [tuple(row) for row in indices.tolist()]
+
     def sample_batch_indices(
         self, trials: int, generator: np.random.Generator
     ) -> np.ndarray:
@@ -104,13 +164,21 @@ class UniformSubsetStrategy(AccessStrategy):
         return sample_subset_batch(self._n, self._q, trials, generator)
 
     def sample_batch_membership(
-        self, n: int, trials: int, generator: np.random.Generator
+        self,
+        n: int,
+        trials: int,
+        generator: np.random.Generator,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         if n != self._n:
             raise ConfigurationError(
                 f"strategy is over {self._n} servers but the batch asked for {n}"
             )
-        member = np.zeros((trials, n), dtype=bool)
+        if out is not None and out.shape == (trials, n) and out.dtype == np.bool_:
+            member = out
+            member[:] = False
+        else:
+            member = np.zeros((trials, n), dtype=bool)
         np.put_along_axis(member, self.sample_batch_indices(trials, generator), True, axis=1)
         return member
 
@@ -169,6 +237,8 @@ class ExplicitStrategy(AccessStrategy):
             raise StrategyError("strategy weights must not all be zero")
         self._quorums: Tuple[Quorum, ...] = tuple(quorum_list)
         self._weights: Tuple[float, ...] = tuple(w / total for w in weight_list)
+        # Sorted-tuple view of the support, built lazily by sample_block.
+        self._ordered_support: Optional[List[Tuple[int, ...]]] = None
 
     @property
     def quorums(self) -> Tuple[Quorum, ...]:
@@ -184,14 +254,46 @@ class ExplicitStrategy(AccessStrategy):
         rng = rng or random.Random()
         return rng.choices(self._quorums, weights=self._weights, k=1)[0]
 
+    def sample_block(
+        self,
+        count: int,
+        rng: Optional[random.Random] = None,
+        generator: Optional[np.random.Generator] = None,
+    ) -> List[Tuple[int, ...]]:
+        """Vectorised block draw over the explicit support."""
+        if count < 0:
+            raise ConfigurationError(f"block size must be non-negative, got {count}")
+        if count == 0:
+            return []
+        if generator is not None:
+            chosen = generator.choice(
+                len(self._quorums), size=count, p=np.asarray(self._weights)
+            ).tolist()
+        else:
+            rng = rng or random.Random()
+            chosen = rng.choices(
+                range(len(self._quorums)), weights=self._weights, k=count
+            )
+        if self._ordered_support is None:
+            self._ordered_support = [tuple(sorted(q)) for q in self._quorums]
+        ordered = self._ordered_support
+        return [ordered[index] for index in chosen]
+
     def sample_batch_membership(
-        self, n: int, trials: int, generator: np.random.Generator
+        self,
+        n: int,
+        trials: int,
+        generator: np.random.Generator,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Vectorised draw: pick support indices, then gather membership rows."""
         if trials < 0:
             raise ConfigurationError(f"trial count must be non-negative, got {trials}")
         support = membership_matrix(self._quorums, n)
         chosen = generator.choice(len(self._quorums), size=trials, p=np.asarray(self._weights))
+        if out is not None and out.shape == (trials, n) and out.dtype == np.bool_:
+            np.take(support, chosen, axis=0, out=out)
+            return out
         return support[chosen]
 
     def expected_quorum_size(self) -> float:

@@ -66,6 +66,8 @@ from repro.experiments.serve import (
     run_serve,
 )
 from repro.rngs import seed_sequential
+from repro.service.client import SELECTION_MODES
+from repro.service.dispatch import DISPATCH_MODES
 
 EXPERIMENT_NAMES = (
     "table1",
@@ -148,6 +150,8 @@ def run_experiment(
     trials: int = None,
     clients: int = DEFAULT_CLIENTS,
     ops: int = DEFAULT_READS_PER_CLIENT,
+    dispatch: str = "batched",
+    selection: str = "strategy",
 ) -> List[str]:
     """Run one named experiment (or ``all``) and return the rendered reports.
 
@@ -167,7 +171,15 @@ def run_experiment(
     if name == "consistency":
         return [run_consistency(engine=engine, seed=seed, trials=trials)]
     if name == "serve":
-        return [run_serve(clients=clients, reads_per_client=ops, seed=seed)]
+        return [
+            run_serve(
+                clients=clients,
+                reads_per_client=ops,
+                seed=seed,
+                dispatch=dispatch,
+                selection=selection,
+            )
+        ]
     if name == "all":
         return [runners[key]() for key in sorted(runners)]
     if name not in runners:
@@ -238,6 +250,22 @@ def main(argv: List[str] = None) -> int:
         help="reads each serve client issues "
         f"(default: {DEFAULT_READS_PER_CLIENT})",
     )
+    parser.add_argument(
+        "--dispatch",
+        default="batched",
+        choices=DISPATCH_MODES,
+        help="serve RPC path: coalesced 'batched' fast path or the original "
+        "'per-rpc' oracle (default: batched)",
+    )
+    parser.add_argument(
+        "--selection",
+        default="strategy",
+        choices=SELECTION_MODES,
+        help="serve quorum selection: 'strategy' is ε-faithful; "
+        "'latency-aware' biases toward fast replicas and voids the ε "
+        "guarantee, so serve then deploys the Byzantine-free crash variant "
+        "of its scenario (default: strategy)",
+    )
     args = parser.parse_args(argv)
     if args.experiment_name is not None and args.experiment is not None:
         parser.error("name the experiment positionally or with --experiment, not both")
@@ -252,6 +280,8 @@ def main(argv: List[str] = None) -> int:
             trials=args.trials,
             clients=args.clients,
             ops=args.ops,
+            dispatch=args.dispatch,
+            selection=args.selection,
         )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)

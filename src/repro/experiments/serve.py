@@ -37,12 +37,17 @@ DEFAULT_READS_PER_CLIENT = 5
 DEFAULT_WRITES = 20
 
 
-def serve_scenario(n: int = 100, quorum_size: int = 30, b: int = 3) -> ScenarioSpec:
+def serve_scenario(
+    n: int = 100, quorum_size: int = 30, b: int = 3, byzantine: bool = True
+) -> ScenarioSpec:
     """The masking scenario the ``serve`` experiment deploys.
 
     The defaults put the threshold strictly above the adversary
     (``k = 5 > b = 3``), so the zero-fabrication safety check is a theorem,
-    not a statistical accident.
+    not a statistical accident.  ``byzantine=False`` swaps the colluding
+    forgers for the same number of benign crashes — the variant deployed
+    under latency-aware selection, which the spec layer (correctly) refuses
+    to combine with a Byzantine adversary.
     """
     system = ProbabilisticMaskingSystem(n, quorum_size, b)
     if system.read_threshold <= b:
@@ -50,6 +55,8 @@ def serve_scenario(n: int = 100, quorum_size: int = 30, b: int = 3) -> ScenarioS
             f"the serve scenario wants k > b so zero fabrication is provable; "
             f"got k={system.read_threshold}, b={b}"
         )
+    if not byzantine:
+        return ScenarioSpec(system=system, failure_model=FailureModel.random_crashes(b))
     return ScenarioSpec(
         system=system,
         failure_model=FailureModel.colluding_forgers(
@@ -64,10 +71,24 @@ def serve_load_spec(
     writes: int = DEFAULT_WRITES,
     seed: int = 0,
     scenario: ScenarioSpec = None,
+    dispatch: str = "batched",
+    selection: str = "strategy",
 ) -> ServiceLoadSpec:
-    """The full soak configuration: forgers + drops + latency + live churn."""
+    """The full soak configuration: forgers + drops + latency + live churn.
+
+    ``dispatch`` picks the RPC path (``batched`` coalesced fast path, the
+    default, or the original ``per-rpc`` oracle); ``selection`` picks the
+    quorum-selection mode.  The default soak deploys Byzantine forgers,
+    which :class:`~repro.service.load.ServiceLoadSpec` refuses to combine
+    with ``latency-aware`` selection (the ε accounting would be void) — so
+    with ``selection="latency-aware"`` and no explicit ``scenario`` the
+    Byzantine-free crash variant of the scenario is deployed instead.  An
+    explicitly passed Byzantine ``scenario`` still raises.
+    """
+    if scenario is None:
+        scenario = serve_scenario(byzantine=selection != "latency-aware")
     return ServiceLoadSpec(
-        scenario=scenario if scenario is not None else serve_scenario(),
+        scenario=scenario,
         clients=clients,
         reads_per_client=reads_per_client,
         writes=writes,
@@ -76,6 +97,8 @@ def serve_load_spec(
         drop_probability=0.01,
         rpc_timeout=0.005,
         fault_injection=FaultInjectionSpec(crash_count=5, interval=0.002),
+        dispatch=dispatch,
+        selection=selection,
         seed=seed,
     )
 
@@ -85,11 +108,18 @@ def run_serve(
     reads_per_client: int = DEFAULT_READS_PER_CLIENT,
     writes: int = DEFAULT_WRITES,
     seed: int = 0,
+    dispatch: str = "batched",
+    selection: str = "strategy",
 ) -> str:
     """Run the service soak and render its report (the CLI entry point)."""
     try:
         spec = serve_load_spec(
-            clients=clients, reads_per_client=reads_per_client, writes=writes, seed=seed
+            clients=clients,
+            reads_per_client=reads_per_client,
+            writes=writes,
+            seed=seed,
+            dispatch=dispatch,
+            selection=selection,
         )
     except ReproError as error:
         raise ExperimentError(str(error)) from error

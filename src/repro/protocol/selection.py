@@ -61,14 +61,47 @@ def select_credible_value(
     """
     if threshold < 1:
         raise ConfigurationError(f"vote threshold must be positive, got {threshold}")
-    groups: Dict[Tuple[Any, str], List[ServerId]] = {}
-    values: Dict[Tuple[Any, str], Any] = {}
+    # Identity pre-aggregation: replicas that store the *same* pair hold
+    # references to the one (value, timestamp) the writer (or a colluding
+    # forger) sent, so grouping first by object identity makes the per-reply
+    # work two ``id()`` calls; the semantic grouping below then runs over
+    # the distinct pairs (usually one or two), not over every reply.
+    # Distinct-but-equal pairs still merge there, so the result is
+    # unchanged.
+    ident: Dict[Tuple[int, int], Tuple[Any, List[ServerId]]] = {}
     for server in sorted(replies):
         stored = replies[server]
-        if stored.timestamp is None:
+        timestamp = stored.timestamp
+        if timestamp is None:
             continue
+        key = (id(timestamp), id(stored.value))
+        entry = ident.get(key)
+        if entry is None:
+            ident[key] = (stored, [server])
+        else:
+            entry[1].append(server)
+    if not ident:
+        return None
+    if len(ident) == 1:
+        # One distinct pair: the grouping reduces to a threshold check.
+        stored, servers = next(iter(ident.values()))
+        if len(servers) < threshold:
+            return None
+        return SelectedValue(
+            value=stored.value,
+            timestamp=stored.timestamp,
+            servers=frozenset(servers),
+            votes=len(servers),
+        )
+    groups: Dict[Tuple[Any, str], List[ServerId]] = {}
+    values: Dict[Tuple[Any, str], Any] = {}
+    for stored, servers in ident.values():
         key = (stored.timestamp, tiebreak_key(stored.value))
-        groups.setdefault(key, []).append(server)
+        existing = groups.get(key)
+        if existing is None:
+            groups[key] = list(servers)
+        else:
+            existing.extend(servers)
         values.setdefault(key, stored.value)
     candidates = [key for key, servers in groups.items() if len(servers) >= threshold]
     if not candidates:

@@ -45,15 +45,21 @@ class Timestamp:
     def __lt__(self, other: "Timestamp") -> bool:
         if not isinstance(other, Timestamp):
             return NotImplemented
-        return self._key() < other._key()
+        return (self.counter, self.writer_id) < (other.counter, other.writer_id)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Timestamp):
             return NotImplemented
-        return self._key() == other._key()
+        return self.counter == other.counter and self.writer_id == other.writer_id
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        # Memoised: timestamps are dict keys on every hot path (reply
+        # grouping, history lookups) and the instance is immutable.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.counter, self.writer_id))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def next(self) -> "Timestamp":
         """The immediately following timestamp for the same writer."""

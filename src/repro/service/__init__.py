@@ -15,6 +15,11 @@ safety under live fault injection.
 * :mod:`repro.service.client` — the concurrent quorum client, falling back
   to :mod:`repro.quorum.probe` strategies to re-assemble a live quorum on
   partial failure;
+* :mod:`repro.service.dispatch` — the batched fast path: one coalesced
+  delivery event per (node, tick) and one shared deadline per operation,
+  instead of a coroutine + timer per RPC;
+* :mod:`repro.service.stats` — per-server EWMA latency tracking backing the
+  opt-in (ε-voiding, hence guarded) latency-aware quorum selection;
 * :mod:`repro.service.register` — async frontends for the plain (§3.1),
   dissemination (§4) and masking (§5) read protocols, labelled through the
   same classifier as both Monte-Carlo engines;
@@ -23,15 +28,23 @@ safety under live fault injection.
   behind the ``serve`` experiment.
 """
 
-from repro.service.client import AsyncQuorumClient, ReadRpcResult, WriteRpcResult
+from repro.service.client import (
+    SELECTION_MODES,
+    AsyncQuorumClient,
+    ReadRpcResult,
+    WriteRpcResult,
+)
+from repro.service.dispatch import DISPATCH_MODES, BatchedDispatcher
 from repro.service.load import (
     FaultInjectionSpec,
     ServiceLoadReport,
     ServiceLoadSpec,
+    active_loop_driver,
     classify_service_read,
     run_service_load,
     serve_load,
 )
+from repro.service.stats import EwmaLatencyTracker
 from repro.service.node import NO_REPLY, ServiceNode
 from repro.service.register import (
     AsyncDisseminationRegister,
@@ -46,6 +59,11 @@ __all__ = [
     "ServiceNode",
     "NO_REPLY",
     "AsyncQuorumClient",
+    "BatchedDispatcher",
+    "EwmaLatencyTracker",
+    "DISPATCH_MODES",
+    "SELECTION_MODES",
+    "active_loop_driver",
     "ReadRpcResult",
     "WriteRpcResult",
     "AsyncRegister",

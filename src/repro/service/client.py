@@ -17,14 +17,38 @@ The repair pass *replaces* the original quorum rather than merging reply
 sets: a merged super-quorum would not be a strategy-drawn quorum, and for
 the masking protocol it would inflate ``|Q ∩ B|`` beyond what Lemma 5.7
 accounts for.
+
+Two orthogonal fast-path knobs:
+
+* **batched dispatch** (default-off: no dispatcher) — pass a shared
+  :class:`~repro.service.dispatch.BatchedDispatcher` and every fan-out is
+  coalesced per destination node instead of spawning one coroutine + timer
+  per RPC;
+* **quorum pooling** (default-on: blocks of
+  :data:`DEFAULT_QUORUM_POOL`; pass ``quorum_pool=0`` for per-operation
+  draws) — quorums are pre-sampled in blocks through
+  :meth:`~repro.core.probabilistic.ProbabilisticQuorumSystem.sample_quorum_block`
+  (vectorised NumPy draw).  Every pooled quorum is an independent strategy
+  draw, so pooling changes *when* the sampling cost is paid, never the
+  distribution.
+
+``selection="latency-aware"`` additionally biases quorum choice toward fast
+replicas via an EWMA tracker (:mod:`repro.service.stats`).  That mode
+**deviates from the access strategy** — the ε guarantee and Lemma 5.7's
+``|Q ∩ B|`` accounting hold only for strategy-drawn quorums — so it warns on
+construction and the service harness refuses it for Byzantine scenarios;
+``selection="strategy"`` remains the default.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
+import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Set, Union
+from typing import Any, Dict, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from repro.core.probabilistic import ProbabilisticQuorumSystem
 from repro.exceptions import (
@@ -39,13 +63,27 @@ from repro.quorum.probe import (
     oracle_from_alive_set,
 )
 from repro.rngs import fresh_rng
+from repro.service.dispatch import BatchedDispatcher
 from repro.service.node import ServiceNode
+from repro.service.stats import EwmaLatencyTracker
 from repro.service.transport import AsyncTransport
 from repro.simulation.server import StoredValue
 from repro.types import Quorum, ServerId
 
+#: The two quorum-selection modes; only ``strategy`` preserves ε.
+SELECTION_MODES = ("strategy", "latency-aware")
 
-@dataclass(frozen=True)
+#: Quorums pre-sampled per pool refill (one vectorised block draw).
+DEFAULT_QUORUM_POOL = 32
+
+EPSILON_CAVEAT = (
+    "latency-aware quorum selection deviates from the access strategy: the "
+    "ε guarantee (and the masking protocol's |Q ∩ B| accounting) holds only "
+    "for strategy-drawn quorums"
+)
+
+
+@dataclass(frozen=True, slots=True)
 class WriteRpcResult:
     """Outcome of one fanned-out quorum write."""
 
@@ -55,7 +93,7 @@ class WriteRpcResult:
     probes_used: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRpcResult:
     """Outcome of one fanned-out quorum read.
 
@@ -90,6 +128,25 @@ class AsyncQuorumClient:
     repair:
         Whether partial failures trigger the probe fallback (on by default;
         the load harness counts how often it fires).
+    dispatcher:
+        Optional shared :class:`~repro.service.dispatch.BatchedDispatcher`;
+        when given, fan-outs coalesce per destination node instead of
+        spawning one coroutine per RPC.
+    selection:
+        ``"strategy"`` (default, ε-faithful) or ``"latency-aware"`` (biased
+        toward fast replicas; warns, see the module docstring).
+    tracker:
+        Latency tracker backing latency-aware selection.  Share one instance
+        across clients of a deployment so estimates aggregate; created on
+        demand when latency-aware selection is requested without one.
+    quorum_pool:
+        Strategy-drawn quorums pre-sampled per block refill (``0`` disables
+        pooling and draws per operation).
+    pool_generator:
+        Optional persistent NumPy generator backing the pool's block draws.
+        A deployment shares one across its clients so a thousand clients do
+        not pay a thousand bit-generator constructions; by default each
+        client derives its own from ``rng`` on first refill.
     """
 
     def __init__(
@@ -100,6 +157,11 @@ class AsyncQuorumClient:
         timeout: Optional[float] = 0.05,
         rng: Optional[random.Random] = None,
         repair: bool = True,
+        dispatcher: Optional[BatchedDispatcher] = None,
+        selection: str = "strategy",
+        tracker: Optional[EwmaLatencyTracker] = None,
+        quorum_pool: int = DEFAULT_QUORUM_POOL,
+        pool_generator: Optional[np.random.Generator] = None,
     ) -> None:
         if len(nodes) != system.n:
             raise ConfigurationError(
@@ -107,29 +169,90 @@ class AsyncQuorumClient:
             )
         if timeout is not None and timeout <= 0.0:
             raise ConfigurationError(f"the RPC timeout must be positive, got {timeout}")
+        if selection not in SELECTION_MODES:
+            raise ConfigurationError(
+                f"unknown selection mode {selection!r}; choose from {SELECTION_MODES}"
+            )
+        if quorum_pool < 0:
+            raise ConfigurationError(
+                f"the quorum pool size must be non-negative, got {quorum_pool}"
+            )
         self.system = system
         self.nodes = list(nodes)
         self.transport = transport
         self.timeout = timeout
         self.rng = rng or fresh_rng()
         self.repair = bool(repair)
+        self.dispatcher = dispatcher
+        self.selection = selection
+        self.quorum_pool = int(quorum_pool)
+        self._pool: list = []
+        self._pool_generator = pool_generator
         self.probe_fallbacks = 0
+        self.tracker = tracker
+        self._generator: Optional[np.random.Generator] = None
+        if selection == "latency-aware":
+            if not hasattr(system, "quorum_size"):
+                raise ConfigurationError(
+                    "latency-aware selection needs a uniform construction with a "
+                    f"fixed quorum_size; {system.describe()} has none"
+                )
+            if self.tracker is None and dispatcher is not None:
+                # Join the deployment's existing tracker rather than
+                # splitting observations across per-client instances.
+                self.tracker = dispatcher.tracker
+            if self.tracker is None:
+                self.tracker = EwmaLatencyTracker(system.n)
+            self._generator = np.random.default_rng(self.rng.randrange(2**63))
+            warnings.warn(EPSILON_CAVEAT, UserWarning, stacklevel=2)
+        if self.tracker is not None and self.dispatcher is not None:
+            if self.dispatcher.tracker is None:
+                # First tracked client wires the shared dispatcher up; later
+                # clients must not silently swap the tracker the earlier
+                # ones are drawing from.
+                self.dispatcher.tracker = self.tracker
+            elif self.dispatcher.tracker is not self.tracker:
+                raise ConfigurationError(
+                    "the shared dispatcher already feeds a different latency "
+                    "tracker; pass that tracker to every client of the "
+                    "deployment"
+                )
 
     # -- raw RPC fan-out ----------------------------------------------------------
 
     async def _rpc(self, server: ServerId, method: str, *args: Any) -> Any:
         """One RPC; returns the reply envelope or ``None`` on timeout."""
+        tracker = self.tracker
+        if tracker is None:
+            try:
+                return await self.transport.call(
+                    self.nodes[server], method, *args, timeout=self.timeout
+                )
+            except RpcTimeoutError:
+                return None
+        loop = asyncio.get_running_loop()
+        started = loop.time()
         try:
-            return await self.transport.call(
+            reply = await self.transport.call(
                 self.nodes[server], method, *args, timeout=self.timeout
             )
         except RpcTimeoutError:
+            tracker.penalize(server, loop.time() - started)
             return None
+        tracker.observe(server, loop.time() - started)
+        return reply
 
     async def _fan_out(
         self, servers: Sequence[ServerId], method: str, *args: Any
     ) -> Dict[ServerId, Any]:
-        """Issue one RPC per server concurrently; map responders to payloads."""
+        """Issue one RPC per server; map responders to payloads.
+
+        With a dispatcher installed the whole operation is one coalesced
+        fan-out (one pending-op future, per-node delivery events); without
+        one it is the per-RPC path (one coroutine + deadline per RPC).
+        """
+        if self.dispatcher is not None:
+            return await self.dispatcher.fan_out(servers, method, args, self.timeout)
         envelopes = await asyncio.gather(
             *(self._rpc(server, method, *args) for server in servers)
         )
@@ -165,11 +288,38 @@ class AsyncQuorumClient:
             return strategy.probe(oracle, rng=self.rng)
         return strategy.probe(oracle)
 
-    # -- protocol operations ------------------------------------------------------
+    # -- quorum selection ---------------------------------------------------------
 
     def sample_quorum(self) -> Quorum:
-        """Draw a quorum from the access strategy (sorted for stable fan-out)."""
+        """Draw a quorum from the access strategy (public, pool-free)."""
         return self.system.sample_quorum(self.rng)
+
+    def _next_quorum(self) -> Tuple[int, ...]:
+        """The quorum the next operation fans out to, as a sorted id tuple.
+
+        Strategy mode pops from the block-sampled pool (refilled through the
+        vectorised ``sample_quorum_block``); latency-aware mode draws a
+        biased quorum from the tracker per operation, since the bias must
+        reflect the latest estimates.
+        """
+        if self._generator is not None:
+            return self.tracker.biased_quorum(
+                int(self.system.quorum_size), generator=self._generator
+            )
+        if self.quorum_pool == 0:
+            return tuple(sorted(self.system.sample_quorum(self.rng)))
+        pool = self._pool
+        if not pool:
+            if self._pool_generator is None:
+                self._pool_generator = np.random.default_rng(self.rng.randrange(2**63))
+            pool.extend(
+                self.system.sample_quorum_block(
+                    count=self.quorum_pool, generator=self._pool_generator
+                )
+            )
+        return pool.pop()
+
+    # -- protocol operations ------------------------------------------------------
 
     async def write(
         self,
@@ -185,8 +335,8 @@ class AsyncQuorumClient:
         short of that, missed servers are exactly the crash-misses the ε
         analysis accounts for.
         """
-        quorum = self.sample_quorum()
-        ordered = sorted(quorum)
+        ordered = self._next_quorum()
+        quorum: Quorum = frozenset(ordered)
         acks = await self._fan_out(ordered, "write", variable, value, timestamp, signature)
         retried = False
         probes = 0
@@ -222,8 +372,8 @@ class AsyncQuorumClient:
         Never raises: with every reply missing the register layer returns ⊥,
         which is the protocol's own account of an unreachable quorum.
         """
-        quorum = self.sample_quorum()
-        ordered = sorted(quorum)
+        ordered = self._next_quorum()
+        quorum: Quorum = frozenset(ordered)
         responses = await self._fan_out(ordered, "read", variable)
         retried = False
         probes = 0

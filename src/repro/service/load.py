@@ -32,17 +32,30 @@ import math
 import random
 import time
 from collections import deque
+
+import numpy as np
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError, QuorumUnavailableError
 from repro.protocol.classification import OUTCOME_LABELS, classify_read_outcome
 from repro.protocol.variable import ReadOutcome, WriteOutcome
-from repro.service.client import AsyncQuorumClient
+from repro.service.client import (
+    DEFAULT_QUORUM_POOL,
+    SELECTION_MODES,
+    AsyncQuorumClient,
+)
+from repro.service.dispatch import DISPATCH_MODES, BatchedDispatcher
 from repro.service.node import ServiceNode
 from repro.service.register import async_register_for
+from repro.service.stats import EwmaLatencyTracker
 from repro.service.transport import AsyncTransport
 from repro.simulation.scenario import ScenarioSpec
+
+try:  # pragma: no cover - exercised only where the optional extra is installed
+    import uvloop as _uvloop
+except ImportError:  # the `fast` extra is optional; plain asyncio is the fallback
+    _uvloop = None
 
 
 @dataclass(frozen=True)
@@ -92,6 +105,20 @@ class ServiceLoadSpec:
         Per-RPC deadline for every client (``None`` disables it).
     fault_injection:
         Live crash/recovery churn on top of the scenario's failures.
+    dispatch:
+        ``"batched"`` (default): all clients share one
+        :class:`~repro.service.dispatch.BatchedDispatcher`, coalescing RPCs
+        per destination node.  ``"per-rpc"`` is the original
+        coroutine-per-RPC path (the semantic oracle of the fast path).
+    selection:
+        ``"strategy"`` (default, ε-faithful) or ``"latency-aware"`` (EWMA
+        bias toward fast replicas; refused when the scenario deploys
+        Byzantine servers — see :mod:`repro.service.stats`).
+    dispatch_window:
+        Extra coalescing time per delivery event (batched mode only).
+    quorum_pool:
+        Strategy quorums pre-sampled per client per block refill
+        (``0`` disables pooling).
     seed:
         Root seed: failure sampling, transport noise and every client's
         quorum sampling derive from it.
@@ -107,6 +134,10 @@ class ServiceLoadSpec:
     drop_probability: float = 0.0
     rpc_timeout: Optional[float] = 0.05
     fault_injection: FaultInjectionSpec = field(default_factory=FaultInjectionSpec)
+    dispatch: str = "batched"
+    selection: str = "strategy"
+    dispatch_window: float = 0.0
+    quorum_pool: int = DEFAULT_QUORUM_POOL
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -127,6 +158,33 @@ class ServiceLoadSpec:
             raise ConfigurationError(
                 f"the write interval must be non-negative, got {self.write_interval}"
             )
+        if self.dispatch not in DISPATCH_MODES:
+            raise ConfigurationError(
+                f"unknown dispatch mode {self.dispatch!r}; choose from {DISPATCH_MODES}"
+            )
+        if self.selection not in SELECTION_MODES:
+            raise ConfigurationError(
+                f"unknown selection mode {self.selection!r}; choose from {SELECTION_MODES}"
+            )
+        if self.dispatch_window < 0.0:
+            raise ConfigurationError(
+                f"the dispatch window must be non-negative, got {self.dispatch_window}"
+            )
+        if self.quorum_pool < 0:
+            raise ConfigurationError(
+                f"the quorum pool size must be non-negative, got {self.quorum_pool}"
+            )
+        if (
+            self.selection == "latency-aware"
+            and self.scenario.failure_model.byzantine_count > 0
+        ):
+            raise ConfigurationError(
+                "latency-aware selection is refused for Byzantine scenarios: the "
+                "ε accounting (Lemma 5.7's |Q ∩ B| bound) holds only for "
+                "strategy-drawn quorums, so a biased quorum voids the very "
+                "guarantee the scenario is deployed to measure; use "
+                "selection='strategy'"
+            )
 
     @property
     def total_ops(self) -> int:
@@ -138,6 +196,7 @@ class ServiceLoadSpec:
         return (
             f"ServiceLoadSpec({self.scenario.describe()}, clients={self.clients}, "
             f"reads/client={self.reads_per_client}, writes={self.writes}, "
+            f"dispatch={self.dispatch}, selection={self.selection}, "
             f"latency={self.latency}, drop={self.drop_probability}, "
             f"injected_crashes={self.fault_injection.crash_count})"
         )
@@ -168,6 +227,12 @@ class ServiceLoadReport:
     rpc_timeouts: int
     probe_fallbacks: int
     injected_crashes: int
+    #: Delivery events the batched dispatcher fired (0 on the per-RPC path);
+    #: coalescing quality is roughly ``rpc_calls / dispatch_flushes``.
+    dispatch_flushes: int = 0
+    #: Which event loop drove the run ("asyncio", or "uvloop" via the
+    #: optional ``repro[fast]`` extra).
+    loop_driver: str = "asyncio"
 
     @property
     def operations(self) -> int:
@@ -214,7 +279,12 @@ class ServiceLoadReport:
             + "  ".join(f"{label}={self.outcomes.get(label, 0)}" for label in OUTCOME_LABELS),
             f"  safety violations {self.violations} fabricated-accepted reads",
             f"  transport         {self.rpc_calls} rpcs, {self.rpc_dropped} dropped, "
-            f"{self.rpc_timeouts} timed out",
+            f"{self.rpc_timeouts} timed out"
+            + (
+                f", {self.dispatch_flushes} coalesced deliveries"
+                if self.dispatch_flushes
+                else ""
+            ),
             f"  resilience        {self.probe_fallbacks} probe fallbacks, "
             f"{self.injected_crashes} live crashes injected, "
             f"{self.write_failures} writes found no live quorum",
@@ -285,6 +355,18 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
         drop_probability=spec.drop_probability,
         seed=rng.randrange(2**63),
     )
+    # One dispatcher and (when latency-aware) one tracker per deployment:
+    # coalescing across clients and aggregating latency estimates is the
+    # point of sharing them.
+    tracker = (
+        EwmaLatencyTracker(n) if spec.selection == "latency-aware" else None
+    )
+    dispatcher = (
+        BatchedDispatcher(nodes, transport, window=spec.dispatch_window, tracker=tracker)
+        if spec.dispatch == "batched"
+        else None
+    )
+    pool_generator = np.random.default_rng(rng.randrange(2**63))
 
     def make_client() -> AsyncQuorumClient:
         return AsyncQuorumClient(
@@ -293,6 +375,11 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
             transport,
             timeout=spec.rpc_timeout,
             rng=random.Random(rng.randrange(2**63)),
+            dispatcher=dispatcher,
+            selection=spec.selection,
+            tracker=tracker,
+            quorum_pool=spec.quorum_pool,
+            pool_generator=pool_generator,
         )
 
     clients = [make_client() for _ in range(spec.clients + 1)]
@@ -385,9 +472,31 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
         rpc_timeouts=transport.timed_out,
         probe_fallbacks=sum(client.probe_fallbacks for client in clients),
         injected_crashes=counters["injected"],
+        dispatch_flushes=dispatcher.flushes if dispatcher is not None else 0,
     )
 
 
+def active_loop_driver() -> str:
+    """Which event loop :func:`run_service_load` will drive: uvloop if the
+    optional ``repro[fast]`` extra is importable, plain asyncio otherwise."""
+    return "asyncio" if _uvloop is None else "uvloop"
+
+
 def run_service_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
-    """Run one service load experiment (sync entry point)."""
-    return asyncio.run(serve_load(spec))
+    """Run one service load experiment (sync entry point).
+
+    Uses ``uvloop`` when importable (``pip install repro[fast]``) and
+    silently falls back to the stock asyncio event loop otherwise; the
+    report's ``loop_driver`` records which one actually ran.
+    """
+    if _uvloop is None:
+        report = asyncio.run(serve_load(spec))
+        report.loop_driver = "asyncio"
+        return report
+    loop = _uvloop.new_event_loop()
+    try:
+        report = loop.run_until_complete(serve_load(spec))
+    finally:
+        loop.close()
+    report.loop_driver = "uvloop"
+    return report

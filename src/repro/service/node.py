@@ -84,14 +84,15 @@ class ServiceNode:
         Replies are ``("ok", payload)`` tuples: an explicit envelope keeps
         "answered with nothing" distinct from "never answered".
         """
-        if method == "ping":
-            return ("ok", True) if self.answers_pings else NO_REPLY
         if method == "read":
+            # First: reads dominate every workload the harness drives.
             (variable,) = args
             stored = self.server.handle_read(variable)
             if stored is None and not self.answers_pings:
                 return NO_REPLY
             return ("ok", stored)
+        if method == "ping":
+            return ("ok", True) if self.answers_pings else NO_REPLY
         if method == "write":
             variable, value, timestamp, signature = args
             ack = self.server.handle_write(variable, value, timestamp, signature)

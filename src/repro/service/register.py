@@ -167,17 +167,20 @@ class AsyncMaskingRegister(AsyncRegister):
                 "with a read_threshold"
             )
         super().__init__(client, name=name, writer_id=writer_id)
+        # Cached once: ⌈k⌉ is a derived property on the system and this is
+        # consulted on every read of the hot path.
+        self._read_threshold = int(client.system.read_threshold)
 
     @property
     def read_threshold(self) -> int:
         """The vote count ``⌈k⌉`` a value needs to be accepted."""
-        return int(self.client.system.read_threshold)
+        return self._read_threshold
 
     def _threshold(self) -> int:
-        return self.read_threshold
+        return self._read_threshold
 
     def _build_outcome(self, result: ReadRpcResult) -> MaskingReadOutcome:
-        threshold = self.read_threshold
+        threshold = self._read_threshold
         selected = select_credible_value(self._filter(result), threshold)
         if selected is None:
             return MaskingReadOutcome(

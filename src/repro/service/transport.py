@@ -78,6 +78,15 @@ class AsyncTransport:
             return self.latency + self.rng.uniform(-self.jitter, self.jitter)
         return self.latency
 
+    def draw_delay(self) -> float:
+        """Draw one delivery delay (``latency ± jitter``) from the transport RNG.
+
+        The batched dispatcher draws a delay per *(node, tick)* delivery
+        event through this hook, so both dispatch modes take their timing
+        noise from the same stream and configuration.
+        """
+        return self._delay()
+
     async def call(
         self,
         node: ServiceNode,

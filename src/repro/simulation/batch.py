@@ -39,6 +39,16 @@ substream via ``numpy.random.SeedSequence(seed).spawn(...)``, so a run is
 fully determined by ``(seed, chunk_size)`` and peak memory stays bounded at
 ``O(chunk_size * n)`` regardless of the trial count.
 
+Within one estimator run the engine also *reuses* its per-chunk buffers:
+profiling the hot loop showed the top repeated allocations were the two
+``(chunk, n)`` quorum-membership matrices and the boolean vote-mask
+temporaries re-created for every block, so the engine keeps one workspace
+(:class:`_Workspace`) and fills the same arrays in place across blocks
+(membership via the strategies' ``out=`` parameter, vote intersection via
+``np.logical_and(..., out=...)``).  Buffer contents never cross chunk
+boundaries — every array is fully overwritten before it is read — so the
+estimates are bit-identical to the allocating path.
+
 The classification mirrors the sequential reads: with one write of
 timestamp ``ts₁``, a trial is *fresh* when at least ``k`` responsive
 storers of the read quorum saw the write and no accepted forgery outranks
@@ -52,6 +62,7 @@ Chernoff-derived tolerances for all three protocols.
 
 from __future__ import annotations
 
+import inspect
 from typing import Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
@@ -70,6 +81,42 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: a 1000-server universe is ~4 MB of boolean masks — large enough to
 #: amortise NumPy dispatch, small enough to stay cache- and memory-friendly.
 DEFAULT_CHUNK_SIZE = 4096
+
+
+def _accepts_keyword(callable_obj, name: str) -> bool:
+    """Whether ``callable_obj`` can be called with keyword ``name``."""
+    try:
+        parameters = inspect.signature(callable_obj).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/extensions
+        return False
+    if name in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+class _Workspace:
+    """Named reusable scratch arrays, keyed by (name, shape, dtype).
+
+    ``array(...)`` hands back the same buffer on every chunk of the same
+    size and allocates only when the shape changes (i.e. the final short
+    chunk).  Callers must fully overwrite a buffer before reading it.
+    """
+
+    __slots__ = ("_arrays",)
+
+    def __init__(self) -> None:
+        self._arrays: dict = {}
+
+    def array(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        key = (name, shape, np.dtype(dtype))
+        array = self._arrays.get(key)
+        if array is None:
+            array = np.empty(shape, dtype=dtype)
+            self._arrays[key] = array
+        return array
 
 
 def _timestamp_rank(fabricated_timestamp, writer_id: int, writes: int) -> int:
@@ -225,6 +272,14 @@ class BatchTrialEngine:
         self.writer_id = int(writer_id)
         self.semantics = semantics if semantics is not None else system.read_semantics()
         self.written_value = written_value
+        self._workspace = _Workspace()
+        # Custom strategies may override sample_batch_membership with the
+        # pre-`out=` three-argument signature (explicitly supported: "any
+        # custom strategy stays batch-compatible"); detect once whether the
+        # buffer-reuse keyword can be passed.
+        self._membership_takes_out = _accepts_keyword(
+            self.system.strategy.sample_batch_membership, "out"
+        )
 
     @classmethod
     def from_spec(
@@ -287,21 +342,38 @@ class BatchTrialEngine:
                     f"by the single-write estimator or engine='sequential'"
                 )
 
+    def _draw_membership(
+        self, size: int, generator: np.random.Generator, buffer_name: str
+    ) -> np.ndarray:
+        """One membership batch, drawn into a reusable buffer when supported."""
+        n = self.system.n
+        if self._membership_takes_out:
+            return self.system.strategy.sample_batch_membership(
+                n, size, generator, out=self._workspace.array(buffer_name, (size, n), bool)
+            )
+        return self.system.strategy.sample_batch_membership(n, size, generator)
+
     def _sample_round(
         self, generator: np.random.Generator, size: int
     ) -> Tuple[np.ndarray, np.ndarray, BatchFailureMasks]:
-        """Failure masks plus one write- and one read-quorum batch."""
-        n = self.system.n
-        masks = self.model.sample_masks(n, size, generator)
-        member_w = self.system.strategy.sample_batch_membership(n, size, generator)
-        member_r = self.system.strategy.sample_batch_membership(n, size, generator)
+        """Failure masks plus one write- and one read-quorum batch.
+
+        The two membership matrices are drawn into per-engine reusable
+        buffers (the hot loop's top repeated allocation), so consecutive
+        equal-size chunks touch the same memory.
+        """
+        masks = self.model.sample_masks(self.system.n, size, generator)
+        member_w = self._draw_membership(size, generator, "member_w")
+        member_r = self._draw_membership(size, generator, "member_r")
         return member_w, member_r, masks
 
     def _forged_votes(self, member_r: np.ndarray, masks: BatchFailureMasks) -> np.ndarray:
         """Per-trial forger vote counts; zero where signatures filter them out."""
         if self.semantics.self_verifying:
             return np.zeros(member_r.shape[0], dtype=np.int64)
-        return (member_r & masks.forgers).sum(axis=1)
+        forged = self._workspace.array("forged", member_r.shape, bool)
+        np.logical_and(member_r, masks.forgers, out=forged)
+        return forged.sum(axis=1)
 
     # -- estimators ---------------------------------------------------------------
 
@@ -329,7 +401,10 @@ class BatchTrialEngine:
         fresh = stale = empty = fabricated = 0
         for generator, size in self._chunks(trials):
             member_w, member_r, masks = self._sample_round(generator, size)
-            honest_votes = (member_r & member_w & masks.responsive_storers).sum(axis=1)
+            vouchers = self._workspace.array("vouchers", (size, self.system.n), bool)
+            np.logical_and(member_r, member_w, out=vouchers)
+            np.logical_and(vouchers, masks.responsive_storers, out=vouchers)
+            honest_votes = vouchers.sum(axis=1)
             forged_votes = self._forged_votes(member_r, masks)
             if ties:
                 fresh_mask, stale_mask, empty_mask, fab_mask = classify_tying_votes(
@@ -396,22 +471,24 @@ class BatchTrialEngine:
         fab_rank = _timestamp_rank(self.model.fabricated_timestamp, self.writer_id, writes)
         threshold = self.semantics.threshold
         lags: List[np.ndarray] = []
+        workspace = self._workspace
         for generator, size in self._chunks(trials):
             masks = self.model.sample_masks(n, size, generator)
             correct = ~(masks.crashed | masks.byzantine)
             storers = masks.responsive_storers
             latest = np.full((size, n), -1, dtype=np.int32)
             first_seen = np.full((size, n), -1, dtype=np.int32)
+            touched = workspace.array("touched", (size, n), bool)
             for version in range(writes):
-                member_w = self.system.strategy.sample_batch_membership(n, size, generator)
-                touched = member_w & storers
-                first_seen = np.where(touched & (first_seen < 0), version, first_seen)
-                latest = np.where(touched, version, latest)
+                member_w = self._draw_membership(size, generator, "member_w")
+                np.logical_and(member_w, storers, out=touched)
+                first_seen[touched & (first_seen < 0)] = version
+                latest[touched] = version
                 if gossip_rounds_between_writes > 0:
                     latest = gossip_rounds_batch(
                         latest, correct, gossip_fanout, gossip_rounds_between_writes, generator
                     )
-            member_r = self.system.strategy.sample_batch_membership(n, size, generator)
+            member_r = self._draw_membership(size, generator, "member_r")
             best_version = self._best_credible_version(
                 member_r, masks, latest, first_seen, writes
             )

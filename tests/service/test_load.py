@@ -48,9 +48,27 @@ class TestServiceLoadSpec:
         with pytest.raises(ConfigurationError):
             small_spec(write_interval=-1.0)
         with pytest.raises(ConfigurationError):
+            small_spec(dispatch="warp")
+        with pytest.raises(ConfigurationError):
+            small_spec(selection="fastest")
+        with pytest.raises(ConfigurationError):
+            small_spec(dispatch_window=-0.001)
+        with pytest.raises(ConfigurationError):
+            small_spec(quorum_pool=-1)
+        with pytest.raises(ConfigurationError):
             FaultInjectionSpec(crash_count=-1)
         with pytest.raises(ConfigurationError):
             FaultInjectionSpec(interval=0.0)
+
+    def test_latency_aware_refused_for_byzantine_scenarios(self):
+        scenario = ScenarioSpec(
+            system=MASKING,
+            failure_model=FailureModel.colluding_forgers(
+                3, "FORGED", Timestamp.forged_maximum()
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="latency-aware"):
+            small_spec(scenario=scenario, selection="latency-aware")
 
     def test_totals_and_description(self):
         spec = small_spec()
@@ -169,3 +187,43 @@ class TestRunServiceLoad:
         second = run_service_load(small_spec())
         assert first.outcomes == second.outcomes
         assert first.reads_completed == second.reads_completed
+
+    def test_both_dispatch_modes_complete_the_same_workload(self):
+        batched = run_service_load(small_spec(dispatch="batched"))
+        per_rpc = run_service_load(small_spec(dispatch="per-rpc"))
+        for report in (batched, per_rpc):
+            assert report.reads_completed == 60
+            assert report.writes_completed == 5
+            assert report.violations == 0
+        assert batched.dispatch_flushes > 0
+        assert per_rpc.dispatch_flushes == 0
+        # Coalescing: far fewer delivery events than RPCs.
+        assert batched.dispatch_flushes < batched.rpc_calls / 5
+
+
+class TestUvloopIntegration:
+    def test_falls_back_to_stock_asyncio_when_uvloop_is_missing(self, monkeypatch):
+        from repro.service import load as load_module
+
+        monkeypatch.setattr(load_module, "_uvloop", None)
+        assert load_module.active_loop_driver() == "asyncio"
+        report = run_service_load(small_spec())
+        assert report.loop_driver == "asyncio"
+        assert report.reads_completed == 60
+
+    def test_uses_uvloop_when_importable(self, monkeypatch):
+        # Stand in for the optional dependency with an object exposing the
+        # one attribute the harness uses, so the uvloop branch is exercised
+        # without the package being installed.
+        import asyncio
+
+        from repro.service import load as load_module
+
+        class FakeUvloop:
+            new_event_loop = staticmethod(asyncio.new_event_loop)
+
+        monkeypatch.setattr(load_module, "_uvloop", FakeUvloop)
+        assert load_module.active_loop_driver() == "uvloop"
+        report = run_service_load(small_spec())
+        assert report.loop_driver == "uvloop"
+        assert report.reads_completed == 60

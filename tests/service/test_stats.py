@@ -1,0 +1,102 @@
+"""Tests for the per-server EWMA latency tracker."""
+
+from __future__ import annotations
+
+import collections
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.stats import EwmaLatencyTracker
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            EwmaLatencyTracker(0)
+        with pytest.raises(ConfigurationError):
+            EwmaLatencyTracker(5, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EwmaLatencyTracker(5, alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            EwmaLatencyTracker(5, initial=0.0)
+
+    def test_biased_quorum_size_bounds(self):
+        tracker = EwmaLatencyTracker(5)
+        with pytest.raises(ConfigurationError):
+            tracker.biased_quorum(0)
+        with pytest.raises(ConfigurationError):
+            tracker.biased_quorum(6)
+
+
+class TestEwma:
+    def test_converges_toward_a_constant_signal(self):
+        tracker = EwmaLatencyTracker(3, alpha=0.5, initial=0.001)
+        for _ in range(20):
+            tracker.observe(0, 0.010)
+        assert tracker.estimate(0) == pytest.approx(0.010, rel=1e-3)
+        # Untouched servers keep their initial estimate.
+        assert tracker.estimate(1) == pytest.approx(0.001)
+        assert tracker.observations == 20
+
+    def test_alpha_one_tracks_the_last_observation_exactly(self):
+        tracker = EwmaLatencyTracker(2, alpha=1.0)
+        tracker.observe(1, 0.5)
+        assert tracker.estimate(1) == 0.5
+        tracker.penalize(1, 2.0)
+        assert tracker.estimate(1) == 2.0
+        assert tracker.penalties == 1
+
+    def test_estimates_returns_a_copy(self):
+        tracker = EwmaLatencyTracker(4)
+        estimates = tracker.estimates()
+        estimates[0] = 99.0
+        assert tracker.estimate(0) != 99.0
+
+
+class TestBiasedQuorum:
+    def test_returns_sorted_distinct_servers(self):
+        tracker = EwmaLatencyTracker(25)
+        generator = np.random.default_rng(3)
+        for _ in range(50):
+            quorum = tracker.biased_quorum(10, generator=generator)
+            assert len(quorum) == 10
+            assert len(set(quorum)) == 10
+            assert list(quorum) == sorted(quorum)
+            assert all(0 <= server < 25 for server in quorum)
+
+    def test_full_universe_draw_is_everyone(self):
+        tracker = EwmaLatencyTracker(6)
+        assert tracker.biased_quorum(6, rng=random.Random(0)) == tuple(range(6))
+
+    def test_prefers_fast_servers(self):
+        tracker = EwmaLatencyTracker(10, alpha=1.0)
+        # Server 0 is 100x faster than everyone else.
+        tracker.observe(0, 0.0001)
+        for server in range(1, 10):
+            tracker.observe(server, 0.01)
+        generator = np.random.default_rng(7)
+        counts = collections.Counter()
+        draws = 400
+        for _ in range(draws):
+            for server in tracker.biased_quorum(3, generator=generator):
+                counts[server] += 1
+        # Under uniform selection server 0 would appear in ~30% of draws;
+        # with a 100:1 weight ratio it must appear in nearly all of them.
+        assert counts[0] > 0.9 * draws
+        others = [counts[server] for server in range(1, 10)]
+        assert max(others) < counts[0]
+
+    def test_uniform_estimates_stay_roughly_uniform(self):
+        tracker = EwmaLatencyTracker(10)
+        generator = np.random.default_rng(11)
+        counts = collections.Counter()
+        draws = 2_000
+        for _ in range(draws):
+            for server in tracker.biased_quorum(3, generator=generator):
+                counts[server] += 1
+        expected = draws * 3 / 10
+        for server in range(10):
+            assert abs(counts[server] - expected) < 6 * (expected * 0.7) ** 0.5
