@@ -1,6 +1,6 @@
 """Benchmark: live service throughput and Byzantine safety under load.
 
-Three workloads exercise the asyncio service layer (`repro.service`):
+Five workloads exercise the asyncio service layer (`repro.service`):
 
 * **batched throughput** — 1,000 concurrent in-process clients reading a
   masking register on a loss-free transport through the coalescing fast
@@ -10,6 +10,12 @@ Three workloads exercise the asyncio service layer (`repro.service`):
 * **per-RPC throughput** — the same workload on the original
   coroutine-per-RPC path, which stays the semantic oracle of the fast path.
   Floor: 2,000 ops/s (the PR 3 bar).
+* **TCP throughput** — 200 concurrent clients over *real localhost
+  sockets* (`repro.service.net`: length-prefixed frames, per-connection
+  writer tasks, the op-level `TcpDispatcher`).  Acceptance floor:
+  **2,000 ops/s** — the ISSUE 5 bar for the wire path.
+* **sharded TCP throughput** — the same wire path spread over 4 shards ×
+  16 zipf-skewed register keys; records per-shard and aggregate numbers.
 * **fault-injection soak** — the `serve` experiment's configuration in
   *both* dispatch modes: colluding forgers at the system's declared
   tolerance (``b = 3`` below the read threshold ``k = 5``), 1% message
@@ -46,6 +52,9 @@ MIN_BATCHED_OPS_PER_SECOND = 12_000.0
 #: Acceptance floor for the per-RPC oracle path (the PR 3 bar).
 MIN_PER_RPC_OPS_PER_SECOND = 2_000.0
 
+#: Acceptance floor for the TCP path at 200 localhost clients (ISSUE 5).
+MIN_TCP_OPS_PER_SECOND = 2_000.0
+
 #: Stale reads tolerated across 3k healthy reads (the ε allowance; the
 #: measured count at the pinned seed is ≤ 2, so 5 keeps flake margin while
 #: still catching a real intersection regression).
@@ -68,14 +77,16 @@ def throughput_spec(dispatch: str) -> ServiceLoadSpec:
 
 
 def run_throughput(dispatch: str, floor: float):
-    """Run the 1k-client workload; one retry absorbs scheduler noise.
+    """Run the 1k-client workload; retries absorb scheduler noise.
 
     Safety is checked on *every* attempt; the floor is asserted against the
     best attempt (standard best-of-N practice for wall-clock floors).
     """
     report = run_service_load(throughput_spec(dispatch))
     check_healthy_run(report)
-    if STRICT_TIMING and report.throughput < floor:
+    for _ in range(2):
+        if not (STRICT_TIMING and report.throughput < floor):
+            break
         retry = run_service_load(throughput_spec(dispatch))
         check_healthy_run(retry)
         if retry.throughput > report.throughput:
@@ -144,6 +155,97 @@ def test_per_rpc_throughput_still_works(report_sink, bench_record):
             f"per-RPC service sustained only {report.throughput:,.0f} ops/s "
             f"with 1k concurrent clients (floor: {MIN_PER_RPC_OPS_PER_SECOND:,.0f})"
         )
+    report_sink(report.render())
+
+
+def tcp_spec(shards: int = 1, keys: int = 1, key_skew: float = 0.0) -> ServiceLoadSpec:
+    """200 localhost clients over real sockets; healthy deployment.
+
+    ``rpc_timeout`` is generous because TCP deadlines are wall-clock: the
+    floor measures throughput, and spurious deadline expiries under
+    scheduler noise would deflate it artificially.
+    """
+    return ServiceLoadSpec(
+        scenario=ScenarioSpec(system=ProbabilisticMaskingSystem(25, 10, 3)),
+        clients=200,
+        reads_per_client=5,
+        writes=max(20, keys),
+        rpc_timeout=2.0,
+        transport="tcp",
+        shards=shards,
+        keys=keys,
+        key_skew=key_skew,
+        seed=17,
+    )
+
+
+def check_tcp_run(report, reads: int = 1_000) -> None:
+    """Safety gates of the wire path (always blocking, like the others)."""
+    assert report.transport == "tcp"
+    assert report.reads_completed == reads
+    assert report.violations == 0
+    assert sum(report.outcomes.values()) == reads
+
+
+def test_tcp_transport_throughput_200_clients(report_sink, bench_record):
+    report = run_service_load(tcp_spec())
+    check_tcp_run(report)
+    if STRICT_TIMING and report.throughput < MIN_TCP_OPS_PER_SECOND:
+        retry = run_service_load(tcp_spec())
+        check_tcp_run(retry)
+        if retry.throughput > report.throughput:
+            report = retry
+    bench_record(
+        "service_throughput_tcp",
+        {
+            "transport": "tcp",
+            "clients": report.spec.clients,
+            "shards": report.spec.shards,
+            "ops_completed": report.operations,
+            "ops_per_second": round(report.throughput, 1),
+            "floor_ops_per_second": MIN_TCP_OPS_PER_SECOND,
+            "elapsed_seconds": round(report.elapsed, 4),
+            "read_latency_seconds": {
+                "p50": report.read_latency(0.50),
+                "p90": report.read_latency(0.90),
+                "p99": report.read_latency(0.99),
+            },
+            "rpc_calls": report.rpc_calls,
+            "fabricated_accepted_reads": report.violations,
+        },
+    )
+    if STRICT_TIMING:
+        assert report.throughput >= MIN_TCP_OPS_PER_SECOND, (
+            f"the TCP path sustained only {report.throughput:,.0f} ops/s with "
+            f"200 localhost clients (floor: {MIN_TCP_OPS_PER_SECOND:,.0f})"
+        )
+    report_sink(report.render())
+
+
+def test_sharded_tcp_deployment_throughput(report_sink, bench_record):
+    report = run_service_load(tcp_spec(shards=4, keys=16, key_skew=0.8))
+    check_tcp_run(report)
+    # Routing really spread the workload: every shard served operations.
+    assert len(report.shard_ops) == 4
+    assert sum(report.shard_ops) == report.operations
+    assert all(ops > 0 for ops in report.shard_ops)
+    bench_record(
+        "service_throughput_tcp_sharded",
+        {
+            "transport": "tcp",
+            "clients": report.spec.clients,
+            "shards": report.spec.shards,
+            "keys": report.spec.keys,
+            "key_skew": report.spec.key_skew,
+            "ops_per_second": round(report.throughput, 1),
+            "per_shard_ops_per_second": [
+                round(t, 1) for t in report.per_shard_throughput
+            ],
+            "elapsed_seconds": round(report.elapsed, 4),
+            "rpc_calls": report.rpc_calls,
+            "fabricated_accepted_reads": report.violations,
+        },
+    )
     report_sink(report.render())
 
 

@@ -67,5 +67,9 @@ class RpcTimeoutError(ServiceError):
     """A single RPC exceeded its deadline (dropped message or silent server)."""
 
 
+class WireFormatError(ServiceError):
+    """A socket-transport frame was malformed (bad tag, oversized, or truncated)."""
+
+
 class ExperimentError(ReproError):
     """An experiment/benchmark harness was asked for an unknown table or figure."""

@@ -68,6 +68,7 @@ from repro.experiments.serve import (
 from repro.rngs import seed_sequential
 from repro.service.client import SELECTION_MODES
 from repro.service.dispatch import DISPATCH_MODES
+from repro.service.sharding import TRANSPORT_MODES
 
 EXPERIMENT_NAMES = (
     "table1",
@@ -152,6 +153,10 @@ def run_experiment(
     ops: int = DEFAULT_READS_PER_CLIENT,
     dispatch: str = "batched",
     selection: str = "strategy",
+    transport: str = "inproc",
+    shards: int = 1,
+    keys: int = 1,
+    key_skew: float = 0.0,
 ) -> List[str]:
     """Run one named experiment (or ``all``) and return the rendered reports.
 
@@ -178,6 +183,10 @@ def run_experiment(
                 seed=seed,
                 dispatch=dispatch,
                 selection=selection,
+                transport=transport,
+                shards=shards,
+                keys=keys,
+                key_skew=key_skew,
             )
         ]
     if name == "all":
@@ -266,6 +275,35 @@ def main(argv: List[str] = None) -> int:
         "guarantee, so serve then deploys the Byzantine-free crash variant "
         "of its scenario (default: strategy)",
     )
+    parser.add_argument(
+        "--transport",
+        default="inproc",
+        choices=TRANSPORT_MODES,
+        help="serve transport: simulated in-process message passing, or "
+        "real localhost TCP sockets with wall-clock deadlines "
+        "(default: inproc)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="independent replica groups serve hashes register keys across "
+        "(default: 1)",
+    )
+    parser.add_argument(
+        "--keys",
+        type=int,
+        default=1,
+        help="register keys the serve workload spreads over "
+        "(default: 1, or one per shard when --shards > 1)",
+    )
+    parser.add_argument(
+        "--key-skew",
+        type=float,
+        default=0.0,
+        help="zipf exponent of the serve readers' key distribution "
+        "(0 = uniform; default: 0)",
+    )
     args = parser.parse_args(argv)
     if args.experiment_name is not None and args.experiment is not None:
         parser.error("name the experiment positionally or with --experiment, not both")
@@ -282,6 +320,10 @@ def main(argv: List[str] = None) -> int:
             ops=args.ops,
             dispatch=args.dispatch,
             selection=args.selection,
+            transport=args.transport,
+            shards=args.shards,
+            keys=args.keys,
+            key_skew=args.key_skew,
         )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)

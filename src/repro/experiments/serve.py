@@ -73,15 +73,27 @@ def serve_load_spec(
     scenario: ScenarioSpec = None,
     dispatch: str = "batched",
     selection: str = "strategy",
+    transport: str = "inproc",
+    shards: int = 1,
+    keys: int = 1,
+    key_skew: float = 0.0,
 ) -> ServiceLoadSpec:
     """The full soak configuration: forgers + drops + latency + live churn.
 
     ``dispatch`` picks the RPC path (``batched`` coalesced fast path, the
     default, or the original ``per-rpc`` oracle); ``selection`` picks the
-    quorum-selection mode.  The default soak deploys Byzantine forgers,
-    which :class:`~repro.service.load.ServiceLoadSpec` refuses to combine
-    with ``latency-aware`` selection (the ε accounting would be void) — so
-    with ``selection="latency-aware"`` and no explicit ``scenario`` the
+    quorum-selection mode.  ``transport`` moves the same soak between the
+    simulated in-process message layer and real localhost TCP sockets;
+    ``shards``/``keys``/``key_skew`` spread it over a multi-register
+    sharded deployment (each shard its own replica group and failure plan).
+    A multi-shard run needs at least as many keys as shards, and keeping
+    ``writes >= keys`` avoids reads of never-written registers dominating
+    the outcome counts.
+
+    The default soak deploys Byzantine forgers, which
+    :class:`~repro.service.load.ServiceLoadSpec` refuses to combine with
+    ``latency-aware`` selection (the ε accounting would be void) — so with
+    ``selection="latency-aware"`` and no explicit ``scenario`` the
     Byzantine-free crash variant of the scenario is deployed instead.  An
     explicitly passed Byzantine ``scenario`` still raises.
     """
@@ -95,8 +107,16 @@ def serve_load_spec(
         latency=0.0002,
         jitter=0.0001,
         drop_probability=0.01,
-        rpc_timeout=0.005,
+        # The in-process deadline is simulated-time-tight; over real sockets
+        # the deadline must absorb wall-clock queueing (hundreds of clients
+        # share one event loop with the servers in this harness), or
+        # timeouts cascade into probe-ping storms.
+        rpc_timeout=0.005 if transport == "inproc" else 0.25,
         fault_injection=FaultInjectionSpec(crash_count=5, interval=0.002),
+        transport=transport,
+        shards=shards,
+        keys=keys,
+        key_skew=key_skew,
         dispatch=dispatch,
         selection=selection,
         seed=seed,
@@ -110,16 +130,28 @@ def run_serve(
     seed: int = 0,
     dispatch: str = "batched",
     selection: str = "strategy",
+    transport: str = "inproc",
+    shards: int = 1,
+    keys: int = 1,
+    key_skew: float = 0.0,
 ) -> str:
     """Run the service soak and render its report (the CLI entry point)."""
+    if shards > 1 and keys == 1:
+        # A sharded run needs keys to hash; default to a key per shard and
+        # enough writes that every register is written at least once.
+        keys = shards
     try:
         spec = serve_load_spec(
             clients=clients,
             reads_per_client=reads_per_client,
-            writes=writes,
+            writes=max(writes, keys),
             seed=seed,
             dispatch=dispatch,
             selection=selection,
+            transport=transport,
+            shards=shards,
+            keys=keys,
+            key_skew=key_skew,
         )
     except ReproError as error:
         raise ExperimentError(str(error)) from error

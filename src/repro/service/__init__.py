@@ -23,9 +23,22 @@ safety under live fault injection.
 * :mod:`repro.service.register` — async frontends for the plain (§3.1),
   dissemination (§4) and masking (§5) read protocols, labelled through the
   same classifier as both Monte-Carlo engines;
+* :mod:`repro.service.wire` — the socket transport's length-prefixed,
+  type-tagged JSON frame codec (round-trip safe for every protocol payload,
+  resilient to arbitrary chunk boundaries);
+* :mod:`repro.service.net` — the *real* transport: per-shard
+  :class:`TcpServiceServer` replica groups behind localhost sockets, a
+  :class:`TcpTransport` implementing the same call/counter interface with
+  wall-clock deadlines, per-connection writer tasks and reconnect-on-drop,
+  and the op-level :class:`TcpDispatcher` fast path;
+* :mod:`repro.service.sharding` — multi-register scale-out:
+  :func:`shard_for_key` stable routing, :class:`ShardedDeployment`
+  (independent replica group + transport + dispatcher per shard, either
+  transport mode) and :class:`ShardedAsyncRegisterClient`;
 * :mod:`repro.service.load` — :class:`ServiceLoadSpec` (mirroring
   :class:`~repro.simulation.scenario.ScenarioSpec`) and the load harness
-  behind the ``serve`` experiment.
+  behind the ``serve`` experiment, now spanning transports, shards and
+  multi-key workloads.
 """
 
 from repro.service.client import (
@@ -41,9 +54,25 @@ from repro.service.load import (
     ServiceLoadSpec,
     active_loop_driver,
     classify_service_read,
+    key_names,
+    key_weight_cdf,
     run_service_load,
     serve_load,
 )
+from repro.service.net import (
+    RemoteNode,
+    TcpDispatcher,
+    TcpServiceServer,
+    TcpTransport,
+    remote_nodes,
+)
+from repro.service.sharding import (
+    TRANSPORT_MODES,
+    ShardedAsyncRegisterClient,
+    ShardedDeployment,
+    shard_for_key,
+)
+from repro.service.wire import FrameDecoder, encode_frame, pack_value, unpack_value
 from repro.service.stats import EwmaLatencyTracker
 from repro.service.node import NO_REPLY, ServiceNode
 from repro.service.register import (
@@ -56,6 +85,21 @@ from repro.service.transport import AsyncTransport
 
 __all__ = [
     "AsyncTransport",
+    "TcpTransport",
+    "TcpServiceServer",
+    "TcpDispatcher",
+    "RemoteNode",
+    "remote_nodes",
+    "FrameDecoder",
+    "encode_frame",
+    "pack_value",
+    "unpack_value",
+    "ShardedDeployment",
+    "ShardedAsyncRegisterClient",
+    "shard_for_key",
+    "TRANSPORT_MODES",
+    "key_names",
+    "key_weight_cdf",
     "ServiceNode",
     "NO_REPLY",
     "AsyncQuorumClient",

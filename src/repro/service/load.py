@@ -4,25 +4,37 @@
 :class:`~repro.simulation.scenario.ScenarioSpec` one level up: it pairs a
 scenario (quorum system + failure model + register kind) with a *service*
 workload — how many concurrent reader clients, how many writes, which
-transport conditions (latency / jitter / drops), the per-RPC deadline, and a
-rolling crash/recovery schedule injected while requests are in flight.
+transport (``"inproc"`` shared-memory or ``"tcp"`` localhost sockets) and
+conditions (latency / jitter / drops), the per-RPC deadline, how many
+independent shards the deployment runs and how many register keys the
+workload spreads over (optionally zipf-skewed), and a rolling
+crash/recovery schedule injected while requests are in flight.
 
-:func:`run_service_load` deploys the scenario as asyncio replica nodes,
-drives one writer and ``clients`` concurrent readers through
+:func:`run_service_load` deploys the scenario through
+:class:`~repro.service.sharding.ShardedDeployment` — each shard an
+independent replica group + transport + dispatcher — drives one writer and
+``clients`` concurrent readers through per-shard
 :class:`~repro.service.client.AsyncQuorumClient` instances, and reports
-throughput, latency percentiles and — via the shared classifier of
-:mod:`repro.protocol.classification` — the same fresh/stale/empty/fabricated
-outcome counts the Monte-Carlo engines produce.  ``fabricated`` outcomes
-are the report's *safety violations*: values that were never written being
-accepted by a reader.
+throughput (aggregate and per shard), latency percentiles and — via the
+shared classifier of :mod:`repro.protocol.classification` — the same
+fresh/stale/empty/fabricated outcome counts the Monte-Carlo engines
+produce.  ``fabricated`` outcomes are the report's *safety violations*:
+values that were never written being accepted by a reader.
 
 Unlike the trial engines, reads here genuinely overlap writes, and the
 theorems say nothing about a read concurrent with a write.  The harness
 therefore classifies each read against the last write *completed before the
-read started* and re-labels as fresh any "fabricated" outcome that is in
-fact a concurrent honest write (its value/timestamp pair appears in the
-writer's issued history).  What remains fabricated is a true violation on
-any interleaving.
+read started* on the same key and re-labels as fresh any "fabricated"
+outcome that is in fact a concurrent honest write (its value/timestamp pair
+appears in that key's issued history).  What remains fabricated is a true
+violation on any interleaving.
+
+Simulated time vs wall clock: with ``transport="inproc"`` every delay and
+deadline is event-loop time over simulated message passing, so a run is
+deterministic for a fixed seed; with ``transport="tcp"`` the frames cross
+real localhost sockets and deadlines bound wall-clock time, so scheduling
+noise is part of the measurement (the conformance suite checks the
+*classification rates* still agree between the two).
 """
 
 from __future__ import annotations
@@ -33,23 +45,15 @@ import random
 import time
 from collections import deque
 
-import numpy as np
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.exceptions import ConfigurationError, QuorumUnavailableError
 from repro.protocol.classification import OUTCOME_LABELS, classify_read_outcome
 from repro.protocol.variable import ReadOutcome, WriteOutcome
-from repro.service.client import (
-    DEFAULT_QUORUM_POOL,
-    SELECTION_MODES,
-    AsyncQuorumClient,
-)
-from repro.service.dispatch import DISPATCH_MODES, BatchedDispatcher
-from repro.service.node import ServiceNode
-from repro.service.register import async_register_for
-from repro.service.stats import EwmaLatencyTracker
-from repro.service.transport import AsyncTransport
+from repro.service.client import DEFAULT_QUORUM_POOL, SELECTION_MODES
+from repro.service.dispatch import DISPATCH_MODES
+from repro.service.sharding import TRANSPORT_MODES, ShardedDeployment, shard_for_key
 from repro.simulation.scenario import ScenarioSpec
 
 try:  # pragma: no cover - exercised only where the optional extra is installed
@@ -63,9 +67,10 @@ class FaultInjectionSpec:
     """Rolling crash/recovery injected while the load runs.
 
     Every ``interval`` event-loop seconds the injector crashes one currently
-    correct server, keeping at most ``crash_count`` injected crashes alive at
-    once (the oldest recovers first) — a churn model on top of whatever
-    static failures the scenario's failure model installed.
+    correct server (across all shards), keeping at most ``crash_count``
+    injected crashes alive at once (the oldest recovers first) — a churn
+    model on top of whatever static failures the scenario's failure model
+    installed per shard.
     """
 
     crash_count: int = 0
@@ -82,6 +87,35 @@ class FaultInjectionSpec:
             )
 
 
+def key_names(keys: int) -> List[str]:
+    """The register keys a ``keys``-register workload addresses.
+
+    A single-register workload keeps the historical name ``"x"`` so
+    single-key runs stay byte-compatible with earlier harness versions.
+    """
+    if keys == 1:
+        return ["x"]
+    return [f"x{index}" for index in range(keys)]
+
+
+def key_weight_cdf(keys: int, skew: float) -> List[float]:
+    """Cumulative selection weights over ``keys`` ranks.
+
+    ``skew=0`` is uniform; ``skew>0`` is zipf-like (rank ``i`` drawn with
+    probability proportional to ``1/(i+1)**skew``), modelling the hot-key
+    traffic real multi-register deployments see.
+    """
+    weights = [1.0 / float(rank + 1) ** skew for rank in range(keys)]
+    total = sum(weights)
+    cdf: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cdf.append(running)
+    cdf[-1] = 1.0  # guard the floating-point tail
+    return cdf
+
+
 @dataclass(frozen=True)
 class ServiceLoadSpec:
     """One service load experiment, described declaratively.
@@ -95,33 +129,48 @@ class ServiceLoadSpec:
     reads_per_client:
         Reads each client issues back to back.
     writes:
-        Writes the single writer issues (single-writer protocol).
+        Writes the single writer issues in total, round-robin over the
+        workload's keys (single-writer protocol per key).
     write_interval:
         Event-loop seconds between writes (0 = as fast as possible).
     latency, jitter, drop_probability:
         Transport conditions (see
-        :class:`~repro.service.transport.AsyncTransport`).
+        :class:`~repro.service.transport.AsyncTransport`; over TCP they are
+        added to the real socket cost).
     rpc_timeout:
-        Per-RPC deadline for every client (``None`` disables it).
+        Per-RPC deadline for every client (``None`` disables it; never
+        disable it on a lossy or TCP transport).
     fault_injection:
         Live crash/recovery churn on top of the scenario's failures.
+    transport:
+        ``"inproc"`` (default; simulated message passing on the current
+        event loop) or ``"tcp"`` (localhost socket servers, one per shard,
+        length-prefixed frames, wall-clock deadlines).
+    shards:
+        Independent replica groups keys are hashed across (each shard runs
+        its own quorum system deployment and failure plan).
+    keys:
+        Register keys the workload spreads over.
+    key_skew:
+        Zipf exponent of the readers' key distribution (0 = uniform).
     dispatch:
-        ``"batched"`` (default): all clients share one
-        :class:`~repro.service.dispatch.BatchedDispatcher`, coalescing RPCs
-        per destination node.  ``"per-rpc"`` is the original
-        coroutine-per-RPC path (the semantic oracle of the fast path).
+        ``"batched"`` (default): coalescing fast path of the active
+        transport — the in-process
+        :class:`~repro.service.dispatch.BatchedDispatcher`, or the op-level
+        :class:`~repro.service.net.TcpDispatcher` on the wire.  ``"per-rpc"``
+        is the original coroutine-per-RPC path (the semantic oracle).
     selection:
         ``"strategy"`` (default, ε-faithful) or ``"latency-aware"`` (EWMA
         bias toward fast replicas; refused when the scenario deploys
         Byzantine servers — see :mod:`repro.service.stats`).
     dispatch_window:
-        Extra coalescing time per delivery event (batched mode only).
+        Extra coalescing time per delivery event (in-process batched mode).
     quorum_pool:
         Strategy quorums pre-sampled per client per block refill
         (``0`` disables pooling).
     seed:
-        Root seed: failure sampling, transport noise and every client's
-        quorum sampling derive from it.
+        Root seed: per-shard failure sampling, transport noise and every
+        client's quorum sampling derive from it.
     """
 
     scenario: ScenarioSpec
@@ -134,6 +183,10 @@ class ServiceLoadSpec:
     drop_probability: float = 0.0
     rpc_timeout: Optional[float] = 0.05
     fault_injection: FaultInjectionSpec = field(default_factory=FaultInjectionSpec)
+    transport: str = "inproc"
+    shards: int = 1
+    keys: int = 1
+    key_skew: float = 0.0
     dispatch: str = "batched"
     selection: str = "strategy"
     dispatch_window: float = 0.0
@@ -157,6 +210,30 @@ class ServiceLoadSpec:
         if self.write_interval < 0.0:
             raise ConfigurationError(
                 f"the write interval must be non-negative, got {self.write_interval}"
+            )
+        if self.transport not in TRANSPORT_MODES:
+            raise ConfigurationError(
+                f"unknown transport {self.transport!r}; choose from {TRANSPORT_MODES}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {self.shards}")
+        if self.keys < 1:
+            raise ConfigurationError(f"need at least one register key, got {self.keys}")
+        if self.shards > self.keys:
+            raise ConfigurationError(
+                f"{self.shards} shards with only {self.keys} register keys "
+                f"leaves shards provably idle; use shards <= keys"
+            )
+        if self.key_skew < 0.0:
+            raise ConfigurationError(
+                f"the key skew must be non-negative, got {self.key_skew}"
+            )
+        if self.transport == "tcp" and self.rpc_timeout is None:
+            raise ConfigurationError(
+                "rpc_timeout=None is refused over transport='tcp': a silent "
+                "replica sends no response frame, so without a deadline the "
+                "caller would block forever (in-process, the simulated "
+                "transport knows the fate and raises; the wire cannot)"
             )
         if self.dispatch not in DISPATCH_MODES:
             raise ConfigurationError(
@@ -193,12 +270,20 @@ class ServiceLoadSpec:
 
     def describe(self) -> str:
         """One-line summary used in reports."""
+        extras = ""
+        if self.transport != "inproc" or self.shards > 1 or self.keys > 1:
+            extras = (
+                f", transport={self.transport}, shards={self.shards}, "
+                f"keys={self.keys}"
+            )
+            if self.key_skew:
+                extras += f", key_skew={self.key_skew}"
         return (
             f"ServiceLoadSpec({self.scenario.describe()}, clients={self.clients}, "
             f"reads/client={self.reads_per_client}, writes={self.writes}, "
             f"dispatch={self.dispatch}, selection={self.selection}, "
             f"latency={self.latency}, drop={self.drop_probability}, "
-            f"injected_crashes={self.fault_injection.crash_count})"
+            f"injected_crashes={self.fault_injection.crash_count}{extras})"
         )
 
 
@@ -227,12 +312,17 @@ class ServiceLoadReport:
     rpc_timeouts: int
     probe_fallbacks: int
     injected_crashes: int
-    #: Delivery events the batched dispatcher fired (0 on the per-RPC path);
-    #: coalescing quality is roughly ``rpc_calls / dispatch_flushes``.
+    #: Delivery events the in-process batched dispatcher fired (0 on the
+    #: per-RPC and TCP paths); coalescing quality is roughly
+    #: ``rpc_calls / dispatch_flushes``.
     dispatch_flushes: int = 0
     #: Which event loop drove the run ("asyncio", or "uvloop" via the
     #: optional ``repro[fast]`` extra).
     loop_driver: str = "asyncio"
+    #: Which transport carried the RPCs ("inproc" or "tcp").
+    transport: str = "inproc"
+    #: Completed operations routed to each shard (length ``spec.shards``).
+    shard_ops: List[int] = field(default_factory=list)
 
     @property
     def operations(self) -> int:
@@ -243,6 +333,13 @@ class ServiceLoadReport:
     def throughput(self) -> float:
         """Completed operations per wall-clock second."""
         return self.operations / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def per_shard_throughput(self) -> List[float]:
+        """Completed operations per second, split by owning shard."""
+        if self.elapsed <= 0:
+            return [0.0 for _ in self.shard_ops]
+        return [ops / self.elapsed for ops in self.shard_ops]
 
     @property
     def fresh_fraction(self) -> float:
@@ -269,6 +366,16 @@ class ServiceLoadReport:
             f"  elapsed           {self.elapsed:.3f} s",
             f"  throughput        {self.throughput:,.0f} ops/s "
             f"({self.reads_completed} reads + {self.writes_completed} writes)",
+        ]
+        if len(self.shard_ops) > 1:
+            lines.append(
+                "  per-shard ops/s   "
+                + "  ".join(
+                    f"s{index}={throughput:,.0f}"
+                    for index, throughput in enumerate(self.per_shard_throughput)
+                )
+            )
+        lines += [
             "  read latency      "
             + "  ".join(
                 f"p{int(fraction * 100)}={_percentile(reads_ms, fraction) * 1e3:.2f}ms"
@@ -278,8 +385,8 @@ class ServiceLoadReport:
             "  outcomes          "
             + "  ".join(f"{label}={self.outcomes.get(label, 0)}" for label in OUTCOME_LABELS),
             f"  safety violations {self.violations} fabricated-accepted reads",
-            f"  transport         {self.rpc_calls} rpcs, {self.rpc_dropped} dropped, "
-            f"{self.rpc_timeouts} timed out"
+            f"  transport         {self.transport}: {self.rpc_calls} rpcs, "
+            f"{self.rpc_dropped} dropped, {self.rpc_timeouts} timed out"
             + (
                 f", {self.dispatch_flushes} coalesced deliveries"
                 if self.dispatch_flushes
@@ -301,7 +408,8 @@ def classify_service_read(
 
     ``settled_write`` is the last write that had *completed* when the read
     started (``None`` before the first completion); ``history`` maps every
-    issued write timestamp to its value.  The label is exactly
+    issued write timestamp to its value (both are per register key).  The
+    label is exactly
     :func:`~repro.protocol.classification.classify_read_outcome` against the
     settled write, except that an outcome matching a *concurrent* issued
     write is fresh, not fabricated — the theorems do not constrain reads
@@ -340,140 +448,160 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
     """Run one service load experiment on the current event loop."""
     rng = random.Random(spec.seed)
     scenario = spec.scenario
-    n = scenario.n
 
-    # -- deploy: nodes with the scenario's sampled static failures ----------------
-    nodes = [ServiceNode(server) for server in range(n)]
-    plan = scenario.failure_model.sample_plan_for(n, rng)
-    for server in plan.crashed:
-        nodes[server].crash()
-    for server, behavior in plan.byzantine.items():
-        nodes[server].set_behavior(behavior)
-    transport = AsyncTransport(
+    # -- deploy: per-shard node groups with sampled static failures ---------------
+    deployment = ShardedDeployment(
+        scenario,
+        shards=spec.shards,
+        transport=spec.transport,
         latency=spec.latency,
         jitter=spec.jitter,
         drop_probability=spec.drop_probability,
-        seed=rng.randrange(2**63),
+        dispatch=spec.dispatch,
+        dispatch_window=spec.dispatch_window,
+        # One tracker per shard (created inside the deployment): the shards
+        # are independent replica groups, so latency estimates never mix.
+        latency_tracking=spec.selection == "latency-aware",
+        rng=rng,
     )
-    # One dispatcher and (when latency-aware) one tracker per deployment:
-    # coalescing across clients and aggregating latency estimates is the
-    # point of sharing them.
-    tracker = (
-        EwmaLatencyTracker(n) if spec.selection == "latency-aware" else None
-    )
-    dispatcher = (
-        BatchedDispatcher(nodes, transport, window=spec.dispatch_window, tracker=tracker)
-        if spec.dispatch == "batched"
-        else None
-    )
-    pool_generator = np.random.default_rng(rng.randrange(2**63))
-
-    def make_client() -> AsyncQuorumClient:
-        return AsyncQuorumClient(
-            scenario.system,
-            nodes,
-            transport,
+    def make_client():
+        return deployment.new_register_client(
+            rng,
             timeout=spec.rpc_timeout,
-            rng=random.Random(rng.randrange(2**63)),
-            dispatcher=dispatcher,
             selection=spec.selection,
-            tracker=tracker,
             quorum_pool=spec.quorum_pool,
-            pool_generator=pool_generator,
         )
 
-    clients = [make_client() for _ in range(spec.clients + 1)]
-    writer = async_register_for(scenario, clients[0])
-    readers = [async_register_for(scenario, client) for client in clients[1:]]
-
-    # -- shared observation state -------------------------------------------------
-    history: Dict[Any, Any] = {}
-    settled: List[Optional[WriteOutcome]] = [None]
-    outcomes: Dict[str, int] = {label: 0 for label in OUTCOME_LABELS}
-    read_latencies: List[float] = []
-    write_latencies: List[float] = []
-    counters = {"reads": 0, "writes": 0, "write_failures": 0, "injected": 0}
-
-    # A reader may legitimately observe a write the moment its RPCs fan out,
-    # before the writer considers it complete — record issued pairs eagerly.
-    writer.on_issued = lambda timestamp, value: history.__setitem__(timestamp, value)
-
-    async def run_writer() -> None:
-        for version in range(spec.writes):
-            value = (scenario.workload.written_value, version)
-            started = time.perf_counter()
-            try:
-                outcome = await writer.write(value)
-            except QuorumUnavailableError:
-                counters["write_failures"] += 1
-            else:
-                write_latencies.append(time.perf_counter() - started)
-                settled[0] = outcome
-                counters["writes"] += 1
-            if spec.write_interval:
-                await asyncio.sleep(spec.write_interval)
-
-    async def run_reader(register) -> None:
-        for _ in range(spec.reads_per_client):
-            snapshot = settled[0]
-            started = time.perf_counter()
-            outcome = await register.read()
-            read_latencies.append(time.perf_counter() - started)
-            outcomes[classify_service_read(outcome, snapshot, history)] += 1
-            counters["reads"] += 1
-
-    async def run_injector() -> None:
-        injection = spec.fault_injection
-        if injection.crash_count < 1:
-            return
-        statically_faulty = set(plan.faulty_servers)
-        injected: deque = deque()
-        while True:
-            await asyncio.sleep(injection.interval)
-            if len(injected) >= injection.crash_count:
-                nodes[injected.popleft()].recover()
-            candidates = [
-                node.server_id
-                for node in nodes
-                if node.server_id not in statically_faulty
-                and node.server_id not in injected
-                and not node.server.is_crashed
-            ]
-            if not candidates:
-                continue
-            victim = rng.choice(candidates)
-            nodes[victim].crash()
-            injected.append(victim)
-            counters["injected"] += 1
-
-    injector = asyncio.ensure_future(run_injector())
-    started = time.perf_counter()
     try:
-        await asyncio.gather(run_writer(), *(run_reader(reader) for reader in readers))
-    finally:
-        injector.cancel()
-        try:
-            await injector
-        except asyncio.CancelledError:
-            pass
-    elapsed = time.perf_counter() - started
+        # Inside the try: a partial TCP startup (one shard's bind failing
+        # after others came up) must still tear every started server down.
+        await deployment.start()
+        writer = make_client()
+        readers = [make_client() for _ in range(spec.clients)]
 
-    return ServiceLoadReport(
-        spec=spec,
-        elapsed=elapsed,
-        reads_completed=counters["reads"],
-        writes_completed=counters["writes"],
-        write_failures=counters["write_failures"],
-        outcomes=outcomes,
-        read_latencies=read_latencies,
-        write_latencies=write_latencies,
-        rpc_calls=transport.calls,
-        rpc_dropped=transport.dropped,
-        rpc_timeouts=transport.timed_out,
-        probe_fallbacks=sum(client.probe_fallbacks for client in clients),
-        injected_crashes=counters["injected"],
-        dispatch_flushes=dispatcher.flushes if dispatcher is not None else 0,
-    )
+        # -- workload: keys and their read distribution ---------------------------
+        names = key_names(spec.keys)
+        # Routing is stable, so hash each key once instead of per operation.
+        shard_of = {name: shard_for_key(name, spec.shards) for name in names}
+        if spec.keys > 1:
+            cdf = key_weight_cdf(spec.keys, spec.key_skew)
+            reader_rngs = [
+                random.Random(rng.randrange(2**63)) for _ in range(spec.clients)
+            ]
+
+        # -- shared observation state ---------------------------------------------
+        history: Dict[str, Dict[Any, Any]] = {name: {} for name in names}
+        settled: Dict[str, Optional[WriteOutcome]] = {name: None for name in names}
+        outcomes: Dict[str, int] = {label: 0 for label in OUTCOME_LABELS}
+        read_latencies: List[float] = []
+        write_latencies: List[float] = []
+        shard_ops = [0] * spec.shards
+        counters = {"reads": 0, "writes": 0, "write_failures": 0, "injected": 0}
+
+        # A reader may legitimately observe a write the moment its RPCs fan
+        # out, before the writer considers it complete — record issued pairs
+        # eagerly, per key.
+        writer.on_issued = (
+            lambda key, timestamp, value: history[key].__setitem__(timestamp, value)
+        )
+
+        async def run_writer() -> None:
+            for version in range(spec.writes):
+                key = names[version % len(names)]
+                value = (scenario.workload.written_value, version)
+                started = time.perf_counter()
+                try:
+                    outcome = await writer.write(key, value)
+                except QuorumUnavailableError:
+                    counters["write_failures"] += 1
+                else:
+                    write_latencies.append(time.perf_counter() - started)
+                    settled[key] = outcome
+                    counters["writes"] += 1
+                    shard_ops[shard_of[key]] += 1
+                if spec.write_interval:
+                    await asyncio.sleep(spec.write_interval)
+
+        async def run_reader(reader, index: int) -> None:
+            for _ in range(spec.reads_per_client):
+                if spec.keys == 1:
+                    key = names[0]
+                else:
+                    key = reader_rngs[index].choices(names, cum_weights=cdf)[0]
+                snapshot = settled[key]
+                started = time.perf_counter()
+                outcome = await reader.read(key)
+                read_latencies.append(time.perf_counter() - started)
+                outcomes[classify_service_read(outcome, snapshot, history[key])] += 1
+                counters["reads"] += 1
+                shard_ops[shard_of[key]] += 1
+
+        async def run_injector() -> None:
+            injection = spec.fault_injection
+            if injection.crash_count < 1:
+                return
+            statically_faulty = {
+                (shard.index, server)
+                for shard in deployment.shards
+                for server in shard.plan.faulty_servers
+            }
+            injected: deque = deque()
+            while True:
+                await asyncio.sleep(injection.interval)
+                if len(injected) >= injection.crash_count:
+                    shard_index, server = injected.popleft()
+                    deployment.shards[shard_index].nodes[server].recover()
+                candidates = [
+                    (shard.index, node.server_id)
+                    for shard in deployment.shards
+                    for node in shard.nodes
+                    if (shard.index, node.server_id) not in statically_faulty
+                    and (shard.index, node.server_id) not in injected
+                    and not node.server.is_crashed
+                ]
+                if not candidates:
+                    continue
+                victim = rng.choice(candidates)
+                deployment.shards[victim[0]].nodes[victim[1]].crash()
+                injected.append(victim)
+                counters["injected"] += 1
+
+        injector = asyncio.ensure_future(run_injector())
+        started = time.perf_counter()
+        try:
+            await asyncio.gather(
+                run_writer(),
+                *(run_reader(reader, index) for index, reader in enumerate(readers)),
+            )
+        finally:
+            injector.cancel()
+            try:
+                await injector
+            except asyncio.CancelledError:
+                pass
+        elapsed = time.perf_counter() - started
+
+        return ServiceLoadReport(
+            spec=spec,
+            elapsed=elapsed,
+            reads_completed=counters["reads"],
+            writes_completed=counters["writes"],
+            write_failures=counters["write_failures"],
+            outcomes=outcomes,
+            read_latencies=read_latencies,
+            write_latencies=write_latencies,
+            rpc_calls=deployment.rpc_calls,
+            rpc_dropped=deployment.rpc_dropped,
+            rpc_timeouts=deployment.rpc_timeouts,
+            probe_fallbacks=writer.probe_fallbacks
+            + sum(reader.probe_fallbacks for reader in readers),
+            injected_crashes=counters["injected"],
+            dispatch_flushes=deployment.dispatch_flushes,
+            transport=spec.transport,
+            shard_ops=shard_ops,
+        )
+    finally:
+        await deployment.aclose()
 
 
 def active_loop_driver() -> str:

@@ -1,0 +1,633 @@
+"""Real socket transport: the service layer over asyncio TCP streams.
+
+Everything above the transport — quorum clients, register frontends, the
+load harness, the classifiers — is transport-agnostic: it calls
+``transport.call(node, method, *args, timeout=...)`` and reads the
+``calls``/``dropped``/``timed_out`` counters.  This module supplies the
+wire-level implementation of that same interface:
+
+* :class:`TcpServiceServer` hosts a whole replica group (a list of
+  :class:`~repro.service.node.ServiceNode`) behind one listening socket;
+  requests carry the destination ``server_id`` and are dispatched to the
+  node's ordinary ``handle`` method.  A node that answers
+  :data:`~repro.service.node.NO_REPLY` (crashed, silent-Byzantine) gets **no
+  response frame** — the caller's deadline expires exactly as it would
+  in process, so live fault injection works unchanged over the wire.
+* :class:`TcpTransport` is a drop-in :class:`~repro.service.transport.
+  AsyncTransport`: per-RPC wall-clock deadlines, the same failure counters,
+  and the same client-side drop/latency simulation knobs (a "dropped" RPC is
+  never sent and costs the caller its whole deadline, mirroring the
+  in-process semantics).  It maintains a small pool of connections, each
+  with its own **writer task** draining an outbound queue — concurrent
+  fan-outs coalesce into large socket writes — and **reconnects on drop**:
+  a broken connection is detected, its in-flight RPCs are left to their
+  deadlines (silence semantics), and the next send reopens the socket.
+
+Unlike the simulated transport, deadlines here are *wall-clock*: a timeout
+bounds real elapsed time, including event-loop lag and kernel buffering.
+The conformance suite (``tests/conformance``) asserts that classification
+rates over this path agree with the in-process service and both Monte-Carlo
+engines, and that no fabricated value is ever accepted.
+
+Frames are the length-prefixed tagged-JSON format of
+:mod:`repro.service.wire`; request/response shapes::
+
+    ("req", request_id, server_id, method, args_tuple)
+    ("rsp", request_id, reply_envelope)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import RpcTimeoutError, ServiceError, WireFormatError
+from repro.service.node import NO_REPLY, ServiceNode
+from repro.service.transport import AsyncTransport
+from repro.service.wire import (
+    FrameDecoder,
+    encode_frame,
+    encode_request_frame,
+    request_tail,
+)
+
+#: Socket read size for both the server's and the client's reader loops.
+_READ_CHUNK = 64 * 1024
+
+#: Connections a :class:`TcpTransport` stripes its RPCs across by default.
+DEFAULT_CONNECTIONS = 2
+
+
+class RemoteNode:
+    """Client-side stub for a replica hosted by a :class:`TcpServiceServer`.
+
+    Carries only the ``server_id`` the quorum client and transport route by;
+    the node's storage and behaviour live in the server process.
+    """
+
+    __slots__ = ("server_id",)
+
+    def __init__(self, server_id: int) -> None:
+        self.server_id = int(server_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"RemoteNode({self.server_id})"
+
+
+def remote_nodes(n: int) -> List[RemoteNode]:
+    """The ``n`` stubs a client passes where in-process code passes nodes."""
+    return [RemoteNode(server) for server in range(n)]
+
+
+async def _drain_queue(
+    queue: "asyncio.Queue[bytes]", writer: asyncio.StreamWriter
+) -> None:
+    """Per-connection writer task: coalesce queued frames into one write.
+
+    Every frame enqueued while the previous ``drain`` was in flight is
+    folded into the next socket write, so a burst of concurrent fan-outs
+    costs a handful of syscalls instead of one per RPC.
+    """
+    try:
+        while True:
+            buffer = bytearray(await queue.get())
+            while not queue.empty():
+                buffer += queue.get_nowait()
+            writer.write(bytes(buffer))
+            await writer.drain()
+    except (ConnectionError, asyncio.CancelledError, RuntimeError):
+        # Peer gone or loop shutting down: the reader side (or the caller's
+        # deadline) owns the failure; the writer task just stops.
+        pass
+
+
+class TcpServiceServer:
+    """One listening socket hosting a replica group.
+
+    Parameters
+    ----------
+    nodes:
+        The group's replica nodes, indexed by server id (requests name their
+        destination).  The caller keeps the references — live fault
+        injection crashes/recovers these exact objects.
+    host, port:
+        Bind address; ``port=0`` (the default) lets the OS pick a free
+        ephemeral port, published via :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self, nodes: Sequence[ServiceNode], host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.nodes = list(nodes)
+        self.host = host
+        self.port = int(port)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connection_tasks: "set[asyncio.Task]" = set()
+        self._connection_writers: "set[asyncio.StreamWriter]" = set()
+        self.connections_accepted = 0
+        self.requests_handled = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` clients connect to (valid after start)."""
+        return (self.host, self.port)
+
+    @property
+    def serving(self) -> bool:
+        """Whether the listening socket is open."""
+        return self._server is not None and self._server.is_serving()
+
+    async def start(self) -> Tuple[str, int]:
+        """Open the listening socket; return the bound address."""
+        if self._server is not None:
+            raise ServiceError("the server is already started")
+        self._server = await asyncio.start_server(self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop every open connection, release the socket.
+
+        Connections are closed at the transport level rather than by
+        cancelling their handler tasks: each reader loop then sees EOF and
+        unwinds cleanly, so shutdown never races a handler mid-dispatch.
+        """
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        for writer in list(self._connection_writers):
+            writer.close()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_accepted += 1
+        self._connection_tasks.add(asyncio.current_task())
+        self._connection_writers.add(writer)
+        outbound: "asyncio.Queue[bytes]" = asyncio.Queue()
+        writer_task = asyncio.create_task(_drain_queue(outbound, writer))
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    break
+                for frame in decoder.feed(chunk):
+                    self._handle_request(frame, outbound)
+        except (ConnectionError, WireFormatError):
+            # A malformed or vanished peer costs it its connection, nothing
+            # more; other connections and the nodes are unaffected.
+            pass
+        finally:
+            writer_task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._connection_writers.discard(writer)
+            self._connection_tasks.discard(asyncio.current_task())
+
+    def _handle_request(self, frame: Any, outbound: "asyncio.Queue[bytes]") -> None:
+        try:
+            kind, request_id, server_id, method, args = frame
+            if kind != "req" or not isinstance(args, tuple):
+                raise ValueError(kind)
+            # Explicit bounds check: Python's negative indexing would
+            # otherwise silently route server_id=-1 to the last replica.
+            if not isinstance(server_id, int) or not 0 <= server_id < len(self.nodes):
+                raise ValueError(server_id)
+            node = self.nodes[server_id]
+        except (TypeError, ValueError, IndexError, KeyError) as error:
+            raise WireFormatError(f"malformed request frame: {frame!r}") from error
+        try:
+            reply = node.handle(method, *args)
+        except ServiceError as error:
+            # Method-level garbage gets the same containment as frame-level
+            # garbage: this peer loses its connection, nothing more.
+            raise WireFormatError(f"unroutable request frame: {error}") from error
+        self.requests_handled += 1
+        if reply is NO_REPLY:
+            # Silence stays silence on the wire: the caller's deadline is
+            # the only thing that resolves it, as on the in-process paths.
+            return
+        outbound.put_nowait(encode_frame(("rsp", request_id, reply)))
+
+
+class _TcpConnection:
+    """One client socket: reader task, writer task, lazy (re)connect."""
+
+    __slots__ = ("transport", "_reader", "_writer", "_queue", "_tasks", "_lock", "_was_connected")
+
+    def __init__(self, transport: "TcpTransport") -> None:
+        self.transport = transport
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._queue: Optional["asyncio.Queue[bytes]"] = None
+        self._tasks: List[asyncio.Task] = []
+        self._lock = asyncio.Lock()
+        self._was_connected = False
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and not self._writer.is_closing()
+
+    async def send(self, frame: bytes, connect_timeout: Optional[float] = None) -> None:
+        """Queue one frame, (re)opening the socket first when needed.
+
+        The queue append itself never blocks; only a needed (re)connect
+        does, and ``connect_timeout`` bounds it so a blackholed peer costs
+        the caller its RPC deadline, not the OS connect timeout.
+        """
+        if not self.connected:
+            if connect_timeout is None:
+                await self._connect()
+            else:
+                try:
+                    await asyncio.wait_for(self._connect(), connect_timeout)
+                except asyncio.TimeoutError:
+                    raise ConnectionError(
+                        f"connect to {self.transport.address} exceeded the "
+                        f"{connect_timeout}s deadline"
+                    ) from None
+        self._queue.put_nowait(frame)
+
+    async def _connect(self) -> None:
+        async with self._lock:
+            if self.connected:
+                return
+            await self._teardown()
+            host, port = self.transport.address
+            self._reader, self._writer = await asyncio.open_connection(host, port)
+            self._queue = asyncio.Queue()
+            self._tasks = [
+                asyncio.create_task(_drain_queue(self._queue, self._writer)),
+                asyncio.create_task(self._read_loop(self._reader)),
+            ]
+            if self._was_connected:
+                self.transport.reconnects += 1
+            self._was_connected = True
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    break
+                for frame in decoder.feed(chunk):
+                    self.transport._dispatch_response(frame)
+        except (ConnectionError, WireFormatError, asyncio.CancelledError):
+            pass
+        finally:
+            # Mark the connection droppable so the next send reconnects;
+            # in-flight RPCs resolve through their deadlines (silence).
+            if self._writer is not None:
+                self._writer.close()
+
+    async def _teardown(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = self._queue = None
+
+    async def aclose(self) -> None:
+        async with self._lock:
+            await self._teardown()
+
+
+class TcpTransport(AsyncTransport):
+    """The :class:`AsyncTransport` interface over real asyncio TCP streams.
+
+    ``latency``/``jitter``/``drop_probability`` keep their simulation
+    meaning — extra client-side delay and injected message loss on top of
+    whatever the real network does — so a :class:`~repro.service.load.
+    ServiceLoadSpec` moves between ``transport="inproc"`` and
+    ``transport="tcp"`` without changing what its knobs mean.  Deadlines are
+    enforced in wall-clock time.
+
+    Parameters
+    ----------
+    address:
+        The ``(host, port)`` of the shard's :class:`TcpServiceServer`.
+    connections:
+        Sockets the transport stripes RPCs across; each has its own writer
+        task, so one slow ``drain`` never blocks the others.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        latency: float = 0.0,
+        jitter: float = 0.0,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+        connections: int = DEFAULT_CONNECTIONS,
+    ) -> None:
+        super().__init__(
+            latency=latency, jitter=jitter, drop_probability=drop_probability, seed=seed
+        )
+        if connections < 1:
+            raise ServiceError(f"need at least one connection, got {connections}")
+        self.address = (str(address[0]), int(address[1]))
+        self._connections = [_TcpConnection(self) for _ in range(connections)]
+        #: request_id -> Future (per-RPC path) or (op, server) (dispatcher path).
+        self._pending: Dict[int, Any] = {}
+        self._next_request_id = 0
+        #: Times a dropped connection was re-opened by a later send.
+        self.reconnects = 0
+        #: Optional latency tracker fed by the dispatcher path.
+        self.tracker: Optional[Any] = None
+
+    async def connect(self) -> None:
+        """Eagerly open every pooled connection (optional; sends also do it)."""
+        for connection in self._connections:
+            if not connection.connected:
+                await connection._connect()
+
+    async def aclose(self) -> None:
+        """Close every pooled connection and fail nothing (idempotent)."""
+        for connection in self._connections:
+            await connection.aclose()
+
+    def _dispatch_response(self, frame: Any) -> None:
+        try:
+            kind, request_id, payload = frame
+            if kind != "rsp":
+                raise ValueError(kind)
+        except (TypeError, ValueError) as error:
+            raise WireFormatError(f"malformed response frame: {frame!r}") from error
+        entry = self._pending.get(request_id)
+        if entry is None:
+            return
+        if isinstance(entry, asyncio.Future):
+            if not entry.done():
+                entry.set_result(payload)
+            return
+        op, server = entry
+        op.deliver(server, request_id, payload)
+
+    async def call(
+        self,
+        node: Any,
+        method: str,
+        *args: Any,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """One RPC over the wire; mirror the in-process failure semantics.
+
+        ``node`` needs only a ``server_id`` (a :class:`RemoteNode` stub, or
+        a real :class:`~repro.service.node.ServiceNode` in tests).  Raises
+        :class:`~repro.exceptions.RpcTimeoutError` when the RPC was
+        (simulated-)dropped, the reply missed the wall-clock deadline, or
+        the connection failed and could not be re-established in time.
+        """
+        self.calls += 1
+        if self.drop_probability > 0.0 and self.rng.random() < self.drop_probability:
+            # Simulated loss: never sent, costs the caller its deadline.
+            self.dropped += 1
+            await asyncio.sleep(self._delay() if timeout is None else timeout)
+            raise RpcTimeoutError(
+                f"rpc {method!r} to server {node.server_id} was dropped"
+            )
+        extra_delay = self._delay()
+        if timeout is not None and extra_delay > timeout:
+            # As on the in-process transport, the injected delay counts
+            # against the deadline: a delay beyond it is a timeout.
+            self.timed_out += 1
+            await asyncio.sleep(timeout)
+            raise RpcTimeoutError(
+                f"rpc {method!r} to server {node.server_id} timed out"
+            )
+        if extra_delay > 0.0:
+            await asyncio.sleep(extra_delay)
+        if timeout is not None:
+            timeout -= extra_delay
+        loop = asyncio.get_running_loop()
+        self._next_request_id += 1
+        request_id = self._next_request_id
+        future = loop.create_future()
+        self._pending[request_id] = future
+        frame = encode_frame(("req", request_id, node.server_id, method, args))
+        connection = self._connections[request_id % len(self._connections)]
+        started = loop.time()
+        try:
+            try:
+                await connection.send(frame, connect_timeout=timeout)
+            except (ConnectionError, OSError) as error:
+                # Unreachable server: burn (the rest of) the deadline like
+                # any silent peer — a failed connect already consumed some.
+                self.timed_out += 1
+                if timeout is not None:
+                    remaining = timeout - (loop.time() - started)
+                    if remaining > 0.0:
+                        await asyncio.sleep(remaining)
+                raise RpcTimeoutError(
+                    f"rpc {method!r} to server {node.server_id} failed to send: {error}"
+                ) from error
+            if timeout is None:
+                return await future
+            try:
+                # Connect/queue time counts against the same deadline the
+                # reply does: one RPC never waits longer than `timeout`.
+                return await asyncio.wait_for(
+                    future, max(timeout - (loop.time() - started), 0.001)
+                )
+            except asyncio.TimeoutError:
+                self.timed_out += 1
+                raise RpcTimeoutError(
+                    f"rpc {method!r} to server {node.server_id} timed out "
+                    f"after {timeout}s"
+                ) from None
+        finally:
+            self._pending.pop(request_id, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"TcpTransport({self.address[0]}:{self.address[1]}, "
+            f"connections={len(self._connections)}, calls={self.calls})"
+        )
+
+
+class _WireOp:
+    """One fanned-out operation over the wire: shared replies, one deadline.
+
+    Mirrors the batched dispatcher's ``_PendingOp`` with the one difference
+    the wire forces: a silent remote server produces *no* event at all, so
+    the deadline timer must be armed eagerly at op creation rather than
+    lazily when the last fate comes in.
+    """
+
+    __slots__ = ("transport", "loop", "future", "replies", "outstanding", "misses", "timer", "start")
+
+    def __init__(
+        self,
+        transport: "TcpTransport",
+        loop: asyncio.AbstractEventLoop,
+        timeout: Optional[float],
+        misses: int,
+    ) -> None:
+        self.transport = transport
+        self.loop = loop
+        self.future = loop.create_future()
+        self.replies: Dict[Any, Any] = {}
+        self.outstanding: Dict[int, Any] = {}  # request_id -> server
+        self.misses = misses
+        self.start = loop.time()
+        self.timer = (
+            loop.call_later(timeout, self._deadline) if timeout is not None else None
+        )
+
+    def deliver(self, server: Any, request_id: int, envelope: Any) -> None:
+        self.outstanding.pop(request_id, None)
+        self.transport._pending.pop(request_id, None)
+        # Strip the ("ok", payload) reply envelope, as the in-process
+        # dispatcher and the per-RPC client path both do.
+        self.replies[server] = envelope[1]
+        tracker = self.transport.tracker
+        if tracker is not None:
+            tracker.observe(server, self.loop.time() - self.start)
+        if not self.outstanding and (self.misses == 0 or self.timer is None):
+            # Every sent RPC answered: resolve early.  With misses (drops),
+            # the deadline timer resolves instead — a partially failed
+            # operation costs its whole deadline, as on every other path.
+            self._resolve()
+
+    def _deadline(self) -> None:
+        self.timer = None
+        transport = self.transport
+        transport.timed_out += len(self.outstanding)
+        if transport.tracker is not None:
+            for server in self.outstanding.values():
+                transport.tracker.penalize(server, self.loop.time() - self.start)
+        self._resolve()
+
+    def _resolve(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+        for request_id in self.outstanding:
+            self.transport._pending.pop(request_id, None)
+        self.outstanding = {}
+        if not self.future.done():
+            self.future.set_result(self.replies)
+
+
+class TcpDispatcher:
+    """Operation-level fan-out over a :class:`TcpTransport`.
+
+    The per-RPC path (:meth:`TcpTransport.call`) costs one future and one
+    ``wait_for`` timer per RPC; at quorum size ``q`` that is ``q`` timer
+    heap operations per logical read.  This dispatcher implements the same
+    ``fan_out`` interface as the in-process
+    :class:`~repro.service.dispatch.BatchedDispatcher` — the quorum client
+    accepts either — so one operation is **one** future and **one** deadline
+    timer however many servers it touches, and all of its request frames are
+    handed to the connection writers in a single burst (which the writer
+    tasks coalesce into few socket writes).
+
+    Drop simulation, counters and deadline semantics mirror the other
+    paths: drops are sampled per RPC from the transport RNG, a partially
+    failed operation resolves at its deadline with whatever arrived, and
+    every unanswered sent RPC increments ``timed_out`` exactly once.
+    """
+
+    def __init__(self, transport: TcpTransport, tracker: Optional[Any] = None) -> None:
+        self.transport = transport
+        transport.tracker = tracker
+        #: Interface parity with ``BatchedDispatcher``: the wire path has no
+        #: (node, tick) delivery events, so this stays 0 in reports.
+        self.flushes = 0
+        #: Logical operations fanned out so far.
+        self.ops = 0
+
+    @property
+    def tracker(self) -> Optional[Any]:
+        return self.transport.tracker
+
+    @tracker.setter
+    def tracker(self, value: Optional[Any]) -> None:
+        self.transport.tracker = value
+
+    async def fan_out(
+        self,
+        servers: Sequence[Any],
+        method: str,
+        args: tuple,
+        timeout: Optional[float],
+    ) -> Dict[Any, Any]:
+        """Issue ``method`` to every listed server; map responders to payloads."""
+        if not servers:
+            return {}
+        self.ops += 1
+        transport = self.transport
+        loop = asyncio.get_running_loop()
+        transport.calls += len(servers)
+        drop_probability = transport.drop_probability
+        rng_draw = transport.rng.random
+        sent = []
+        misses = 0
+        for server in servers:
+            if drop_probability > 0.0 and rng_draw() < drop_probability:
+                transport.dropped += 1
+                misses += 1
+                continue
+            sent.append(server)
+        # The op (and its deadline timer) starts *before* the injected
+        # delay, so simulated latency counts against the deadline exactly
+        # as on the in-process paths.
+        op = _WireOp(transport, loop, timeout, misses)
+        if transport.latency > 0.0:
+            # One coalesced delay per operation, drawn from the same stream
+            # and distribution as the per-RPC path's.
+            await asyncio.sleep(transport.draw_delay())
+        connections = transport._connections
+        stripes = len(connections)
+        pending = transport._pending
+        # The (method, args) payload is serialised once per op, not per
+        # frame: only request_id and server differ between the q frames.
+        tail = request_tail(method, args)
+        for position, server in enumerate(sent):
+            if op.future.done():
+                # The deadline fired while this coroutine was suspended
+                # (delay sleep or a reconnecting send): sending the rest
+                # would only leak pending entries.  The unsent RPCs were
+                # already counted in `calls`, so charge them as timeouts to
+                # keep the drop/timeout columns partitioning the failures.
+                transport.timed_out += len(sent) - position
+                break
+            transport._next_request_id += 1
+            request_id = transport._next_request_id
+            op.outstanding[request_id] = server
+            pending[request_id] = (op, server)
+            remaining = (
+                None if timeout is None else max(op.start + timeout - loop.time(), 0.001)
+            )
+            try:
+                await connections[request_id % stripes].send(
+                    encode_request_frame(request_id, server, tail),
+                    connect_timeout=remaining,
+                )
+            except (ConnectionError, OSError):
+                # Unreachable server: silence.  Counted as a *miss* too so
+                # the op still resolves at its deadline (never early with
+                # partial replies), exactly like a simulated drop.
+                op.outstanding.pop(request_id, None)
+                pending.pop(request_id, None)
+                op.misses += 1
+                transport.timed_out += 1
+        if op.timer is None and not op.outstanding and not op.future.done():
+            op._resolve()
+        return await op.future

@@ -1,0 +1,408 @@
+"""Multi-register sharding: independent quorum deployments keyed by register.
+
+One probabilistic quorum system bounds per-*server* load, but a single
+replica group still caps aggregate throughput at what ``n`` servers can
+serve.  Sharding scales the *service* horizontally the same way the paper
+scales the *quorum*: register keys are hashed across ``shards`` independent
+deployments — each shard its own replica group, transport, dispatcher and
+per-trial failure plan, running the same quorum construction — so shard
+loads grow with traffic per key range while every single read/write keeps
+the exact ε/masking semantics of its shard's quorum system.  Failures do
+not cross shards: a fully crashed shard takes down only the keys that hash
+to it (the sharding tests pin this isolation down).
+
+* :func:`shard_for_key` — the stable routing hash (BLAKE2b, *not* Python's
+  randomised ``hash``), identical across processes and runs;
+* :class:`ShardedDeployment` — builds and owns the per-shard resources for
+  either transport mode (``"inproc"``: shared-memory nodes, optionally
+  behind the batched dispatcher; ``"tcp"``: one
+  :class:`~repro.service.net.TcpServiceServer` per shard with a
+  :class:`~repro.service.net.TcpTransport` + op-level
+  :class:`~repro.service.net.TcpDispatcher` in front);
+* :class:`ShardedAsyncRegisterClient` — one logical client routing
+  ``read(key)``/``write(key, value)`` to per-key register frontends on the
+  key's shard.
+
+The deployment is transport-symmetric on purpose: the conformance suite
+runs the same scenario through both modes and asserts the classification
+rates agree.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.protocol.variable import WriteOutcome
+from repro.service.client import DEFAULT_QUORUM_POOL, AsyncQuorumClient
+from repro.service.dispatch import BatchedDispatcher
+from repro.service.net import (
+    RemoteNode,
+    TcpDispatcher,
+    TcpServiceServer,
+    TcpTransport,
+    remote_nodes,
+)
+from repro.service.node import ServiceNode
+from repro.service.register import AsyncRegister, async_register_for
+from repro.service.stats import EwmaLatencyTracker
+from repro.service.transport import AsyncTransport
+from repro.simulation.scenario import ScenarioSpec
+
+#: The two deployment transports the service layer exposes.
+TRANSPORT_MODES = ("inproc", "tcp")
+
+
+def shard_for_key(key: str, shards: int) -> int:
+    """The shard a register key lives on: stable, total, uniform.
+
+    Uses BLAKE2b rather than built-in ``hash`` so routing survives process
+    restarts and ``PYTHONHASHSEED`` (a key must map to the same shard from
+    every client, forever).
+    """
+    if shards < 1:
+        raise ConfigurationError(f"need at least one shard, got {shards}")
+    if shards == 1:
+        return 0
+    digest = hashlib.blake2b(str(key).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+class _Shard:
+    """One shard's resources (internal holder; the deployment owns these)."""
+
+    __slots__ = (
+        "index",
+        "nodes",
+        "plan",
+        "transport",
+        "transport_seed",
+        "dispatcher",
+        "server",
+        "client_nodes",
+        "pool_generator",
+        "tracker",
+    )
+
+    def __init__(self) -> None:
+        self.index = 0
+        self.nodes: List[ServiceNode] = []
+        self.plan = None
+        self.transport = None
+        self.transport_seed = 0
+        self.dispatcher = None
+        self.server: Optional[TcpServiceServer] = None
+        self.client_nodes: Sequence[Any] = ()
+        self.pool_generator: Optional[np.random.Generator] = None
+        self.tracker: Optional[Any] = None
+
+
+class ShardedDeployment:
+    """``shards`` independent deployments of one scenario, routed by key.
+
+    Parameters
+    ----------
+    scenario:
+        The declarative scenario every shard deploys: quorum system,
+        failure model (sampled independently per shard) and register kind.
+    shards:
+        Number of independent replica groups.
+    transport:
+        ``"inproc"`` (shared-memory nodes on the current loop) or ``"tcp"``
+        (one localhost socket server per shard).
+    latency, jitter, drop_probability:
+        Transport conditions, with the same meaning in both modes (over TCP
+        they are *added* to whatever the real sockets cost).
+    dispatch:
+        ``"batched"`` installs the coalescing dispatcher of the matching
+        transport (``BatchedDispatcher`` in process, the op-level
+        ``TcpDispatcher`` on the wire); ``"per-rpc"`` uses the
+        coroutine-per-RPC oracle path in both modes.
+    dispatch_window:
+        Extra coalescing time for the in-process batched dispatcher.
+    latency_tracking:
+        When true, each shard gets its **own**
+        :class:`~repro.service.stats.EwmaLatencyTracker` (latency-aware
+        selection).  Trackers are never shared across shards: the shards
+        are independent replica groups with independent failure plans, so
+        server ``i`` of one shard says nothing about server ``i`` of
+        another.
+    rng:
+        Root randomness: per-shard failure plans, transport seeds and pool
+        generators derive from it in shard order, so a deployment is
+        reproducible from one seed.
+    tcp_host:
+        Bind address for the per-shard socket servers.
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        shards: int = 1,
+        transport: str = "inproc",
+        latency: float = 0.0,
+        jitter: float = 0.0,
+        drop_probability: float = 0.0,
+        dispatch: str = "batched",
+        dispatch_window: float = 0.0,
+        latency_tracking: bool = False,
+        rng: Optional[random.Random] = None,
+        tcp_host: str = "127.0.0.1",
+    ) -> None:
+        if not isinstance(scenario, ScenarioSpec):
+            raise ConfigurationError(
+                f"a deployment is described over a ScenarioSpec, "
+                f"got {type(scenario).__name__}"
+            )
+        if shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {shards}")
+        if transport not in TRANSPORT_MODES:
+            raise ConfigurationError(
+                f"unknown transport {transport!r}; choose from {TRANSPORT_MODES}"
+            )
+        self.scenario = scenario
+        self.transport_mode = transport
+        self.latency_tracking = bool(latency_tracking)
+        self._tcp_host = tcp_host
+        self._started = transport == "inproc"
+        rng = rng if rng is not None else random.Random()
+        n = scenario.n
+        self.shards: List[_Shard] = []
+        for index in range(shards):
+            shard = _Shard()
+            shard.index = index
+            shard.nodes = [ServiceNode(server) for server in range(n)]
+            shard.plan = scenario.failure_model.sample_plan_for(n, rng)
+            for server in shard.plan.crashed:
+                shard.nodes[server].crash()
+            for server, behavior in shard.plan.byzantine.items():
+                shard.nodes[server].set_behavior(behavior)
+            shard.transport_seed = rng.randrange(2**63)
+            shard.tracker = EwmaLatencyTracker(n) if latency_tracking else None
+            if transport == "inproc":
+                shard.transport = AsyncTransport(
+                    latency=latency,
+                    jitter=jitter,
+                    drop_probability=drop_probability,
+                    seed=shard.transport_seed,
+                )
+                shard.dispatcher = (
+                    BatchedDispatcher(
+                        shard.nodes,
+                        shard.transport,
+                        window=dispatch_window,
+                        tracker=shard.tracker,
+                    )
+                    if dispatch == "batched"
+                    else None
+                )
+                shard.client_nodes = shard.nodes
+            else:
+                # The transport needs the server's ephemeral port, known
+                # only after start(); stash the knobs until then.
+                shard.server = TcpServiceServer(shard.nodes, host=tcp_host)
+                shard.transport = None
+                shard.dispatcher = None
+                shard.client_nodes = remote_nodes(n)
+            shard.pool_generator = np.random.default_rng(rng.randrange(2**63))
+            self.shards.append(shard)
+        self._tcp_knobs = (latency, jitter, drop_probability, dispatch)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        """How many independent replica groups the deployment runs."""
+        return len(self.shards)
+
+    def shard_for(self, key: str) -> int:
+        """Route a register key to its shard."""
+        return shard_for_key(key, len(self.shards))
+
+    async def start(self) -> None:
+        """Bring the deployment up (starts socket servers in TCP mode)."""
+        if self._started:
+            return
+        latency, jitter, drop_probability, dispatch = self._tcp_knobs
+        for shard in self.shards:
+            await shard.server.start()
+            shard.transport = TcpTransport(
+                shard.server.address,
+                latency=latency,
+                jitter=jitter,
+                drop_probability=drop_probability,
+                seed=shard.transport_seed,
+            )
+            await shard.transport.connect()
+            if dispatch == "batched":
+                shard.dispatcher = TcpDispatcher(shard.transport, tracker=shard.tracker)
+        self._started = True
+
+    async def aclose(self) -> None:
+        """Tear the deployment down (closes sockets in TCP mode; idempotent)."""
+        if self.transport_mode != "tcp":
+            return
+        for shard in self.shards:
+            if isinstance(shard.transport, TcpTransport):
+                await shard.transport.aclose()
+            if shard.server is not None:
+                await shard.server.aclose()
+        self._started = False
+
+    async def __aenter__(self) -> "ShardedDeployment":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    # -- clients ------------------------------------------------------------------
+
+    def client_for_shard(
+        self,
+        shard_index: int,
+        rng: Optional[random.Random] = None,
+        timeout: Optional[float] = 0.05,
+        selection: str = "strategy",
+        quorum_pool: int = DEFAULT_QUORUM_POOL,
+    ) -> AsyncQuorumClient:
+        """One quorum client bound to a single shard's replica group."""
+        if not self._started:
+            raise ConfigurationError(
+                "start() the deployment before creating clients (TCP ports "
+                "are unknown until the servers are up)"
+            )
+        shard = self.shards[shard_index]
+        return AsyncQuorumClient(
+            self.scenario.system,
+            shard.client_nodes,
+            shard.transport,
+            timeout=timeout,
+            rng=rng,
+            dispatcher=shard.dispatcher,
+            selection=selection,
+            tracker=shard.tracker,
+            quorum_pool=quorum_pool,
+            pool_generator=shard.pool_generator,
+        )
+
+    def new_register_client(
+        self,
+        rng: random.Random,
+        timeout: Optional[float] = 0.05,
+        selection: str = "strategy",
+        quorum_pool: int = DEFAULT_QUORUM_POOL,
+    ) -> "ShardedAsyncRegisterClient":
+        """One logical sharded client (one quorum client per shard).
+
+        Per-shard client RNGs are derived from ``rng`` in shard order, so a
+        harness seeding one generator per logical client stays reproducible
+        whatever the shard count.
+        """
+        clients = [
+            self.client_for_shard(
+                index,
+                rng=random.Random(rng.randrange(2**63)),
+                timeout=timeout,
+                selection=selection,
+                quorum_pool=quorum_pool,
+            )
+            for index in range(len(self.shards))
+        ]
+        return ShardedAsyncRegisterClient(self, clients)
+
+    # -- aggregate counters -------------------------------------------------------
+
+    @property
+    def rpc_calls(self) -> int:
+        return sum(shard.transport.calls for shard in self.shards)
+
+    @property
+    def rpc_dropped(self) -> int:
+        return sum(shard.transport.dropped for shard in self.shards)
+
+    @property
+    def rpc_timeouts(self) -> int:
+        return sum(shard.transport.timed_out for shard in self.shards)
+
+    @property
+    def dispatch_flushes(self) -> int:
+        return sum(
+            shard.dispatcher.flushes
+            for shard in self.shards
+            if shard.dispatcher is not None
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"ShardedDeployment({self.scenario.describe()}, "
+            f"shards={len(self.shards)}, transport={self.transport_mode!r})"
+        )
+
+
+class ShardedAsyncRegisterClient:
+    """Route per-key register operations across a sharded deployment.
+
+    Lazily builds one register frontend per key (protocol resolved from the
+    deployment's scenario, single-writer timestamps per key) on the key's
+    shard.  The ``on_issued`` hook mirrors
+    :attr:`~repro.service.register.AsyncRegister.on_issued` with the key
+    prepended, so the load harness keeps one issued-history per register.
+    """
+
+    def __init__(
+        self,
+        deployment: ShardedDeployment,
+        clients: Sequence[AsyncQuorumClient],
+    ) -> None:
+        if len(clients) != deployment.shard_count:
+            raise ConfigurationError(
+                f"the deployment has {deployment.shard_count} shards but "
+                f"{len(clients)} clients were given"
+            )
+        self.deployment = deployment
+        self.clients = list(clients)
+        self._registers: Dict[str, AsyncRegister] = {}
+        #: Optional ``(key, timestamp, value)`` callback fired when a write
+        #: is issued (before its RPCs fan out).
+        self.on_issued = None
+
+    def shard_for(self, key: str) -> int:
+        """The shard ``key``'s register lives on."""
+        return self.deployment.shard_for(key)
+
+    def register_for(self, key: str) -> AsyncRegister:
+        """The (cached) register frontend for ``key`` on its shard."""
+        register = self._registers.get(key)
+        if register is None:
+            shard = self.shard_for(key)
+            register = async_register_for(
+                self.deployment.scenario, self.clients[shard], name=key
+            )
+            register.on_issued = (
+                lambda timestamp, value, _key=key: self._notify(_key, timestamp, value)
+            )
+            self._registers[key] = register
+        return register
+
+    def _notify(self, key: str, timestamp: Any, value: Any) -> None:
+        if self.on_issued is not None:
+            self.on_issued(key, timestamp, value)
+
+    async def read(self, key: str):
+        """Read ``key``'s register on its shard."""
+        return await self.register_for(key).read()
+
+    async def write(self, key: str, value: Any) -> WriteOutcome:
+        """Write ``key``'s register on its shard."""
+        return await self.register_for(key).write(value)
+
+    @property
+    def probe_fallbacks(self) -> int:
+        """Probe-based repairs across every shard's quorum client."""
+        return sum(client.probe_fallbacks for client in self.clients)

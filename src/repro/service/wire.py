@@ -1,0 +1,208 @@
+"""The socket transport's wire format: length-prefixed, type-tagged JSON frames.
+
+The TCP transport (:mod:`repro.service.net`) moves the *same* RPC payloads
+the in-process paths pass by reference — method names, register keys,
+arbitrary written values, :class:`~repro.protocol.timestamps.Timestamp`
+objects (honest and forged), signature bytes and
+:class:`~repro.simulation.server.StoredValue` replies — so the codec must be
+a bijection on that whole value space, not just on JSON's native one.  Every
+container and protocol object is therefore packed behind a one-key tag
+object before serialisation:
+
+====  ==========================================================
+tag   payload
+====  ==========================================================
+"b"   bytes, as base64 text
+"t"   tuple, as a packed array
+"d"   dict, as packed ``[key, value]`` pairs (keys need not be strings)
+"ts"  ``Timestamp(counter, writer_id)``
+"sv"  ``StoredValue(value, timestamp, signature)``
+====  ==========================================================
+
+Plain JSON scalars and lists pass through untouched; plain dicts never
+appear raw on the wire (they are always tagged), which is what makes the
+tag objects unambiguous.  ``encode(decode(x)) == x`` for every supported
+payload — the hypothesis suite in ``tests/service/test_wire.py`` pins the
+round trip down, including adversarially large and empty values.
+
+A frame is a 4-byte big-endian length prefix followed by the UTF-8 JSON
+body.  :class:`FrameDecoder` is an *incremental* decoder: feed it whatever
+chunks the socket produced — single bytes, frame fragments, several frames
+glued together — and it yields each complete payload exactly once, holding
+partial frames until the rest arrives.  Frames beyond
+:data:`MAX_FRAME_BYTES` raise :class:`~repro.exceptions.WireFormatError`
+*before* the body is buffered, bounding the memory a malformed (or hostile)
+peer can pin.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, List
+
+from repro.exceptions import WireFormatError
+from repro.protocol.timestamps import Timestamp
+from repro.simulation.server import StoredValue
+
+#: Hard cap on one frame's body size (prefix excluded).  Large enough for
+#: any realistic register value, small enough that a corrupt length prefix
+#: cannot make the decoder buffer gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Length-prefix width in bytes (big-endian, unsigned).
+_PREFIX_BYTES = 4
+
+_SCALARS = (bool, int, float, str)
+
+
+def pack_value(value: Any) -> Any:
+    """Lower one payload to JSON-serialisable form (see the tag table)."""
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, bytes):
+        return {"b": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, tuple):
+        return {"t": [pack_value(item) for item in value]}
+    if isinstance(value, list):
+        return [pack_value(item) for item in value]
+    if isinstance(value, dict):
+        return {"d": [[pack_value(key), pack_value(item)] for key, item in value.items()]}
+    if isinstance(value, Timestamp):
+        return {"ts": [value.counter, value.writer_id]}
+    if isinstance(value, StoredValue):
+        return {
+            "sv": [
+                pack_value(value.value),
+                pack_value(value.timestamp),
+                pack_value(value.signature),
+            ]
+        }
+    raise WireFormatError(
+        f"cannot serialise {type(value).__name__!r} for the socket transport"
+    )
+
+
+def unpack_value(packed: Any) -> Any:
+    """Invert :func:`pack_value`; raise on unknown or malformed tags."""
+    if packed is None or isinstance(packed, _SCALARS):
+        return packed
+    if isinstance(packed, list):
+        return [unpack_value(item) for item in packed]
+    if isinstance(packed, dict):
+        if len(packed) != 1:
+            raise WireFormatError(f"malformed wire tag object: {sorted(packed)!r}")
+        tag, body = next(iter(packed.items()))
+        try:
+            if tag == "b":
+                return base64.b64decode(body.encode("ascii"), validate=True)
+            if tag == "t":
+                return tuple(unpack_value(item) for item in body)
+            if tag == "d":
+                return {unpack_value(key): unpack_value(item) for key, item in body}
+            if tag == "ts":
+                counter, writer_id = body
+                return Timestamp(int(counter), int(writer_id))
+            if tag == "sv":
+                value, timestamp, signature = body
+                return StoredValue(
+                    value=unpack_value(value),
+                    timestamp=unpack_value(timestamp),
+                    signature=unpack_value(signature),
+                )
+        except WireFormatError:
+            raise
+        except Exception as error:  # malformed body under a known tag
+            raise WireFormatError(f"malformed {tag!r} wire payload: {error}") from error
+        raise WireFormatError(f"unknown wire tag {tag!r}")
+    raise WireFormatError(f"cannot deserialise wire payload of type {type(packed).__name__!r}")
+
+
+def encode_frame(payload: Any) -> bytes:
+    """One payload as a length-prefixed frame, ready for a socket write."""
+    body = json.dumps(pack_value(payload), separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return len(body).to_bytes(_PREFIX_BYTES, "big") + body
+
+
+def request_tail(method: str, args: tuple) -> str:
+    """Pre-serialised shared suffix of a fan-out's request frames.
+
+    A quorum fan-out sends ``q`` request frames differing only in
+    ``request_id`` and ``server``; serialising the (potentially large)
+    ``(method, args)`` payload once per *operation* instead of once per
+    frame keeps the wire fast path linear in the payload size.  Compose
+    with :func:`encode_request_frame`.
+    """
+    return (
+        json.dumps(method)
+        + ","
+        + json.dumps(pack_value(tuple(args)), separators=(",", ":"))
+    )
+
+
+def encode_request_frame(request_id: int, server: int, tail: str) -> bytes:
+    """One request frame from a pre-serialised :func:`request_tail`.
+
+    Byte-identical to ``encode_frame(("req", request_id, server, method,
+    args))`` — the wire tests pin the equivalence down.
+    """
+    body = ('{"t":["req",%d,%d,%s]}' % (request_id, server, tail)).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return len(body).to_bytes(_PREFIX_BYTES, "big") + body
+
+
+class FrameDecoder:
+    """Incremental frame decoder, resilient to arbitrary chunk boundaries.
+
+    :meth:`feed` accepts whatever the socket read produced and returns the
+    payloads of every frame *completed* by that chunk (possibly none,
+    possibly several); partial frames stay buffered until their remaining
+    bytes arrive.  The decoder is stateful per connection — use one instance
+    per stream.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max_frame_bytes = int(max_frame_bytes)
+        #: Frames decoded so far (tests and server stats).
+        self.frames_decoded = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward a not-yet-complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Any]:
+        """Buffer ``data``; return the payloads of every completed frame."""
+        buffer = self._buffer
+        buffer += data
+        payloads: List[Any] = []
+        while True:
+            if len(buffer) < _PREFIX_BYTES:
+                break
+            length = int.from_bytes(buffer[:_PREFIX_BYTES], "big")
+            if length > self._max_frame_bytes:
+                raise WireFormatError(
+                    f"incoming frame claims {length} bytes, beyond the "
+                    f"{self._max_frame_bytes}-byte cap"
+                )
+            end = _PREFIX_BYTES + length
+            if len(buffer) < end:
+                break
+            body = bytes(buffer[_PREFIX_BYTES:end])
+            del buffer[:end]
+            try:
+                payloads.append(unpack_value(json.loads(body.decode("utf-8"))))
+            except WireFormatError:
+                raise
+            except ValueError as error:
+                raise WireFormatError(f"undecodable frame body: {error}") from error
+            self.frames_decoded += 1
+        return payloads

@@ -283,23 +283,24 @@ class TestLatencyAwareGuards:
 def run_with_nodes(spec):
     """Run a load spec while capturing the deployed nodes for inspection.
 
-    The harness constructs its nodes internally, so the per-server access
-    counters are recovered by patching the harness's ``ServiceNode`` name
-    with a recording subclass for the duration of the run.
+    The harness constructs its nodes internally (one group per shard, in
+    :mod:`repro.service.sharding`), so the per-server access counters are
+    recovered by patching that module's ``ServiceNode`` name with a
+    recording subclass for the duration of the run.
     """
-    from repro.service import load as load_module
+    from repro.service import sharding as sharding_module
 
     nodes = []
-    original_node = load_module.ServiceNode
+    original_node = sharding_module.ServiceNode
 
     class RecordingNode(original_node):
         def __init__(self, *args, **kwargs):
             super().__init__(*args, **kwargs)
             nodes.append(self)
 
-    load_module.ServiceNode = RecordingNode
+    sharding_module.ServiceNode = RecordingNode
     try:
         report = run_service_load(spec)
     finally:
-        load_module.ServiceNode = original_node
+        sharding_module.ServiceNode = original_node
     return report, nodes

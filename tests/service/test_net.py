@@ -1,0 +1,319 @@
+"""Tests for the TCP socket transport and server (`repro.service.net`)."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.masking import ProbabilisticMaskingSystem
+from repro.exceptions import RpcTimeoutError, ServiceError
+from repro.protocol.timestamps import Timestamp
+from repro.service.client import AsyncQuorumClient
+from repro.service.net import (
+    RemoteNode,
+    TcpDispatcher,
+    TcpServiceServer,
+    TcpTransport,
+    remote_nodes,
+)
+from repro.service.node import ServiceNode
+from repro.service.register import AsyncMaskingRegister
+from repro.simulation.server import ByzantineForgeBehavior
+
+MASKING = ProbabilisticMaskingSystem(25, 10, 3)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def deploy(n=25, **transport_kwargs):
+    nodes = [ServiceNode(server) for server in range(n)]
+    server = TcpServiceServer(nodes)
+    await server.start()
+    transport = TcpTransport(server.address, **transport_kwargs)
+    return nodes, server, transport
+
+
+async def teardown(server, transport):
+    await transport.aclose()
+    await server.aclose()
+
+
+class TestTcpRoundTrip:
+    def test_write_then_read_through_real_sockets(self):
+        async def scenario():
+            nodes, server, transport = await deploy()
+            stub = RemoteNode(3)
+            ok = await transport.call(
+                stub, "write", "x", ("v", 0), Timestamp(1), None, timeout=1.0
+            )
+            assert ok == ("ok", True)
+            tag, stored = await transport.call(stub, "read", "x", timeout=1.0)
+            assert tag == "ok"
+            assert stored.value == ("v", 0) and stored.timestamp == Timestamp(1)
+            # The write really landed on the server-side node object.
+            assert nodes[3].stored("x").value == ("v", 0)
+            assert server.requests_handled == 2
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_server_routes_by_server_id(self):
+        async def scenario():
+            nodes, server, transport = await deploy(n=5)
+            for target in range(5):
+                await transport.call(
+                    RemoteNode(target), "write", "x", target, Timestamp(1), None,
+                    timeout=1.0,
+                )
+            assert [node.stored("x").value for node in nodes] == [0, 1, 2, 3, 4]
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_concurrent_calls_multiplex_on_shared_connections(self):
+        async def scenario():
+            nodes, server, transport = await deploy(n=10)
+            for node in nodes:
+                node.server.handle_write("x", node.server_id * 11, Timestamp(1), None)
+            replies = await asyncio.gather(
+                *(
+                    transport.call(RemoteNode(index % 10), "read", "x", timeout=1.0)
+                    for index in range(200)
+                )
+            )
+            for index, (tag, stored) in enumerate(replies):
+                assert stored.value == (index % 10) * 11  # no cross-talk
+            assert transport.calls == 200
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_ephemeral_port_is_published_after_start(self):
+        async def scenario():
+            server = TcpServiceServer([ServiceNode(0)])
+            host, port = await server.start()
+            assert host == "127.0.0.1" and port > 0
+            assert server.serving
+            with pytest.raises(ServiceError):
+                await server.start()
+            await server.aclose()
+            assert not server.serving
+
+        run(scenario())
+
+
+class TestFailureSemantics:
+    def test_crashed_node_costs_the_caller_its_deadline(self):
+        async def scenario():
+            nodes, server, transport = await deploy(n=3)
+            nodes[1].crash()
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            with pytest.raises(RpcTimeoutError):
+                await transport.call(RemoteNode(1), "ping", timeout=0.05)
+            waited = loop.time() - started
+            assert waited == pytest.approx(0.05, abs=0.1)
+            assert transport.timed_out == 1
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_simulated_drops_are_counted_and_never_sent(self):
+        async def scenario():
+            nodes, server, transport = await deploy(n=3, drop_probability=0.999999, seed=7)
+            with pytest.raises(RpcTimeoutError, match="dropped"):
+                await transport.call(RemoteNode(0), "ping", timeout=0.01)
+            assert transport.dropped == 1
+            assert server.requests_handled == 0
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_reconnects_after_a_dropped_connection(self):
+        async def scenario():
+            nodes, server, transport = await deploy(n=3, connections=1)
+            assert await transport.call(RemoteNode(0), "ping", timeout=1.0) == ("ok", True)
+            # Sever the (only) connection out from under the transport.
+            transport._connections[0]._writer.close()
+            await asyncio.sleep(0.01)
+            assert await transport.call(RemoteNode(0), "ping", timeout=1.0) == ("ok", True)
+            assert transport.reconnects == 1
+            assert server.connections_accepted == 2
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_unreachable_server_times_out_instead_of_hanging(self):
+        async def scenario():
+            nodes, server, transport = await deploy(n=3)
+            await server.aclose()
+            # A fresh transport to the now-closed port cannot even connect.
+            dead = TcpTransport(server.address)
+            with pytest.raises(RpcTimeoutError):
+                await dead.call(RemoteNode(0), "ping", timeout=0.05)
+            assert dead.timed_out == 1
+            await teardown(server, transport)
+            await dead.aclose()
+
+        run(scenario())
+
+    def test_injected_latency_counts_against_the_deadline(self):
+        # Parity with AsyncTransport: a drawn delay beyond the deadline IS
+        # the timeout — the caller never waits delay + timeout.
+        async def scenario():
+            nodes, server, transport = await deploy(n=3, latency=0.2)
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            with pytest.raises(RpcTimeoutError):
+                await transport.call(RemoteNode(0), "ping", timeout=0.05)
+            assert loop.time() - started < 0.19
+            assert transport.timed_out == 1
+            assert server.requests_handled == 0
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_unknown_method_costs_the_peer_its_connection_only(self):
+        async def scenario():
+            nodes, server, transport = await deploy(n=3, connections=1)
+            with pytest.raises(RpcTimeoutError):
+                await transport.call(RemoteNode(0), "bogus-method", timeout=0.05)
+            # The server survives and the transport reconnects transparently.
+            assert server.serving
+            assert await transport.call(RemoteNode(0), "ping", timeout=1.0) == ("ok", True)
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_negative_server_id_is_rejected_not_wrapped_around(self):
+        async def scenario():
+            nodes, server, transport = await deploy(n=3, connections=1)
+            with pytest.raises(RpcTimeoutError):
+                await transport.call(RemoteNode(-1), "ping", timeout=0.05)
+            # Nothing was routed to nodes[-1]; the server just dropped the peer.
+            assert server.requests_handled == 0
+            assert server.serving
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            TcpTransport(("127.0.0.1", 1), connections=0)
+
+
+class TestTcpDispatcher:
+    def test_fan_out_matches_per_rpc_replies(self):
+        async def scenario():
+            nodes, server, transport = await deploy(n=10)
+            for node in nodes:
+                node.server.handle_write("x", node.server_id, Timestamp(1), None)
+            dispatcher = TcpDispatcher(transport)
+            replies = await dispatcher.fan_out(range(10), "read", ("x",), 1.0)
+            assert sorted(replies) == list(range(10))
+            assert all(replies[s].value == s for s in replies)
+            assert dispatcher.ops == 1
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_silent_servers_resolve_at_the_op_deadline(self):
+        async def scenario():
+            nodes, server, transport = await deploy(n=6)
+            for victim in (1, 4):
+                nodes[victim].crash()
+            dispatcher = TcpDispatcher(transport)
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            replies = await dispatcher.fan_out(range(6), "ping", (), 0.05)
+            waited = loop.time() - started
+            assert sorted(replies) == [0, 2, 3, 5]
+            assert waited == pytest.approx(0.05, abs=0.1)
+            assert transport.timed_out == 2
+            assert len(transport._pending) == 0  # nothing leaked
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_empty_fan_out_resolves_immediately(self):
+        async def scenario():
+            nodes, server, transport = await deploy(n=3)
+            dispatcher = TcpDispatcher(transport)
+            assert await dispatcher.fan_out((), "ping", (), 0.05) == {}
+            await teardown(server, transport)
+
+        run(scenario())
+
+
+class TestQuorumClientOverTcp:
+    def test_masking_register_over_the_wire(self):
+        async def scenario():
+            nodes, server, transport = await deploy()
+            client = AsyncQuorumClient(
+                MASKING,
+                remote_nodes(25),
+                transport,
+                timeout=1.0,
+                rng=random.Random(3),
+                dispatcher=TcpDispatcher(transport),
+            )
+            register = AsyncMaskingRegister(client)
+            write = await register.write("over-the-wire")
+            assert len(write.acknowledged) == 10
+            outcome = await register.read()
+            # ε-allowance: the two quorums can under-intersect; what cannot
+            # happen is a fabricated value.
+            assert outcome.value in ("over-the-wire", None)
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_forged_replies_cross_the_wire_and_are_outvoted(self):
+        async def scenario():
+            nodes, server, transport = await deploy()
+            system = ProbabilisticMaskingSystem(25, 15, 2)  # k = 5 > b = 2
+            for victim in (0, 1):
+                nodes[victim].set_behavior(
+                    ByzantineForgeBehavior("FORGED", Timestamp.forged_maximum())
+                )
+            client = AsyncQuorumClient(
+                system,
+                remote_nodes(25),
+                transport,
+                timeout=1.0,
+                rng=random.Random(5),
+                dispatcher=TcpDispatcher(transport),
+            )
+            register = AsyncMaskingRegister(client)
+            await register.write("honest")
+            for _ in range(10):
+                outcome = await register.read()
+                assert outcome.value != "FORGED"
+            await teardown(server, transport)
+
+        run(scenario())
+
+    def test_probe_repair_works_over_tcp(self):
+        async def scenario():
+            nodes, server, transport = await deploy()
+            client = AsyncQuorumClient(
+                MASKING,
+                remote_nodes(25),
+                transport,
+                timeout=0.05,
+                rng=random.Random(11),
+            )
+            register = AsyncMaskingRegister(client)
+            await register.write("durable")
+            for victim in random.Random(2).sample(range(25), 10):
+                nodes[victim].crash()
+            outcome = await register.read()
+            assert outcome.value in ("durable", None)
+            assert client.probe_fallbacks >= 1
+            await teardown(server, transport)
+
+        run(scenario())

@@ -1,0 +1,222 @@
+"""Property tests for the socket transport's wire format.
+
+Two invariants carry the whole TCP path:
+
+* **round trip** — ``decode(encode(x)) == x`` for every payload the
+  protocol can put on the wire (scalars, bytes, tuples, dicts with
+  non-string keys, honest and forged timestamps, stored values — nested
+  arbitrarily, adversarially large or empty);
+* **short-read resilience** — the incremental decoder recovers the exact
+  frame sequence however the byte stream is chopped up (single bytes,
+  fragments straddling the length prefix, many frames per chunk).
+
+Both are hypothesis properties; a handful of deterministic edge cases
+(oversized frames, malformed tags, truncation) pin the error behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import WireFormatError
+from repro.protocol.timestamps import Timestamp
+from repro.service.wire import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    encode_frame,
+    pack_value,
+    unpack_value,
+)
+from repro.simulation.server import StoredValue
+
+# -- payload strategy -------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),  # NaN breaks == (not the codec); tested separately
+    st.text(max_size=64),
+    st.binary(max_size=128),
+    st.builds(
+        Timestamp,
+        st.integers(min_value=0, max_value=2**62),
+        st.integers(min_value=0, max_value=2**30),
+    ),
+)
+
+
+def stored_values(values):
+    return st.builds(
+        StoredValue,
+        value=values,
+        timestamp=st.one_of(
+            st.builds(Timestamp, st.integers(min_value=0, max_value=2**62)),
+            st.text(max_size=8),  # a forged, wrong-typed timestamp
+            st.none(),
+        ),
+        signature=st.one_of(st.none(), st.binary(max_size=64)),
+    )
+
+
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(
+            st.one_of(
+                st.text(max_size=8),
+                st.integers(min_value=-100, max_value=100),
+                st.builds(Timestamp, st.integers(min_value=0, max_value=1000)),
+            ),
+            children,
+            max_size=4,
+        ),
+        stored_values(children),
+    ),
+    max_leaves=12,
+)
+
+
+class TestRoundTrip:
+    @given(payloads)
+    @settings(max_examples=300, deadline=None)
+    def test_encode_decode_is_identity(self, payload):
+        assert unpack_value(json.loads(json.dumps(pack_value(payload)))) == payload
+
+    @given(payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_frame_round_trip(self, payload):
+        decoder = FrameDecoder()
+        (decoded,) = decoder.feed(encode_frame(payload))
+        assert decoded == payload
+        assert decoder.pending_bytes == 0
+
+    def test_rpc_shaped_payloads(self):
+        request = ("req", 17, 4, "write", ("x", ("v", 3), Timestamp(5, 1), b"\x00sig"))
+        reply = ("rsp", 17, ("ok", StoredValue(("v", 3), Timestamp(5, 1), b"\x00sig")))
+        for payload in (request, reply):
+            (decoded,) = FrameDecoder().feed(encode_frame(payload))
+            assert decoded == payload
+            assert type(decoded) is tuple
+
+    @given(
+        st.integers(min_value=1, max_value=2**31),
+        st.integers(min_value=0, max_value=10_000),
+        st.text(max_size=16),
+        st.lists(payloads, max_size=3).map(tuple),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fast_request_encoder_is_byte_identical(self, request_id, server, method, args):
+        from repro.service.wire import encode_request_frame, request_tail
+
+        tail = request_tail(method, args)
+        fast = encode_request_frame(request_id, server, tail)
+        assert fast == encode_frame(("req", request_id, server, method, args))
+
+    def test_adversarially_large_and_empty_values(self):
+        large = "A" * 1_000_000
+        for value in (large, large.encode(), b"", "", [], (), {}, 0, None):
+            (decoded,) = FrameDecoder().feed(encode_frame(value))
+            assert decoded == value
+            assert type(decoded) is type(value)
+
+    def test_forged_maximum_timestamp_survives_the_wire(self):
+        forged = Timestamp.forged_maximum()
+        (decoded,) = FrameDecoder().feed(encode_frame(forged))
+        assert decoded == forged and isinstance(decoded, Timestamp)
+
+    def test_non_string_dict_keys_round_trip(self):
+        history = {Timestamp(1): "a", Timestamp(2): "b", 7: "c"}
+        (decoded,) = FrameDecoder().feed(encode_frame(history))
+        assert decoded == history
+
+    def test_unserialisable_object_is_rejected(self):
+        with pytest.raises(WireFormatError):
+            pack_value(object())
+
+
+class TestShortReadResilience:
+    @given(
+        st.lists(payloads, min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_any_chunking_yields_the_same_frames(self, frames, chunk_size):
+        stream = b"".join(encode_frame(frame) for frame in frames)
+        decoder = FrameDecoder()
+        decoded = []
+        for start in range(0, len(stream), chunk_size):
+            decoded.extend(decoder.feed(stream[start : start + chunk_size]))
+        assert decoded == frames
+        assert decoder.pending_bytes == 0
+
+    @given(st.lists(payloads, min_size=2, max_size=4), st.randoms())
+    @settings(max_examples=50, deadline=None)
+    def test_random_chunk_boundaries(self, frames, rnd):
+        stream = b"".join(encode_frame(frame) for frame in frames)
+        decoder = FrameDecoder()
+        decoded = []
+        position = 0
+        while position < len(stream):
+            step = rnd.randint(1, max(1, len(stream) - position))
+            decoded.extend(decoder.feed(stream[position : position + step]))
+            position += step
+        assert decoded == frames
+
+    def test_partial_frame_stays_buffered_without_output(self):
+        frame = encode_frame({"k": list(range(50))})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:3]) == []  # not even a full length prefix
+        assert decoder.feed(frame[3:10]) == []  # prefix + partial body
+        assert decoder.pending_bytes == 10
+        (decoded,) = decoder.feed(frame[10:])
+        assert decoded == {"k": list(range(50))}
+
+    def test_frames_glued_to_a_partial_tail(self):
+        first, second = encode_frame("one"), encode_frame("two")
+        decoder = FrameDecoder()
+        assert decoder.feed(first + second[:5]) == ["one"]
+        assert decoder.feed(second[5:]) == ["two"]
+
+
+class TestMalformedInput:
+    def test_oversized_length_prefix_is_rejected_before_buffering(self):
+        prefix = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(WireFormatError, match="beyond"):
+            FrameDecoder().feed(prefix)
+
+    def test_oversized_encode_is_rejected(self):
+        decoder_cap = FrameDecoder(max_frame_bytes=16)
+        frame = encode_frame("x" * 64)
+        with pytest.raises(WireFormatError):
+            decoder_cap.feed(frame)
+
+    def test_garbage_body_is_a_wire_error(self):
+        body = b"not json at all"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(WireFormatError, match="undecodable"):
+            FrameDecoder().feed(frame)
+
+    def test_unknown_tag_is_a_wire_error(self):
+        body = json.dumps({"zz": 1}).encode()
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(WireFormatError, match="unknown wire tag"):
+            FrameDecoder().feed(frame)
+
+    def test_multi_key_object_is_a_wire_error(self):
+        body = json.dumps({"a": 1, "b": 2}).encode()
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(WireFormatError, match="malformed wire tag"):
+            FrameDecoder().feed(frame)
+
+    def test_malformed_timestamp_body_is_a_wire_error(self):
+        body = json.dumps({"ts": [1, 2, 3, 4]}).encode()
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(WireFormatError, match="malformed 'ts'"):
+            FrameDecoder().feed(frame)
