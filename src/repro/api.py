@@ -1,0 +1,287 @@
+"""The deployment facade: one front door to the live service layer.
+
+The service stack is deliberately layered — scenario specs, sharded
+deployments, per-shard quorum clients, register frontends, lock handles —
+and wiring them by hand takes half a dozen imports.  This module is the
+single entry point that composes them:
+
+>>> from repro.api import Deployment
+>>> deployment = (
+...     Deployment.builder(scenario)
+...     .transport("inproc")
+...     .shards(2)
+...     .deadline(0.05)
+...     .seed(7)
+...     .build()
+... )
+>>> async with deployment:                       # doctest: +SKIP
+...     registers = deployment.connect()         # register client
+...     await registers.write("x", "hello")
+...     outcome = await registers.read("x")
+...     lock = deployment.lock_client("leader", client_id=1)
+...     grant = await lock.acquire()
+...     await lock.release()
+
+Everything the facade hands out runs the same code paths the conformance
+suite pins down: registers route through
+:class:`~repro.service.sharding.ShardedAsyncRegisterClient` (the scenario's
+protocol per key, shared deterministic selection), and lock handles are
+:class:`~repro.apps.mutex.AsyncQuorumMutex` over the same quorum clients.
+The builder's knob names (``deadline``, ``seed``, ``dispatch``,
+``selection``) are the canonical spellings used across
+:class:`~repro.service.client.AsyncQuorumClient`,
+:class:`~repro.service.sharding.ShardedDeployment` and
+:class:`~repro.service.load.ServiceLoadSpec`; the pre-facade aliases
+(``timeout``, ``rpc_timeout``) keep working with a ``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.service.client import DEFAULT_QUORUM_POOL, SELECTION_MODES
+from repro.service.dispatch import DISPATCH_MODES
+from repro.service.sharding import (
+    TRANSPORT_MODES,
+    ShardedAsyncRegisterClient,
+    ShardedDeployment,
+)
+from repro.simulation.scenario import ScenarioSpec
+
+__all__ = ["Deployment", "DeploymentBuilder"]
+
+
+class DeploymentBuilder:
+    """Fluent configuration for a :class:`Deployment`.
+
+    Every setter returns the builder; :meth:`build` materialises the
+    deployment (servers are not started until ``await deployment.start()``
+    or ``async with deployment:``).
+    """
+
+    def __init__(self, scenario: ScenarioSpec) -> None:
+        if not isinstance(scenario, ScenarioSpec):
+            raise ConfigurationError(
+                f"a deployment is described over a ScenarioSpec, "
+                f"got {type(scenario).__name__}"
+            )
+        self._scenario = scenario
+        self._transport = "inproc"
+        self._shards = 1
+        self._deadline: Optional[float] = 0.05
+        self._seed: Optional[int] = None
+        self._dispatch = "batched"
+        self._selection = "strategy"
+        self._latency = 0.0
+        self._jitter = 0.0
+        self._drop_probability = 0.0
+        self._quorum_pool = DEFAULT_QUORUM_POOL
+
+    def transport(self, mode: str) -> "DeploymentBuilder":
+        """``"inproc"`` (simulated message passing) or ``"tcp"`` (localhost sockets)."""
+        if mode not in TRANSPORT_MODES:
+            raise ConfigurationError(
+                f"unknown transport {mode!r}; choose from {TRANSPORT_MODES}"
+            )
+        self._transport = mode
+        return self
+
+    def shards(self, count: int) -> "DeploymentBuilder":
+        """Independent replica groups register keys are hashed across."""
+        if count < 1:
+            raise ConfigurationError(f"need at least one shard, got {count}")
+        self._shards = int(count)
+        return self
+
+    def deadline(self, seconds: Optional[float]) -> "DeploymentBuilder":
+        """Per-RPC deadline for every client built by this deployment."""
+        if seconds is not None and seconds <= 0:
+            raise ConfigurationError(f"the deadline must be positive, got {seconds}")
+        self._deadline = seconds
+        return self
+
+    def seed(self, seed: int) -> "DeploymentBuilder":
+        """Root seed: failure sampling, transport noise and client RNGs."""
+        self._seed = int(seed)
+        return self
+
+    def dispatch(self, mode: str) -> "DeploymentBuilder":
+        """``"batched"`` (coalescing fast path) or ``"per-rpc"`` (the oracle)."""
+        if mode not in DISPATCH_MODES:
+            raise ConfigurationError(
+                f"unknown dispatch mode {mode!r}; choose from {DISPATCH_MODES}"
+            )
+        self._dispatch = mode
+        return self
+
+    def selection(self, mode: str) -> "DeploymentBuilder":
+        """``"strategy"`` (ε-faithful) or ``"latency-aware"`` (benign only)."""
+        if mode not in SELECTION_MODES:
+            raise ConfigurationError(
+                f"unknown selection mode {mode!r}; choose from {SELECTION_MODES}"
+            )
+        self._selection = mode
+        return self
+
+    def conditions(
+        self,
+        latency: float = 0.0,
+        jitter: float = 0.0,
+        drop_probability: float = 0.0,
+    ) -> "DeploymentBuilder":
+        """Transport conditions (added to the real socket cost over TCP)."""
+        self._latency = latency
+        self._jitter = jitter
+        self._drop_probability = drop_probability
+        return self
+
+    def quorum_pool(self, size: int) -> "DeploymentBuilder":
+        """Strategy quorums pre-sampled per client (0 disables pooling)."""
+        if size < 0:
+            raise ConfigurationError(
+                f"the quorum pool size must be non-negative, got {size}"
+            )
+        self._quorum_pool = int(size)
+        return self
+
+    def build(self) -> "Deployment":
+        """Materialise the deployment (servers start on ``start()``)."""
+        if self._transport == "tcp" and self._deadline is None:
+            raise ConfigurationError(
+                "deadline=None is refused over transport='tcp' (a silent "
+                "replica would block the caller forever)"
+            )
+        return Deployment(self)
+
+
+class Deployment:
+    """A deployed scenario handing out register and lock clients.
+
+    Build with :meth:`builder`; bring up with ``async with`` (or explicit
+    :meth:`start` / :meth:`aclose` — in-process deployments are usable
+    immediately, TCP ones bind their sockets on start).
+    """
+
+    def __init__(self, builder: DeploymentBuilder) -> None:
+        if not isinstance(builder, DeploymentBuilder):
+            raise ConfigurationError(
+                "construct deployments through Deployment.builder(scenario)"
+            )
+        self._rng = random.Random(builder._seed)
+        self.scenario = builder._scenario
+        self.deadline = builder._deadline
+        self.dispatch = builder._dispatch
+        self.selection = builder._selection
+        self.quorum_pool = builder._quorum_pool
+        self.sharded = ShardedDeployment(
+            builder._scenario,
+            shards=builder._shards,
+            transport=builder._transport,
+            latency=builder._latency,
+            jitter=builder._jitter,
+            drop_probability=builder._drop_probability,
+            dispatch=builder._dispatch,
+            latency_tracking=builder._selection == "latency-aware",
+            rng=self._rng,
+        )
+
+    @classmethod
+    def builder(cls, scenario: ScenarioSpec) -> DeploymentBuilder:
+        """Start configuring a deployment of ``scenario``."""
+        return DeploymentBuilder(scenario)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def transport(self) -> str:
+        """Which transport carries the RPCs ("inproc" or "tcp")."""
+        return self.sharded.transport_mode
+
+    @property
+    def shard_count(self) -> int:
+        """How many independent replica groups the deployment runs."""
+        return self.sharded.shard_count
+
+    async def start(self) -> "Deployment":
+        """Bring the deployment up (binds socket servers in TCP mode)."""
+        await self.sharded.start()
+        return self
+
+    async def aclose(self) -> None:
+        """Tear the deployment down (idempotent)."""
+        await self.sharded.aclose()
+
+    async def __aenter__(self) -> "Deployment":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    # -- clients ------------------------------------------------------------------
+
+    def connect(
+        self,
+        writer_id: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> ShardedAsyncRegisterClient:
+        """A register client: ``read(key)`` / ``write(key, value)`` by shard.
+
+        Each call builds an independent client (own RNG stream, own
+        register frontends).  ``writer_id`` overrides the scenario's writer
+        identity — concurrent writers must each connect with their own.
+        """
+        if rng is None:
+            rng = random.Random(self._rng.randrange(2**63))
+        return self.sharded.new_register_client(
+            rng,
+            deadline=self.deadline,
+            selection=self.selection,
+            quorum_pool=self.quorum_pool,
+            writer_id=writer_id,
+        )
+
+    def lock_client(
+        self,
+        name: str = "lock",
+        client_id: int = 0,
+        verify_rounds: int = 2,
+        rng: Optional[random.Random] = None,
+    ):
+        """A distributed-lock handle on lock ``name`` for ``client_id``.
+
+        Returns an :class:`~repro.apps.mutex.AsyncQuorumMutex` speaking
+        REQUEST / GRANT / RELEASE through a quorum client bound to the
+        shard that owns the lock's register key.  Contending clients must
+        each use a distinct ``client_id`` (it is both the holder identity
+        and the timestamp tie-break).
+        """
+        # Imported here: repro.api is importable without pulling the apps
+        # package (and its load-harness dependencies) along.
+        from repro.apps.mutex import lock_variable, mutex_for
+
+        if rng is None:
+            rng = random.Random(self._rng.randrange(2**63))
+        shard = self.sharded.shard_for(lock_variable(name))
+        client = self.sharded.client_for_shard(
+            shard,
+            rng=random.Random(rng.randrange(2**63)),
+            deadline=self.deadline,
+            selection=self.selection,
+            quorum_pool=self.quorum_pool,
+        )
+        return mutex_for(
+            self.scenario,
+            client,
+            name=name,
+            client_id=client_id,
+            verify_rounds=verify_rounds,
+            rng=rng,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"Deployment({self.scenario.describe()}, shards={self.shard_count}, "
+            f"transport={self.transport!r})"
+        )

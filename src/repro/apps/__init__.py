@@ -1,6 +1,6 @@
 """Applications from Section 1.1 of the paper.
 
-Two end-to-end applications exercise the library's public API the way the
+Three end-to-end applications exercise the library's public API the way the
 paper motivates it:
 
 * :mod:`repro.apps.voting` — the Costa-Rica-style electronic voting system:
@@ -10,15 +10,33 @@ paper motivates it:
 * :mod:`repro.apps.location` — a mobile-device location service: device
   locations are replicated across location stores with an ε-intersecting
   system; readers tolerate (and recover from) occasionally stale answers via
-  forwarding pointers, and a gossip diffusion layer keeps staleness rare.
+  forwarding pointers, and a gossip diffusion layer keeps staleness rare;
+* :mod:`repro.apps.mutex` — the §1.1 lock as a *service*: REQUEST / GRANT /
+  RELEASE over the async quorum client (in-process or TCP), with
+  verify-after-write pushing the double-grant probability to ~ε², plus a
+  contention load harness measuring throughput, fairness and starvation.
 """
 
 from repro.apps.voting import VoteOutcome, VotingService
 from repro.apps.location import LocationService, LocationAnswer
+from repro.apps.mutex import (
+    AsyncQuorumMutex,
+    LockAttempt,
+    LockLoadReport,
+    LockLoadSpec,
+    mutex_for,
+    run_lock_load,
+)
 
 __all__ = [
     "VotingService",
     "VoteOutcome",
     "LocationService",
     "LocationAnswer",
+    "AsyncQuorumMutex",
+    "LockAttempt",
+    "LockLoadReport",
+    "LockLoadSpec",
+    "mutex_for",
+    "run_lock_load",
 ]

@@ -1,0 +1,204 @@
+"""The ``contention`` experiment: ε vs quorum size under write contention.
+
+The paper's trade is one sentence: give up a tiny, quantified probability
+ε of non-intersection and the load drops from the strict-system optimum
+``Ω(1/√n)`` *per quorum of size ~n/2* to ``ℓ/√n`` with quorums of size
+``ℓ√n``.  This experiment makes the trade visible where it actually
+bites — under **write contention**.  ``writers`` concurrent clients race
+their writes on one register (writer-id tie-broken timestamps decide the
+winner); a subsequent read misses the settled winner exactly when its
+quorum fails to intersect the winning write's quorum, so the observed
+miss rate tracks the analytical ε of the construction.
+
+Two columns of systems run through the *same* Monte-Carlo engines:
+
+* the paper's ``R(n, q)`` for a sweep of quorum sizes ``q`` — ε falls
+  roughly like ``e^{-q²/n}`` while the load is ``q/n``;
+* the strict **Maekawa grid** (one full row + one full column,
+  ``q = 2√n - 1``), wrapped as an explicit
+  :class:`~repro.core.epsilon_intersecting.EpsilonIntersectingSystem`
+  so the identical engine code drives it.  Every grid pair intersects,
+  so its exact ε is 0 and its observed miss rate must be 0 — the
+  baseline the probabilistic constructions are traded against.
+
+At small ``n`` the grid looks competitive (its load is ``~2/√n``); the
+paper's point is asymptotic — ``R(n, ℓ√n)`` keeps ε fixed with load
+``ℓ/√n``, √n-fold better than any strict system of comparable
+availability, and the rendered table reports the exact numbers so the
+crossover is legible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.epsilon_intersecting import (
+    EpsilonIntersectingSystem,
+    UniformEpsilonIntersectingSystem,
+)
+from repro.exceptions import ExperimentError, ReproError
+from repro.quorum.grid import GridQuorumSystem
+from repro.simulation.failures import FailureModel
+from repro.simulation.monte_carlo import estimate_read_consistency
+from repro.simulation.scenario import ScenarioSpec
+
+#: Default universe: a perfect square, so the grid baseline exists.
+DEFAULT_N = 36
+#: Default contending writers per trial.
+DEFAULT_WRITERS = 3
+#: Default quorum-size sweep for ``R(n, q)`` (ℓ from ~1 to 3 at n=36).
+DEFAULT_QUORUM_SIZES = (6, 9, 12, 15, 18)
+DEFAULT_TRIALS = 20_000
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """One system's measured row: construction, analytics, observation."""
+
+    label: str
+    quorum_size: int
+    load: float
+    epsilon: float
+    observed_miss: float
+    trials: int
+
+
+def grid_baseline_system(n: int) -> EpsilonIntersectingSystem:
+    """The √n-grid as an explicit ε-system (ε exactly 0, same engine path).
+
+    Wrapping :class:`~repro.quorum.grid.GridQuorumSystem`'s enumerated
+    quorums in an :class:`EpsilonIntersectingSystem` gives the strict
+    baseline a uniform access strategy and the exact-ε machinery, so both
+    Monte-Carlo engines drive it through the very code paths the
+    probabilistic constructions use — the comparison changes the quorum
+    system and *nothing else*.
+    """
+    grid = GridQuorumSystem(n)
+    return EpsilonIntersectingSystem(n, grid.enumerate_quorums())
+
+
+def contention_scenario(system, writers: int) -> ScenarioSpec:
+    """``writers`` concurrent writers racing on one benign register."""
+    return ScenarioSpec(
+        system=system, failure_model=FailureModel.none(), writers=writers
+    )
+
+
+def _measure(
+    label: str,
+    system,
+    quorum_size: int,
+    writers: int,
+    trials: int,
+    seed: int,
+    engine: str,
+) -> ContentionPoint:
+    report = estimate_read_consistency(
+        contention_scenario(system, writers), trials=trials, seed=seed, engine=engine
+    )
+    return ContentionPoint(
+        label=label,
+        quorum_size=quorum_size,
+        load=system.load(),
+        epsilon=system.epsilon,
+        observed_miss=report.error_fraction,
+        trials=report.trials,
+    )
+
+
+def contention_curve(
+    n: int = DEFAULT_N,
+    quorum_sizes: Sequence[int] = DEFAULT_QUORUM_SIZES,
+    writers: int = DEFAULT_WRITERS,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+    engine: str = "batch",
+) -> List[ContentionPoint]:
+    """Measure ε vs quorum size under contention, grid baseline last.
+
+    Each ``R(n, q)`` point and the grid baseline run the same scenario —
+    same writer count, same failure model (none: the miss probability
+    under test is ε itself, not crash availability), same engine, seeds
+    offset per point.
+    """
+    if writers < 1:
+        raise ExperimentError(f"need at least one writer, got {writers}")
+    points = [
+        _measure(
+            UniformEpsilonIntersectingSystem(n, q).describe(),
+            UniformEpsilonIntersectingSystem(n, q),
+            q,
+            writers,
+            trials,
+            seed + index,
+            engine,
+        )
+        for index, q in enumerate(quorum_sizes)
+    ]
+    grid = grid_baseline_system(n)
+    points.append(
+        _measure(
+            f"grid baseline (strict, q={2 * GridQuorumSystem(n).side - 1})",
+            grid,
+            2 * GridQuorumSystem(n).side - 1,
+            writers,
+            trials,
+            seed + len(points),
+            engine,
+        )
+    )
+    return points
+
+
+def render_contention(
+    points: Sequence[ContentionPoint],
+    n: int,
+    writers: int,
+    engine: str,
+    seed: int,
+) -> str:
+    """The experiment's report block: one row per system, baseline last."""
+    lines = [
+        "Contention: epsilon vs quorum size "
+        f"({writers} concurrent writers, n={n})",
+        f"  engine={engine}  seed={seed}  trials/point={points[0].trials}",
+        f"  {'system':34s} {'q':>3s} {'load':>6s} {'exact eps':>10s} "
+        f"{'observed miss':>14s}",
+    ]
+    for point in points:
+        lines.append(
+            f"  {point.label:34s} {point.quorum_size:3d} {point.load:6.3f} "
+            f"{point.epsilon:10.2e} {point.observed_miss:14.4f}"
+        )
+    lines.append(
+        "  (a read misses when its quorum avoids the winning write's quorum; "
+        "the strict grid never misses, the probabilistic rows miss ~eps — "
+        "bought at load q/n against the grid's ~2/sqrt(n))"
+    )
+    return "\n".join(lines)
+
+
+def run_contention(
+    n: int = DEFAULT_N,
+    writers: int = DEFAULT_WRITERS,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+    engine: str = "batch",
+    quorum_sizes: Optional[Sequence[int]] = None,
+) -> str:
+    """Run the contention sweep and render its report (the CLI entry point)."""
+    if quorum_sizes is None:
+        quorum_sizes = DEFAULT_QUORUM_SIZES
+    try:
+        points = contention_curve(
+            n=n,
+            quorum_sizes=quorum_sizes,
+            writers=writers,
+            trials=trials,
+            seed=seed,
+            engine=engine,
+        )
+    except ReproError as error:
+        raise ExperimentError(str(error)) from error
+    return render_contention(points, n=n, writers=writers, engine=engine, seed=seed)

@@ -60,6 +60,7 @@ from repro.experiments.tables import (
     table3_rows,
     table4_rows,
 )
+from repro.experiments.contention import DEFAULT_WRITERS, run_contention
 from repro.experiments.serve import (
     DEFAULT_CLIENTS,
     DEFAULT_READS_PER_CLIENT,
@@ -79,6 +80,7 @@ EXPERIMENT_NAMES = (
     "figure2",
     "figure3",
     "consistency",
+    "contention",
     "serve",
     "all",
 )
@@ -157,6 +159,8 @@ def run_experiment(
     shards: int = 1,
     keys: int = 1,
     key_skew: float = 0.0,
+    writers: int = None,
+    contention: float = 0.0,
 ) -> List[str]:
     """Run one named experiment (or ``all``) and return the rendered reports.
 
@@ -175,6 +179,19 @@ def run_experiment(
     }
     if name == "consistency":
         return [run_consistency(engine=engine, seed=seed, trials=trials)]
+    if name == "contention":
+        if engine not in ENGINE_NAMES:
+            raise ExperimentError(
+                f"unknown engine {engine!r}; choose from {', '.join(ENGINE_NAMES)}"
+            )
+        return [
+            run_contention(
+                writers=DEFAULT_WRITERS if writers is None else writers,
+                trials=DEFAULT_TRIALS[engine] if trials is None else trials,
+                seed=seed,
+                engine=engine,
+            )
+        ]
     if name == "serve":
         return [
             run_serve(
@@ -187,6 +204,8 @@ def run_experiment(
                 shards=shards,
                 keys=keys,
                 key_skew=key_skew,
+                writers=writers,
+                contention=contention,
             )
         ]
     if name == "all":
@@ -304,6 +323,24 @@ def main(argv: List[str] = None) -> int:
         help="zipf exponent of the serve readers' key distribution "
         "(0 = uniform; default: 0)",
     )
+    parser.add_argument(
+        "--writers",
+        type=int,
+        default=None,
+        help="concurrent writers: serve splits its writes across this many "
+        "writer clients (each under its own writer identity), and the "
+        "contention experiment races this many writers per trial "
+        "(defaults: the scenario's writer count / "
+        f"{DEFAULT_WRITERS})",
+    )
+    parser.add_argument(
+        "--contention",
+        type=float,
+        default=0.0,
+        help="probability a multi-key serve write is redirected to the "
+        "hottest key, colliding the writers on one register "
+        "(default: 0)",
+    )
     args = parser.parse_args(argv)
     if args.experiment_name is not None and args.experiment is not None:
         parser.error("name the experiment positionally or with --experiment, not both")
@@ -324,6 +361,8 @@ def main(argv: List[str] = None) -> int:
             shards=args.shards,
             keys=args.keys,
             key_skew=args.key_skew,
+            writers=args.writers,
+            contention=args.contention,
         )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -77,6 +77,8 @@ def serve_load_spec(
     shards: int = 1,
     keys: int = 1,
     key_skew: float = 0.0,
+    writers: int = None,
+    contention: float = 0.0,
 ) -> ServiceLoadSpec:
     """The full soak configuration: forgers + drops + latency + live churn.
 
@@ -88,7 +90,10 @@ def serve_load_spec(
     sharded deployment (each shard its own replica group and failure plan).
     A multi-shard run needs at least as many keys as shards, and keeping
     ``writes >= keys`` avoids reads of never-written registers dominating
-    the outcome counts.
+    the outcome counts.  ``writers`` splits the write workload across that
+    many concurrent writer clients (each under its own writer identity);
+    ``contention`` is the probability a multi-key write is redirected to
+    the hottest key, colliding the writers on one register.
 
     The default soak deploys Byzantine forgers, which
     :class:`~repro.service.load.ServiceLoadSpec` refuses to combine with
@@ -111,7 +116,7 @@ def serve_load_spec(
         # the deadline must absorb wall-clock queueing (hundreds of clients
         # share one event loop with the servers in this harness), or
         # timeouts cascade into probe-ping storms.
-        rpc_timeout=0.005 if transport == "inproc" else 0.25,
+        deadline=0.005 if transport == "inproc" else 0.25,
         fault_injection=FaultInjectionSpec(crash_count=5, interval=0.002),
         transport=transport,
         shards=shards,
@@ -119,6 +124,8 @@ def serve_load_spec(
         key_skew=key_skew,
         dispatch=dispatch,
         selection=selection,
+        writers=writers,
+        contention=contention,
         seed=seed,
     )
 
@@ -134,6 +141,8 @@ def run_serve(
     shards: int = 1,
     keys: int = 1,
     key_skew: float = 0.0,
+    writers: int = None,
+    contention: float = 0.0,
 ) -> str:
     """Run the service soak and render its report (the CLI entry point)."""
     if shards > 1 and keys == 1:
@@ -152,6 +161,8 @@ def run_serve(
             shards=shards,
             keys=keys,
             key_skew=key_skew,
+            writers=writers,
+            contention=contention,
         )
     except ReproError as error:
         raise ExperimentError(str(error)) from error

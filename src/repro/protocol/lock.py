@@ -90,6 +90,16 @@ class QuorumLock:
         self.rng = rng or fresh_rng()
         self._client_counters: Dict[int, int] = {}
         self._highest_seen_counter = 0
+        # Per-holder release fence: the newest release timestamp this lock
+        # object *knows* about for each client — from its own release writes
+        # and from released records seen at read quorums.  A held record
+        # older than the same holder's known release is provably superseded,
+        # so a read quorum made entirely of lagging replicas must not
+        # resurrect it as a phantom holder.  The fence is per holder (a
+        # release says nothing about *another* client's grant), and held
+        # records are never cached: a newer holder must still be discovered
+        # (or missed, with probability ε) through the quorum read itself.
+        self._release_fence: Dict[int, Timestamp] = {}
         self.acquire_attempts = 0
         self.acquisitions = 0
         self.releases = 0
@@ -136,10 +146,30 @@ class QuorumLock:
         eligible = [
             (key, count) for key, count in votes.items() if count >= self.read_threshold
         ]
+        for key, _count in eligible:
+            record = records[key]
+            if record.get("state") == "released" and "holder" in record:
+                self._observe_release(int(record["holder"]), key[1])
+        # Drop held records that the same holder's known release outranks —
+        # stale replies from lagging replicas, not live acquisitions.
+        eligible = [
+            (key, count) for key, count in eligible if not self._is_fenced(records[key], key[1])
+        ]
         if not eligible:
             return None, quorum
         best_key, _ = max(eligible, key=lambda item: item[0][1])
         return records[best_key], quorum
+
+    def _observe_release(self, holder: int, timestamp: Timestamp) -> None:
+        current = self._release_fence.get(holder)
+        if current is None or current < timestamp:
+            self._release_fence[holder] = timestamp
+
+    def _is_fenced(self, record: Dict[str, Any], timestamp: Timestamp) -> bool:
+        if record.get("state") != "held" or "holder" not in record:
+            return False
+        fence = self._release_fence.get(int(record["holder"]))
+        return fence is not None and timestamp < fence
 
     def _record(self, client_id: int, state: str) -> Quorum:
         quorum = self.system.sample_quorum(self.rng)
@@ -151,6 +181,8 @@ class QuorumLock:
             else None
         )
         self.cluster.write_quorum(quorum, self._variable, value, timestamp, signature=signature)
+        if state == "released":
+            self._observe_release(client_id, timestamp)
         return quorum
 
     # -- public operations --------------------------------------------------------

@@ -118,3 +118,45 @@ def select_credible_value(
         servers=frozenset(groups[winner]),
         votes=len(groups[winner]),
     )
+
+
+def enumerate_credible_values(
+    replies: Mapping[ServerId, StoredValue],
+    threshold: int = 1,
+) -> List[SelectedValue]:
+    """Every value/timestamp pair clearing the vote threshold, not just the winner.
+
+    The register protocols only ever need :func:`select_credible_value` —
+    highest timestamp wins, the rest is garbage.  Coordination protocols
+    built *on* the register (the lock service in :mod:`repro.apps.mutex`)
+    also need the losers: an older held-lock record outranked by the
+    reader's own write never wins selection, yet it still evidences a
+    competing holder that must be conceded to.  Grouping and thresholding
+    are identical to :func:`select_credible_value`; the returned order is
+    unspecified (pairs with incomparable timestamps cannot be sorted).
+    """
+    if threshold < 1:
+        raise ConfigurationError(f"vote threshold must be positive, got {threshold}")
+    groups: Dict[Tuple[Any, str], List[ServerId]] = {}
+    values: Dict[Tuple[Any, str], Any] = {}
+    for server in sorted(replies):
+        stored = replies[server]
+        if stored.timestamp is None:
+            continue
+        key = (stored.timestamp, tiebreak_key(stored.value))
+        existing = groups.get(key)
+        if existing is None:
+            groups[key] = [server]
+        else:
+            existing.append(server)
+        values.setdefault(key, stored.value)
+    return [
+        SelectedValue(
+            value=values[key],
+            timestamp=key[0],
+            servers=frozenset(servers),
+            votes=len(servers),
+        )
+        for key, servers in groups.items()
+        if len(servers) >= threshold
+    ]

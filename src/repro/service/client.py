@@ -76,6 +76,30 @@ SELECTION_MODES = ("strategy", "latency-aware")
 #: Quorums pre-sampled per pool refill (one vectorised block draw).
 DEFAULT_QUORUM_POOL = 32
 
+#: Sentinel distinguishing "not passed" from every meaningful value of a
+#: deprecated keyword alias (``None`` disables a deadline, so it cannot be
+#: the sentinel).
+UNSET = object()
+
+
+def resolve_deprecated_alias(value, legacy_value, canonical: str, legacy: str):
+    """Resolve a renamed keyword, warning when the legacy spelling is used.
+
+    The service layer's constructors all call their per-RPC deadline
+    ``deadline`` (and their root randomness ``seed``); the pre-facade
+    spellings (``timeout``, ``rpc_timeout``) keep working through this
+    shim so existing deployments migrate on their own schedule.
+    """
+    if legacy_value is UNSET:
+        return value
+    warnings.warn(
+        f"the {legacy!r} keyword is deprecated; pass {canonical!r} instead "
+        f"(same meaning, the repro.api facade spelling)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return legacy_value
+
 EPSILON_CAVEAT = (
     "latency-aware quorum selection deviates from the access strategy: the "
     "ε guarantee (and the masking protocol's |Q ∩ B| accounting) holds only "
@@ -121,8 +145,10 @@ class AsyncQuorumClient:
         The ``n`` replica nodes, indexed by server id.
     transport:
         The shared :class:`~repro.service.transport.AsyncTransport`.
-    timeout:
+    deadline:
         Per-RPC deadline in event-loop seconds (``None`` disables it).
+        The pre-facade spelling ``timeout=`` is still accepted with a
+        :class:`DeprecationWarning`.
     rng:
         Random source for quorum sampling and probe order.
     repair:
@@ -154,7 +180,7 @@ class AsyncQuorumClient:
         system: ProbabilisticQuorumSystem,
         nodes: Sequence[ServiceNode],
         transport: AsyncTransport,
-        timeout: Optional[float] = 0.05,
+        deadline: Optional[float] = 0.05,
         rng: Optional[random.Random] = None,
         repair: bool = True,
         dispatcher: Optional[BatchedDispatcher] = None,
@@ -162,13 +188,15 @@ class AsyncQuorumClient:
         tracker: Optional[EwmaLatencyTracker] = None,
         quorum_pool: int = DEFAULT_QUORUM_POOL,
         pool_generator: Optional[np.random.Generator] = None,
+        timeout: Optional[float] = UNSET,
     ) -> None:
+        deadline = resolve_deprecated_alias(deadline, timeout, "deadline", "timeout")
         if len(nodes) != system.n:
             raise ConfigurationError(
                 f"the system is over {system.n} servers but {len(nodes)} nodes were given"
             )
-        if timeout is not None and timeout <= 0.0:
-            raise ConfigurationError(f"the RPC timeout must be positive, got {timeout}")
+        if deadline is not None and deadline <= 0.0:
+            raise ConfigurationError(f"the RPC deadline must be positive, got {deadline}")
         if selection not in SELECTION_MODES:
             raise ConfigurationError(
                 f"unknown selection mode {selection!r}; choose from {SELECTION_MODES}"
@@ -180,7 +208,7 @@ class AsyncQuorumClient:
         self.system = system
         self.nodes = list(nodes)
         self.transport = transport
-        self.timeout = timeout
+        self.deadline = deadline
         self.rng = rng or fresh_rng()
         self.repair = bool(repair)
         self.dispatcher = dispatcher
@@ -218,6 +246,11 @@ class AsyncQuorumClient:
                     "deployment"
                 )
 
+    @property
+    def timeout(self) -> Optional[float]:
+        """Deprecated spelling of :attr:`deadline` (kept for old callers)."""
+        return self.deadline
+
     # -- raw RPC fan-out ----------------------------------------------------------
 
     async def _rpc(self, server: ServerId, method: str, *args: Any) -> Any:
@@ -226,7 +259,7 @@ class AsyncQuorumClient:
         if tracker is None:
             try:
                 return await self.transport.call(
-                    self.nodes[server], method, *args, timeout=self.timeout
+                    self.nodes[server], method, *args, timeout=self.deadline
                 )
             except RpcTimeoutError:
                 return None
@@ -234,7 +267,7 @@ class AsyncQuorumClient:
         started = loop.time()
         try:
             reply = await self.transport.call(
-                self.nodes[server], method, *args, timeout=self.timeout
+                self.nodes[server], method, *args, timeout=self.deadline
             )
         except RpcTimeoutError:
             tracker.penalize(server, loop.time() - started)
@@ -252,7 +285,7 @@ class AsyncQuorumClient:
         one it is the per-RPC path (one coroutine + deadline per RPC).
         """
         if self.dispatcher is not None:
-            return await self.dispatcher.fan_out(servers, method, args, self.timeout)
+            return await self.dispatcher.fan_out(servers, method, args, self.deadline)
         envelopes = await asyncio.gather(
             *(self._rpc(server, method, *args) for server in servers)
         )

@@ -12,8 +12,10 @@ crash/recovery schedule injected while requests are in flight.
 
 :func:`run_service_load` deploys the scenario through
 :class:`~repro.service.sharding.ShardedDeployment` — each shard an
-independent replica group + transport + dispatcher — drives one writer and
-``clients`` concurrent readers through per-shard
+independent replica group + transport + dispatcher — drives ``writers``
+concurrent writers (each under its own writer identity, so contending
+timestamps tie-break by writer id exactly as in the Monte-Carlo engines)
+and ``clients`` concurrent readers through per-shard
 :class:`~repro.service.client.AsyncQuorumClient` instances, and reports
 throughput (aggregate and per shard), latency percentiles and — via the
 shared classifier of :mod:`repro.protocol.classification` — the same
@@ -51,7 +53,12 @@ from typing import Any, Dict, List, Optional
 from repro.exceptions import ConfigurationError, QuorumUnavailableError
 from repro.protocol.classification import OUTCOME_LABELS, classify_read_outcome
 from repro.protocol.variable import ReadOutcome, WriteOutcome
-from repro.service.client import DEFAULT_QUORUM_POOL, SELECTION_MODES
+from repro.service.client import (
+    DEFAULT_QUORUM_POOL,
+    SELECTION_MODES,
+    UNSET,
+    resolve_deprecated_alias,
+)
 from repro.service.dispatch import DISPATCH_MODES
 from repro.service.sharding import TRANSPORT_MODES, ShardedDeployment, shard_for_key
 from repro.simulation.scenario import ScenarioSpec
@@ -129,17 +136,18 @@ class ServiceLoadSpec:
     reads_per_client:
         Reads each client issues back to back.
     writes:
-        Writes the single writer issues in total, round-robin over the
-        workload's keys (single-writer protocol per key).
+        Writes issued in total, split round-robin over the workload's
+        writers and keys (write ``v`` belongs to writer ``v % writers``).
     write_interval:
         Event-loop seconds between writes (0 = as fast as possible).
     latency, jitter, drop_probability:
         Transport conditions (see
         :class:`~repro.service.transport.AsyncTransport`; over TCP they are
         added to the real socket cost).
-    rpc_timeout:
+    deadline:
         Per-RPC deadline for every client (``None`` disables it; never
-        disable it on a lossy or TCP transport).
+        disable it on a lossy or TCP transport).  ``rpc_timeout`` is the
+        deprecated pre-facade spelling of the same knob.
     fault_injection:
         Live crash/recovery churn on top of the scenario's failures.
     transport:
@@ -171,6 +179,15 @@ class ServiceLoadSpec:
     seed:
         Root seed: per-shard failure sampling, transport noise and every
         client's quorum sampling derive from it.
+    writers:
+        Concurrent writer clients, each with its own writer identity
+        (``scenario.writer_id + w``), so contending timestamps tie-break
+        exactly as in the Monte-Carlo engines.  ``None`` inherits the
+        scenario's ``writers``.
+    contention:
+        Probability each write targets the hottest key (``names[0]``)
+        instead of its round-robin key — the knob that makes concurrent
+        writers actually collide on one register.
     """
 
     scenario: ScenarioSpec
@@ -181,7 +198,7 @@ class ServiceLoadSpec:
     latency: float = 0.0
     jitter: float = 0.0
     drop_probability: float = 0.0
-    rpc_timeout: Optional[float] = 0.05
+    deadline: Optional[float] = 0.05
     fault_injection: FaultInjectionSpec = field(default_factory=FaultInjectionSpec)
     transport: str = "inproc"
     shards: int = 1
@@ -192,8 +209,20 @@ class ServiceLoadSpec:
     dispatch_window: float = 0.0
     quorum_pool: int = DEFAULT_QUORUM_POOL
     seed: int = 0
+    writers: Optional[int] = None
+    contention: float = 0.0
+    #: Deprecated alias for ``deadline`` (the pre-facade spelling).
+    rpc_timeout: Optional[float] = UNSET  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
+        deadline = resolve_deprecated_alias(
+            self.deadline, self.rpc_timeout, "deadline", "rpc_timeout"
+        )
+        # Keep both spellings readable after normalisation (the frozen
+        # dataclass needs object.__setattr__): new code reads ``deadline``,
+        # pre-facade callers keep reading ``rpc_timeout``.
+        object.__setattr__(self, "deadline", deadline)
+        object.__setattr__(self, "rpc_timeout", deadline)
         if not isinstance(self.scenario, ScenarioSpec):
             raise ConfigurationError(
                 f"a service load is described over a ScenarioSpec, "
@@ -228,12 +257,20 @@ class ServiceLoadSpec:
             raise ConfigurationError(
                 f"the key skew must be non-negative, got {self.key_skew}"
             )
-        if self.transport == "tcp" and self.rpc_timeout is None:
+        if self.transport == "tcp" and self.deadline is None:
             raise ConfigurationError(
-                "rpc_timeout=None is refused over transport='tcp': a silent "
+                "deadline=None is refused over transport='tcp': a silent "
                 "replica sends no response frame, so without a deadline the "
                 "caller would block forever (in-process, the simulated "
                 "transport knows the fate and raises; the wire cannot)"
+            )
+        if self.writers is not None and self.writers < 1:
+            raise ConfigurationError(
+                f"need at least one writer, got {self.writers}"
+            )
+        if not 0.0 <= self.contention <= 1.0:
+            raise ConfigurationError(
+                f"contention is a probability in [0, 1], got {self.contention}"
             )
         if self.dispatch not in DISPATCH_MODES:
             raise ConfigurationError(
@@ -268,6 +305,11 @@ class ServiceLoadSpec:
         """Operations the workload issues in total."""
         return self.clients * self.reads_per_client + self.writes
 
+    @property
+    def resolved_writers(self) -> int:
+        """The effective writer count (the spec's, else the scenario's)."""
+        return self.scenario.writers if self.writers is None else self.writers
+
     def describe(self) -> str:
         """One-line summary used in reports."""
         extras = ""
@@ -278,6 +320,10 @@ class ServiceLoadSpec:
             )
             if self.key_skew:
                 extras += f", key_skew={self.key_skew}"
+        if self.resolved_writers > 1:
+            extras += f", writers={self.resolved_writers}"
+        if self.contention:
+            extras += f", contention={self.contention}"
         return (
             f"ServiceLoadSpec({self.scenario.describe()}, clients={self.clients}, "
             f"reads/client={self.reads_per_client}, writes={self.writes}, "
@@ -444,6 +490,51 @@ def classify_service_read(
     return label
 
 
+async def inject_faults(
+    deployment: ShardedDeployment,
+    injection: FaultInjectionSpec,
+    rng: random.Random,
+    counters: Dict[str, int],
+) -> None:
+    """Rolling crash/recovery churn over a live deployment.
+
+    Every ``injection.interval`` event-loop seconds one currently correct
+    server (across all shards) crashes, keeping at most
+    ``injection.crash_count`` injected crashes alive at once (the oldest
+    recovers first).  Statically faulty servers are never touched — the
+    scenario's failure model owns those.  Runs until cancelled; increments
+    ``counters["injected"]`` per crash.  Shared by the register load
+    harness and the lock-service harness in :mod:`repro.apps.mutex`.
+    """
+    if injection.crash_count < 1:
+        return
+    statically_faulty = {
+        (shard.index, server)
+        for shard in deployment.shards
+        for server in shard.plan.faulty_servers
+    }
+    injected: deque = deque()
+    while True:
+        await asyncio.sleep(injection.interval)
+        if len(injected) >= injection.crash_count:
+            shard_index, server = injected.popleft()
+            deployment.shards[shard_index].nodes[server].recover()
+        candidates = [
+            (shard.index, node.server_id)
+            for shard in deployment.shards
+            for node in shard.nodes
+            if (shard.index, node.server_id) not in statically_faulty
+            and (shard.index, node.server_id) not in injected
+            and not node.server.is_crashed
+        ]
+        if not candidates:
+            continue
+        victim = rng.choice(candidates)
+        deployment.shards[victim[0]].nodes[victim[1]].crash()
+        injected.append(victim)
+        counters["injected"] += 1
+
+
 async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
     """Run one service load experiment on the current event loop."""
     rng = random.Random(spec.seed)
@@ -464,19 +555,24 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
         latency_tracking=spec.selection == "latency-aware",
         rng=rng,
     )
-    def make_client():
+    def make_client(writer_id: Optional[int] = None):
         return deployment.new_register_client(
             rng,
-            timeout=spec.rpc_timeout,
+            deadline=spec.deadline,
             selection=spec.selection,
             quorum_pool=spec.quorum_pool,
+            writer_id=writer_id,
         )
 
+    writer_count = spec.resolved_writers
     try:
         # Inside the try: a partial TCP startup (one shard's bind failing
         # after others came up) must still tear every started server down.
         await deployment.start()
-        writer = make_client()
+        writers = [
+            make_client(writer_id=scenario.writer_id + index)
+            for index in range(writer_count)
+        ]
         readers = [make_client() for _ in range(spec.clients)]
 
         # -- workload: keys and their read distribution ---------------------------
@@ -487,6 +583,12 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
             cdf = key_weight_cdf(spec.keys, spec.key_skew)
             reader_rngs = [
                 random.Random(rng.randrange(2**63)) for _ in range(spec.clients)
+            ]
+        # Drawn only when contention can redirect a write, so uncontended
+        # runs keep the historical per-seed randomness stream byte for byte.
+        if spec.contention > 0.0:
+            writer_rngs = [
+                random.Random(rng.randrange(2**63)) for _ in range(writer_count)
             ]
 
         # -- shared observation state ---------------------------------------------
@@ -500,15 +602,33 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
 
         # A reader may legitimately observe a write the moment its RPCs fan
         # out, before the writer considers it complete — record issued pairs
-        # eagerly, per key.
-        writer.on_issued = (
-            lambda key, timestamp, value: history[key].__setitem__(timestamp, value)
-        )
+        # eagerly, per key.  Writer ids are distinct, so concurrent writers
+        # never collide on a timestamp key.
+        for writer in writers:
+            writer.on_issued = (
+                lambda key, timestamp, value: history[key].__setitem__(timestamp, value)
+            )
 
-        async def run_writer() -> None:
-            for version in range(spec.writes):
+        def settle(key: str, outcome: WriteOutcome) -> None:
+            # With concurrent writers the *highest timestamp* settles, not
+            # the last completion: that is the value the shared selection
+            # rule makes every subsequent read prefer, whichever writer's
+            # RPCs happened to finish later.
+            current = settled[key]
+            if current is None or current.timestamp < outcome.timestamp:
+                settled[key] = outcome
+
+        async def run_writer(writer_index: int) -> None:
+            writer = writers[writer_index]
+            for version in range(writer_index, spec.writes, writer_count):
                 key = names[version % len(names)]
-                value = (scenario.workload.written_value, version)
+                if spec.contention > 0.0:
+                    if writer_rngs[writer_index].random() < spec.contention:
+                        key = names[0]
+                if writer_count == 1:
+                    value = (scenario.workload.written_value, version)
+                else:
+                    value = (scenario.workload.written_value, writer_index, version)
                 started = time.perf_counter()
                 try:
                     outcome = await writer.write(key, value)
@@ -516,7 +636,7 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
                     counters["write_failures"] += 1
                 else:
                     write_latencies.append(time.perf_counter() - started)
-                    settled[key] = outcome
+                    settle(key, outcome)
                     counters["writes"] += 1
                     shard_ops[shard_of[key]] += 1
                 if spec.write_interval:
@@ -536,41 +656,13 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
                 counters["reads"] += 1
                 shard_ops[shard_of[key]] += 1
 
-        async def run_injector() -> None:
-            injection = spec.fault_injection
-            if injection.crash_count < 1:
-                return
-            statically_faulty = {
-                (shard.index, server)
-                for shard in deployment.shards
-                for server in shard.plan.faulty_servers
-            }
-            injected: deque = deque()
-            while True:
-                await asyncio.sleep(injection.interval)
-                if len(injected) >= injection.crash_count:
-                    shard_index, server = injected.popleft()
-                    deployment.shards[shard_index].nodes[server].recover()
-                candidates = [
-                    (shard.index, node.server_id)
-                    for shard in deployment.shards
-                    for node in shard.nodes
-                    if (shard.index, node.server_id) not in statically_faulty
-                    and (shard.index, node.server_id) not in injected
-                    and not node.server.is_crashed
-                ]
-                if not candidates:
-                    continue
-                victim = rng.choice(candidates)
-                deployment.shards[victim[0]].nodes[victim[1]].crash()
-                injected.append(victim)
-                counters["injected"] += 1
-
-        injector = asyncio.ensure_future(run_injector())
+        injector = asyncio.ensure_future(
+            inject_faults(deployment, spec.fault_injection, rng, counters)
+        )
         started = time.perf_counter()
         try:
             await asyncio.gather(
-                run_writer(),
+                *(run_writer(index) for index in range(writer_count)),
                 *(run_reader(reader, index) for index, reader in enumerate(readers)),
             )
         finally:
@@ -593,7 +685,7 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
             rpc_calls=deployment.rpc_calls,
             rpc_dropped=deployment.rpc_dropped,
             rpc_timeouts=deployment.rpc_timeouts,
-            probe_fallbacks=writer.probe_fallbacks
+            probe_fallbacks=sum(writer.probe_fallbacks for writer in writers)
             + sum(reader.probe_fallbacks for reader in readers),
             injected_crashes=counters["injected"],
             dispatch_flushes=deployment.dispatch_flushes,

@@ -27,7 +27,7 @@ from typing import Any, Callable, Optional
 from repro.exceptions import ProtocolError
 from repro.protocol.classification import classify_read_outcome
 from repro.protocol.masking_variable import MaskingReadOutcome
-from repro.protocol.selection import select_credible_value
+from repro.protocol.selection import enumerate_credible_values, select_credible_value
 from repro.protocol.signatures import SignatureScheme
 from repro.protocol.timestamps import Timestamp, TimestampGenerator
 from repro.protocol.variable import ReadOutcome, WriteOutcome
@@ -115,6 +115,29 @@ class AsyncRegister:
         result = await self.client.read(self.name)
         self.reads_performed += 1
         return self._build_outcome(result)
+
+    async def read_credible(self) -> list:
+        """Read the register but return *every* credible record, winner included.
+
+        Applies the protocol's reply filter and vote threshold exactly as
+        :meth:`read`, without collapsing to the highest timestamp.  The lock
+        service needs the losing records: a competing holder's older record
+        never wins selection against the reader's own newer write, yet it
+        still means the lock is contested.
+        """
+        result = await self.client.read(self.name)
+        self.reads_performed += 1
+        return enumerate_credible_values(self._filter(result), self._threshold())
+
+    def observe_timestamp(self, timestamp: Timestamp) -> None:
+        """Fast-forward this writer's clock past an observed timestamp.
+
+        Multi-writer coordination protocols (the lock service) must write
+        records that outrank whatever they just read, Lamport-style; the
+        single-writer register protocol itself never needs this.
+        """
+        if isinstance(timestamp, Timestamp):
+            self._timestamps.observe(timestamp)
 
     def classify_read(self, outcome: ReadOutcome) -> str:
         """Label a read against the last local write (shared classifier)."""
@@ -207,21 +230,26 @@ def async_register_for(
     spec: ScenarioSpec,
     client: AsyncQuorumClient,
     name: str = "x",
+    writer_id: Optional[int] = None,
 ) -> AsyncRegister:
     """Build the frontend a scenario's resolved register kind calls for.
 
     Mirrors :meth:`repro.simulation.scenario.ScenarioSpec.register_factory`,
     so one declarative spec describes a Monte-Carlo experiment *and* a live
-    service deployment with identical read semantics.
+    service deployment with identical read semantics.  ``writer_id``
+    overrides the spec's writer identity (contending writers of one
+    scenario each bind their own); all writers share the spec's signing
+    key, so every writer's records verify under one dissemination scheme.
     """
+    resolved_writer = spec.writer_id if writer_id is None else int(writer_id)
     kind = spec.resolved_register_kind()
     if kind == "masking":
-        return AsyncMaskingRegister(client, name=name, writer_id=spec.writer_id)
+        return AsyncMaskingRegister(client, name=name, writer_id=resolved_writer)
     if kind == "dissemination":
         return AsyncDisseminationRegister(
             client,
             signatures=SignatureScheme(spec.signing_key),
             name=name,
-            writer_id=spec.writer_id,
+            writer_id=resolved_writer,
         )
-    return AsyncRegister(client, name=name, writer_id=spec.writer_id)
+    return AsyncRegister(client, name=name, writer_id=resolved_writer)

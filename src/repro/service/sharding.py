@@ -39,7 +39,12 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.protocol.variable import WriteOutcome
-from repro.service.client import DEFAULT_QUORUM_POOL, AsyncQuorumClient
+from repro.service.client import (
+    DEFAULT_QUORUM_POOL,
+    UNSET,
+    AsyncQuorumClient,
+    resolve_deprecated_alias,
+)
 from repro.service.dispatch import BatchedDispatcher
 from repro.service.net import (
     RemoteNode,
@@ -136,6 +141,10 @@ class ShardedDeployment:
         Root randomness: per-shard failure plans, transport seeds and pool
         generators derive from it in shard order, so a deployment is
         reproducible from one seed.
+    seed:
+        The facade spelling of the same root: ``seed=7`` is shorthand for
+        ``rng=random.Random(7)`` (ignored when an explicit ``rng`` is
+        given — the generator is the more specific request).
     tcp_host:
         Bind address for the per-shard socket servers.
     """
@@ -152,6 +161,7 @@ class ShardedDeployment:
         dispatch_window: float = 0.0,
         latency_tracking: bool = False,
         rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
         tcp_host: str = "127.0.0.1",
     ) -> None:
         if not isinstance(scenario, ScenarioSpec):
@@ -170,7 +180,8 @@ class ShardedDeployment:
         self.latency_tracking = bool(latency_tracking)
         self._tcp_host = tcp_host
         self._started = transport == "inproc"
-        rng = rng if rng is not None else random.Random()
+        if rng is None:
+            rng = random.Random(seed) if seed is not None else random.Random()
         n = scenario.n
         self.shards: List[_Shard] = []
         for index in range(shards):
@@ -267,11 +278,13 @@ class ShardedDeployment:
         self,
         shard_index: int,
         rng: Optional[random.Random] = None,
-        timeout: Optional[float] = 0.05,
+        deadline: Optional[float] = 0.05,
         selection: str = "strategy",
         quorum_pool: int = DEFAULT_QUORUM_POOL,
+        timeout: Optional[float] = UNSET,
     ) -> AsyncQuorumClient:
         """One quorum client bound to a single shard's replica group."""
+        deadline = resolve_deprecated_alias(deadline, timeout, "deadline", "timeout")
         if not self._started:
             raise ConfigurationError(
                 "start() the deployment before creating clients (TCP ports "
@@ -282,7 +295,7 @@ class ShardedDeployment:
             self.scenario.system,
             shard.client_nodes,
             shard.transport,
-            timeout=timeout,
+            deadline=deadline,
             rng=rng,
             dispatcher=shard.dispatcher,
             selection=selection,
@@ -294,27 +307,33 @@ class ShardedDeployment:
     def new_register_client(
         self,
         rng: random.Random,
-        timeout: Optional[float] = 0.05,
+        deadline: Optional[float] = 0.05,
         selection: str = "strategy",
         quorum_pool: int = DEFAULT_QUORUM_POOL,
+        writer_id: Optional[int] = None,
+        timeout: Optional[float] = UNSET,
     ) -> "ShardedAsyncRegisterClient":
         """One logical sharded client (one quorum client per shard).
 
         Per-shard client RNGs are derived from ``rng`` in shard order, so a
         harness seeding one generator per logical client stays reproducible
-        whatever the shard count.
+        whatever the shard count.  ``writer_id`` overrides the scenario's
+        writer identity for this client's registers — concurrent service
+        writers must each write under their own id or colliding timestamps
+        would alias distinct values.
         """
+        deadline = resolve_deprecated_alias(deadline, timeout, "deadline", "timeout")
         clients = [
             self.client_for_shard(
                 index,
                 rng=random.Random(rng.randrange(2**63)),
-                timeout=timeout,
+                deadline=deadline,
                 selection=selection,
                 quorum_pool=quorum_pool,
             )
             for index in range(len(self.shards))
         ]
-        return ShardedAsyncRegisterClient(self, clients)
+        return ShardedAsyncRegisterClient(self, clients, writer_id=writer_id)
 
     # -- aggregate counters -------------------------------------------------------
 
@@ -349,16 +368,19 @@ class ShardedAsyncRegisterClient:
     """Route per-key register operations across a sharded deployment.
 
     Lazily builds one register frontend per key (protocol resolved from the
-    deployment's scenario, single-writer timestamps per key) on the key's
-    shard.  The ``on_issued`` hook mirrors
-    :attr:`~repro.service.register.AsyncRegister.on_issued` with the key
-    prepended, so the load harness keeps one issued-history per register.
+    deployment's scenario) on the key's shard.  The ``on_issued`` hook
+    mirrors :attr:`~repro.service.register.AsyncRegister.on_issued` with the
+    key prepended, so the load harness keeps one issued-history per
+    register.  ``writer_id`` overrides the scenario's writer identity for
+    this client's registers (``None`` keeps the scenario default);
+    contending service writers each carry their own.
     """
 
     def __init__(
         self,
         deployment: ShardedDeployment,
         clients: Sequence[AsyncQuorumClient],
+        writer_id: Optional[int] = None,
     ) -> None:
         if len(clients) != deployment.shard_count:
             raise ConfigurationError(
@@ -367,6 +389,7 @@ class ShardedAsyncRegisterClient:
             )
         self.deployment = deployment
         self.clients = list(clients)
+        self.writer_id = writer_id
         self._registers: Dict[str, AsyncRegister] = {}
         #: Optional ``(key, timestamp, value)`` callback fired when a write
         #: is issued (before its RPCs fan out).
@@ -382,7 +405,10 @@ class ShardedAsyncRegisterClient:
         if register is None:
             shard = self.shard_for(key)
             register = async_register_for(
-                self.deployment.scenario, self.clients[shard], name=key
+                self.deployment.scenario,
+                self.clients[shard],
+                name=key,
+                writer_id=self.writer_id,
             )
             register.on_issued = (
                 lambda timestamp, value, _key=key: self._notify(_key, timestamp, value)

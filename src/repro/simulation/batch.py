@@ -140,6 +140,28 @@ def _timestamp_rank(fabricated_timestamp, writer_id: int, writes: int) -> int:
     return rank
 
 
+def _concurrent_timestamp_rank(
+    fabricated_timestamp, writer_id: int, writers: int
+) -> int:
+    """How many of ``writers`` concurrent honest timestamps a forgery outranks.
+
+    Concurrent writer ``w`` carries ``Timestamp(1, writer_id + w)``, so the
+    honest timestamps ascend with the writer index; rank ``r`` means the
+    forgery beats exactly writers ``0..r-1`` and wins a read iff the best
+    credible honest version is below ``r``.  Incomparable timestamps count
+    as outranking everything (matching :func:`_timestamp_rank`).
+    """
+    rank = 0
+    for index in range(writers):
+        try:
+            below = Timestamp(1, writer_id + index) < fabricated_timestamp
+        except TypeError:
+            below = True
+        if below:
+            rank += 1
+    return rank
+
+
 def classify_threshold_votes(
     honest_votes: np.ndarray,
     forged_votes: np.ndarray,
@@ -240,6 +262,11 @@ class BatchTrialEngine:
         The value honest writes carry (the scenario workload's value).  Only
         consulted when a forged timestamp *ties* an honest one, where the
         deterministic tie rule compares the two values' tiebreak keys.
+    writers:
+        Concurrent writers per consistency trial.  Writer ``w`` writes with
+        ``Timestamp(1, writer_id + w)``, so writer-id order is timestamp
+        order and the highest id is the deterministic winner; the read is
+        fresh only when that winner clears the vote threshold.
     """
 
     def __init__(
@@ -251,6 +278,7 @@ class BatchTrialEngine:
         writer_id: int = 0,
         semantics: Optional[ReadSemantics] = None,
         written_value: object = "v",
+        writers: int = 1,
     ) -> None:
         if not isinstance(system, ProbabilisticQuorumSystem):
             raise ConfigurationError(
@@ -265,11 +293,14 @@ class BatchTrialEngine:
             )
         if chunk_size < 1:
             raise ConfigurationError(f"chunk size must be positive, got {chunk_size}")
+        if writers < 1:
+            raise ConfigurationError(f"need at least one writer, got {writers}")
         self.system = system
         self.model = failure_model or FailureModel.none()
         self.seed = int(seed)
         self.chunk_size = int(chunk_size)
         self.writer_id = int(writer_id)
+        self.writers = int(writers)
         self.semantics = semantics if semantics is not None else system.read_semantics()
         self.written_value = written_value
         self._workspace = _Workspace()
@@ -297,6 +328,7 @@ class BatchTrialEngine:
             writer_id=spec.writer_id,
             semantics=spec.read_semantics(),
             written_value=spec.workload.written_value,
+            writers=spec.writers,
         )
 
     # -- chunked substreams -------------------------------------------------------
@@ -340,6 +372,27 @@ class BatchTrialEngine:
                     f"timestamp of the {writes}-write history; version lags are "
                     f"identified by timestamp, so tying forgeries are only modelled "
                     f"by the single-write estimator or engine='sequential'"
+                )
+
+    def _reject_tying_multiwriter(self) -> None:
+        """Refuse contention rounds whose forged timestamp ties a writer's.
+
+        The multi-writer kernel attributes a read to a writer by timestamp
+        alone (the per-server latest/first-seen version index), so a forgery
+        that ties one of the concurrent honest timestamps is
+        indistinguishable from that writer in the vote accounting; such
+        configurations need ``engine='sequential'`` (where values break the
+        tie through the deterministic rule).
+        """
+        if self.model.kind != "colluding_forgers" or self.semantics.self_verifying:
+            return
+        for index in range(self.writers):
+            if self.model.fabricated_timestamp == Timestamp(1, self.writer_id + index):
+                raise ConfigurationError(
+                    f"fabricated timestamp {self.model.fabricated_timestamp!r} ties "
+                    f"concurrent writer {self.writer_id + index}'s timestamp; the "
+                    f"multi-writer kernel identifies writers by timestamp, so tying "
+                    f"forgeries under contention need engine='sequential'"
                 )
 
     def _draw_membership(
@@ -390,6 +443,8 @@ class BatchTrialEngine:
 
         if trials <= 0:
             raise ConfigurationError(f"trial count must be positive, got {trials}")
+        if self.writers > 1:
+            return self._estimate_multiwriter_consistency(trials)
         fab_beats = _timestamp_rank(self.model.fabricated_timestamp, self.writer_id, 1) >= 1
         ties = self._forgery_ties_write(1)
         if ties:
@@ -418,6 +473,63 @@ class BatchTrialEngine:
             fabricated += int(fab_mask.sum())
             stale += int(stale_mask.sum())
             empty += int(empty_mask.sum())
+        return ConsistencyReport(
+            trials=trials, fresh=fresh, stale=stale, empty=empty, fabricated=fabricated
+        )
+
+    def _estimate_multiwriter_consistency(self, trials: int) -> "ConsistencyReport":
+        """Concurrent writers, one read per trial (the contention kernel).
+
+        Writer ``w`` writes ``Timestamp(1, writer_id + w)`` to its own
+        strategy-drawn quorum; membership batches are applied in ascending
+        writer order — the canonical interleaving the sequential oracle also
+        uses — so the per-server ``latest``/``first_seen`` version indices
+        mean exactly what they mean in the staleness kernel, with "version"
+        reinterpreted as "writer index".  The read is *fresh* only when the
+        deterministic winner (the highest writer id) clears the vote
+        threshold and no accepted forgery outranks it; a read attributed to
+        a lower writer is *stale*, exactly how the shared classifier labels
+        a concurrent-but-losing honest value.
+        """
+        from repro.simulation.monte_carlo import ConsistencyReport
+
+        self._reject_tying_multiwriter()
+        writers = self.writers
+        n = self.system.n
+        threshold = self.semantics.threshold
+        fab_rank = _concurrent_timestamp_rank(
+            self.model.fabricated_timestamp, self.writer_id, writers
+        )
+        fab_outranks_winner = fab_rank >= writers
+        workspace = self._workspace
+        fresh = stale = empty = fabricated = 0
+        for generator, size in self._chunks(trials):
+            masks = self.model.sample_masks(n, size, generator)
+            storers = masks.responsive_storers
+            latest = np.full((size, n), -1, dtype=np.int32)
+            first_seen = np.full((size, n), -1, dtype=np.int32)
+            touched = workspace.array("touched", (size, n), bool)
+            for index in range(writers):
+                member_w = self._draw_membership(size, generator, "member_w")
+                np.logical_and(member_w, storers, out=touched)
+                first_seen[touched & (first_seen < 0)] = index
+                latest[touched] = index
+            member_r = self._draw_membership(size, generator, "member_r")
+            best = self._best_credible_version(
+                member_r, masks, latest, first_seen, writers
+            )
+            forged_votes = self._forged_votes(member_r, masks)
+            forged_wins = (forged_votes >= threshold) & (best < fab_rank)
+            fresh_mask = (best == writers - 1) & ~forged_wins
+            stale_mask = ((best >= 0) & (best < writers - 1) & ~forged_wins) | (
+                forged_wins & ~fab_outranks_winner
+            )
+            empty_mask = (best < 0) & ~forged_wins
+            fabricated_mask = forged_wins & fab_outranks_winner
+            fresh += int(fresh_mask.sum())
+            stale += int(stale_mask.sum())
+            empty += int(empty_mask.sum())
+            fabricated += int(fabricated_mask.sum())
         return ConsistencyReport(
             trials=trials, fresh=fresh, stale=stale, empty=empty, fabricated=fabricated
         )
@@ -460,6 +572,12 @@ class BatchTrialEngine:
         """A write history followed by one read; measure the version lag."""
         from repro.simulation.monte_carlo import StalenessReport
 
+        if self.writers > 1:
+            raise ConfigurationError(
+                "staleness histories are single-writer; the contention axis is "
+                "measured by estimate_read_consistency "
+                f"(engine declares writers={self.writers})"
+            )
         if writes < 1:
             raise ConfigurationError(
                 f"the write history needs at least one write, got {writes}"

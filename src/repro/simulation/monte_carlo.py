@@ -222,6 +222,8 @@ def estimate_read_consistency(
         return batch_engine.estimate_read_consistency(trials)
     if written_value is None:
         written_value = spec.workload.written_value if spec is not None else "v"
+    if spec is not None and spec.writers > 1:
+        return _sequential_multiwriter_consistency(spec, trials, seed, written_value)
     register_factory, plan_factory = _sequential_specs(
         spec, register_factory, plan_factory, n
     )
@@ -238,6 +240,55 @@ def estimate_read_consistency(
         outcome = register.read()
         label = classify_read_outcome(
             outcome, write, expected_value=written_value, check_value=True
+        )
+        counts[label] += 1
+    return ConsistencyReport(trials=trials, **counts)
+
+
+def multiwriter_values(written_value: object, writers: int) -> List[object]:
+    """The distinct per-writer values of a concurrent write round.
+
+    Writer ``w`` writes ``(written_value, w)``, so a read can always be
+    attributed to the writer whose round it observed; with one writer the
+    value stays the bare workload value (single-writer runs unchanged).
+    """
+    if writers == 1:
+        return [written_value]
+    return [(written_value, index) for index in range(writers)]
+
+
+def _sequential_multiwriter_consistency(
+    spec: ScenarioSpec, trials: int, seed: int, written_value: object
+) -> ConsistencyReport:
+    """The oracle loop under contention: ``spec.writers`` concurrent writes.
+
+    Every writer's per-trial counter is 1, so writer-id order *is* timestamp
+    order and the highest-id writer is the deterministic winner.  Writes are
+    applied in that canonical order — concurrent rounds are unordered in
+    real time, and every order-sensitive observer the simulation models
+    (``ByzantineReplayBehavior``'s first-accepted record) must agree with
+    the batch engine's canonical interleaving for the equivalence tests to
+    mean anything.  Reads are classified against the winner with the shared
+    rule, so a read observing a lower-id concurrent write counts as stale.
+    """
+    from repro.protocol.classification import classify_read_outcome
+
+    factories = [spec.register_factory(index) for index in range(spec.writers)]
+    plan_factory = spec.failure_model.bind(spec.n)
+    values = multiwriter_values(written_value, spec.writers)
+    rng = random.Random(seed)
+    counts = {"fresh": 0, "stale": 0, "empty": 0, "fabricated": 0}
+    for _ in range(trials):
+        trial_rng = random.Random(rng.randrange(2**63))
+        plan = plan_factory(trial_rng)
+        cluster = Cluster(spec.n, failure_plan=plan, seed=trial_rng.randrange(2**63))
+        registers = [factory(cluster, trial_rng) for factory in factories]
+        writes = [
+            register.write(value) for register, value in zip(registers, values)
+        ]
+        outcome = registers[-1].read()
+        label = classify_read_outcome(
+            outcome, writes[-1], expected_value=values[-1], check_value=True
         )
         counts[label] += 1
     return ConsistencyReport(trials=trials, **counts)
@@ -303,6 +354,12 @@ def estimate_staleness_distribution(
     if trials <= 0:
         raise ConfigurationError(f"trial count must be positive, got {trials}")
     spec = _as_scenario(register_factory, plan_factory)
+    if spec is not None and spec.writers > 1:
+        raise ConfigurationError(
+            "staleness histories are single-writer (versions are a total order "
+            "of one writer's counters); use estimate_read_consistency for the "
+            f"contention experiment (scenario declares writers={spec.writers})"
+        )
     workload = spec.workload if spec is not None else None
     if writes is None:
         writes = workload.writes if workload is not None else 5

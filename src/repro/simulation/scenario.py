@@ -87,10 +87,16 @@ class ScenarioSpec:
     register_kind:
         ``"auto"`` (resolve from the system) or an explicit protocol name.
     writer_id:
-        Writer identity baked into honest timestamps.
+        Writer identity baked into honest timestamps (the first writer's id
+        when ``writers > 1``).
     signing_key:
         Writer key for the dissemination protocol's signature scheme
         (readers hold the same instance; servers never see it).
+    writers:
+        Concurrent writers contending on the register.  Writer ``w`` gets
+        identity ``writer_id + w``; with every per-trial counter at 1 the
+        writer id is the tie-break, so the highest-id writer's value is the
+        winner every layer must deterministically converge on.
     """
 
     system: ProbabilisticQuorumSystem
@@ -99,6 +105,7 @@ class ScenarioSpec:
     register_kind: str = "auto"
     writer_id: int = 0
     signing_key: bytes = b"scenario"
+    writers: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.system, ProbabilisticQuorumSystem):
@@ -115,6 +122,10 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"unknown register kind {self.register_kind!r}; "
                 f"expected one of {REGISTER_KINDS}"
+            )
+        if self.writers < 1:
+            raise ConfigurationError(
+                f"a scenario needs at least one writer, got {self.writers}"
             )
         if self.register_kind == "masking" and not hasattr(self.system, "read_threshold"):
             raise ConfigurationError(
@@ -185,32 +196,56 @@ class ScenarioSpec:
             return ReadSemantics(self_verifying=True, byzantine_tolerance=tolerance)
         return ReadSemantics()
 
+    def writer_ids(self) -> tuple:
+        """The identities of the scenario's concurrent writers, ascending.
+
+        Writer-id order *is* timestamp order when every writer's counter is
+        equal, so the last id is the deterministic winner of a fully
+        concurrent write round.
+        """
+        return tuple(self.writer_id + index for index in range(self.writers))
+
     # -- sequential lowering ------------------------------------------------------
 
-    def register_factory(self) -> Callable[["Cluster", random.Random], "ProbabilisticRegister"]:
-        """A per-trial register factory for the sequential oracle engine."""
+    def register_factory(
+        self, writer_index: int = 0
+    ) -> Callable[["Cluster", random.Random], "ProbabilisticRegister"]:
+        """A per-trial register factory for the sequential oracle engine.
+
+        ``writer_index`` selects which of the scenario's concurrent writers
+        the register writes as (identity ``writer_id + writer_index``); all
+        indices share the scenario's signing key, so every writer's records
+        verify under the same dissemination scheme.
+        """
         from repro.protocol.dissemination_variable import DisseminationRegister
         from repro.protocol.masking_variable import MaskingRegister
         from repro.protocol.signatures import SignatureScheme
         from repro.protocol.variable import ProbabilisticRegister
 
+        if not 0 <= writer_index < self.writers:
+            raise ConfigurationError(
+                f"writer index {writer_index} out of range for {self.writers} writer(s)"
+            )
+        writer_id = self.writer_id + writer_index
         kind = self.resolved_register_kind()
         if kind == "masking":
             return lambda cluster, rng: MaskingRegister(
-                self.system, cluster, writer_id=self.writer_id, rng=rng
+                self.system, cluster, writer_id=writer_id, rng=rng
             )
         if kind == "dissemination":
             scheme = SignatureScheme(self.signing_key)
             return lambda cluster, rng: DisseminationRegister(
-                self.system, cluster, signatures=scheme, writer_id=self.writer_id, rng=rng
+                self.system, cluster, signatures=scheme, writer_id=writer_id, rng=rng
             )
         return lambda cluster, rng: ProbabilisticRegister(
-            self.system, cluster, writer_id=self.writer_id, rng=rng
+            self.system, cluster, writer_id=writer_id, rng=rng
         )
 
     def describe(self) -> str:
         """One-line summary used in experiment logs."""
+        contention = f", writers={self.writers}" if self.writers > 1 else ""
         return (
             f"ScenarioSpec({self.system.describe()}, {self.failure_model.describe()}, "
-            f"register={self.resolved_register_kind()}, writes={self.workload.writes})"
+            f"register={self.resolved_register_kind()}, "
+            f"writes={self.workload.writes}{contention})"
         )

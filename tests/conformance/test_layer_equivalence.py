@@ -83,6 +83,19 @@ GRID = {
     for failure, model in FAILURE_MODELS.items()
 }
 
+# The contention cells: three concurrent writers race on one register while
+# the forgers keep answering.  Multi-writer timestamps are writer-id
+# tie-broken, so all four paths must still resolve every race to the same
+# winner — the decided-fresh agreement below is exactly that claim.
+GRID.update(
+    {
+        f"{kind}-contended": ScenarioSpec(
+            system=system, failure_model=FAILURE_MODELS["forger"], writers=3
+        )
+        for kind, system in (("masking", MASKING), ("dissemination", DISSEMINATION))
+    }
+)
+
 
 def engine_counts(spec: ScenarioSpec, engine: str, trials: int) -> dict:
     report = estimate_read_consistency(spec, trials=trials, seed=SEED, engine=engine)
@@ -102,7 +115,7 @@ def service_counts(spec: ScenarioSpec, transport: str) -> dict:
             clients=40,
             reads_per_client=5,
             writes=4,
-            rpc_timeout=0.02,
+            deadline=0.02,
             seed=SEED,
         )
     else:
@@ -111,7 +124,7 @@ def service_counts(spec: ScenarioSpec, transport: str) -> dict:
             clients=20,
             reads_per_client=4,
             writes=3,
-            rpc_timeout=0.1,
+            deadline=0.1,
             transport="tcp",
             seed=SEED,
         )
@@ -194,12 +207,16 @@ def test_all_four_paths_agree_and_accept_no_fabrication(cell):
 
 
 def test_grid_covers_the_advertised_cells():
-    """The ISSUE's grid: benign / crash / forger × masking / dissemination."""
-    assert len(GRID) == 6
+    """The grid: (benign / crash / forger + contended) × masking / dissemination."""
+    assert len(GRID) == 8
     kinds = {spec.resolved_register_kind() for spec in GRID.values()}
     assert kinds == {"masking", "dissemination"}
     byzantine_counts = {spec.failure_model.byzantine_count for spec in GRID.values()}
     assert byzantine_counts == {0, 3}
+    writer_counts = {spec.writers for spec in GRID.values()}
+    assert writer_counts == {1, 3}
+    contended = [name for name in GRID if name.endswith("contended")]
+    assert all(GRID[name].writers == 3 for name in contended)
 
 
 def test_simulated_paths_reproduce_exactly_at_the_pinned_seed():

@@ -1,0 +1,91 @@
+"""Tests for the contention experiment (ε vs quorum size, grid baseline)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.contention import (
+    ContentionPoint,
+    contention_curve,
+    grid_baseline_system,
+    render_contention,
+    run_contention,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestGridBaseline:
+    def test_wraps_every_grid_quorum(self):
+        system = grid_baseline_system(36)
+        assert len(system.quorums) == 36  # side² row/column pairs
+        assert all(len(q) == 11 for q in system.quorums)
+
+    def test_epsilon_is_numerically_zero(self):
+        # Strict grid quorums always intersect; the explicit-pair sum only
+        # leaves floating-point residue behind.
+        assert grid_baseline_system(36).epsilon < 1e-9
+
+    def test_requires_a_perfect_square(self):
+        with pytest.raises(ConfigurationError):
+            grid_baseline_system(35)
+
+
+class TestContentionCurve:
+    def test_observed_miss_tracks_the_exact_epsilon(self):
+        points = contention_curve(
+            n=36, quorum_sizes=(9, 12), writers=3, trials=20_000, seed=5
+        )
+        assert len(points) == 3  # two probabilistic points + the baseline
+        for point in points[:-1]:
+            # Hoeffding: 20k trials put the empirical rate within ~0.01 of
+            # the true miss probability at >5 sigma.
+            assert math.isclose(point.observed_miss, point.epsilon, abs_tol=0.012), (
+                f"{point.label}: observed {point.observed_miss:.4f} vs "
+                f"exact eps {point.epsilon:.4f}"
+            )
+
+    def test_grid_baseline_never_misses(self):
+        points = contention_curve(
+            n=36, quorum_sizes=(9,), writers=3, trials=5_000, seed=5
+        )
+        baseline = points[-1]
+        assert "grid" in baseline.label
+        assert baseline.observed_miss == 0.0
+
+    def test_epsilon_falls_as_quorums_grow(self):
+        points = contention_curve(
+            n=36, quorum_sizes=(6, 12, 18), writers=2, trials=100, seed=0
+        )
+        epsilons = [point.epsilon for point in points[:-1]]
+        assert epsilons == sorted(epsilons, reverse=True)
+
+    def test_engines_agree_on_the_curve(self):
+        batch = contention_curve(
+            n=36, quorum_sizes=(9,), writers=3, trials=5_000, seed=5
+        )[0]
+        sequential = contention_curve(
+            n=36, quorum_sizes=(9,), writers=3, trials=300, seed=5,
+            engine="sequential",
+        )[0]
+        # 300 sequential trials at p≈0.05: sigma ≈ 0.0126, so 0.06 is ~5σ.
+        assert math.isclose(batch.observed_miss, sequential.observed_miss, abs_tol=0.06)
+
+
+class TestRendering:
+    def test_report_lists_every_point_and_the_trade(self):
+        points = [
+            ContentionPoint("R(n=36, q=9)", 9, 0.25, 0.05, 0.048, 1000),
+            ContentionPoint("grid baseline (strict, q=11)", 11, 0.306, 0.0, 0.0, 1000),
+        ]
+        report = render_contention(points, n=36, writers=3, engine="batch", seed=0)
+        assert "R(n=36, q=9)" in report
+        assert "grid baseline" in report
+        assert "observed miss" in report
+        assert "load" in report
+
+    def test_run_contention_is_self_contained(self):
+        report = run_contention(trials=200, quorum_sizes=(9,), seed=1)
+        assert "grid baseline" in report
+        assert "engine=batch" in report

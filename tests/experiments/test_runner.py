@@ -74,6 +74,38 @@ class TestRunExperiment:
         with pytest.raises(ExperimentError):
             run_serve(clients=0)
 
+    def test_serve_splits_writes_across_concurrent_writers(self):
+        report = run_serve(
+            clients=10, reads_per_client=2, seed=3, writers=3, keys=2,
+            contention=0.5,
+        )
+        assert "writers=3" in report
+        assert "contention=0.5" in report
+        assert "safety verdict    OK" in report
+
+    def test_contention_experiment_reports_the_grid_baseline(self):
+        reports = run_experiment("contention", trials=2_000, seed=3)
+        assert len(reports) == 1
+        assert "grid baseline" in reports[0]
+        assert "observed miss" in reports[0]
+        assert "3 concurrent writers" in reports[0]
+
+    def test_contention_experiment_writer_override(self):
+        reports = run_experiment(
+            "contention", trials=500, seed=3, writers=2, engine="batch"
+        )
+        assert "2 concurrent writers" in reports[0]
+
+    def test_contention_validation(self):
+        from repro.experiments.contention import run_contention
+
+        with pytest.raises(ExperimentError):
+            run_contention(writers=0)
+        with pytest.raises(ExperimentError):
+            run_contention(trials=0)
+        with pytest.raises(ExperimentError):
+            run_experiment("contention", engine="warp")
+
     def test_serve_latency_aware_deploys_the_byzantine_free_variant(self):
         # The spec layer refuses latency-aware + forgers, so serve swaps in
         # the crash-only variant of its scenario (and the clients warn about
@@ -130,6 +162,23 @@ class TestCli:
         assert main(["serve", "--clients", "10", "--ops", "2"]) == 0
         assert "safety verdict" in capsys.readouterr().out
 
+    def test_main_contention_and_writer_flags(self, capsys):
+        assert (
+            main(["contention", "--trials", "500", "--writers", "2", "--seed", "3"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 concurrent writers" in out and "grid baseline" in out
+        assert (
+            main(
+                ["serve", "--clients", "10", "--ops", "2", "--writers", "2",
+                 "--keys", "2", "--contention", "1.0"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "writers=2" in out and "contention=1.0" in out
+
     def test_main_serve_dispatch_and_selection_flags(self, capsys):
         assert (
             main(["serve", "--clients", "10", "--ops", "2", "--dispatch", "per-rpc"])
@@ -153,6 +202,7 @@ class TestCli:
     def test_experiment_names_constant(self):
         assert "all" in EXPERIMENT_NAMES
         assert "consistency" in EXPERIMENT_NAMES
+        assert "contention" in EXPERIMENT_NAMES
         assert "serve" in EXPERIMENT_NAMES
         assert ENGINE_NAMES == ("sequential", "batch")
-        assert len(EXPERIMENT_NAMES) == 10
+        assert len(EXPERIMENT_NAMES) == 11

@@ -108,6 +108,82 @@ class TestProbabilisticSemantics:
         assert double_grants == 0
 
 
+class ScriptedQuorumSystem:
+    """Quorum 'system' replaying a fixed quorum sequence (test-only).
+
+    Lets a test choose exactly which replicas each read/write touches, so a
+    lagging replica set (one that missed the release write) can be steered
+    under a later read deterministically.
+    """
+
+    def __init__(self, n, script):
+        self.n = n
+        self._script = iter(script)
+
+    def sample_quorum(self, rng):
+        return frozenset(next(self._script))
+
+
+class TestReleaseStaleness:
+    FRESH = (0, 1, 2)  # replicas that will receive the release write
+    LAGGING = (3, 4, 5)  # replicas that only ever saw the acquisition
+
+    def scripted_lock(self, script, cluster=None):
+        cluster = cluster or Cluster(6, seed=0)
+        system = ScriptedQuorumSystem(6, script)
+        return QuorumLock(system, cluster, rng=random.Random(0)), cluster
+
+    def test_own_release_suppresses_phantom_holder_on_lagging_quorum(self):
+        lock, _ = self.scripted_lock(
+            [
+                self.LAGGING,  # acquire: read (empty)
+                self.LAGGING,  # acquire: write "held"
+                self.LAGGING,  # release: read (sees the holder)
+                self.FRESH,  # release: write "released"
+                self.LAGGING,  # holder(): stale quorum, release invisible
+            ]
+        )
+        lock.acquire(client_id=1)
+        lock.release(client_id=1)
+        # The read quorum contains only replicas that missed the release;
+        # the stale "held" record must not be reported as a live holder.
+        assert lock.holder() is None
+
+    def test_observed_release_suppresses_phantom_holder_for_other_clients(self):
+        script = [
+            self.LAGGING,  # acquire: read
+            self.LAGGING,  # acquire: write "held"
+            self.LAGGING,  # release: read
+            self.FRESH,  # release: write "released"
+        ]
+        lock, cluster = self.scripted_lock(script)
+        lock.acquire(client_id=1)
+        lock.release(client_id=1)
+        # A different client process: first read sees the release, the next
+        # read draws only lagging replicas.  Knowledge of the release must
+        # carry over — no phantom holder, and the lock is acquirable.
+        observer = QuorumLock(
+            ScriptedQuorumSystem(6, [self.FRESH, self.LAGGING, self.LAGGING]),
+            cluster,
+            rng=random.Random(1),
+        )
+        assert observer.holder() is None  # sees "released"
+        attempt = observer.acquire(client_id=2)  # stale read quorum
+        assert attempt.acquired
+        assert attempt.holder_seen is None
+
+    def test_unreleased_holder_is_still_reported(self):
+        lock, _ = self.scripted_lock(
+            [
+                self.LAGGING,  # acquire: read
+                self.LAGGING,  # acquire: write "held"
+                self.LAGGING,  # holder(): same replicas, lock genuinely held
+            ]
+        )
+        lock.acquire(client_id=1)
+        assert lock.holder() == 1
+
+
 class TestByzantineLocking:
     def test_masking_threshold_blocks_fabricated_holders(self):
         # Byzantine servers all claim the lock is held by a phantom client;

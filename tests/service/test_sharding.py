@@ -217,8 +217,11 @@ class TestShardedLoadHarness:
             self.base_spec(transport="smoke-signals")
         with pytest.raises(ConfigurationError, match="idle"):
             self.base_spec(shards=4, keys=2)
-        with pytest.raises(ConfigurationError, match="rpc_timeout"):
-            self.base_spec(transport="tcp", rpc_timeout=None)
+        with pytest.raises(ConfigurationError, match="deadline"):
+            self.base_spec(transport="tcp", deadline=None)
+        with pytest.raises(ConfigurationError, match="deadline"):
+            with pytest.warns(DeprecationWarning, match="rpc_timeout"):
+                self.base_spec(transport="tcp", rpc_timeout=None)
 
     def test_sharded_run_completes_and_tallies_per_shard_ops(self):
         report = run_service_load(self.base_spec())
