@@ -12,9 +12,17 @@ For every bench present in both files the throughput-like fields
 and a regression beyond :data:`REGRESSION_TOLERANCE` prints a GitHub-
 Actions ``::warning::`` line.
 
+Besides the baseline comparison, every *current* entry that records its
+own acceptance floor (``floor_ops_per_second``) is checked against it and
+a violation prints its own ``::warning::`` line — a floor slipping below
+its recorded bar must be loud in the artifact, never silently committed
+(ISSUE 7: ``service_throughput_tcp`` once recorded 1,466.6 ops/s against a
+2,000 floor without a trace in the logs).
+
 The exit code is always 0: performance tracking is deliberately
 *non-blocking* (CI machines are too noisy to gate merges on wall-clock).
-Safety gates live in the test assertions, not here.
+Safety gates live in the test assertions, not here; outside CI the floors
+are also asserted by the benchmarks themselves.
 """
 
 from __future__ import annotations
@@ -68,6 +76,27 @@ def compare(current: dict, baseline: dict) -> list:
     return regressions
 
 
+def floor_violations(current: dict) -> list:
+    """Return ``(bench, measured, floor, gated)`` for entries below their bar.
+
+    ``gated`` mirrors the entry's own ``floor_gated`` field (default true):
+    a bench may record an aspirational floor its machine cannot gate on —
+    e.g. the cluster bench's multi-core floor measured on a single core —
+    and those print as info lines, not warnings.
+    """
+    violations = []
+    for name, payload in current.get("benches", {}).items():
+        if not isinstance(payload, dict):
+            continue
+        measured = payload.get("ops_per_second")
+        floor = payload.get("floor_ops_per_second")
+        if not isinstance(measured, (int, float)) or not isinstance(floor, (int, float)):
+            continue
+        if measured < floor:
+            violations.append((name, measured, floor, payload.get("floor_gated", True)))
+    return violations
+
+
 def main(argv: list) -> int:
     if not argv:
         print("usage: compare_bench.py CURRENT [BASELINE]", file=sys.stderr)
@@ -79,6 +108,18 @@ def main(argv: list) -> int:
     except (OSError, ValueError) as error:
         print(f"::warning::benchmark compare skipped: {error}")
         return 0
+    for name, measured, floor, gated in floor_violations(current):
+        if gated:
+            print(
+                f"::warning::floor violation in {name}: measured "
+                f"{measured:,.1f} ops/s against its recorded floor of "
+                f"{floor:,.1f} — do not commit this baseline silently"
+            )
+        else:
+            print(
+                f"{name}: {measured:,.1f} ops/s below its {floor:,.1f} floor, "
+                f"which this machine does not gate on (floor_gated=false)"
+            )
     if not baseline:
         print("no committed baseline found; nothing to compare")
         return 0

@@ -26,9 +26,23 @@ The two soaks are the blocking ``coordination-safety`` CI job (run with
 
 from __future__ import annotations
 
+import os
+
 from repro.apps.mutex import LockLoadSpec, run_lock_load
 from repro.experiments.serve import serve_scenario
 from repro.service.load import FaultInjectionSpec
+
+
+def machine_fields(spec) -> dict:
+    """Schema fields every service bench entry records (codec, processes,
+    cpu_count) so ``BENCH_service.json`` stays comparable across machines.
+    Lock loads always run the in-loop JSON path; the ``getattr`` spelling
+    keeps the schema stable if :class:`LockLoadSpec` ever grows the knobs."""
+    return {
+        "codec": getattr(spec, "codec", "json"),
+        "processes": getattr(spec, "processes", 0),
+        "cpu_count": os.cpu_count() or 1,
+    }
 
 
 def contended_spec(**overrides) -> LockLoadSpec:
@@ -67,6 +81,7 @@ def test_lock_throughput_contended(report_sink, bench_record):
     bench_record(
         "lock_throughput_inproc",
         {
+            **machine_fields(report.spec),
             "clients": report.spec.clients,
             "locks": report.spec.locks,
             "grants": report.grants,
@@ -121,6 +136,7 @@ def test_coordination_soak_inproc(report_sink, bench_record):
     bench_record(
         "lock_soak_inproc",
         {
+            **machine_fields(report.spec),
             "transport": "inproc",
             "grants_per_second": round(report.throughput, 1),
             "double_grants": report.double_grants,

@@ -28,7 +28,7 @@ suite pins down: registers route through
 protocol per key, shared deterministic selection), and lock handles are
 :class:`~repro.apps.mutex.AsyncQuorumMutex` over the same quorum clients.
 The builder's knob names (``deadline``, ``seed``, ``dispatch``,
-``selection``) are the canonical spellings used across
+``selection``, ``codec``, ``processes``) are the canonical spellings used across
 :class:`~repro.service.client.AsyncQuorumClient`,
 :class:`~repro.service.sharding.ShardedDeployment` and
 :class:`~repro.service.load.ServiceLoadSpec`; the pre-facade aliases
@@ -48,6 +48,7 @@ from repro.service.sharding import (
     ShardedAsyncRegisterClient,
     ShardedDeployment,
 )
+from repro.service.wire import WIRE_CODECS
 from repro.simulation.scenario import ScenarioSpec
 
 __all__ = ["Deployment", "DeploymentBuilder"]
@@ -78,6 +79,8 @@ class DeploymentBuilder:
         self._jitter = 0.0
         self._drop_probability = 0.0
         self._quorum_pool = DEFAULT_QUORUM_POOL
+        self._codec = "json"
+        self._processes = 0
 
     def transport(self, mode: str) -> "DeploymentBuilder":
         """``"inproc"`` (simulated message passing) or ``"tcp"`` (localhost sockets)."""
@@ -137,6 +140,40 @@ class DeploymentBuilder:
         self._drop_probability = drop_probability
         return self
 
+    def codec(self, name: str) -> "DeploymentBuilder":
+        """Wire codec the TCP clients prefer: ``"json"`` or ``"binary"``.
+
+        Negotiated per connection via a hello frame, so a ``"binary"``
+        deployment still interoperates with JSON-only peers.  Only
+        meaningful over ``transport("tcp")`` — the in-process transport
+        passes payloads by reference.
+        """
+        if name not in WIRE_CODECS:
+            raise ConfigurationError(
+                f"unknown wire codec {name!r}; choose from {WIRE_CODECS}"
+            )
+        self._codec = name
+        return self
+
+    def processes(self, count: int) -> "DeploymentBuilder":
+        """Process-backed serving: one server process per shard.
+
+        ``count > 0`` turns the deployment into a
+        :class:`~repro.service.cluster.ClusterDeployment` — every shard's
+        ``TcpServiceServer`` runs in its own spawned process with a
+        readiness handshake, health probes and clean teardown.  Implies
+        ``transport("tcp")`` (real sockets are the only way across a
+        process boundary).  ``count`` beyond 1 is a hint for load
+        harnesses (worker processes); the server side always runs one
+        process per shard.
+        """
+        if count < 0:
+            raise ConfigurationError(
+                f"the process count must be non-negative, got {count}"
+            )
+        self._processes = int(count)
+        return self
+
     def quorum_pool(self, size: int) -> "DeploymentBuilder":
         """Strategy quorums pre-sampled per client (0 disables pooling)."""
         if size < 0:
@@ -148,6 +185,8 @@ class DeploymentBuilder:
 
     def build(self) -> "Deployment":
         """Materialise the deployment (servers start on ``start()``)."""
+        if self._processes > 0:
+            self._transport = "tcp"  # process boundaries need real sockets
         if self._transport == "tcp" and self._deadline is None:
             raise ConfigurationError(
                 "deadline=None is refused over transport='tcp' (a silent "
@@ -175,17 +214,36 @@ class Deployment:
         self.dispatch = builder._dispatch
         self.selection = builder._selection
         self.quorum_pool = builder._quorum_pool
-        self.sharded = ShardedDeployment(
-            builder._scenario,
-            shards=builder._shards,
-            transport=builder._transport,
-            latency=builder._latency,
-            jitter=builder._jitter,
-            drop_probability=builder._drop_probability,
-            dispatch=builder._dispatch,
-            latency_tracking=builder._selection == "latency-aware",
-            rng=self._rng,
-        )
+        self.processes = builder._processes
+        if builder._processes > 0:
+            # Imported here: the cluster module drags multiprocessing along,
+            # which in-loop deployments never need.
+            from repro.service.cluster import ClusterDeployment
+
+            self.sharded = ClusterDeployment(
+                builder._scenario,
+                shards=builder._shards,
+                codec=builder._codec,
+                latency=builder._latency,
+                jitter=builder._jitter,
+                drop_probability=builder._drop_probability,
+                dispatch=builder._dispatch,
+                latency_tracking=builder._selection == "latency-aware",
+                rng=self._rng,
+            )
+        else:
+            self.sharded = ShardedDeployment(
+                builder._scenario,
+                shards=builder._shards,
+                transport=builder._transport,
+                codec=builder._codec,
+                latency=builder._latency,
+                jitter=builder._jitter,
+                drop_probability=builder._drop_probability,
+                dispatch=builder._dispatch,
+                latency_tracking=builder._selection == "latency-aware",
+                rng=self._rng,
+            )
 
     @classmethod
     def builder(cls, scenario: ScenarioSpec) -> DeploymentBuilder:
@@ -247,6 +305,7 @@ class Deployment:
         name: str = "lock",
         client_id: int = 0,
         verify_rounds: int = 2,
+        verify_delay: Optional[float] = None,
         rng: Optional[random.Random] = None,
     ):
         """A distributed-lock handle on lock ``name`` for ``client_id``.
@@ -256,6 +315,14 @@ class Deployment:
         shard that owns the lock's register key.  Contending clients must
         each use a distinct ``client_id`` (it is both the holder identity
         and the timestamp tie-break).
+
+        ``verify_delay`` defaults per deployment: 0 (a bare event-loop
+        yield between verify reads) when every replica shares this process's
+        event loop — any ``await`` fully applies a competitor's in-flight
+        write there — and 20ms on a multi-process
+        :class:`~repro.service.cluster.ClusterDeployment`, where a racing
+        write genuinely in flight to another process needs wall-clock time
+        to land before the verify read can be trusted to see it.
         """
         # Imported here: repro.api is importable without pulling the apps
         # package (and its load-harness dependencies) along.
@@ -271,12 +338,15 @@ class Deployment:
             selection=self.selection,
             quorum_pool=self.quorum_pool,
         )
+        if verify_delay is None:
+            verify_delay = 0.02 if self.processes > 0 else 0.0
         return mutex_for(
             self.scenario,
             client,
             name=name,
             client_id=client_id,
             verify_rounds=verify_rounds,
+            verify_delay=verify_delay,
             rng=rng,
         )
 

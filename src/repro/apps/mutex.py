@@ -96,6 +96,19 @@ class AsyncQuorumMutex:
         the per-read visibility miss rate (ε, or the masking threshold's
         under-``k``-votes probability — the dominant term for small
         quorums).
+    verify_delay:
+        Wall-clock pause before each verify read (default 0: a bare
+        event-loop yield).  On a single event loop the yield suffices — a
+        competitor's in-flight write is fully applied by the servers
+        during any ``await``.  Across *real process boundaries*
+        (:class:`~repro.service.cluster.ClusterDeployment`) it does not:
+        the competitor's newer write can land *after* our verify reads
+        returned but *before* its own verify read, where it has already
+        overwritten our record on its write quorum and sees nothing to
+        concede to.  A delay exceeding the in-flight write landing time
+        (a few localhost RTTs) closes that window: the earlier writer's
+        last verify then always starts after the later writer's racing
+        write has landed, so one of the two must concede.
     rng:
         Randomness for the retry jitter (a fresh generator by default;
         harnesses pass seeded ones for reproducibility).
@@ -107,6 +120,7 @@ class AsyncQuorumMutex:
         name: str,
         client_id: int,
         verify_rounds: int = 2,
+        verify_delay: float = 0.0,
         rng: Optional[random.Random] = None,
     ) -> None:
         if client_id < 0:
@@ -117,10 +131,15 @@ class AsyncQuorumMutex:
             raise ConfigurationError(
                 f"verify_rounds must be non-negative, got {verify_rounds}"
             )
+        if verify_delay < 0.0:
+            raise ConfigurationError(
+                f"verify_delay must be non-negative, got {verify_delay}"
+            )
         self.register = register
         self.name = str(name)
         self.client_id = int(client_id)
         self.verify_rounds = int(verify_rounds)
+        self.verify_delay = float(verify_delay)
         self.rng = rng or fresh_rng()
         self._held: Optional[Timestamp] = None
         # Per-holder release fence: the newest released record known from
@@ -235,10 +254,11 @@ class AsyncQuorumMutex:
             {"state": "held", "holder": self.client_id}
         )
         for _ in range(self.verify_rounds):
-            # Yield once so a competitor's concurrent write RPCs can land
-            # before this verify quorum is read — the check should race as
-            # little as possible.
-            await asyncio.sleep(0)
+            # Yield (or wait verify_delay) so a competitor's concurrent
+            # write RPCs can land before this verify quorum is read — the
+            # check should race as little as possible.  Cross-process
+            # deployments need the real delay; see the class docstring.
+            await asyncio.sleep(self.verify_delay)
             check = await self.register.read_credible()
             self._note_records(check)
             competitors = [
@@ -327,6 +347,7 @@ def mutex_for(
     name: str = "lock",
     client_id: int = 0,
     verify_rounds: int = 2,
+    verify_delay: float = 0.0,
     rng: Optional[random.Random] = None,
 ) -> AsyncQuorumMutex:
     """Build a lock handle with the scenario's register protocol.
@@ -341,7 +362,12 @@ def mutex_for(
         spec, client, name=lock_variable(name), writer_id=client_id
     )
     return AsyncQuorumMutex(
-        register, name, client_id, verify_rounds=verify_rounds, rng=rng
+        register,
+        name,
+        client_id,
+        verify_rounds=verify_rounds,
+        verify_delay=verify_delay,
+        rng=rng,
     )
 
 

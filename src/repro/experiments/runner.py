@@ -70,6 +70,7 @@ from repro.rngs import seed_sequential
 from repro.service.client import SELECTION_MODES
 from repro.service.dispatch import DISPATCH_MODES
 from repro.service.sharding import TRANSPORT_MODES
+from repro.service.wire import WIRE_CODECS
 
 EXPERIMENT_NAMES = (
     "table1",
@@ -161,6 +162,8 @@ def run_experiment(
     key_skew: float = 0.0,
     writers: int = None,
     contention: float = 0.0,
+    codec: str = "json",
+    processes: int = None,
 ) -> List[str]:
     """Run one named experiment (or ``all``) and return the rendered reports.
 
@@ -206,6 +209,8 @@ def run_experiment(
                 key_skew=key_skew,
                 writers=writers,
                 contention=contention,
+                codec=codec,
+                processes=processes,
             )
         ]
     if name == "all":
@@ -341,6 +346,25 @@ def main(argv: List[str] = None) -> int:
         "hottest key, colliding the writers on one register "
         "(default: 0)",
     )
+    parser.add_argument(
+        "--codec",
+        choices=WIRE_CODECS,
+        default="json",
+        help="serve wire codec over TCP: debug-friendly 'json' or the "
+        "struct-packed 'binary' (negotiated per connection; implies "
+        "--transport tcp; default: json)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        nargs="?",
+        const=0,
+        default=None,
+        help="serve multi-process mode: one server process per shard plus "
+        "N load-worker processes (bare --processes auto-scales N to the "
+        "machine's cores; implies --transport tcp and disables live "
+        "churn; default: classic in-loop harness)",
+    )
     args = parser.parse_args(argv)
     if args.experiment_name is not None and args.experiment is not None:
         parser.error("name the experiment positionally or with --experiment, not both")
@@ -363,6 +387,8 @@ def main(argv: List[str] = None) -> int:
             key_skew=args.key_skew,
             writers=args.writers,
             contention=args.contention,
+            codec=args.codec,
+            processes=args.processes,
         )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -18,6 +18,8 @@ client); the benchmark suite reuses the same builders.
 
 from __future__ import annotations
 
+import os
+
 from repro.core.masking import ProbabilisticMaskingSystem
 from repro.exceptions import ExperimentError, ReproError
 from repro.protocol.timestamps import Timestamp
@@ -79,6 +81,8 @@ def serve_load_spec(
     key_skew: float = 0.0,
     writers: int = None,
     contention: float = 0.0,
+    codec: str = "json",
+    processes: int = 0,
 ) -> ServiceLoadSpec:
     """The full soak configuration: forgers + drops + latency + live churn.
 
@@ -101,9 +105,25 @@ def serve_load_spec(
     ``selection="latency-aware"`` and no explicit ``scenario`` the
     Byzantine-free crash variant of the scenario is deployed instead.  An
     explicitly passed Byzantine ``scenario`` still raises.
+
+    ``codec`` picks the TCP wire codec (``"json"`` or the struct-packed
+    ``"binary"``, negotiated per connection).  ``processes > 0`` moves the
+    soak onto a :class:`~repro.service.cluster.ClusterDeployment` — one
+    server process per shard plus that many load-worker processes; both
+    imply ``transport="tcp"``.  Live crash/recovery churn is in-loop
+    surgery on the server objects, which a process boundary makes
+    unreachable, so a multi-process soak runs without churn (the
+    crashed-shard path is covered by the cluster tests instead).
     """
+    if codec != "json" or processes > 0:
+        transport = "tcp"
     if scenario is None:
         scenario = serve_scenario(byzantine=selection != "latency-aware")
+    fault_injection = (
+        FaultInjectionSpec(crash_count=0)
+        if processes > 0
+        else FaultInjectionSpec(crash_count=5, interval=0.002)
+    )
     return ServiceLoadSpec(
         scenario=scenario,
         clients=clients,
@@ -117,7 +137,7 @@ def serve_load_spec(
         # share one event loop with the servers in this harness), or
         # timeouts cascade into probe-ping storms.
         deadline=0.005 if transport == "inproc" else 0.25,
-        fault_injection=FaultInjectionSpec(crash_count=5, interval=0.002),
+        fault_injection=fault_injection,
         transport=transport,
         shards=shards,
         keys=keys,
@@ -126,6 +146,8 @@ def serve_load_spec(
         selection=selection,
         writers=writers,
         contention=contention,
+        codec=codec,
+        processes=processes,
         seed=seed,
     )
 
@@ -143,12 +165,27 @@ def run_serve(
     key_skew: float = 0.0,
     writers: int = None,
     contention: float = 0.0,
+    codec: str = "json",
+    processes: int = None,
 ) -> str:
-    """Run the service soak and render its report (the CLI entry point)."""
+    """Run the service soak and render its report (the CLI entry point).
+
+    ``processes=None`` keeps the classic in-loop harness; ``processes=0``
+    (the bare ``--processes`` flag) auto-scales load workers to the
+    machine's cores; a positive value pins the worker count.  Either
+    spelling deploys one server process per shard and implies the TCP
+    transport and no live churn.
+    """
     if shards > 1 and keys == 1:
         # A sharded run needs keys to hash; default to a key per shard and
         # enough writes that every register is written at least once.
         keys = shards
+    if processes is not None and processes == 0:
+        processes = os.cpu_count() or 1
+    if processes is not None:
+        # The load partitioner hands each worker a disjoint key/client
+        # slice, so workers can never outnumber either.
+        processes = max(1, min(processes, keys, clients))
     try:
         spec = serve_load_spec(
             clients=clients,
@@ -163,6 +200,8 @@ def run_serve(
             key_skew=key_skew,
             writers=writers,
             contention=contention,
+            codec=codec,
+            processes=processes or 0,
         )
     except ReproError as error:
         raise ExperimentError(str(error)) from error

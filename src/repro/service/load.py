@@ -61,6 +61,7 @@ from repro.service.client import (
 )
 from repro.service.dispatch import DISPATCH_MODES
 from repro.service.sharding import TRANSPORT_MODES, ShardedDeployment, shard_for_key
+from repro.service.wire import WIRE_CODECS
 from repro.simulation.scenario import ScenarioSpec
 
 try:  # pragma: no cover - exercised only where the optional extra is installed
@@ -211,6 +212,14 @@ class ServiceLoadSpec:
     seed: int = 0
     writers: Optional[int] = None
     contention: float = 0.0
+    #: Wire codec the TCP transports prefer (``"json"`` or ``"binary"``;
+    #: negotiated per connection, JSON is always the fallback).
+    codec: str = "json"
+    #: ``0`` (default) keeps everything on the caller's event loop; ``> 0``
+    #: deploys via :class:`~repro.service.cluster.ClusterDeployment` (one
+    #: server process per shard) and splits the load over this many worker
+    #: processes (``1`` = cluster servers, load driven in the parent).
+    processes: int = 0
     #: Deprecated alias for ``deadline`` (the pre-facade spelling).
     rpc_timeout: Optional[float] = UNSET  # type: ignore[assignment]
 
@@ -288,6 +297,48 @@ class ServiceLoadSpec:
             raise ConfigurationError(
                 f"the quorum pool size must be non-negative, got {self.quorum_pool}"
             )
+        if self.codec not in WIRE_CODECS:
+            raise ConfigurationError(
+                f"unknown wire codec {self.codec!r}; choose from {WIRE_CODECS}"
+            )
+        if self.codec != "json" and self.transport != "tcp":
+            raise ConfigurationError(
+                "codec applies to the wire: transport='inproc' passes payloads "
+                "by reference, so codec='json' is the only valid spelling there"
+            )
+        if self.processes < 0:
+            raise ConfigurationError(
+                f"the process count must be non-negative, got {self.processes}"
+            )
+        if self.processes > 0:
+            if self.transport != "tcp":
+                raise ConfigurationError(
+                    "processes > 0 deploys one server process per shard, which "
+                    "only makes sense over transport='tcp' (in-process nodes "
+                    "cannot cross a process boundary)"
+                )
+            if self.fault_injection.crash_count > 0:
+                raise ConfigurationError(
+                    "live fault injection needs in-process node objects; with "
+                    "processes > 0 the servers live in their own processes, so "
+                    "use the scenario's static failure model instead"
+                )
+            if self.contention > 0.0:
+                raise ConfigurationError(
+                    "contention redirects writes to the hottest key, but the "
+                    "multi-process load partitions writers by key; contention "
+                    "requires processes=0"
+                )
+            if self.processes > self.keys:
+                raise ConfigurationError(
+                    f"{self.processes} load processes over {self.keys} register "
+                    f"keys leaves workers provably idle; use processes <= keys"
+                )
+            if self.processes > self.clients:
+                raise ConfigurationError(
+                    f"{self.processes} load processes need at least that many "
+                    f"reader clients, got {self.clients}"
+                )
         if (
             self.selection == "latency-aware"
             and self.scenario.failure_model.byzantine_count > 0
@@ -320,6 +371,10 @@ class ServiceLoadSpec:
             )
             if self.key_skew:
                 extras += f", key_skew={self.key_skew}"
+        if self.codec != "json":
+            extras += f", codec={self.codec}"
+        if self.processes:
+            extras += f", processes={self.processes}"
         if self.resolved_writers > 1:
             extras += f", writers={self.resolved_writers}"
         if self.contention:
@@ -554,6 +609,7 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
         # are independent replica groups, so latency estimates never mix.
         latency_tracking=spec.selection == "latency-aware",
         rng=rng,
+        codec=spec.codec,
     )
     def make_client(writer_id: Optional[int] = None):
         return deployment.new_register_client(
@@ -708,7 +764,17 @@ def run_service_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
     Uses ``uvloop`` when importable (``pip install repro[fast]``) and
     silently falls back to the stock asyncio event loop otherwise; the
     report's ``loop_driver`` records which one actually ran.
+
+    ``spec.processes > 0`` routes to the multi-process path: servers in a
+    :class:`~repro.service.cluster.ClusterDeployment` (one process per
+    shard), load split over ``processes`` worker processes.
     """
+    if spec.processes > 0:
+        from repro.service.cluster import run_cluster_load
+
+        report = run_cluster_load(spec)
+        report.loop_driver = "asyncio"
+        return report
     if _uvloop is None:
         report = asyncio.run(serve_load(spec))
         report.loop_driver = "asyncio"

@@ -29,11 +29,22 @@ The conformance suite (``tests/conformance``) asserts that classification
 rates over this path agree with the in-process service and both Monte-Carlo
 engines, and that no fabricated value is ever accepted.
 
-Frames are the length-prefixed tagged-JSON format of
-:mod:`repro.service.wire`; request/response shapes::
+Frames are the length-prefixed format of :mod:`repro.service.wire` under
+either codec (tagged JSON, or the struct-packed binary fast path);
+request/response shapes::
 
     ("req", request_id, server_id, method, args_tuple)
     ("rsp", request_id, reply_envelope)
+    ("hello", [codec, ...]) / ("hello", chosen)     # codec negotiation
+
+Negotiation is per connection: a client preferring the binary codec opens
+with a JSON-encoded hello offering its codecs, the server answers with its
+choice, and each side then *sends* its negotiated codec (every frame
+self-identifies, so decoding needs no negotiation state).  A pre-codec
+peer treats the hello as a malformed request and drops the connection; the
+client detects the EOF, marks the whole transport JSON-only and
+reconnects — binary clients interoperate with JSON-only servers at the
+cost of one extra connect.
 """
 
 from __future__ import annotations
@@ -45,9 +56,17 @@ from repro.exceptions import RpcTimeoutError, ServiceError, WireFormatError
 from repro.service.node import NO_REPLY, ServiceNode
 from repro.service.transport import AsyncTransport
 from repro.service.wire import (
+    WIRE_CODECS,
     FrameDecoder,
+    choose_codec,
+    decode_binary_request_body,
+    decode_binary_response_body,
     encode_frame,
     encode_request_frame,
+    encode_response_frame,
+    hello_frame,
+    hello_reply_frame,
+    parse_hello,
     request_tail,
 )
 
@@ -113,14 +132,34 @@ class TcpServiceServer:
     host, port:
         Bind address; ``port=0`` (the default) lets the OS pick a free
         ephemeral port, published via :attr:`address` after :meth:`start`.
+    codecs:
+        The wire codecs this server will negotiate (a client's hello picks
+        the first of its offers present here).  Must include ``"json"`` —
+        it is the negotiation carrier and the pre-codec fallback; pass
+        ``codecs=("json",)`` to deploy a JSON-only server.
     """
 
     def __init__(
-        self, nodes: Sequence[ServiceNode], host: str = "127.0.0.1", port: int = 0
+        self,
+        nodes: Sequence[ServiceNode],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codecs: Sequence[str] = WIRE_CODECS,
     ) -> None:
         self.nodes = list(nodes)
         self.host = host
         self.port = int(port)
+        self.codecs = tuple(codecs)
+        if "json" not in self.codecs:
+            raise ServiceError(
+                "the server's codecs must include 'json' (the negotiation "
+                f"carrier and pre-codec fallback), got {self.codecs!r}"
+            )
+        for name in self.codecs:
+            if name not in WIRE_CODECS:
+                raise ServiceError(
+                    f"unknown wire codec {name!r}; choose from {WIRE_CODECS}"
+                )
         self._server: Optional[asyncio.AbstractServer] = None
         self._connection_tasks: "set[asyncio.Task]" = set()
         self._connection_writers: "set[asyncio.StreamWriter]" = set()
@@ -168,22 +207,36 @@ class TcpServiceServer:
         self.connections_accepted += 1
         self._connection_tasks.add(asyncio.current_task())
         self._connection_writers.add(writer)
-        outbound: "asyncio.Queue[bytes]" = asyncio.Queue()
-        writer_task = asyncio.create_task(_drain_queue(outbound, writer))
-        decoder = FrameDecoder()
+        decoder = FrameDecoder(decode_binary=decode_binary_request_body)
+        codec = "json"  # per-connection response codec until a hello says otherwise
         try:
             while True:
                 chunk = await reader.read(_READ_CHUNK)
                 if not chunk:
                     break
+                # All of a chunk's responses coalesce into ONE socket write
+                # directly from this loop (no queue, no writer task): a
+                # burst of q requests costs one write, not 2q task hops.
+                # Not reading while ``drain`` applies backpressure is the
+                # point — a slow peer throttles itself, nobody else.
+                responses: List[bytes] = []
                 for frame in decoder.feed(chunk):
-                    self._handle_request(frame, outbound)
+                    offered = parse_hello(frame)
+                    if offered is not None:
+                        codec = choose_codec(offered, self.codecs)
+                        responses.append(hello_reply_frame(codec))
+                        continue
+                    reply_frame = self._handle_request(frame, codec)
+                    if reply_frame is not None:
+                        responses.append(reply_frame)
+                if responses:
+                    writer.write(b"".join(responses))
+                    await writer.drain()
         except (ConnectionError, WireFormatError):
             # A malformed or vanished peer costs it its connection, nothing
             # more; other connections and the nodes are unaffected.
             pass
         finally:
-            writer_task.cancel()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -192,7 +245,7 @@ class TcpServiceServer:
             self._connection_writers.discard(writer)
             self._connection_tasks.discard(asyncio.current_task())
 
-    def _handle_request(self, frame: Any, outbound: "asyncio.Queue[bytes]") -> None:
+    def _handle_request(self, frame: Any, codec: str = "json") -> Optional[bytes]:
         try:
             kind, request_id, server_id, method, args = frame
             if kind != "req" or not isinstance(args, tuple):
@@ -214,8 +267,8 @@ class TcpServiceServer:
         if reply is NO_REPLY:
             # Silence stays silence on the wire: the caller's deadline is
             # the only thing that resolves it, as on the in-process paths.
-            return
-        outbound.put_nowait(encode_frame(("rsp", request_id, reply)))
+            return None
+        return encode_response_frame(request_id, reply, codec)
 
 
 class _TcpConnection:
@@ -236,24 +289,34 @@ class _TcpConnection:
     def connected(self) -> bool:
         return self._writer is not None and not self._writer.is_closing()
 
-    async def send(self, frame: bytes, connect_timeout: Optional[float] = None) -> None:
-        """Queue one frame, (re)opening the socket first when needed.
+    async def ensure(self, connect_timeout: Optional[float] = None) -> None:
+        """(Re)open the socket — and negotiate its codec — when needed.
 
-        The queue append itself never blocks; only a needed (re)connect
-        does, and ``connect_timeout`` bounds it so a blackholed peer costs
-        the caller its RPC deadline, not the OS connect timeout.
+        ``connect_timeout`` bounds the whole connect (handshake included)
+        so a blackholed peer costs the caller its RPC deadline, not the OS
+        connect timeout.  After this returns, the transport's
+        ``negotiated_codec`` is resolved and :meth:`enqueue` cannot block.
         """
-        if not self.connected:
-            if connect_timeout is None:
-                await self._connect()
-            else:
-                try:
-                    await asyncio.wait_for(self._connect(), connect_timeout)
-                except asyncio.TimeoutError:
-                    raise ConnectionError(
-                        f"connect to {self.transport.address} exceeded the "
-                        f"{connect_timeout}s deadline"
-                    ) from None
+        if self.connected:
+            return
+        if connect_timeout is None:
+            await self._connect()
+        else:
+            try:
+                await asyncio.wait_for(self._connect(), connect_timeout)
+            except asyncio.TimeoutError:
+                raise ConnectionError(
+                    f"connect to {self.transport.address} exceeded the "
+                    f"{connect_timeout}s deadline"
+                ) from None
+
+    def enqueue(self, frame: bytes) -> None:
+        """Queue one already-encoded frame on a connection :meth:`ensure`-d up."""
+        self._queue.put_nowait(frame)
+
+    async def send(self, frame: bytes, connect_timeout: Optional[float] = None) -> None:
+        """Queue one frame, (re)opening the socket first when needed."""
+        await self.ensure(connect_timeout)
         self._queue.put_nowait(frame)
 
     async def _connect(self) -> None:
@@ -261,19 +324,69 @@ class _TcpConnection:
             if self.connected:
                 return
             await self._teardown()
-            host, port = self.transport.address
-            self._reader, self._writer = await asyncio.open_connection(host, port)
+            transport = self.transport
+            host, port = transport.address
+            reader, writer = await asyncio.open_connection(host, port)
+            decoder = FrameDecoder(decode_binary=decode_binary_response_body)
+            # Negotiate unless the transport prefers JSON (then the hello is
+            # skipped entirely — pre-codec byte compatibility) or a previous
+            # handshake already fell back to JSON for this transport.
+            if transport.codec_preference != "json" and transport.negotiated_codec != "json":
+                reader, writer, decoder = await self._negotiate(reader, writer, decoder)
+            self._reader, self._writer = reader, writer
             self._queue = asyncio.Queue()
             self._tasks = [
                 asyncio.create_task(_drain_queue(self._queue, self._writer)),
-                asyncio.create_task(self._read_loop(self._reader)),
+                asyncio.create_task(self._read_loop(self._reader, decoder)),
             ]
             if self._was_connected:
-                self.transport.reconnects += 1
+                transport.reconnects += 1
             self._was_connected = True
 
-    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
-        decoder = FrameDecoder()
+    async def _negotiate(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        decoder: FrameDecoder,
+    ):
+        """The hello exchange; falls back to JSON (and reconnects) on old peers."""
+        transport = self.transport
+        try:
+            writer.write(hello_frame(transport.offered_codecs))
+            await writer.drain()
+            frames: List[Any] = []
+            while not frames:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    raise ConnectionResetError("peer closed during codec negotiation")
+                frames = decoder.feed(chunk)
+            chosen = parse_hello(frames[0])
+            if not isinstance(chosen, str):
+                raise WireFormatError(f"expected a hello reply, got {frames[0]!r}")
+        except (ConnectionError, OSError, WireFormatError):
+            # A pre-codec peer treats the hello as a malformed request and
+            # drops the connection.  Fall back to JSON for the *transport*
+            # (one extra connect total, not one per pooled connection) and
+            # reconnect without a handshake.
+            transport.negotiated_codec = "json"
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            host, port = transport.address
+            reader, writer = await asyncio.open_connection(host, port)
+            return reader, writer, FrameDecoder(decode_binary=decode_binary_response_body)
+        transport.negotiated_codec = chosen if chosen in WIRE_CODECS else "json"
+        for frame in frames[1:]:  # responses glued onto the hello reply
+            transport._dispatch_response(frame)
+        return reader, writer, decoder
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, decoder: Optional[FrameDecoder] = None
+    ) -> None:
+        if decoder is None:
+            decoder = FrameDecoder(decode_binary=decode_binary_response_body)
         try:
             while True:
                 chunk = await reader.read(_READ_CHUNK)
@@ -325,6 +438,12 @@ class TcpTransport(AsyncTransport):
     connections:
         Sockets the transport stripes RPCs across; each has its own writer
         task, so one slow ``drain`` never blocks the others.
+    codec:
+        The *preferred* wire codec.  ``"json"`` (the default) sends the
+        pre-codec byte stream with no hello handshake; ``"binary"`` offers
+        the struct-packed codec per connection and falls back to JSON
+        against servers that do not speak it.  :attr:`negotiated_codec`
+        records the outcome once the first connection is up.
     """
 
     def __init__(
@@ -335,12 +454,23 @@ class TcpTransport(AsyncTransport):
         drop_probability: float = 0.0,
         seed: int = 0,
         connections: int = DEFAULT_CONNECTIONS,
+        codec: str = "json",
     ) -> None:
         super().__init__(
             latency=latency, jitter=jitter, drop_probability=drop_probability, seed=seed
         )
         if connections < 1:
             raise ServiceError(f"need at least one connection, got {connections}")
+        if codec not in WIRE_CODECS:
+            raise ServiceError(
+                f"unknown wire codec {codec!r}; choose from {WIRE_CODECS}"
+            )
+        self.codec_preference = codec
+        #: Codecs offered in the hello (preference first; JSON always last).
+        self.offered_codecs = (codec, "json") if codec != "json" else ("json",)
+        #: The codec this transport *sends*: resolved immediately for a JSON
+        #: preference, by the first connection's handshake otherwise.
+        self.negotiated_codec: Optional[str] = "json" if codec == "json" else None
         self.address = (str(address[0]), int(address[1]))
         self._connections = [_TcpConnection(self) for _ in range(connections)]
         #: request_id -> Future (per-RPC path) or (op, server) (dispatcher path).
@@ -420,12 +550,20 @@ class TcpTransport(AsyncTransport):
         request_id = self._next_request_id
         future = loop.create_future()
         self._pending[request_id] = future
-        frame = encode_frame(("req", request_id, node.server_id, method, args))
         connection = self._connections[request_id % len(self._connections)]
         started = loop.time()
         try:
             try:
-                await connection.send(frame, connect_timeout=timeout)
+                # Connect (and, first time, negotiate the codec) before
+                # encoding: the request must be framed in whatever codec the
+                # handshake lands on.
+                await connection.ensure(connect_timeout=timeout)
+                connection.enqueue(
+                    encode_frame(
+                        ("req", request_id, node.server_id, method, args),
+                        self.negotiated_codec or "json",
+                    )
+                )
             except (ConnectionError, OSError) as error:
                 # Unreachable server: burn (the rest of) the deadline like
                 # any silent peer — a failed connect already consumed some.
@@ -470,7 +608,10 @@ class _WireOp:
     lazily when the last fate comes in.
     """
 
-    __slots__ = ("transport", "loop", "future", "replies", "outstanding", "misses", "timer", "start")
+    __slots__ = (
+        "transport", "loop", "future", "replies", "outstanding",
+        "misses", "timer", "start",
+    )
 
     def __init__(
         self,
@@ -596,9 +737,22 @@ class TcpDispatcher:
         connections = transport._connections
         stripes = len(connections)
         pending = transport._pending
+        codec = transport.negotiated_codec
+        if codec is None:
+            # First op on a binary-preference transport: bring one
+            # connection up (running the hello handshake) so the tail below
+            # is built in the codec the whole fan-out will be sent in.
+            remaining = (
+                None if timeout is None else max(op.start + timeout - loop.time(), 0.001)
+            )
+            try:
+                await connections[0].ensure(connect_timeout=remaining)
+            except (ConnectionError, OSError):
+                pass  # the per-server sends below fail (and count) individually
+            codec = transport.negotiated_codec or "json"
         # The (method, args) payload is serialised once per op, not per
         # frame: only request_id and server differ between the q frames.
-        tail = request_tail(method, args)
+        tail = request_tail(method, args, codec=codec)
         for position, server in enumerate(sent):
             if op.future.done():
                 # The deadline fired while this coroutine was suspended

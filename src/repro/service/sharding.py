@@ -57,6 +57,7 @@ from repro.service.node import ServiceNode
 from repro.service.register import AsyncRegister, async_register_for
 from repro.service.stats import EwmaLatencyTracker
 from repro.service.transport import AsyncTransport
+from repro.service.wire import WIRE_CODECS
 from repro.simulation.scenario import ScenarioSpec
 
 #: The two deployment transports the service layer exposes.
@@ -107,124 +108,22 @@ class _Shard:
         self.tracker: Optional[Any] = None
 
 
-class ShardedDeployment:
-    """``shards`` independent deployments of one scenario, routed by key.
+class ShardedClientAPI:
+    """The client-facing surface a sharded deployment hands out.
 
-    Parameters
-    ----------
-    scenario:
-        The declarative scenario every shard deploys: quorum system,
-        failure model (sampled independently per shard) and register kind.
-    shards:
-        Number of independent replica groups.
-    transport:
-        ``"inproc"`` (shared-memory nodes on the current loop) or ``"tcp"``
-        (one localhost socket server per shard).
-    latency, jitter, drop_probability:
-        Transport conditions, with the same meaning in both modes (over TCP
-        they are *added* to whatever the real sockets cost).
-    dispatch:
-        ``"batched"`` installs the coalescing dispatcher of the matching
-        transport (``BatchedDispatcher`` in process, the op-level
-        ``TcpDispatcher`` on the wire); ``"per-rpc"`` uses the
-        coroutine-per-RPC oracle path in both modes.
-    dispatch_window:
-        Extra coalescing time for the in-process batched dispatcher.
-    latency_tracking:
-        When true, each shard gets its **own**
-        :class:`~repro.service.stats.EwmaLatencyTracker` (latency-aware
-        selection).  Trackers are never shared across shards: the shards
-        are independent replica groups with independent failure plans, so
-        server ``i`` of one shard says nothing about server ``i`` of
-        another.
-    rng:
-        Root randomness: per-shard failure plans, transport seeds and pool
-        generators derive from it in shard order, so a deployment is
-        reproducible from one seed.
-    seed:
-        The facade spelling of the same root: ``seed=7`` is shorthand for
-        ``rng=random.Random(7)`` (ignored when an explicit ``rng`` is
-        given — the generator is the more specific request).
-    tcp_host:
-        Bind address for the per-shard socket servers.
+    Shared by :class:`ShardedDeployment` (servers on the current loop) and
+    :class:`~repro.service.cluster.ClusterDeployment` (one server process
+    per shard): both own a ``scenario``, a ``shards`` list of per-shard
+    resources (transport / dispatcher / client node stubs / pool generator
+    / tracker) and a ``_started`` flag, and everything clients need —
+    routing, per-shard quorum clients, the logical sharded register client,
+    aggregate RPC counters — derives from exactly that, so the two
+    deployment shapes are interchangeable above this line.
     """
 
-    def __init__(
-        self,
-        scenario: ScenarioSpec,
-        shards: int = 1,
-        transport: str = "inproc",
-        latency: float = 0.0,
-        jitter: float = 0.0,
-        drop_probability: float = 0.0,
-        dispatch: str = "batched",
-        dispatch_window: float = 0.0,
-        latency_tracking: bool = False,
-        rng: Optional[random.Random] = None,
-        seed: Optional[int] = None,
-        tcp_host: str = "127.0.0.1",
-    ) -> None:
-        if not isinstance(scenario, ScenarioSpec):
-            raise ConfigurationError(
-                f"a deployment is described over a ScenarioSpec, "
-                f"got {type(scenario).__name__}"
-            )
-        if shards < 1:
-            raise ConfigurationError(f"need at least one shard, got {shards}")
-        if transport not in TRANSPORT_MODES:
-            raise ConfigurationError(
-                f"unknown transport {transport!r}; choose from {TRANSPORT_MODES}"
-            )
-        self.scenario = scenario
-        self.transport_mode = transport
-        self.latency_tracking = bool(latency_tracking)
-        self._tcp_host = tcp_host
-        self._started = transport == "inproc"
-        if rng is None:
-            rng = random.Random(seed) if seed is not None else random.Random()
-        n = scenario.n
-        self.shards: List[_Shard] = []
-        for index in range(shards):
-            shard = _Shard()
-            shard.index = index
-            shard.nodes = [ServiceNode(server) for server in range(n)]
-            shard.plan = scenario.failure_model.sample_plan_for(n, rng)
-            for server in shard.plan.crashed:
-                shard.nodes[server].crash()
-            for server, behavior in shard.plan.byzantine.items():
-                shard.nodes[server].set_behavior(behavior)
-            shard.transport_seed = rng.randrange(2**63)
-            shard.tracker = EwmaLatencyTracker(n) if latency_tracking else None
-            if transport == "inproc":
-                shard.transport = AsyncTransport(
-                    latency=latency,
-                    jitter=jitter,
-                    drop_probability=drop_probability,
-                    seed=shard.transport_seed,
-                )
-                shard.dispatcher = (
-                    BatchedDispatcher(
-                        shard.nodes,
-                        shard.transport,
-                        window=dispatch_window,
-                        tracker=shard.tracker,
-                    )
-                    if dispatch == "batched"
-                    else None
-                )
-                shard.client_nodes = shard.nodes
-            else:
-                # The transport needs the server's ephemeral port, known
-                # only after start(); stash the knobs until then.
-                shard.server = TcpServiceServer(shard.nodes, host=tcp_host)
-                shard.transport = None
-                shard.dispatcher = None
-                shard.client_nodes = remote_nodes(n)
-            shard.pool_generator = np.random.default_rng(rng.randrange(2**63))
-            self.shards.append(shard)
-        self._tcp_knobs = (latency, jitter, drop_probability, dispatch)
-
-    # -- lifecycle ----------------------------------------------------------------
+    scenario: ScenarioSpec
+    shards: List["_Shard"]
+    _started: bool
 
     @property
     def shard_count(self) -> int:
@@ -234,45 +133,6 @@ class ShardedDeployment:
     def shard_for(self, key: str) -> int:
         """Route a register key to its shard."""
         return shard_for_key(key, len(self.shards))
-
-    async def start(self) -> None:
-        """Bring the deployment up (starts socket servers in TCP mode)."""
-        if self._started:
-            return
-        latency, jitter, drop_probability, dispatch = self._tcp_knobs
-        for shard in self.shards:
-            await shard.server.start()
-            shard.transport = TcpTransport(
-                shard.server.address,
-                latency=latency,
-                jitter=jitter,
-                drop_probability=drop_probability,
-                seed=shard.transport_seed,
-            )
-            await shard.transport.connect()
-            if dispatch == "batched":
-                shard.dispatcher = TcpDispatcher(shard.transport, tracker=shard.tracker)
-        self._started = True
-
-    async def aclose(self) -> None:
-        """Tear the deployment down (closes sockets in TCP mode; idempotent)."""
-        if self.transport_mode != "tcp":
-            return
-        for shard in self.shards:
-            if isinstance(shard.transport, TcpTransport):
-                await shard.transport.aclose()
-            if shard.server is not None:
-                await shard.server.aclose()
-        self._started = False
-
-    async def __aenter__(self) -> "ShardedDeployment":
-        await self.start()
-        return self
-
-    async def __aexit__(self, *exc_info: Any) -> None:
-        await self.aclose()
-
-    # -- clients ------------------------------------------------------------------
 
     def client_for_shard(
         self,
@@ -357,6 +217,180 @@ class ShardedDeployment:
             if shard.dispatcher is not None
         )
 
+
+class ShardedDeployment(ShardedClientAPI):
+    """``shards`` independent deployments of one scenario, routed by key.
+
+    Parameters
+    ----------
+    scenario:
+        The declarative scenario every shard deploys: quorum system,
+        failure model (sampled independently per shard) and register kind.
+    shards:
+        Number of independent replica groups.
+    transport:
+        ``"inproc"`` (shared-memory nodes on the current loop) or ``"tcp"``
+        (one localhost socket server per shard).
+    latency, jitter, drop_probability:
+        Transport conditions, with the same meaning in both modes (over TCP
+        they are *added* to whatever the real sockets cost).
+    dispatch:
+        ``"batched"`` installs the coalescing dispatcher of the matching
+        transport (``BatchedDispatcher`` in process, the op-level
+        ``TcpDispatcher`` on the wire); ``"per-rpc"`` uses the
+        coroutine-per-RPC oracle path in both modes.
+    dispatch_window:
+        Extra coalescing time for the in-process batched dispatcher.
+    latency_tracking:
+        When true, each shard gets its **own**
+        :class:`~repro.service.stats.EwmaLatencyTracker` (latency-aware
+        selection).  Trackers are never shared across shards: the shards
+        are independent replica groups with independent failure plans, so
+        server ``i`` of one shard says nothing about server ``i`` of
+        another.
+    rng:
+        Root randomness: per-shard failure plans, transport seeds and pool
+        generators derive from it in shard order, so a deployment is
+        reproducible from one seed.
+    seed:
+        The facade spelling of the same root: ``seed=7`` is shorthand for
+        ``rng=random.Random(7)`` (ignored when an explicit ``rng`` is
+        given — the generator is the more specific request).
+    tcp_host:
+        Bind address for the per-shard socket servers.
+    codec:
+        The wire codec the TCP transports prefer (``"json"`` or
+        ``"binary"``; negotiated per connection, with JSON fallback).
+        Meaningless — and therefore refused — for ``transport="inproc"``,
+        where payloads pass by reference.
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        shards: int = 1,
+        transport: str = "inproc",
+        latency: float = 0.0,
+        jitter: float = 0.0,
+        drop_probability: float = 0.0,
+        dispatch: str = "batched",
+        dispatch_window: float = 0.0,
+        latency_tracking: bool = False,
+        rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
+        tcp_host: str = "127.0.0.1",
+        codec: str = "json",
+    ) -> None:
+        if not isinstance(scenario, ScenarioSpec):
+            raise ConfigurationError(
+                f"a deployment is described over a ScenarioSpec, "
+                f"got {type(scenario).__name__}"
+            )
+        if shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {shards}")
+        if transport not in TRANSPORT_MODES:
+            raise ConfigurationError(
+                f"unknown transport {transport!r}; choose from {TRANSPORT_MODES}"
+            )
+        if codec not in WIRE_CODECS:
+            raise ConfigurationError(
+                f"unknown wire codec {codec!r}; choose from {WIRE_CODECS}"
+            )
+        if codec != "json" and transport == "inproc":
+            raise ConfigurationError(
+                "codec applies to the wire: transport='inproc' passes payloads "
+                "by reference, so codec='json' is the only valid spelling there"
+            )
+        self.codec = codec
+        self.scenario = scenario
+        self.transport_mode = transport
+        self.latency_tracking = bool(latency_tracking)
+        self._tcp_host = tcp_host
+        self._started = transport == "inproc"
+        if rng is None:
+            rng = random.Random(seed) if seed is not None else random.Random()
+        n = scenario.n
+        self.shards: List[_Shard] = []
+        for index in range(shards):
+            shard = _Shard()
+            shard.index = index
+            shard.nodes = [ServiceNode(server) for server in range(n)]
+            shard.plan = scenario.failure_model.sample_plan_for(n, rng)
+            for server in shard.plan.crashed:
+                shard.nodes[server].crash()
+            for server, behavior in shard.plan.byzantine.items():
+                shard.nodes[server].set_behavior(behavior)
+            shard.transport_seed = rng.randrange(2**63)
+            shard.tracker = EwmaLatencyTracker(n) if latency_tracking else None
+            if transport == "inproc":
+                shard.transport = AsyncTransport(
+                    latency=latency,
+                    jitter=jitter,
+                    drop_probability=drop_probability,
+                    seed=shard.transport_seed,
+                )
+                shard.dispatcher = (
+                    BatchedDispatcher(
+                        shard.nodes,
+                        shard.transport,
+                        window=dispatch_window,
+                        tracker=shard.tracker,
+                    )
+                    if dispatch == "batched"
+                    else None
+                )
+                shard.client_nodes = shard.nodes
+            else:
+                # The transport needs the server's ephemeral port, known
+                # only after start(); stash the knobs until then.
+                shard.server = TcpServiceServer(shard.nodes, host=tcp_host)
+                shard.transport = None
+                shard.dispatcher = None
+                shard.client_nodes = remote_nodes(n)
+            shard.pool_generator = np.random.default_rng(rng.randrange(2**63))
+            self.shards.append(shard)
+        self._tcp_knobs = (latency, jitter, drop_probability, dispatch)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bring the deployment up (starts socket servers in TCP mode)."""
+        if self._started:
+            return
+        latency, jitter, drop_probability, dispatch = self._tcp_knobs
+        for shard in self.shards:
+            await shard.server.start()
+            shard.transport = TcpTransport(
+                shard.server.address,
+                latency=latency,
+                jitter=jitter,
+                drop_probability=drop_probability,
+                seed=shard.transport_seed,
+                codec=self.codec,
+            )
+            await shard.transport.connect()
+            if dispatch == "batched":
+                shard.dispatcher = TcpDispatcher(shard.transport, tracker=shard.tracker)
+        self._started = True
+
+    async def aclose(self) -> None:
+        """Tear the deployment down (closes sockets in TCP mode; idempotent)."""
+        if self.transport_mode != "tcp":
+            return
+        for shard in self.shards:
+            if isinstance(shard.transport, TcpTransport):
+                await shard.transport.aclose()
+            if shard.server is not None:
+                await shard.server.aclose()
+        self._started = False
+
+    async def __aenter__(self) -> "ShardedDeployment":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (
             f"ShardedDeployment({self.scenario.describe()}, "
@@ -378,7 +412,7 @@ class ShardedAsyncRegisterClient:
 
     def __init__(
         self,
-        deployment: ShardedDeployment,
+        deployment: ShardedClientAPI,
         clients: Sequence[AsyncQuorumClient],
         writer_id: Optional[int] = None,
     ) -> None:

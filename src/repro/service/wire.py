@@ -1,13 +1,16 @@
-"""The socket transport's wire format: length-prefixed, type-tagged JSON frames.
+"""The socket transport's wire formats: length-prefixed frames, two codecs.
 
 The TCP transport (:mod:`repro.service.net`) moves the *same* RPC payloads
 the in-process paths pass by reference — method names, register keys,
 arbitrary written values, :class:`~repro.protocol.timestamps.Timestamp`
 objects (honest and forged), signature bytes and
-:class:`~repro.simulation.server.StoredValue` replies — so the codec must be
-a bijection on that whole value space, not just on JSON's native one.  Every
-container and protocol object is therefore packed behind a one-key tag
-object before serialisation:
+:class:`~repro.simulation.server.StoredValue` replies — so a codec must be
+a bijection on that whole value space, not just on JSON's native one.  Two
+codecs implement that bijection behind one framing:
+
+**json** (the debug codec and the compatibility fallback) packs every
+container and protocol object behind a one-key tag object before
+serialisation:
 
 ====  ==========================================================
 tag   payload
@@ -21,14 +24,34 @@ tag   payload
 
 Plain JSON scalars and lists pass through untouched; plain dicts never
 appear raw on the wire (they are always tagged), which is what makes the
-tag objects unambiguous.  ``encode(decode(x)) == x`` for every supported
-payload — the hypothesis suite in ``tests/service/test_wire.py`` pins the
-round trip down, including adversarially large and empty values.
+tag objects unambiguous.
 
-A frame is a 4-byte big-endian length prefix followed by the UTF-8 JSON
-body.  :class:`FrameDecoder` is an *incremental* decoder: feed it whatever
-chunks the socket produced — single bytes, frame fragments, several frames
-glued together — and it yields each complete payload exactly once, holding
+**binary** is the struct-packed fast path: a body starts with the magic
+byte ``0xB1`` (never the first byte of UTF-8 JSON text, so the decoder
+distinguishes the codecs per frame), followed by one tag-prefixed value.
+Fixed layouts cover the protocol's hot shapes — 64-bit ints (``!q``,
+arbitrary-precision fallback), floats (``!d``), length-prefixed UTF-8
+strings and *raw* bytes (no base64), counted lists/tuples/dicts, a
+two-int64 ``Timestamp`` record and a three-field ``StoredValue`` record —
+so RPC request/response tuples cost a handful of ``struct`` packs instead
+of a JSON tree walk.
+
+**Codec negotiation** is per connection and sender-side only: a client
+preferring binary opens with a ``("hello", [codec, ...])`` frame (always
+JSON-encoded, so any peer can read it) and the server answers
+``("hello", chosen)``, after which each side *sends* its negotiated codec.
+Because every frame self-identifies via the magic byte, a receiver needs no
+negotiation state to decode — old JSON-only peers simply drop the hello as
+a malformed request, which the client detects (EOF) and falls back to JSON.
+``encode(decode(x)) == x`` for every supported payload under **both**
+codecs — the hypothesis suite in ``tests/service/test_wire.py`` pins the
+round trips down, including adversarially large and empty values, and pins
+that the same logical frame decodes identically whichever codec carried it.
+
+A frame is a 4-byte big-endian length prefix followed by the body.
+:class:`FrameDecoder` is an *incremental* decoder: feed it whatever chunks
+the socket produced — single bytes, frame fragments, several frames glued
+together — and it yields each complete payload exactly once, holding
 partial frames until the rest arrives.  Frames beyond
 :data:`MAX_FRAME_BYTES` raise :class:`~repro.exceptions.WireFormatError`
 *before* the body is buffered, bounding the memory a malformed (or hostile)
@@ -39,7 +62,8 @@ from __future__ import annotations
 
 import base64
 import json
-from typing import Any, List
+import struct
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import WireFormatError
 from repro.protocol.timestamps import Timestamp
@@ -52,6 +76,10 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 #: Length-prefix width in bytes (big-endian, unsigned).
 _PREFIX_BYTES = 4
+
+#: The codecs a connection can negotiate.  ``"json"`` is the debug codec
+#: and the universal fallback; ``"binary"`` is the struct-packed fast path.
+WIRE_CODECS = ("json", "binary")
 
 _SCALARS = (bool, int, float, str)
 
@@ -118,9 +146,266 @@ def unpack_value(packed: Any) -> Any:
     raise WireFormatError(f"cannot deserialise wire payload of type {type(packed).__name__!r}")
 
 
-def encode_frame(payload: Any) -> bytes:
+# -- the binary codec --------------------------------------------------------------
+
+#: First body byte of every binary frame.  0xB1 is a UTF-8 continuation
+#: byte, so it can never open the UTF-8 text of a JSON body — which is what
+#: lets :class:`FrameDecoder` dispatch per frame with no negotiation state.
+BINARY_MAGIC = 0xB1
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03  # !q
+_T_BIGINT = 0x04  # !I byte length + signed big-endian magnitude
+_T_FLOAT = 0x05  # !d
+_T_STR = 0x06  # !I byte length + UTF-8
+_T_BYTES = 0x07  # !I byte length + raw bytes (no base64)
+_T_LIST = 0x08  # !I count + items
+_T_TUPLE = 0x09  # !I count + items
+_T_DICT = 0x0A  # !I count + key/value pairs
+_T_TS = 0x0B  # !qq (counter, writer_id)
+_T_TSBIG = 0x0C  # two packed ints (beyond int64; forged timestamps)
+_T_SV = 0x0D  # value, timestamp, signature (each packed)
+
+_STRUCT_Q = struct.Struct("!q")
+_STRUCT_D = struct.Struct("!d")
+_STRUCT_I = struct.Struct("!I")
+_STRUCT_QQ = struct.Struct("!qq")
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _pack_int(value: int, out: bytearray) -> None:
+    if _INT64_MIN <= value <= _INT64_MAX:
+        out.append(_T_INT)
+        out += _STRUCT_Q.pack(value)
+    else:
+        raw = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+        out.append(_T_BIGINT)
+        out += _STRUCT_I.pack(len(raw))
+        out += raw
+
+
+def _pack_str(value: str, out: bytearray) -> None:
+    raw = value.encode("utf-8")
+    out.append(_T_STR)
+    out += _STRUCT_I.pack(len(raw))
+    out += raw
+
+
+def _pack_bytes(value: bytes, out: bytearray) -> None:
+    out.append(_T_BYTES)
+    out += _STRUCT_I.pack(len(value))
+    out += value
+
+
+def _pack_list(value: list, out: bytearray) -> None:
+    out.append(_T_LIST)
+    out += _STRUCT_I.pack(len(value))
+    for item in value:
+        _pack_binary(item, out)
+
+
+def _pack_tuple(value: tuple, out: bytearray) -> None:
+    out.append(_T_TUPLE)
+    out += _STRUCT_I.pack(len(value))
+    for item in value:
+        _pack_binary(item, out)
+
+
+def _pack_dict(value: dict, out: bytearray) -> None:
+    out.append(_T_DICT)
+    out += _STRUCT_I.pack(len(value))
+    for key, item in value.items():
+        _pack_binary(key, out)
+        _pack_binary(item, out)
+
+
+def _pack_timestamp(value: Timestamp, out: bytearray) -> None:
+    counter, writer_id = value.counter, value.writer_id
+    if _INT64_MIN <= counter <= _INT64_MAX and _INT64_MIN <= writer_id <= _INT64_MAX:
+        out.append(_T_TS)
+        out += _STRUCT_QQ.pack(counter, writer_id)
+    else:  # a forged timestamp may carry arbitrary-precision fields
+        out.append(_T_TSBIG)
+        _pack_int(counter, out)
+        _pack_int(writer_id, out)
+
+
+def _pack_stored_value(value: StoredValue, out: bytearray) -> None:
+    out.append(_T_SV)
+    _pack_binary(value.value, out)
+    _pack_binary(value.timestamp, out)
+    _pack_binary(value.signature, out)
+
+
+def _pack_none(value: None, out: bytearray) -> None:
+    out.append(_T_NONE)
+
+
+def _pack_bool(value: bool, out: bytearray) -> None:
+    out.append(_T_TRUE if value else _T_FALSE)
+
+
+def _pack_float(value: float, out: bytearray) -> None:
+    out.append(_T_FLOAT)
+    out += _STRUCT_D.pack(value)
+
+
+#: Exact-type dispatch for the hot path (``type(x)`` lookup beats the
+#: isinstance chain the JSON codec walks); ``bool`` precedes ``int`` in the
+#: subclass fallback below for the same reason it does in ``pack_value``.
+_BINARY_PACKERS = {
+    type(None): _pack_none,
+    bool: _pack_bool,
+    int: _pack_int,
+    float: _pack_float,
+    str: _pack_str,
+    bytes: _pack_bytes,
+    list: _pack_list,
+    tuple: _pack_tuple,
+    dict: _pack_dict,
+    Timestamp: _pack_timestamp,
+    StoredValue: _pack_stored_value,
+}
+
+_BINARY_PACKER_FALLBACK = (
+    (bool, _pack_bool),
+    (int, _pack_int),
+    (float, _pack_float),
+    (str, _pack_str),
+    (bytes, _pack_bytes),
+    (list, _pack_list),
+    (tuple, _pack_tuple),
+    (dict, _pack_dict),
+    (Timestamp, _pack_timestamp),
+    (StoredValue, _pack_stored_value),
+)
+
+
+def _pack_binary(value: Any, out: bytearray) -> None:
+    packer = _BINARY_PACKERS.get(type(value))
+    if packer is not None:
+        packer(value, out)
+        return
+    for cls, packer in _BINARY_PACKER_FALLBACK:  # subclasses (rare)
+        if isinstance(value, cls):
+            packer(value, out)
+            return
+    raise WireFormatError(
+        f"cannot serialise {type(value).__name__!r} for the socket transport"
+    )
+
+
+def _take(body: bytes, offset: int, length: int) -> int:
+    end = offset + length
+    if end > len(body):
+        raise WireFormatError(
+            f"truncated binary frame: {length} bytes claimed at offset {offset}, "
+            f"{len(body) - offset} available"
+        )
+    return end
+
+
+def _unpack_binary(body: bytes, offset: int) -> Tuple[Any, int]:
+    tag = body[offset]
+    offset += 1
+    if tag == _T_TUPLE or tag == _T_LIST:
+        (count,) = _STRUCT_I.unpack_from(body, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _unpack_binary(body, offset)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), offset
+    if tag == _T_STR:
+        (length,) = _STRUCT_I.unpack_from(body, offset)
+        end = _take(body, offset + 4, length)
+        return body[offset + 4 : end].decode("utf-8"), end
+    if tag == _T_INT:
+        return _STRUCT_Q.unpack_from(body, offset)[0], offset + 8
+    if tag == _T_TS:
+        counter, writer_id = _STRUCT_QQ.unpack_from(body, offset)
+        return Timestamp(counter, writer_id), offset + 16
+    if tag == _T_SV:
+        value, offset = _unpack_binary(body, offset)
+        timestamp, offset = _unpack_binary(body, offset)
+        signature, offset = _unpack_binary(body, offset)
+        return StoredValue(value=value, timestamp=timestamp, signature=signature), offset
+    if tag == _T_BYTES:
+        (length,) = _STRUCT_I.unpack_from(body, offset)
+        end = _take(body, offset + 4, length)
+        return body[offset + 4 : end], end
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_FLOAT:
+        return _STRUCT_D.unpack_from(body, offset)[0], offset + 8
+    if tag == _T_DICT:
+        (count,) = _STRUCT_I.unpack_from(body, offset)
+        offset += 4
+        pairs = {}
+        for _ in range(count):
+            key, offset = _unpack_binary(body, offset)
+            item, offset = _unpack_binary(body, offset)
+            pairs[key] = item
+        return pairs, offset
+    if tag == _T_BIGINT:
+        (length,) = _STRUCT_I.unpack_from(body, offset)
+        end = _take(body, offset + 4, length)
+        return int.from_bytes(body[offset + 4 : end], "big", signed=True), end
+    if tag == _T_TSBIG:
+        counter, offset = _unpack_binary(body, offset)
+        writer_id, offset = _unpack_binary(body, offset)
+        if not isinstance(counter, int) or not isinstance(writer_id, int):
+            raise WireFormatError("malformed big-timestamp record")
+        return Timestamp(counter, writer_id), offset
+    raise WireFormatError(f"unknown binary wire tag 0x{tag:02x}")
+
+
+def decode_binary_body(body: bytes) -> Any:
+    """Decode one binary frame body (magic byte included); raise on garbage."""
+    try:
+        value, offset = _unpack_binary(body, 1)
+    except WireFormatError:
+        raise
+    except (struct.error, IndexError, UnicodeDecodeError, OverflowError,
+            RecursionError, TypeError, ValueError) as error:
+        raise WireFormatError(
+            f"truncated or malformed binary frame: {error}"
+        ) from error
+    if offset != len(body):
+        raise WireFormatError(
+            f"{len(body) - offset} trailing bytes after the binary payload"
+        )
+    return value
+
+
+def encode_binary_body(payload: Any) -> bytes:
+    """One payload as a binary frame body (magic byte included)."""
+    out = bytearray((BINARY_MAGIC,))
+    _pack_binary(payload, out)
+    return bytes(out)
+
+
+# -- framing -----------------------------------------------------------------------
+
+
+def encode_frame(payload: Any, codec: str = "json") -> bytes:
     """One payload as a length-prefixed frame, ready for a socket write."""
-    body = json.dumps(pack_value(payload), separators=(",", ":")).encode("utf-8")
+    if codec == "json":
+        body = json.dumps(pack_value(payload), separators=(",", ":")).encode("utf-8")
+    elif codec == "binary":
+        body = encode_binary_body(payload)
+    else:
+        raise WireFormatError(
+            f"unknown wire codec {codec!r}; choose from {WIRE_CODECS}"
+        )
     if len(body) > MAX_FRAME_BYTES:
         raise WireFormatError(
             f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
@@ -128,34 +413,155 @@ def encode_frame(payload: Any) -> bytes:
     return len(body).to_bytes(_PREFIX_BYTES, "big") + body
 
 
-def request_tail(method: str, args: tuple) -> str:
+def request_tail(method: str, args: tuple, codec: str = "json"):
     """Pre-serialised shared suffix of a fan-out's request frames.
 
     A quorum fan-out sends ``q`` request frames differing only in
     ``request_id`` and ``server``; serialising the (potentially large)
     ``(method, args)`` payload once per *operation* instead of once per
     frame keeps the wire fast path linear in the payload size.  Compose
-    with :func:`encode_request_frame`.
+    with :func:`encode_request_frame`; the tail is ``str`` under the JSON
+    codec and ``bytes`` under the binary one.
     """
-    return (
-        json.dumps(method)
-        + ","
-        + json.dumps(pack_value(tuple(args)), separators=(",", ":"))
-    )
+    if codec == "json":
+        return (
+            json.dumps(method)
+            + ","
+            + json.dumps(pack_value(tuple(args)), separators=(",", ":"))
+        )
+    if codec == "binary":
+        out = bytearray()
+        _pack_str(method, out)
+        _pack_tuple(tuple(args), out)
+        return bytes(out)
+    raise WireFormatError(f"unknown wire codec {codec!r}; choose from {WIRE_CODECS}")
 
 
-def encode_request_frame(request_id: int, server: int, tail: str) -> bytes:
+#: Fixed prefix of every binary request body: magic, 5-tuple header, "req".
+_BINARY_REQ_PREFIX = bytes(
+    (BINARY_MAGIC, _T_TUPLE)
+) + _STRUCT_I.pack(5) + bytes((_T_STR,)) + _STRUCT_I.pack(3) + b"req"
+
+
+def encode_request_frame(request_id: int, server: int, tail) -> bytes:
     """One request frame from a pre-serialised :func:`request_tail`.
 
     Byte-identical to ``encode_frame(("req", request_id, server, method,
-    args))`` — the wire tests pin the equivalence down.
+    args), codec)`` for the codec the tail was built with (the tail's type
+    identifies it) — the wire tests pin the equivalence down.
     """
-    body = ('{"t":["req",%d,%d,%s]}' % (request_id, server, tail)).encode("utf-8")
+    if isinstance(tail, str):
+        body = ('{"t":["req",%d,%d,%s]}' % (request_id, server, tail)).encode("utf-8")
+    else:
+        out = bytearray(_BINARY_REQ_PREFIX)
+        _pack_int(request_id, out)
+        _pack_int(server, out)
+        out += tail
+        body = bytes(out)
     if len(body) > MAX_FRAME_BYTES:
         raise WireFormatError(
             f"frame body of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
         )
     return len(body).to_bytes(_PREFIX_BYTES, "big") + body
+
+
+#: Fixed prefix of every binary response body: magic, 3-tuple header, "rsp".
+_BINARY_RSP_PREFIX = bytes(
+    (BINARY_MAGIC, _T_TUPLE)
+) + _STRUCT_I.pack(3) + bytes((_T_STR,)) + _STRUCT_I.pack(3) + b"rsp"
+
+
+def encode_response_frame(request_id: int, payload: Any, codec: str = "json") -> bytes:
+    """One response frame; byte-identical to ``encode_frame(("rsp", ...))``.
+
+    The response envelope is as fixed as the request one, so the binary
+    path glues a precomputed prefix instead of packing the outer tuple —
+    this is the server's per-request hot path.
+    """
+    if codec != "binary":
+        return encode_frame(("rsp", request_id, payload), codec)
+    out = bytearray(_BINARY_RSP_PREFIX)
+    _pack_int(request_id, out)
+    _pack_binary(payload, out)
+    if len(out) > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame body of {len(out)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return len(out).to_bytes(_PREFIX_BYTES, "big") + bytes(out)
+
+
+def decode_binary_request_body(body: bytes) -> Any:
+    """:func:`decode_binary_body`, fast-pathing the canonical request shape.
+
+    Bodies produced by :func:`encode_request_frame` open with a fixed
+    14-byte envelope prefix; recognising it skips the generic tag dispatch
+    for the envelope (the server decodes one of these per RPC).  Anything
+    else — including a malformed lookalike — falls back to the generic
+    decoder, so error behaviour is unchanged.
+    """
+    if body.startswith(_BINARY_REQ_PREFIX):
+        try:
+            if body[14] == _T_INT and body[23] == _T_INT:
+                request_id = _STRUCT_Q.unpack_from(body, 15)[0]
+                server = _STRUCT_Q.unpack_from(body, 24)[0]
+                method, offset = _unpack_binary(body, 32)
+                args, offset = _unpack_binary(body, offset)
+                if offset == len(body) and type(method) is str and type(args) is tuple:
+                    return ("req", request_id, server, method, args)
+        except Exception:
+            pass
+    return decode_binary_body(body)
+
+
+def decode_binary_response_body(body: bytes) -> Any:
+    """:func:`decode_binary_body`, fast-pathing the canonical response shape.
+
+    The client-side mirror of :func:`decode_binary_request_body`: one
+    response envelope per RPC reply.
+    """
+    if body.startswith(_BINARY_RSP_PREFIX):
+        try:
+            if body[14] == _T_INT:
+                request_id = _STRUCT_Q.unpack_from(body, 15)[0]
+                payload, offset = _unpack_binary(body, 23)
+                if offset == len(body):
+                    return ("rsp", request_id, payload)
+        except Exception:
+            pass
+    return decode_binary_body(body)
+
+
+# -- codec negotiation -------------------------------------------------------------
+
+
+def hello_frame(codecs: Sequence[str]) -> bytes:
+    """The negotiation opener: ``("hello", [codec, ...])``, always JSON."""
+    return encode_frame(("hello", list(codecs)), codec="json")
+
+
+def hello_reply_frame(chosen: str) -> bytes:
+    """The server's answer: ``("hello", chosen)``, always JSON."""
+    return encode_frame(("hello", str(chosen)), codec="json")
+
+
+def parse_hello(frame: Any) -> Optional[Any]:
+    """The hello payload (offered list or chosen name), or ``None``.
+
+    Request frames are 5-tuples and response frames 3-tuples, so a 2-tuple
+    opening with ``"hello"`` is unambiguously a negotiation frame.
+    """
+    if isinstance(frame, tuple) and len(frame) == 2 and frame[0] == "hello":
+        return frame[1]
+    return None
+
+
+def choose_codec(offered: Any, supported: Sequence[str]) -> str:
+    """The first offered codec the receiver supports; JSON as the fallback."""
+    if isinstance(offered, (list, tuple)):
+        for name in offered:
+            if name in supported:
+                return str(name)
+    return "json"
 
 
 class FrameDecoder:
@@ -164,13 +570,24 @@ class FrameDecoder:
     :meth:`feed` accepts whatever the socket read produced and returns the
     payloads of every frame *completed* by that chunk (possibly none,
     possibly several); partial frames stay buffered until their remaining
-    bytes arrive.  The decoder is stateful per connection — use one instance
-    per stream.
+    bytes arrive.  Each frame self-identifies its codec — a body opening
+    with :data:`BINARY_MAGIC` is binary, anything else is JSON — so one
+    decoder handles mid-stream codec switches (e.g. the JSON hello exchange
+    preceding binary traffic).  The decoder is stateful per connection —
+    use one instance per stream.
     """
 
-    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+    def __init__(
+        self,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        decode_binary: Optional[Callable[[bytes], Any]] = None,
+    ) -> None:
         self._buffer = bytearray()
         self._max_frame_bytes = int(max_frame_bytes)
+        #: How binary bodies decode; callers on a known hot path may install
+        #: a specialised decoder (e.g. :func:`decode_binary_request_body`)
+        #: that falls back to :func:`decode_binary_body` on anything else.
+        self._decode_binary = decode_binary or decode_binary_body
         #: Frames decoded so far (tests and server stats).
         self.frames_decoded = 0
 
@@ -184,25 +601,33 @@ class FrameDecoder:
         buffer = self._buffer
         buffer += data
         payloads: List[Any] = []
-        while True:
-            if len(buffer) < _PREFIX_BYTES:
-                break
-            length = int.from_bytes(buffer[:_PREFIX_BYTES], "big")
+        # Walk the buffer with an offset and compact once at the end: a
+        # chunk carrying many small frames costs one left-shift, not one
+        # per frame.
+        offset = 0
+        available = len(buffer)
+        while available - offset >= _PREFIX_BYTES:
+            length = int.from_bytes(buffer[offset : offset + _PREFIX_BYTES], "big")
             if length > self._max_frame_bytes:
                 raise WireFormatError(
                     f"incoming frame claims {length} bytes, beyond the "
                     f"{self._max_frame_bytes}-byte cap"
                 )
-            end = _PREFIX_BYTES + length
-            if len(buffer) < end:
+            end = offset + _PREFIX_BYTES + length
+            if available < end:
                 break
-            body = bytes(buffer[_PREFIX_BYTES:end])
-            del buffer[:end]
-            try:
-                payloads.append(unpack_value(json.loads(body.decode("utf-8"))))
-            except WireFormatError:
-                raise
-            except ValueError as error:
-                raise WireFormatError(f"undecodable frame body: {error}") from error
+            body = bytes(buffer[offset + _PREFIX_BYTES : end])
+            offset = end
+            if body and body[0] == BINARY_MAGIC:
+                payloads.append(self._decode_binary(body))
+            else:
+                try:
+                    payloads.append(unpack_value(json.loads(body.decode("utf-8"))))
+                except WireFormatError:
+                    raise
+                except ValueError as error:
+                    raise WireFormatError(f"undecodable frame body: {error}") from error
             self.frames_decoded += 1
+        if offset:
+            del buffer[:offset]
         return payloads

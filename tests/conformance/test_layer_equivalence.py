@@ -28,6 +28,14 @@ The comparable quantities are therefore (a) the fresh rate among *decided*
 (b) each path's deviation mass, which must stay within its scenario's
 analytical ε plus sampling slack.
 
+Beyond the 4×8 grid, two standalone cells weld in the wire-level variants
+of the TCP path: the **binary codec** (the struct-packed frames negotiated
+per connection must classify reads exactly like the JSON ones) and a
+**ClusterDeployment** (one server process per shard plus worker processes:
+real process boundaries must not change the semantics either).  Both are
+held to the same zero-fabrication and rate-agreement bars and stay
+blocking in CI.
+
 Everything is pinned to one module-level seed so the CI ``conformance`` job
 is reproducible run to run.
 """
@@ -108,7 +116,7 @@ def engine_counts(spec: ScenarioSpec, engine: str, trials: int) -> dict:
     }
 
 
-def service_counts(spec: ScenarioSpec, transport: str) -> dict:
+def service_counts(spec: ScenarioSpec, transport: str, codec: str = "json") -> dict:
     if transport == "inproc":
         load = ServiceLoadSpec(
             scenario=spec,
@@ -126,6 +134,7 @@ def service_counts(spec: ScenarioSpec, transport: str) -> dict:
             writes=3,
             deadline=0.1,
             transport="tcp",
+            codec=codec,
             seed=SEED,
         )
     report = run_service_load(load)
@@ -162,16 +171,8 @@ def deviation_mass(counts: dict, concurrent: bool) -> float:
     return 1.0 - counts["fresh"] / counts["total"]
 
 
-@pytest.mark.parametrize("cell", sorted(GRID))
-def test_all_four_paths_agree_and_accept_no_fabrication(cell):
-    spec = GRID[cell]
-    paths = {
-        "sequential": engine_counts(spec, "sequential", SEQUENTIAL_TRIALS),
-        "batch": engine_counts(spec, "batch", BATCH_TRIALS),
-        "service-inproc": service_counts(spec, "inproc"),
-        "service-tcp": service_counts(spec, "tcp"),
-    }
-
+def assert_paths_conform(cell: str, spec: ScenarioSpec, paths: dict) -> None:
+    """The conformance bar every cell is held to, old and new alike."""
     # -- safety: zero fabricated-accepted reads, on every path, always ------------
     for name, counts in paths.items():
         assert counts["fabricated"] == 0, (
@@ -204,6 +205,78 @@ def test_all_four_paths_agree_and_accept_no_fabrication(cell):
             f"{cell}/{name} deviated on {deviation:.4f} of its reads "
             f"(analytical ε = {epsilon:.4f}; counts: {counts})"
         )
+
+
+@pytest.mark.parametrize("cell", sorted(GRID))
+def test_all_four_paths_agree_and_accept_no_fabrication(cell):
+    spec = GRID[cell]
+    paths = {
+        "sequential": engine_counts(spec, "sequential", SEQUENTIAL_TRIALS),
+        "batch": engine_counts(spec, "batch", BATCH_TRIALS),
+        "service-inproc": service_counts(spec, "inproc"),
+        "service-tcp": service_counts(spec, "tcp"),
+    }
+    assert_paths_conform(cell, spec, paths)
+
+
+def test_binary_codec_tcp_cell():
+    """The struct-packed wire codec against the adversarial masking cell.
+
+    Forged timestamps and signatures must survive binary serialisation
+    exactly as they do JSON (and still be outvoted): same seed, same
+    bars, decoded by a different codec.
+    """
+    spec = GRID["masking-forger"]
+    paths = {
+        "batch": engine_counts(spec, "batch", BATCH_TRIALS),
+        "service-tcp-json": service_counts(spec, "tcp"),
+        "service-tcp-binary": service_counts(spec, "tcp", codec="binary"),
+    }
+    assert_paths_conform("masking-forger-binary", spec, paths)
+
+
+def cluster_counts(spec: ScenarioSpec) -> dict:
+    """The TCP workload on a ClusterDeployment: 2 shard server processes,
+    2 load-worker processes, binary codec."""
+    load = ServiceLoadSpec(
+        scenario=spec,
+        clients=20,
+        reads_per_client=4,
+        writes=4,
+        deadline=0.1,
+        transport="tcp",
+        shards=2,
+        keys=2,
+        codec="binary",
+        processes=2,
+        seed=SEED,
+    )
+    report = run_service_load(load)
+    assert report.reads_completed == load.clients * load.reads_per_client
+    return {
+        "total": report.reads_completed,
+        "fresh": report.outcomes["fresh"],
+        "stale": report.outcomes["stale"],
+        "empty": report.outcomes["empty"],
+        "fabricated": report.outcomes["fabricated"],
+    }
+
+
+def test_cluster_deployment_cell():
+    """Real process boundaries must not change the read semantics.
+
+    The multi-process path (spawned shard servers, partitioned worker
+    load, merged report) is held to the same agreement and
+    zero-fabrication bars as the in-loop paths — against the Byzantine
+    forger model, so forged replies cross genuine process boundaries.
+    """
+    spec = GRID["masking-forger"]
+    paths = {
+        "batch": engine_counts(spec, "batch", BATCH_TRIALS),
+        "service-inproc": service_counts(spec, "inproc"),
+        "service-cluster": cluster_counts(spec),
+    }
+    assert_paths_conform("masking-forger-cluster", spec, paths)
 
 
 def test_grid_covers_the_advertised_cells():

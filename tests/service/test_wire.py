@@ -1,17 +1,23 @@
 """Property tests for the socket transport's wire format.
 
-Two invariants carry the whole TCP path:
+Three invariants carry the whole TCP path:
 
 * **round trip** — ``decode(encode(x)) == x`` for every payload the
   protocol can put on the wire (scalars, bytes, tuples, dicts with
   non-string keys, honest and forged timestamps, stored values — nested
-  arbitrarily, adversarially large or empty);
+  arbitrarily, adversarially large or empty), on *both* codecs;
+* **cross-codec agreement** — the same logical frame through the JSON and
+  the struct-packed binary codec decodes to the identical value (binary
+  is a faster spelling, never a different protocol);
 * **short-read resilience** — the incremental decoder recovers the exact
   frame sequence however the byte stream is chopped up (single bytes,
-  fragments straddling the length prefix, many frames per chunk).
+  fragments straddling the length prefix, many frames per chunk, codecs
+  mixed mid-stream).
 
-Both are hypothesis properties; a handful of deterministic edge cases
-(oversized frames, malformed tags, truncation) pin the error behaviour.
+All are hypothesis properties; deterministic edge cases (oversized
+frames, malformed tags, truncated or forged binary bodies) pin the error
+behaviour, and the fast-path request/response envelope codecs are checked
+byte-for-byte against the generic encoder.
 """
 
 from __future__ import annotations
@@ -25,10 +31,19 @@ from hypothesis import strategies as st
 from repro.exceptions import WireFormatError
 from repro.protocol.timestamps import Timestamp
 from repro.service.wire import (
+    BINARY_MAGIC,
     MAX_FRAME_BYTES,
+    WIRE_CODECS,
     FrameDecoder,
+    decode_binary_body,
+    decode_binary_request_body,
+    decode_binary_response_body,
+    encode_binary_body,
     encode_frame,
+    encode_request_frame,
+    encode_response_frame,
     pack_value,
+    request_tail,
     unpack_value,
 )
 from repro.simulation.server import StoredValue
@@ -113,11 +128,10 @@ class TestRoundTrip:
     )
     @settings(max_examples=100, deadline=None)
     def test_fast_request_encoder_is_byte_identical(self, request_id, server, method, args):
-        from repro.service.wire import encode_request_frame, request_tail
-
-        tail = request_tail(method, args)
-        fast = encode_request_frame(request_id, server, tail)
-        assert fast == encode_frame(("req", request_id, server, method, args))
+        for codec in WIRE_CODECS:
+            tail = request_tail(method, args, codec)
+            fast = encode_request_frame(request_id, server, tail)
+            assert fast == encode_frame(("req", request_id, server, method, args), codec)
 
     def test_adversarially_large_and_empty_values(self):
         large = "A" * 1_000_000
@@ -139,6 +153,160 @@ class TestRoundTrip:
     def test_unserialisable_object_is_rejected(self):
         with pytest.raises(WireFormatError):
             pack_value(object())
+
+
+class TestBinaryCodec:
+    @given(payloads)
+    @settings(max_examples=300, deadline=None)
+    def test_binary_round_trip_is_identity(self, payload):
+        assert decode_binary_body(encode_binary_body(payload)) == payload
+
+    @given(payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_binary_frame_round_trip(self, payload):
+        decoder = FrameDecoder()
+        (decoded,) = decoder.feed(encode_frame(payload, "binary"))
+        assert decoded == payload
+        assert decoder.pending_bytes == 0
+
+    @given(payloads)
+    @settings(max_examples=150, deadline=None)
+    def test_cross_codec_agreement(self, payload):
+        via_json = FrameDecoder().feed(encode_frame(payload, "json"))
+        via_binary = FrameDecoder().feed(encode_frame(payload, "binary"))
+        assert via_json == via_binary == [payload]
+
+    def test_cross_codec_pinned_rpc_frame(self):
+        """The same logical RPC frame through both codecs, decoded equal."""
+        frame = (
+            "req",
+            99,
+            7,
+            "write",
+            ("x17", ("value", 3), Timestamp(12, 4), b"\x00\xffsig"),
+        )
+        decoded = {
+            codec: FrameDecoder().feed(encode_frame(frame, codec))[0]
+            for codec in WIRE_CODECS
+        }
+        assert decoded["json"] == decoded["binary"] == frame
+        # Binary trades fixed-width ints for base64-free bytes: once a real
+        # signature rides along, its frames are the smaller spelling.
+        signed = frame[:4] + (("x17", ("value", 3), Timestamp(12, 4), bytes(512)),)
+        assert len(encode_frame(signed, "binary")) < len(encode_frame(signed, "json"))
+
+    def test_megabyte_payloads_round_trip(self):
+        blob = bytes(range(256)) * 4096  # 1 MiB of every byte value
+        text = "Σ" * 500_000  # 1 MB of multibyte UTF-8
+        for value in (blob, text, ("rsp", 1, ("ok", StoredValue(blob, Timestamp(1), None)))):
+            (decoded,) = FrameDecoder().feed(encode_frame(value, "binary"))
+            assert decoded == value
+        # raw bytes ship without base64: framing overhead stays tiny
+        assert len(encode_frame(blob, "binary")) < len(blob) + 64
+
+    @given(payloads, st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_truncated_binary_body_is_a_wire_error(self, payload, data):
+        body = encode_binary_body(payload)
+        cut = data.draw(st.integers(min_value=1, max_value=max(1, len(body) - 1)))
+        if cut == len(body):  # nothing to truncate (bare None is 2 bytes)
+            return
+        with pytest.raises(WireFormatError):
+            decode_binary_body(body[:cut])
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_forged_binary_body_never_escapes_wire_error(self, garbage):
+        """Arbitrary bytes after the magic either decode or raise
+        WireFormatError — no other exception type reaches the caller."""
+        try:
+            decode_binary_body(bytes((BINARY_MAGIC,)) + garbage)
+        except WireFormatError:
+            pass
+
+    def test_unknown_binary_tag_is_a_wire_error(self):
+        with pytest.raises(WireFormatError, match="unknown binary wire tag"):
+            decode_binary_body(bytes((BINARY_MAGIC, 0xEE)))
+
+    def test_trailing_bytes_are_a_wire_error(self):
+        body = encode_binary_body(("rsp", 1, None)) + b"\x00"
+        with pytest.raises(WireFormatError, match="trailing"):
+            decode_binary_body(body)
+
+    @given(st.lists(payloads, min_size=1, max_size=4), st.integers(1, 7))
+    @settings(max_examples=100, deadline=None)
+    def test_binary_frames_survive_any_chunking(self, frames, chunk_size):
+        stream = b"".join(encode_frame(frame, "binary") for frame in frames)
+        decoder = FrameDecoder()
+        decoded = []
+        for start in range(0, len(stream), chunk_size):
+            decoded.extend(decoder.feed(stream[start : start + chunk_size]))
+        assert decoded == frames
+        assert decoder.pending_bytes == 0
+
+    @given(st.lists(st.tuples(st.sampled_from(WIRE_CODECS), payloads), min_size=1, max_size=5))
+    @settings(max_examples=75, deadline=None)
+    def test_codecs_can_mix_mid_stream(self, tagged_frames):
+        """One decoder handles interleaved JSON and binary frames: the
+        magic byte identifies each body (negotiation downgrades are safe
+        even mid-connection)."""
+        stream = b"".join(
+            encode_frame(payload, codec) for codec, payload in tagged_frames
+        )
+        decoded = FrameDecoder().feed(stream)
+        assert decoded == [payload for _, payload in tagged_frames]
+
+
+class TestEnvelopeFastPaths:
+    """The fixed request/response envelope codecs against the generic ones."""
+
+    @given(
+        st.integers(min_value=1, max_value=2**31),
+        payloads,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_response_encoder_is_byte_identical(self, request_id, payload):
+        for codec in WIRE_CODECS:
+            fast = encode_response_frame(request_id, payload, codec)
+            assert fast == encode_frame(("rsp", request_id, payload), codec)
+
+    @given(
+        st.integers(min_value=1, max_value=2**31),
+        st.integers(min_value=0, max_value=10_000),
+        st.text(max_size=16),
+        st.lists(payloads, max_size=3).map(tuple),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_request_fast_decoder_matches_generic(self, request_id, server, method, args):
+        frame = encode_request_frame(
+            request_id, server, request_tail(method, args, "binary")
+        )
+        body = bytes(frame[4:])
+        assert decode_binary_request_body(body) == decode_binary_body(body)
+        assert decode_binary_request_body(body) == ("req", request_id, server, method, args)
+
+    @given(st.integers(min_value=1, max_value=2**31), payloads)
+    @settings(max_examples=100, deadline=None)
+    def test_response_fast_decoder_matches_generic(self, request_id, payload):
+        frame = encode_response_frame(request_id, payload, "binary")
+        body = bytes(frame[4:])
+        assert decode_binary_response_body(body) == decode_binary_body(body)
+        assert decode_binary_response_body(body) == ("rsp", request_id, payload)
+
+    @given(st.binary(max_size=48))
+    @settings(max_examples=200, deadline=None)
+    def test_fast_decoders_never_diverge_on_garbage(self, garbage):
+        """Whatever bytes arrive, the envelope fast paths agree with the
+        generic decoder: same value or both a WireFormatError."""
+        body = bytes((BINARY_MAGIC,)) + garbage
+        for fast in (decode_binary_request_body, decode_binary_response_body):
+            try:
+                generic = decode_binary_body(body)
+            except WireFormatError:
+                with pytest.raises(WireFormatError):
+                    fast(body)
+            else:
+                assert fast(body) == generic
 
 
 class TestShortReadResilience:
