@@ -56,12 +56,27 @@ def load_baseline(path: Optional[str]) -> dict:
 
 
 def compare(current: dict, baseline: dict) -> list:
-    """Return ``(bench, field, old, new, drop)`` tuples beyond tolerance."""
+    """Return ``(bench, field, old, new, drop)`` tuples beyond tolerance.
+
+    Entries whose ``instrumentation`` modes differ (``"off"`` when absent)
+    are never compared: a traced run measures an instrumented code path,
+    and its overhead against an untraced baseline is expected, not a
+    regression.
+    """
     regressions = []
     current_benches = current.get("benches", {})
     for name, old_payload in baseline.get("benches", {}).items():
         new_payload = current_benches.get(name)
         if not isinstance(new_payload, dict) or not isinstance(old_payload, dict):
+            continue
+        if old_payload.get("instrumentation", "off") != new_payload.get(
+            "instrumentation", "off"
+        ):
+            print(
+                f"{name}: skipped (instrumentation "
+                f"{old_payload.get('instrumentation', 'off')!r} baseline vs "
+                f"{new_payload.get('instrumentation', 'off')!r} current)"
+            )
             continue
         for field in THROUGHPUT_FIELDS:
             old = old_payload.get(field)

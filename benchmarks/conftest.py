@@ -52,9 +52,17 @@ def bench_record():
     missing or corrupt one), replaces the ``name`` entry under ``"benches"``
     and rewrites the file with stable key order, so repeated runs produce
     minimal diffs against the committed baseline.
+
+    Every entry is stamped with its ``instrumentation`` mode (``"off"``
+    unless the payload says otherwise): a benchmark run with quorum tracing
+    enabled measures a different code path, and ``compare_bench.py``
+    refuses to compare entries across instrumentation modes rather than
+    report the tracing overhead as a perf regression.
     """
 
     def record(name: str, payload: dict) -> None:
+        payload = dict(payload)
+        payload.setdefault("instrumentation", "off")
         document = {"schema": 1, "benches": {}}
         if BENCH_FILE.exists():
             try:

@@ -25,11 +25,17 @@ The smoke itself is the operational contract of the PODC '97 protocols:
 Run with::
 
     python examples/cluster_service.py
+
+Pass ``--trace-sample 1.0`` to trace every quorum operation end to end
+(quorum sampled, per-RPC spans, selection verdict), and ``--trace-out
+traces.jsonl`` to dump the sampled traces as JSON lines after teardown.
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
+import json
 import random
 
 from repro import ProbabilisticMaskingSystem
@@ -112,7 +118,7 @@ async def lock_contention(deployment: Deployment) -> None:
     assert most_at_once == 1, "double grant: two clients held the lock at once!"
 
 
-async def main() -> None:
+async def main(trace_sample: float = 0.0, trace_out: str = None) -> None:
     deployment = (
         Deployment.builder(SCENARIO)
         .processes(2)
@@ -120,6 +126,7 @@ async def main() -> None:
         .shards(2)
         .deadline(2.0)  # wall-clock: generous, so scheduler noise cannot
         .seed(42)       # starve a quorum read below its threshold
+        .trace_sample(trace_sample)
         .build()
     )
     print(f"deploying {deployment!r}")
@@ -131,7 +138,38 @@ async def main() -> None:
         await lock_contention(deployment)
     assert deployment.sharded.processes_alive == 0
     print("teardown complete: no shard server process left running")
+    if trace_sample > 0.0:
+        traces = deployment.traces()
+        print(f"collected {len(traces)} quorum traces at rate {trace_sample}")
+        if trace_out is not None:
+            with open(trace_out, "w", encoding="utf-8") as handle:
+                for trace in traces:
+                    handle.write(json.dumps(trace, sort_keys=True) + "\n")
+            print(f"wrote them to {trace_out} (one JSON object per line)")
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="fraction of quorum operations to trace end to end (default: 0)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="dump sampled traces to FILE as JSON lines (implies "
+        "--trace-sample 1.0 when no rate is given)",
+    )
+    args = parser.parse_args()
+    if args.trace_out is not None and args.trace_sample <= 0.0:
+        args.trace_sample = 1.0
+    return args
 
 
 if __name__ == "__main__":
-    asyncio.run(main())
+    cli = parse_args()
+    asyncio.run(main(trace_sample=cli.trace_sample, trace_out=cli.trace_out))

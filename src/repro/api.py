@@ -81,6 +81,7 @@ class DeploymentBuilder:
         self._quorum_pool = DEFAULT_QUORUM_POOL
         self._codec = "json"
         self._processes = 0
+        self._trace_sample = 0.0
 
     def transport(self, mode: str) -> "DeploymentBuilder":
         """``"inproc"`` (simulated message passing) or ``"tcp"`` (localhost sockets)."""
@@ -174,6 +175,22 @@ class DeploymentBuilder:
         self._processes = int(count)
         return self
 
+    def trace_sample(self, rate: float) -> "DeploymentBuilder":
+        """Fraction of quorum operations traced end to end, in ``[0, 1]``.
+
+        0 (the default) keeps the hot path entirely instrumentation-free;
+        above 0 a :class:`~repro.obs.trace.Tracer` is shared by every client
+        the deployment hands out, and over TCP the trace id is negotiated
+        into the wire envelope so server processes can attribute requests.
+        Collected traces come back from :meth:`Deployment.traces`.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"the trace sample rate must lie in [0, 1], got {rate}"
+            )
+        self._trace_sample = float(rate)
+        return self
+
     def quorum_pool(self, size: int) -> "DeploymentBuilder":
         """Strategy quorums pre-sampled per client (0 disables pooling)."""
         if size < 0:
@@ -215,6 +232,7 @@ class Deployment:
         self.selection = builder._selection
         self.quorum_pool = builder._quorum_pool
         self.processes = builder._processes
+        self.trace_sample = builder._trace_sample
         if builder._processes > 0:
             # Imported here: the cluster module drags multiprocessing along,
             # which in-loop deployments never need.
@@ -244,6 +262,18 @@ class Deployment:
                 latency_tracking=builder._selection == "latency-aware",
                 rng=self._rng,
             )
+        self.tracer = None
+        if builder._trace_sample > 0.0:
+            # Imported lazily so untraced deployments never touch repro.obs.
+            from repro.obs.trace import Tracer
+
+            self.tracer = Tracer(
+                sample_rate=builder._trace_sample,
+                seed=0 if builder._seed is None else builder._seed,
+            )
+            # Must be set before start(): TCP transports decide whether to
+            # offer the trace extension when they negotiate their hello.
+            self.sharded.tracer = self.tracer
 
     @classmethod
     def builder(cls, scenario: ScenarioSpec) -> DeploymentBuilder:
@@ -276,6 +306,28 @@ class Deployment:
 
     async def __aexit__(self, *exc_info: Any) -> None:
         await self.aclose()
+
+    # -- observability ------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """One merged metrics snapshot for the whole deployment.
+
+        Folds the per-component snapshots (client-side RPC counters, every
+        in-loop shard server, and — after ``aclose()`` on a cluster — the
+        per-process server snapshots shipped back over the readiness pipe)
+        with :func:`repro.obs.metrics.merge_snapshots`.
+        """
+        from repro.obs.metrics import merge_snapshots
+
+        return merge_snapshots(self.sharded.metrics_snapshots())
+
+    def traces(self) -> list:
+        """Every quorum trace collected so far, in JSON-ready dict form.
+
+        Empty unless the deployment was built with a positive
+        :meth:`DeploymentBuilder.trace_sample` rate.
+        """
+        return [] if self.tracer is None else self.tracer.to_dicts()
 
     # -- clients ------------------------------------------------------------------
 
@@ -337,6 +389,7 @@ class Deployment:
             deadline=self.deadline,
             selection=self.selection,
             quorum_pool=self.quorum_pool,
+            client_id=f"lock:{name}:{client_id}",
         )
         if verify_delay is None:
             verify_delay = 0.02 if self.processes > 0 else 0.0

@@ -210,6 +210,19 @@ class AsyncQuorumMutex:
         """Whether this client currently believes it holds the lock."""
         return self._held is not None
 
+    def _tag_trace(self, step: str) -> None:
+        """Label the last sampled quorum trace with the protocol step.
+
+        Each lock operation is carried by a register read or write; when the
+        client samples traces, tagging the trace with the lock round it
+        served (``request-scan``, ``hold-write``, ``verify``, ``back-off``,
+        ``release``, ``holder-read``) lets a trace dump reconstruct the
+        REQUEST/RELEASE state machine, not just the register traffic.
+        """
+        trace = self.register.last_trace
+        if trace is not None:
+            trace.context = {"lock": self.name, "step": step}
+
     # -- operations ---------------------------------------------------------------
 
     async def holder(self) -> Optional[int]:
@@ -220,6 +233,7 @@ class AsyncQuorumMutex:
         selection rule would prefer, so that is the answer.
         """
         outcome = await self.register.read()
+        self._tag_trace("holder-read")
         self._note_records(
             [outcome] if isinstance(outcome.timestamp, Timestamp) else []
         )
@@ -236,6 +250,7 @@ class AsyncQuorumMutex:
             )
         self.requests += 1
         records = await self.register.read_credible()
+        self._tag_trace("request-scan")
         self._note_records(records)
         competitors = [
             holder
@@ -253,6 +268,7 @@ class AsyncQuorumMutex:
         written = await self.register.write(
             {"state": "held", "holder": self.client_id}
         )
+        self._tag_trace("hold-write")
         for _ in range(self.verify_rounds):
             # Yield (or wait verify_delay) so a competitor's concurrent
             # write RPCs can land before this verify quorum is read — the
@@ -260,6 +276,7 @@ class AsyncQuorumMutex:
             # deployments need the real delay; see the class docstring.
             await asyncio.sleep(self.verify_delay)
             check = await self.register.read_credible()
+            self._tag_trace("verify")
             self._note_records(check)
             competitors = [
                 holder
@@ -280,6 +297,7 @@ class AsyncQuorumMutex:
                 annulment = await self.register.write(
                     {"state": "released", "holder": self.client_id}
                 )
+                self._tag_trace("back-off")
                 self._fence(self.client_id, annulment.timestamp)
                 return LockAttempt(
                     lock_name=self.name,
@@ -336,6 +354,7 @@ class AsyncQuorumMutex:
         written = await self.register.write(
             {"state": "released", "holder": self.client_id}
         )
+        self._tag_trace("release")
         self._fence(self.client_id, written.timestamp)
         self._held = None
         self.releases += 1

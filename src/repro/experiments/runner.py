@@ -164,6 +164,10 @@ def run_experiment(
     contention: float = 0.0,
     codec: str = "json",
     processes: int = None,
+    trace_sample: float = 0.0,
+    trace_out: str = None,
+    metrics_out: str = None,
+    monitor_epsilon: bool = False,
 ) -> List[str]:
     """Run one named experiment (or ``all``) and return the rendered reports.
 
@@ -211,6 +215,10 @@ def run_experiment(
                 contention=contention,
                 codec=codec,
                 processes=processes,
+                trace_sample=trace_sample,
+                trace_out=trace_out,
+                metrics_out=metrics_out,
+                monitor_epsilon=monitor_epsilon,
             )
         ]
     if name == "all":
@@ -365,6 +373,36 @@ def main(argv: List[str] = None) -> int:
         "machine's cores; implies --transport tcp and disables live "
         "churn; default: classic in-loop harness)",
     )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="serve observability: trace this fraction of quorum operations "
+        "end to end (0 disables tracing and keeps the hot path untouched; "
+        "default: 0)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write sampled serve traces to FILE as JSON lines (implies "
+        "--trace-sample 1.0 when no rate is given)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="dump the serve run's metrics registry snapshots (per "
+        "component plus a cluster-wide merge) to FILE as JSON",
+    )
+    parser.add_argument(
+        "--monitor-epsilon",
+        action="store_true",
+        help="arm the online ε-monitor: compare the sliding-window "
+        "stale/fabricated-accepted rate against the scenario's predicted ε "
+        "and record structured alerts on the serve report",
+    )
     args = parser.parse_args(argv)
     if args.experiment_name is not None and args.experiment is not None:
         parser.error("name the experiment positionally or with --experiment, not both")
@@ -389,6 +427,10 @@ def main(argv: List[str] = None) -> int:
             contention=args.contention,
             codec=args.codec,
             processes=args.processes,
+            trace_sample=args.trace_sample,
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+            monitor_epsilon=args.monitor_epsilon,
         )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -83,6 +83,8 @@ def serve_load_spec(
     contention: float = 0.0,
     codec: str = "json",
     processes: int = 0,
+    trace_sample: float = 0.0,
+    monitor_epsilon: bool = False,
 ) -> ServiceLoadSpec:
     """The full soak configuration: forgers + drops + latency + live churn.
 
@@ -114,6 +116,12 @@ def serve_load_spec(
     surgery on the server objects, which a process boundary makes
     unreachable, so a multi-process soak runs without churn (the
     crashed-shard path is covered by the cluster tests instead).
+
+    ``trace_sample`` turns on end-to-end quorum tracing for that fraction
+    of operations (0, the default, keeps the hot path untouched);
+    ``monitor_epsilon`` arms the online ε-monitor, which compares the
+    sliding-window stale/fabricated-accepted rate against the scenario's
+    predicted ε and records structured alerts on the report.
     """
     if codec != "json" or processes > 0:
         transport = "tcp"
@@ -148,6 +156,8 @@ def serve_load_spec(
         contention=contention,
         codec=codec,
         processes=processes,
+        trace_sample=trace_sample,
+        monitor_epsilon=monitor_epsilon,
         seed=seed,
     )
 
@@ -167,6 +177,10 @@ def run_serve(
     contention: float = 0.0,
     codec: str = "json",
     processes: int = None,
+    trace_sample: float = 0.0,
+    trace_out: str = None,
+    metrics_out: str = None,
+    monitor_epsilon: bool = False,
 ) -> str:
     """Run the service soak and render its report (the CLI entry point).
 
@@ -175,7 +189,15 @@ def run_serve(
     machine's cores; a positive value pins the worker count.  Either
     spelling deploys one server process per shard and implies the TCP
     transport and no live churn.
+
+    ``trace_sample`` samples that fraction of quorum operations into
+    end-to-end traces; ``trace_out`` writes them as JSON lines (one trace
+    per line).  ``metrics_out`` dumps the run's metrics registry snapshots
+    (per component plus a cluster-wide merge) as one JSON document.
+    ``monitor_epsilon`` arms the online ε-monitor.
     """
+    if trace_out is not None and trace_sample <= 0.0:
+        trace_sample = 1.0  # a trace dump with nothing sampled is a footgun
     if shards > 1 and keys == 1:
         # A sharded run needs keys to hash; default to a key per shard and
         # enough writes that every register is written at least once.
@@ -202,11 +224,50 @@ def run_serve(
             contention=contention,
             codec=codec,
             processes=processes or 0,
+            trace_sample=trace_sample,
+            monitor_epsilon=monitor_epsilon,
         )
     except ReproError as error:
         raise ExperimentError(str(error)) from error
     report = run_service_load(spec)
+    if trace_out is not None:
+        dump_traces(report, trace_out)
+    if metrics_out is not None:
+        dump_metrics(report, metrics_out)
     return render_serve(report)
+
+
+def dump_traces(report: ServiceLoadReport, path: str) -> int:
+    """Write the report's sampled traces as JSON lines; returns the count."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        for trace in report.traces:
+            handle.write(json.dumps(trace, sort_keys=True) + "\n")
+    return len(report.traces)
+
+
+def dump_metrics(report: ServiceLoadReport, path: str) -> dict:
+    """Write the run's metrics as one JSON document; returns the document.
+
+    The document carries the raw per-component snapshots (one per client
+    pool, shard server or worker), a cluster-wide merge, and — when the
+    ε-monitor was armed — its final state including any alerts.
+    """
+    import json
+
+    from repro.obs.metrics import merge_snapshots
+
+    document = {
+        "snapshots": report.metrics,
+        "merged": merge_snapshots(report.metrics),
+        "epsilon_monitor": report.epsilon_monitor,
+        "epsilon_alerts": report.epsilon_alerts,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
 
 
 def render_serve(report: ServiceLoadReport) -> str:

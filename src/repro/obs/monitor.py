@@ -1,0 +1,183 @@
+"""Online ε-monitor: observed error rate vs the scenario's predicted ε.
+
+The paper's guarantee is probabilistic: an ε-intersecting quorum system
+admits, with probability at most ε per access, a read quorum that misses
+the latest write — observable as a **stale** read, or (past a masking
+threshold failure) a **fabricated** accepted value.  The Monte-Carlo
+engines and the conformance grid check this offline; the
+:class:`EpsilonMonitor` is the *runtime* analogue: it watches the stream of
+classified read outcomes while traffic flows, maintains a sliding-window
+error-rate estimate, and emits a structured alert record the moment the
+observed rate exceeds ``ε + slack``.
+
+Semantics, and one caveat worth spelling out:
+
+* an *error* is a read classified ``stale`` or ``fabricated`` — the two
+  labels ε bounds.  ``empty`` (read before any write settled) and
+  concurrent-write relabelling are not errors, exactly as in the
+  conformance suite;
+* the window estimator only speaks after ``min_samples`` observations, so a
+  single unlucky early read cannot fire an alert the math permits;
+* alerts are rate-limited to one per window-length of observations while
+  the rate stays in violation (the stream is re-armed as soon as the rate
+  drops back under the bound);
+* **Lemma 5.7 caveat**: under a Byzantine adversary the masking system's
+  effective error probability is *not* the benign ε — it is governed by the
+  probability that a quorum's honest intersection falls below the vouching
+  threshold ``k`` (the paper's Lemma 5.7 accounting).  The monitor compares
+  against whatever ε the scenario's system object reports; for Byzantine
+  scenarios that figure is the system's declared ε-intersection bound, so
+  treat a firing monitor as *evidence to investigate*, not a proof the
+  lemma failed.  (The load harnesses deploy thresholds ``k > b`` where
+  fabrication is impossible, so there a fabricated-driven alert is always
+  a real bug.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["ERROR_LABELS", "EpsilonMonitor"]
+
+#: Read classifications that count against ε.
+ERROR_LABELS = frozenset({"stale", "fabricated"})
+
+
+class EpsilonMonitor:
+    """Sliding-window estimator of the stale/fabricated-accepted fraction.
+
+    Parameters
+    ----------
+    epsilon:
+        The predicted per-access error bound (``spec.system.epsilon``).
+    slack:
+        Tolerance added to ε before alerting — the same role the
+        conformance suite's ``EPSILON_SLACK`` plays offline.
+    window:
+        Observations the sliding estimate spans.
+    min_samples:
+        Observations required before the estimator may alert at all.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        slack: float = 0.05,
+        window: int = 200,
+        min_samples: int = 50,
+    ) -> None:
+        if epsilon < 0.0 or epsilon > 1.0:
+            raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
+        if slack < 0.0:
+            raise ValueError(f"slack must be non-negative, got {slack}")
+        if window < 1:
+            raise ValueError(f"the window must hold at least one sample, got {window}")
+        if min_samples < 1 or min_samples > window:
+            raise ValueError(
+                f"min_samples must lie in [1, window={window}], got {min_samples}"
+            )
+        self.epsilon = float(epsilon)
+        self.slack = float(slack)
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self._flags: Deque[int] = deque(maxlen=self.window)
+        self._window_errors = 0
+        self.observed = 0
+        self.errors = 0
+        self.alerts: List[Dict[str, Any]] = []
+        self._last_alert_at: Optional[int] = None
+
+    @classmethod
+    def for_scenario(
+        cls,
+        scenario: Any,
+        slack: float = 0.05,
+        window: int = 200,
+        min_samples: int = 50,
+    ) -> "EpsilonMonitor":
+        """A monitor primed with the scenario's system-declared ε."""
+        return cls(
+            float(scenario.system.epsilon),
+            slack=slack,
+            window=window,
+            min_samples=min_samples,
+        )
+
+    @property
+    def bound(self) -> float:
+        """The alerting bound, ``ε + slack``."""
+        return self.epsilon + self.slack
+
+    @property
+    def window_rate(self) -> float:
+        """The current sliding-window error fraction (0.0 when empty)."""
+        if not self._flags:
+            return 0.0
+        return self._window_errors / len(self._flags)
+
+    @property
+    def total_rate(self) -> float:
+        """The whole-run error fraction (0.0 before any observation)."""
+        if self.observed == 0:
+            return 0.0
+        return self.errors / self.observed
+
+    def observe(self, label: str) -> Optional[Dict[str, Any]]:
+        """Feed one classified read; return the alert record if one fired."""
+        error = 1 if label in ERROR_LABELS else 0
+        if len(self._flags) == self._flags.maxlen:
+            self._window_errors -= self._flags[0]
+        self._flags.append(error)
+        self._window_errors += error
+        self.observed += 1
+        self.errors += error
+        samples = len(self._flags)
+        if samples < self.min_samples:
+            return None
+        rate = self._window_errors / samples
+        if rate <= self.bound:
+            # Back under the bound: re-arm so the next excursion alerts
+            # immediately instead of waiting out the rate limit.
+            self._last_alert_at = None
+            return None
+        if (
+            self._last_alert_at is not None
+            and self.observed - self._last_alert_at < self.window
+        ):
+            return None
+        self._last_alert_at = self.observed
+        alert = {
+            "kind": "epsilon-exceeded",
+            "observed_rate": rate,
+            "epsilon": self.epsilon,
+            "slack": self.slack,
+            "bound": self.bound,
+            "window": samples,
+            "window_errors": self._window_errors,
+            "observed": self.observed,
+            "errors": self.errors,
+        }
+        self.alerts.append(alert)
+        return alert
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary of the monitor's state."""
+        return {
+            "epsilon": self.epsilon,
+            "slack": self.slack,
+            "window": self.window,
+            "min_samples": self.min_samples,
+            "observed": self.observed,
+            "errors": self.errors,
+            "window_rate": self.window_rate,
+            "total_rate": self.total_rate,
+            "alerts": list(self.alerts),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"EpsilonMonitor(epsilon={self.epsilon}, slack={self.slack}, "
+            f"observed={self.observed}, errors={self.errors}, "
+            f"alerts={len(self.alerts)})"
+        )

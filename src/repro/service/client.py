@@ -62,6 +62,7 @@ from repro.quorum.probe import (
     UniformProbeStrategy,
     oracle_from_alive_set,
 )
+from repro.obs.trace import QuorumTrace, Tracer
 from repro.rngs import fresh_rng
 from repro.service.dispatch import BatchedDispatcher
 from repro.service.node import ServiceNode
@@ -109,12 +110,17 @@ EPSILON_CAVEAT = (
 
 @dataclass(frozen=True, slots=True)
 class WriteRpcResult:
-    """Outcome of one fanned-out quorum write."""
+    """Outcome of one fanned-out quorum write.
+
+    ``trace`` carries the operation's :class:`~repro.obs.trace.QuorumTrace`
+    when the client samples traces, ``None`` otherwise.
+    """
 
     quorum: Quorum
     acknowledged: frozenset
     retried: bool
     probes_used: int
+    trace: Optional[QuorumTrace] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,7 +129,9 @@ class ReadRpcResult:
 
     ``replies`` holds the value-bearing answers; ``responders`` counts every
     server that answered at all (including explicit "I store nothing"), which
-    is what distinguishes an empty register from a dead quorum.
+    is what distinguishes an empty register from a dead quorum.  ``trace``
+    carries the operation's :class:`~repro.obs.trace.QuorumTrace` when the
+    client samples traces, ``None`` otherwise.
     """
 
     quorum: Quorum
@@ -131,6 +139,7 @@ class ReadRpcResult:
     responders: int
     retried: bool
     probes_used: int
+    trace: Optional[QuorumTrace] = None
 
 
 class AsyncQuorumClient:
@@ -173,6 +182,18 @@ class AsyncQuorumClient:
         A deployment shares one across its clients so a thousand clients do
         not pay a thousand bit-generator constructions; by default each
         client derives its own from ``rng`` on first refill.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When set, sampled
+        operations assemble a :class:`~repro.obs.trace.QuorumTrace` (quorum,
+        per-RPC spans, retry/probe accounting) attached to the RPC result.
+        ``None`` (the default) keeps every per-operation trace branch off
+        the hot path — tracing costs nothing when unused.
+    client_id:
+        Identity recorded in this client's traces (e.g. the register layer's
+        writer id); purely observational.
+    shard:
+        Shard index recorded in this client's traces when the client serves
+        one shard of a sharded deployment; purely observational.
     """
 
     def __init__(
@@ -188,6 +209,9 @@ class AsyncQuorumClient:
         tracker: Optional[EwmaLatencyTracker] = None,
         quorum_pool: int = DEFAULT_QUORUM_POOL,
         pool_generator: Optional[np.random.Generator] = None,
+        tracer: Optional[Tracer] = None,
+        client_id: Optional[str] = None,
+        shard: Optional[int] = None,
         timeout: Optional[float] = UNSET,
     ) -> None:
         deadline = resolve_deprecated_alias(deadline, timeout, "deadline", "timeout")
@@ -218,6 +242,9 @@ class AsyncQuorumClient:
         self._pool_generator = pool_generator
         self.probe_fallbacks = 0
         self.tracker = tracker
+        self.tracer = tracer
+        self.client_id = client_id
+        self.shard = shard
         self._generator: Optional[np.random.Generator] = None
         if selection == "latency-aware":
             if not hasattr(system, "quorum_size"):
@@ -253,10 +280,16 @@ class AsyncQuorumClient:
 
     # -- raw RPC fan-out ----------------------------------------------------------
 
-    async def _rpc(self, server: ServerId, method: str, *args: Any) -> Any:
+    async def _rpc(
+        self,
+        server: ServerId,
+        method: str,
+        *args: Any,
+        trace: Optional[QuorumTrace] = None,
+    ) -> Any:
         """One RPC; returns the reply envelope or ``None`` on timeout."""
         tracker = self.tracker
-        if tracker is None:
+        if tracker is None and trace is None:
             try:
                 return await self.transport.call(
                     self.nodes[server], method, *args, timeout=self.deadline
@@ -267,16 +300,38 @@ class AsyncQuorumClient:
         started = loop.time()
         try:
             reply = await self.transport.call(
-                self.nodes[server], method, *args, timeout=self.deadline
+                self.nodes[server],
+                method,
+                *args,
+                timeout=self.deadline,
+                trace_id=trace.trace_id if trace is not None else None,
             )
-        except RpcTimeoutError:
-            tracker.penalize(server, loop.time() - started)
+        except RpcTimeoutError as error:
+            ended = loop.time()
+            if tracker is not None:
+                tracker.penalize(server, ended - started)
+            if trace is not None:
+                trace.record(
+                    server,
+                    method,
+                    started,
+                    ended,
+                    getattr(error, "disposition", "timeout"),
+                )
             return None
-        tracker.observe(server, loop.time() - started)
+        ended = loop.time()
+        if tracker is not None:
+            tracker.observe(server, ended - started)
+        if trace is not None:
+            trace.record(server, method, started, ended, "ok")
         return reply
 
     async def _fan_out(
-        self, servers: Sequence[ServerId], method: str, *args: Any
+        self,
+        servers: Sequence[ServerId],
+        method: str,
+        *args: Any,
+        trace: Optional[QuorumTrace] = None,
     ) -> Dict[ServerId, Any]:
         """Issue one RPC per server; map responders to payloads.
 
@@ -285,9 +340,13 @@ class AsyncQuorumClient:
         one it is the per-RPC path (one coroutine + deadline per RPC).
         """
         if self.dispatcher is not None:
+            if trace is not None:
+                return await self.dispatcher.fan_out(
+                    servers, method, args, self.deadline, trace=trace
+                )
             return await self.dispatcher.fan_out(servers, method, args, self.deadline)
         envelopes = await asyncio.gather(
-            *(self._rpc(server, method, *args) for server in servers)
+            *(self._rpc(server, method, *args, trace=trace) for server in servers)
         )
         return {
             server: envelope[1]
@@ -302,19 +361,25 @@ class AsyncQuorumClient:
             return UniformProbeStrategy(self.system.n, int(self.system.quorum_size))
         return GreedyProbeStrategy(self.system)
 
-    async def ping_alive(self) -> Set[ServerId]:
+    async def ping_alive(
+        self, trace: Optional[QuorumTrace] = None
+    ) -> Set[ServerId]:
         """Ping every node concurrently; return the responders."""
-        answers = await self._fan_out(range(self.system.n), "ping")
+        answers = await self._fan_out(range(self.system.n), "ping", trace=trace)
         return set(answers)
 
-    async def assemble_live_quorum(self) -> ProbeResult:
+    async def assemble_live_quorum(
+        self, trace: Optional[QuorumTrace] = None
+    ) -> ProbeResult:
         """Probe for a quorum of currently-responding servers.
 
         The concurrent ping sweep plays the role of the probe strategy's
         liveness oracle; the strategy then decides which live servers form
-        a quorum (and reports how many probes that inspection cost).
+        a quorum (and reports how many probes that inspection cost).  A
+        ``trace`` collects the sweep's pings as spans of the repaired
+        operation.
         """
-        alive = await self.ping_alive()
+        alive = await self.ping_alive(trace=trace)
         oracle = oracle_from_alive_set(alive)
         strategy = self._probe_strategy()
         if isinstance(strategy, UniformProbeStrategy):
@@ -368,35 +433,64 @@ class AsyncQuorumClient:
         short of that, missed servers are exactly the crash-misses the ε
         analysis accounts for.
         """
+        trace = (
+            self.tracer.begin(
+                "write", client_id=self.client_id, variable=variable, shard=self.shard
+            )
+            if self.tracer is not None
+            else None
+        )
         ordered = self._next_quorum()
         quorum: Quorum = frozenset(ordered)
-        acks = await self._fan_out(ordered, "write", variable, value, timestamp, signature)
+        if trace is not None:
+            trace.quorum = list(ordered)
+            trace.selection = {"mode": self.selection}
+        acks = await self._fan_out(
+            ordered, "write", variable, value, timestamp, signature, trace=trace
+        )
         retried = False
         probes = 0
         if len(acks) < len(ordered) and self.repair:
             self.probe_fallbacks += 1
-            probe = await self.assemble_live_quorum()
+            probe = await self.assemble_live_quorum(trace=trace)
             probes = probe.probes_used
             if probe.found:
                 retried = True
                 quorum = probe.quorum
+                if trace is not None:
+                    trace.quorum = sorted(probe.quorum)
                 retry_acks = await self._fan_out(
-                    sorted(probe.quorum), "write", variable, value, timestamp, signature
+                    sorted(probe.quorum),
+                    "write",
+                    variable,
+                    value,
+                    timestamp,
+                    signature,
+                    trace=trace,
                 )
                 acks = {**acks, **retry_acks}
             if not acks:
                 # Even a successfully probed quorum can lose every retry RPC
                 # on a lossy transport; a write nobody stored must not be
                 # reported as complete.
+                if trace is not None:
+                    trace.retried = retried
+                    trace.probes_used = probes
+                    self.tracer.finish(trace, status="unavailable")
                 raise QuorumUnavailableError(
                     f"write of {variable!r}: no server acknowledged "
                     f"({probe.servers_alive} answered the liveness sweep)"
                 )
+        if trace is not None:
+            trace.retried = retried
+            trace.probes_used = probes
+            self.tracer.finish(trace)
         return WriteRpcResult(
             quorum=quorum,
             acknowledged=frozenset(acks),
             retried=retried,
             probes_used=probes,
+            trace=trace,
         )
 
     async def read(self, variable: str) -> ReadRpcResult:
@@ -405,26 +499,45 @@ class AsyncQuorumClient:
         Never raises: with every reply missing the register layer returns ⊥,
         which is the protocol's own account of an unreachable quorum.
         """
+        trace = (
+            self.tracer.begin(
+                "read", client_id=self.client_id, variable=variable, shard=self.shard
+            )
+            if self.tracer is not None
+            else None
+        )
         ordered = self._next_quorum()
         quorum: Quorum = frozenset(ordered)
-        responses = await self._fan_out(ordered, "read", variable)
+        if trace is not None:
+            trace.quorum = list(ordered)
+            trace.selection = {"mode": self.selection}
+        responses = await self._fan_out(ordered, "read", variable, trace=trace)
         retried = False
         probes = 0
         if len(responses) < len(ordered) and self.repair:
             self.probe_fallbacks += 1
-            probe = await self.assemble_live_quorum()
+            probe = await self.assemble_live_quorum(trace=trace)
             probes = probe.probes_used
             if probe.found:
                 retried = True
                 quorum = probe.quorum
-                responses = await self._fan_out(sorted(probe.quorum), "read", variable)
+                if trace is not None:
+                    trace.quorum = sorted(probe.quorum)
+                responses = await self._fan_out(
+                    sorted(probe.quorum), "read", variable, trace=trace
+                )
         replies = {
             server: stored for server, stored in responses.items() if stored is not None
         }
+        if trace is not None:
+            trace.retried = retried
+            trace.probes_used = probes
+            self.tracer.finish(trace)
         return ReadRpcResult(
             quorum=quorum,
             replies=replies,
             responders=len(responses),
             retried=retried,
             probes_used=probes,
+            trace=trace,
         )

@@ -112,6 +112,16 @@ async def _serve_shard(config: ShardServerConfig, ready) -> None:
     # message — only then does it build transports.
     ready.put((config.index, address))
     await stop.wait()
+    # Server-side metrics ride the same pipe home at shutdown: put before
+    # closing the server (counters are final once stop is signalled) and
+    # tagged so the parent's readiness loop can never confuse the shapes.
+    ready.put(
+        (
+            "metrics",
+            config.index,
+            server.metrics_snapshot({"shard": config.index, "role": "shard-server"}),
+        )
+    )
     await server.aclose()
 
 
@@ -183,6 +193,9 @@ class ClusterDeployment(ShardedClientAPI):
         self._ready_queue: Optional[Any] = None
         #: ``(host, port)`` per shard, known after :meth:`start`.
         self.addresses: List[Tuple[str, int]] = []
+        #: Per-shard server metric snapshots, drained from the readiness
+        #: pipe during :meth:`aclose` (each child reports once at SIGTERM).
+        self.server_metrics: List[dict] = []
         n = scenario.n
         self.shards: List[_Shard] = []
         for index in range(shards):
@@ -247,6 +260,7 @@ class ClusterDeployment(ShardedClientAPI):
                 drop_probability=drop_probability,
                 seed=shard.transport_seed,
                 codec=self.codec,
+                trace=self.tracer is not None,
             )
             await shard.transport.connect()
             if dispatch == "batched":
@@ -307,10 +321,28 @@ class ClusterDeployment(ShardedClientAPI):
                 pass
         self._processes = []
         if self._ready_queue is not None:
+            # Every child reported its server metrics on this pipe right
+            # after SIGTERM; with all processes joined, whatever is queued
+            # is all there will ever be.
+            while True:
+                try:
+                    message = self._ready_queue.get_nowait()
+                except (queue_module.Empty, OSError, ValueError):
+                    break
+                if (
+                    isinstance(message, tuple)
+                    and len(message) == 3
+                    and message[0] == "metrics"
+                ):
+                    self.server_metrics.append(message[2])
             self._ready_queue.close()
             self._ready_queue.cancel_join_thread()
             self._ready_queue = None
         self._started = False
+
+    def metrics_snapshots(self, labels: Optional[Dict[str, Any]] = None) -> List[dict]:
+        """Client-side snapshots plus whatever the shard servers reported."""
+        return super().metrics_snapshots(labels) + list(self.server_metrics)
 
     async def __aenter__(self) -> "ClusterDeployment":
         await self.start()
@@ -406,6 +438,7 @@ class ClusterClientPool(ShardedClientAPI):
                 drop_probability=drop_probability,
                 seed=shard.transport_seed,
                 codec=self.codec,
+                trace=self.tracer is not None,
             )
             await shard.transport.connect()
             if dispatch == "batched":
@@ -456,6 +489,19 @@ class LoadWorkerConfig:
     pool_seeds: Tuple[int, ...]
 
 
+def merge_worker_provenance(values: Sequence[Any]) -> Any:
+    """Merge per-worker provenance fields (``loop_driver``, ``codec``).
+
+    Returns the single shared value when every worker agrees and the
+    per-worker list (worker order preserved) when they differ — never
+    silently the first worker's value.
+    """
+    merged = list(values)
+    if merged and all(value == merged[0] for value in merged[1:]):
+        return merged[0]
+    return merged
+
+
 def _worker_key_cdf(ranks: Sequence[int], skew: float) -> List[float]:
     """Cumulative weights over a worker's keys, from their *global* ranks."""
     weights = [1.0 / float(rank + 1) ** skew for rank in ranks]
@@ -473,6 +519,8 @@ async def _drive_worker(config: LoadWorkerConfig) -> Dict[str, Any]:
     """Run one worker's share of the load; return a picklable partial report."""
     # Imported lazily: this runs inside worker processes too, and the load
     # module imports this one's runner (cycle broken at call time).
+    from repro.obs.monitor import EpsilonMonitor
+    from repro.obs.trace import Tracer
     from repro.service.load import classify_service_read, key_names
 
     spec = config.spec
@@ -488,6 +536,24 @@ async def _drive_worker(config: LoadWorkerConfig) -> Dict[str, Any]:
         dispatch=spec.dispatch,
         transport_seeds=config.transport_seeds,
         pool_seeds=config.pool_seeds,
+    )
+    # Installed before start(): the pool's transports offer the trace
+    # extension in their handshakes only when a tracer exists.  Disjoint
+    # id bases keep trace ids globally unique across workers.
+    tracer = (
+        Tracer(
+            sample_rate=spec.trace_sample,
+            seed=config.seed,
+            id_base=config.worker << 40,
+        )
+        if getattr(spec, "trace_sample", 0.0) > 0.0
+        else None
+    )
+    pool.tracer = tracer
+    monitor = (
+        EpsilonMonitor.for_scenario(scenario)
+        if getattr(spec, "monitor_epsilon", False)
+        else None
     )
     await pool.start()
     try:
@@ -570,7 +636,12 @@ async def _drive_worker(config: LoadWorkerConfig) -> Dict[str, Any]:
                 started = time.perf_counter()
                 outcome = await reader.read(key)
                 read_latencies.append(time.perf_counter() - started)
-                outcomes[classify_service_read(outcome, snapshot, history[key])] += 1
+                label = classify_service_read(outcome, snapshot, history[key])
+                outcomes[label] += 1
+                if tracer is not None and reader.last_trace is not None:
+                    reader.last_trace.classification = label
+                if monitor is not None:
+                    monitor.observe(label)
                 counters["reads"] += 1
                 shard_ops[shard_of[key]] += 1
 
@@ -580,6 +651,9 @@ async def _drive_worker(config: LoadWorkerConfig) -> Dict[str, Any]:
             *(run_reader(reader, index) for index, reader in enumerate(readers)),
         )
         elapsed = time.perf_counter() - started
+        negotiated = {
+            (shard.transport.negotiated_codec or "json") for shard in pool.shards
+        }
         return {
             "elapsed": elapsed,
             "reads": counters["reads"],
@@ -594,6 +668,17 @@ async def _drive_worker(config: LoadWorkerConfig) -> Dict[str, Any]:
             "probe_fallbacks": sum(client.probe_fallbacks for client in writers)
             + sum(client.probe_fallbacks for client in readers),
             "shard_ops": shard_ops,
+            # Provenance the merge must not flatten to the first worker's
+            # values: each worker reports what actually drove and carried
+            # *its* slice of the load.
+            "loop_driver": "asyncio",
+            "codec": (
+                negotiated.pop() if len(negotiated) == 1 else sorted(negotiated)
+            ),
+            "traces": tracer.to_dicts() if tracer is not None else [],
+            "metrics": pool.metrics_snapshots({"worker": config.worker}),
+            "epsilon_alerts": list(monitor.alerts) if monitor is not None else [],
+            "epsilon_monitor": monitor.to_dict() if monitor is not None else None,
         }
     finally:
         await pool.aclose()
@@ -699,6 +784,9 @@ async def _cluster_load(spec: Any):
         shard_ops = [0] * spec.shards
         read_latencies: List[float] = []
         write_latencies: List[float] = []
+        traces: List[dict] = []
+        metrics: List[dict] = []
+        epsilon_alerts: List[dict] = []
         for result in results:
             for label, count in result["outcomes"].items():
                 outcomes[label] = outcomes.get(label, 0) + count
@@ -706,7 +794,32 @@ async def _cluster_load(spec: Any):
                 shard_ops[index] += ops
             read_latencies.extend(result["read_latencies"])
             write_latencies.extend(result["write_latencies"])
-        return ServiceLoadReport(
+            traces.extend(result["traces"])
+            metrics.extend(result["metrics"])
+            epsilon_alerts.extend(result["epsilon_alerts"])
+        monitors = [
+            result["epsilon_monitor"]
+            for result in results
+            if result["epsilon_monitor"] is not None
+        ]
+        epsilon_monitor = None
+        if monitors:
+            observed = sum(monitor["observed"] for monitor in monitors)
+            errors = sum(monitor["errors"] for monitor in monitors)
+            epsilon_monitor = {
+                "epsilon": monitors[0]["epsilon"],
+                "slack": monitors[0]["slack"],
+                "window": monitors[0]["window"],
+                "min_samples": monitors[0]["min_samples"],
+                "observed": observed,
+                "errors": errors,
+                # The most alarming worker window: windows do not compose
+                # across processes, so report the worst one seen.
+                "window_rate": max(monitor["window_rate"] for monitor in monitors),
+                "total_rate": errors / observed if observed else 0.0,
+                "alerts": epsilon_alerts,
+            }
+        report = ServiceLoadReport(
             spec=spec,
             elapsed=elapsed,
             reads_completed=sum(result["reads"] for result in results),
@@ -723,9 +836,21 @@ async def _cluster_load(spec: Any):
             dispatch_flushes=0,
             transport="tcp",
             shard_ops=shard_ops,
+            loop_driver=merge_worker_provenance(
+                [result["loop_driver"] for result in results]
+            ),
+            codec=merge_worker_provenance([result["codec"] for result in results]),
+            traces=traces,
+            metrics=metrics,
+            epsilon_alerts=epsilon_alerts,
+            epsilon_monitor=epsilon_monitor,
         )
     finally:
         await cluster.aclose()
+    # The shard servers report their metric snapshots on the readiness pipe
+    # at SIGTERM, so they only exist once aclose() has drained it.
+    report.metrics.extend(cluster.server_metrics)
+    return report
 
 
 def run_cluster_load(spec: Any):

@@ -58,7 +58,10 @@ class _PendingOp:
     per-RPC path where a missing reply costs the caller its whole deadline.
     """
 
-    __slots__ = ("loop", "future", "replies", "timeout", "start", "remaining", "misses")
+    __slots__ = (
+        "loop", "future", "replies", "timeout", "start", "remaining", "misses",
+        "trace",
+    )
 
     def __init__(
         self, loop: asyncio.AbstractEventLoop, timeout: Optional[float], total: int
@@ -70,6 +73,7 @@ class _PendingOp:
         self.start = loop.time()
         self.remaining = total
         self.misses = 0
+        self.trace: Any = None
 
     def deliver(self, server: ServerId, payload: Any) -> None:
         self.replies[server] = payload
@@ -147,18 +151,22 @@ class BatchedDispatcher:
         method: str,
         args: tuple,
         timeout: Optional[float],
+        trace: Optional[Any] = None,
     ) -> Dict[ServerId, Any]:
         """Issue one logical operation: ``method`` to every listed server.
 
         Returns the ``{server: payload}`` map of the replies that arrived
         within the operation deadline (the batched equivalent of the per-RPC
-        path's gather-over-:meth:`~AsyncTransport.call`).
+        path's gather-over-:meth:`~AsyncTransport.call`).  A ``trace``
+        collects one span per constituent RPC as its fate is flushed.
         """
         if not servers:
             # Mirror the per-RPC oracle: an empty fan-out answers instantly.
             return {}
         loop = asyncio.get_running_loop()
         op = _PendingOp(loop, timeout, len(servers))
+        if trace is not None:
+            op.trace = trace
         transport = self.transport
         transport.calls += len(servers)
         pending = self._pending
@@ -191,6 +199,8 @@ class BatchedDispatcher:
         for op, method, args in bucket:
             if drop_p and rng_draw() < drop_p:
                 transport.dropped += 1
+                if op.trace is not None:
+                    op.trace.record(server, method, op.start, flush_at, "dropped")
             elif op.timeout is not None and flush_at - op.start > op.timeout:
                 # Deadlines are judged per *operation* in simulated time: an
                 # RPC that rode an already-armed window was enqueued after
@@ -202,14 +212,20 @@ class BatchedDispatcher:
                 # counting against the transport's deadline, exactly as in
                 # the per-RPC path where fates follow drawn delays.
                 transport.timed_out += 1
+                if op.trace is not None:
+                    op.trace.record(server, method, op.start, flush_at, "timeout")
             else:
                 reply = handle(method, *args)
                 if reply is not NO_REPLY:
                     if tracker is not None:
                         tracker.observe(server, now - op.start)
+                    if op.trace is not None:
+                        op.trace.record(server, method, op.start, flush_at, "ok")
                     op.deliver(server, reply[1])
                     continue
                 transport.timed_out += 1
+                if op.trace is not None:
+                    op.trace.record(server, method, op.start, flush_at, "silent")
             if tracker is not None:
                 tracker.penalize(
                     server, op.timeout if op.timeout is not None else now - op.start

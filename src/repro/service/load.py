@@ -51,6 +51,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.exceptions import ConfigurationError, QuorumUnavailableError
+from repro.obs.monitor import EpsilonMonitor
+from repro.obs.trace import Tracer
 from repro.protocol.classification import OUTCOME_LABELS, classify_read_outcome
 from repro.protocol.variable import ReadOutcome, WriteOutcome
 from repro.service.client import (
@@ -220,6 +222,15 @@ class ServiceLoadSpec:
     #: server process per shard) and splits the load over this many worker
     #: processes (``1`` = cluster servers, load driven in the parent).
     processes: int = 0
+    #: Fraction of quorum operations that assemble a full
+    #: :class:`~repro.obs.trace.QuorumTrace` (``0.0``, the default, keeps
+    #: every tracing branch off the hot path; ``1.0`` traces everything).
+    #: The tracer draws from its own salted RNG stream, so any rate leaves
+    #: the workload's classification counters byte-identical to untraced.
+    trace_sample: float = 0.0
+    #: Run the online :class:`~repro.obs.monitor.EpsilonMonitor` over the
+    #: classified read stream, attaching its alerts to the report.
+    monitor_epsilon: bool = False
     #: Deprecated alias for ``deadline`` (the pre-facade spelling).
     rpc_timeout: Optional[float] = UNSET  # type: ignore[assignment]
 
@@ -310,6 +321,11 @@ class ServiceLoadSpec:
             raise ConfigurationError(
                 f"the process count must be non-negative, got {self.processes}"
             )
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ConfigurationError(
+                f"the trace sampling rate is a probability in [0, 1], "
+                f"got {self.trace_sample}"
+            )
         if self.processes > 0:
             if self.transport != "tcp":
                 raise ConfigurationError(
@@ -379,6 +395,10 @@ class ServiceLoadSpec:
             extras += f", writers={self.resolved_writers}"
         if self.contention:
             extras += f", contention={self.contention}"
+        if self.trace_sample:
+            extras += f", trace_sample={self.trace_sample}"
+        if self.monitor_epsilon:
+            extras += ", monitor_epsilon=True"
         return (
             f"ServiceLoadSpec({self.scenario.describe()}, clients={self.clients}, "
             f"reads/client={self.reads_per_client}, writes={self.writes}, "
@@ -418,12 +438,29 @@ class ServiceLoadReport:
     #: ``rpc_calls / dispatch_flushes``.
     dispatch_flushes: int = 0
     #: Which event loop drove the run ("asyncio", or "uvloop" via the
-    #: optional ``repro[fast]`` extra).
-    loop_driver: str = "asyncio"
+    #: optional ``repro[fast]`` extra).  A multi-process merge keeps the
+    #: single value when every worker agrees and the per-worker list when
+    #: they differ (never silently the first worker's value).
+    loop_driver: Any = "asyncio"
     #: Which transport carried the RPCs ("inproc" or "tcp").
     transport: str = "inproc"
     #: Completed operations routed to each shard (length ``spec.shards``).
     shard_ops: List[int] = field(default_factory=list)
+    #: Wire codec the run's transports preferred ("json"/"binary"); merged
+    #: across workers with the same list-when-differing rule as
+    #: ``loop_driver``.
+    codec: Any = "json"
+    #: Sampled :class:`~repro.obs.trace.QuorumTrace` dicts (empty unless
+    #: ``spec.trace_sample > 0``).
+    traces: List[dict] = field(default_factory=list)
+    #: Picklable metric snapshots (client side, plus one per shard server);
+    #: merge with :func:`repro.obs.metrics.merge_snapshots`.
+    metrics: List[dict] = field(default_factory=list)
+    #: Alerts the online ε-monitor raised (empty unless
+    #: ``spec.monitor_epsilon``).
+    epsilon_alerts: List[dict] = field(default_factory=list)
+    #: The ε-monitor's closing summary (``None`` unless enabled).
+    epsilon_monitor: Optional[dict] = None
 
     @property
     def operations(self) -> int:
@@ -497,6 +534,16 @@ class ServiceLoadReport:
             f"{self.injected_crashes} live crashes injected, "
             f"{self.write_failures} writes found no live quorum",
         ]
+        if self.traces:
+            lines.append(f"  tracing           {len(self.traces)} sampled traces")
+        if self.epsilon_monitor is not None:
+            monitor = self.epsilon_monitor
+            lines.append(
+                f"  ε-monitor         observed rate "
+                f"{monitor['total_rate']:.4f} vs bound "
+                f"{monitor['epsilon'] + monitor['slack']:.4f}: "
+                f"{len(self.epsilon_alerts)} alerts"
+            )
         return "\n".join(lines)
 
 
@@ -611,6 +658,16 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
         rng=rng,
         codec=spec.codec,
     )
+    # Installed before start(): a TCP deployment offers the trace envelope
+    # extension in its connection handshakes only when a tracer exists.
+    tracer = (
+        Tracer(sample_rate=spec.trace_sample, seed=spec.seed)
+        if spec.trace_sample > 0.0
+        else None
+    )
+    deployment.tracer = tracer
+    monitor = EpsilonMonitor.for_scenario(scenario) if spec.monitor_epsilon else None
+
     def make_client(writer_id: Optional[int] = None):
         return deployment.new_register_client(
             rng,
@@ -708,7 +765,16 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
                 started = time.perf_counter()
                 outcome = await reader.read(key)
                 read_latencies.append(time.perf_counter() - started)
-                outcomes[classify_service_read(outcome, snapshot, history[key])] += 1
+                label = classify_service_read(outcome, snapshot, history[key])
+                outcomes[label] += 1
+                if tracer is not None and reader.last_trace is not None:
+                    # The read's trace was just finished by the client;
+                    # stamping its classification afterwards keeps the hot
+                    # path label-free and lets the acceptance check
+                    # reconcile traces against the report's counters.
+                    reader.last_trace.classification = label
+                if monitor is not None:
+                    monitor.observe(label)
                 counters["reads"] += 1
                 shard_ops[shard_of[key]] += 1
 
@@ -747,6 +813,11 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
             dispatch_flushes=deployment.dispatch_flushes,
             transport=spec.transport,
             shard_ops=shard_ops,
+            codec=spec.codec,
+            traces=tracer.to_dicts() if tracer is not None else [],
+            metrics=deployment.metrics_snapshots(),
+            epsilon_alerts=list(monitor.alerts) if monitor is not None else [],
+            epsilon_monitor=monitor.to_dict() if monitor is not None else None,
         )
     finally:
         await deployment.aclose()
@@ -772,9 +843,10 @@ def run_service_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
     if spec.processes > 0:
         from repro.service.cluster import run_cluster_load
 
-        report = run_cluster_load(spec)
-        report.loop_driver = "asyncio"
-        return report
+        # The cluster merge records each worker's actual loop driver and
+        # codec (a single value when they agree, the per-worker list when
+        # not) — do not overwrite its provenance here.
+        return run_cluster_load(spec)
     if _uvloop is None:
         report = asyncio.run(serve_load(spec))
         report.loop_driver = "asyncio"

@@ -53,6 +53,7 @@ import asyncio
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import RpcTimeoutError, ServiceError, WireFormatError
+from repro.obs.metrics import MetricsRegistry
 from repro.service.node import NO_REPLY, ServiceNode
 from repro.service.transport import AsyncTransport
 from repro.service.wire import (
@@ -65,9 +66,13 @@ from repro.service.wire import (
     encode_request_frame,
     encode_response_frame,
     hello_frame,
+    hello_offers_trace,
     hello_reply_frame,
+    join_negotiated,
+    offer_codecs,
     parse_hello,
     request_tail,
+    split_negotiated,
 )
 
 #: Socket read size for both the server's and the client's reader loops.
@@ -137,6 +142,13 @@ class TcpServiceServer:
         the first of its offers present here).  Must include ``"json"`` —
         it is the negotiation carrier and the pre-codec fallback; pass
         ``codecs=("json",)`` to deploy a JSON-only server.
+    trace:
+        Whether the server accepts the negotiated trace-context envelope
+        extension (clients offering the ``"trace"`` token then send
+        6-tuple request frames carrying their trace id).  ``False``
+        reproduces a pre-trace server exactly — the token is ignored and
+        only 5-tuple requests are accepted — which is what the
+        degradation tests deploy.
     """
 
     def __init__(
@@ -145,6 +157,7 @@ class TcpServiceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         codecs: Sequence[str] = WIRE_CODECS,
+        trace: bool = True,
     ) -> None:
         self.nodes = list(nodes)
         self.host = host
@@ -163,8 +176,13 @@ class TcpServiceServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._connection_tasks: "set[asyncio.Task]" = set()
         self._connection_writers: "set[asyncio.StreamWriter]" = set()
+        self.trace_support = bool(trace)
         self.connections_accepted = 0
         self.requests_handled = 0
+        #: Requests that arrived with a trace id (the extension negotiated).
+        self.traced_requests = 0
+        #: The most recent trace id seen (tests pin cross-process survival).
+        self.last_trace_id: Optional[int] = None
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -209,6 +227,7 @@ class TcpServiceServer:
         self._connection_writers.add(writer)
         decoder = FrameDecoder(decode_binary=decode_binary_request_body)
         codec = "json"  # per-connection response codec until a hello says otherwise
+        traced = False  # whether this connection negotiated the trace extension
         try:
             while True:
                 chunk = await reader.read(_READ_CHUNK)
@@ -224,9 +243,12 @@ class TcpServiceServer:
                     offered = parse_hello(frame)
                     if offered is not None:
                         codec = choose_codec(offered, self.codecs)
-                        responses.append(hello_reply_frame(codec))
+                        traced = self.trace_support and hello_offers_trace(offered)
+                        responses.append(
+                            hello_reply_frame(join_negotiated(codec, traced))
+                        )
                         continue
-                    reply_frame = self._handle_request(frame, codec)
+                    reply_frame = self._handle_request(frame, codec, traced)
                     if reply_frame is not None:
                         responses.append(reply_frame)
                 if responses:
@@ -245,9 +267,20 @@ class TcpServiceServer:
             self._connection_writers.discard(writer)
             self._connection_tasks.discard(asyncio.current_task())
 
-    def _handle_request(self, frame: Any, codec: str = "json") -> Optional[bytes]:
+    def _handle_request(
+        self, frame: Any, codec: str = "json", traced: bool = False
+    ) -> Optional[bytes]:
         try:
-            kind, request_id, server_id, method, args = frame
+            trace_id: Optional[int] = None
+            if traced and isinstance(frame, tuple) and len(frame) == 6:
+                kind, request_id, server_id, method, args, trace_id = frame
+                if not isinstance(trace_id, int):
+                    raise ValueError(trace_id)
+            else:
+                # Off a trace-negotiated connection the envelope stays the
+                # strict 5-tuple: a 6-tuple from a peer that never offered
+                # the token is as malformed as it always was.
+                kind, request_id, server_id, method, args = frame
             if kind != "req" or not isinstance(args, tuple):
                 raise ValueError(kind)
             # Explicit bounds check: Python's negative indexing would
@@ -264,11 +297,33 @@ class TcpServiceServer:
             # garbage: this peer loses its connection, nothing more.
             raise WireFormatError(f"unroutable request frame: {error}") from error
         self.requests_handled += 1
+        if trace_id is not None:
+            self.traced_requests += 1
+            self.last_trace_id = trace_id
         if reply is NO_REPLY:
             # Silence stays silence on the wire: the caller's deadline is
             # the only thing that resolves it, as on the in-process paths.
             return None
         return encode_response_frame(request_id, reply, codec)
+
+    def metrics_snapshot(self, labels: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """This server's metrics as a mergeable registry snapshot.
+
+        Picklable, so a shard-server process can ship it back over the
+        cluster's readiness pipe at shutdown.
+        """
+        base = {"component": "tcp-server", "host": self.host, "port": self.port}
+        if labels:
+            base.update(labels)
+        registry = MetricsRegistry(labels=base)
+        registry.counter("server_connections_accepted").inc(self.connections_accepted)
+        registry.counter("server_requests_handled").inc(self.requests_handled)
+        registry.counter("server_traced_requests").inc(self.traced_requests)
+        registry.counter("node_requests").inc(
+            sum(node.requests for node in self.nodes)
+        )
+        registry.gauge("nodes").set(len(self.nodes))
+        return registry.to_dict()
 
 
 class _TcpConnection:
@@ -328,10 +383,17 @@ class _TcpConnection:
             host, port = transport.address
             reader, writer = await asyncio.open_connection(host, port)
             decoder = FrameDecoder(decode_binary=decode_binary_response_body)
-            # Negotiate unless the transport prefers JSON (then the hello is
-            # skipped entirely — pre-codec byte compatibility) or a previous
-            # handshake already fell back to JSON for this transport.
-            if transport.codec_preference != "json" and transport.negotiated_codec != "json":
+            # Negotiate when the transport wants a non-JSON codec (unless a
+            # previous handshake already fell back to JSON) or the trace
+            # extension (unless a failed handshake disabled hellos for this
+            # transport).  A plain JSON-preference transport with no tracing
+            # still skips the hello entirely — pre-codec byte compatibility.
+            want_codec = (
+                transport.codec_preference != "json"
+                and transport.negotiated_codec != "json"
+            )
+            want_trace = transport.trace_wanted and not transport.hello_disabled
+            if want_codec or want_trace:
                 reader, writer, decoder = await self._negotiate(reader, writer, decoder)
             self._reader, self._writer = reader, writer
             self._queue = asyncio.Queue()
@@ -352,7 +414,13 @@ class _TcpConnection:
         """The hello exchange; falls back to JSON (and reconnects) on old peers."""
         transport = self.transport
         try:
-            writer.write(hello_frame(transport.offered_codecs))
+            writer.write(
+                hello_frame(
+                    offer_codecs(
+                        transport.offered_codecs, trace=transport.trace_wanted
+                    )
+                )
+            )
             await writer.drain()
             frames: List[Any] = []
             while not frames:
@@ -366,9 +434,11 @@ class _TcpConnection:
         except (ConnectionError, OSError, WireFormatError):
             # A pre-codec peer treats the hello as a malformed request and
             # drops the connection.  Fall back to JSON for the *transport*
-            # (one extra connect total, not one per pooled connection) and
-            # reconnect without a handshake.
+            # (one extra connect total, not one per pooled connection), give
+            # up on the trace extension, and reconnect without a handshake.
             transport.negotiated_codec = "json"
+            transport.negotiated_trace = False
+            transport.hello_disabled = True
             writer.close()
             try:
                 await writer.wait_closed()
@@ -377,6 +447,8 @@ class _TcpConnection:
             host, port = transport.address
             reader, writer = await asyncio.open_connection(host, port)
             return reader, writer, FrameDecoder(decode_binary=decode_binary_response_body)
+        chosen, traced = split_negotiated(chosen)
+        transport.negotiated_trace = traced and transport.trace_wanted
         transport.negotiated_codec = chosen if chosen in WIRE_CODECS else "json"
         for frame in frames[1:]:  # responses glued onto the hello reply
             transport._dispatch_response(frame)
@@ -444,6 +516,12 @@ class TcpTransport(AsyncTransport):
         the struct-packed codec per connection and falls back to JSON
         against servers that do not speak it.  :attr:`negotiated_codec`
         records the outcome once the first connection is up.
+    trace:
+        Whether to offer the trace-context envelope extension in the hello
+        (a JSON-preference transport then handshakes too).  Trace ids ride
+        the request frames only once :attr:`negotiated_trace` confirms the
+        server accepted the offer — against a pre-trace server everything
+        degrades to plain envelopes.
     """
 
     def __init__(
@@ -455,6 +533,7 @@ class TcpTransport(AsyncTransport):
         seed: int = 0,
         connections: int = DEFAULT_CONNECTIONS,
         codec: str = "json",
+        trace: bool = False,
     ) -> None:
         super().__init__(
             latency=latency, jitter=jitter, drop_probability=drop_probability, seed=seed
@@ -471,6 +550,13 @@ class TcpTransport(AsyncTransport):
         #: The codec this transport *sends*: resolved immediately for a JSON
         #: preference, by the first connection's handshake otherwise.
         self.negotiated_codec: Optional[str] = "json" if codec == "json" else None
+        #: Whether the hello should offer the trace extension at all.
+        self.trace_wanted = bool(trace)
+        #: Whether the server accepted it (set by the handshake).
+        self.negotiated_trace = False
+        #: Set when a handshake failed outright: stop offering hellos so a
+        #: tracing JSON-preference transport still talks to hello-less peers.
+        self.hello_disabled = False
         self.address = (str(address[0]), int(address[1]))
         self._connections = [_TcpConnection(self) for _ in range(connections)]
         #: request_id -> Future (per-RPC path) or (op, server) (dispatcher path).
@@ -515,6 +601,7 @@ class TcpTransport(AsyncTransport):
         method: str,
         *args: Any,
         timeout: Optional[float] = None,
+        trace_id: Optional[int] = None,
     ) -> Any:
         """One RPC over the wire; mirror the in-process failure semantics.
 
@@ -522,25 +609,34 @@ class TcpTransport(AsyncTransport):
         a real :class:`~repro.service.node.ServiceNode` in tests).  Raises
         :class:`~repro.exceptions.RpcTimeoutError` when the RPC was
         (simulated-)dropped, the reply missed the wall-clock deadline, or
-        the connection failed and could not be re-established in time.
+        the connection failed and could not be re-established in time; the
+        error carries a ``disposition`` attribute for trace spans.  A
+        ``trace_id`` rides the request envelope only once the connection
+        handshake confirmed the server speaks the trace extension
+        (:attr:`negotiated_trace`); otherwise it is silently omitted so
+        un-instrumented peers keep interoperating.
         """
         self.calls += 1
         if self.drop_probability > 0.0 and self.rng.random() < self.drop_probability:
             # Simulated loss: never sent, costs the caller its deadline.
             self.dropped += 1
             await asyncio.sleep(self._delay() if timeout is None else timeout)
-            raise RpcTimeoutError(
+            error = RpcTimeoutError(
                 f"rpc {method!r} to server {node.server_id} was dropped"
             )
+            error.disposition = "dropped"
+            raise error
         extra_delay = self._delay()
         if timeout is not None and extra_delay > timeout:
             # As on the in-process transport, the injected delay counts
             # against the deadline: a delay beyond it is a timeout.
             self.timed_out += 1
             await asyncio.sleep(timeout)
-            raise RpcTimeoutError(
+            error = RpcTimeoutError(
                 f"rpc {method!r} to server {node.server_id} timed out"
             )
+            error.disposition = "timeout"
+            raise error
         if extra_delay > 0.0:
             await asyncio.sleep(extra_delay)
         if timeout is not None:
@@ -558,11 +654,11 @@ class TcpTransport(AsyncTransport):
                 # encoding: the request must be framed in whatever codec the
                 # handshake lands on.
                 await connection.ensure(connect_timeout=timeout)
+                payload = ("req", request_id, node.server_id, method, args)
+                if trace_id is not None and self.negotiated_trace:
+                    payload = payload + (trace_id,)
                 connection.enqueue(
-                    encode_frame(
-                        ("req", request_id, node.server_id, method, args),
-                        self.negotiated_codec or "json",
-                    )
+                    encode_frame(payload, self.negotiated_codec or "json")
                 )
             except (ConnectionError, OSError) as error:
                 # Unreachable server: burn (the rest of) the deadline like
@@ -572,9 +668,11 @@ class TcpTransport(AsyncTransport):
                     remaining = timeout - (loop.time() - started)
                     if remaining > 0.0:
                         await asyncio.sleep(remaining)
-                raise RpcTimeoutError(
+                wrapped = RpcTimeoutError(
                     f"rpc {method!r} to server {node.server_id} failed to send: {error}"
-                ) from error
+                )
+                wrapped.disposition = "unsent"
+                raise wrapped from error
             if timeout is None:
                 return await future
             try:
@@ -585,10 +683,12 @@ class TcpTransport(AsyncTransport):
                 )
             except asyncio.TimeoutError:
                 self.timed_out += 1
-                raise RpcTimeoutError(
+                error = RpcTimeoutError(
                     f"rpc {method!r} to server {node.server_id} timed out "
                     f"after {timeout}s"
-                ) from None
+                )
+                error.disposition = "timeout"
+                raise error from None
         finally:
             self._pending.pop(request_id, None)
 
@@ -610,7 +710,7 @@ class _WireOp:
 
     __slots__ = (
         "transport", "loop", "future", "replies", "outstanding",
-        "misses", "timer", "start",
+        "misses", "timer", "start", "trace", "method",
     )
 
     def __init__(
@@ -627,6 +727,8 @@ class _WireOp:
         self.outstanding: Dict[int, Any] = {}  # request_id -> server
         self.misses = misses
         self.start = loop.time()
+        self.trace: Any = None
+        self.method = ""
         self.timer = (
             loop.call_later(timeout, self._deadline) if timeout is not None else None
         )
@@ -637,9 +739,12 @@ class _WireOp:
         # Strip the ("ok", payload) reply envelope, as the in-process
         # dispatcher and the per-RPC client path both do.
         self.replies[server] = envelope[1]
+        now = self.loop.time()
         tracker = self.transport.tracker
         if tracker is not None:
-            tracker.observe(server, self.loop.time() - self.start)
+            tracker.observe(server, now - self.start)
+        if self.trace is not None:
+            self.trace.record(server, self.method, self.start, now, "ok")
         if not self.outstanding and (self.misses == 0 or self.timer is None):
             # Every sent RPC answered: resolve early.  With misses (drops),
             # the deadline timer resolves instead — a partially failed
@@ -650,9 +755,13 @@ class _WireOp:
         self.timer = None
         transport = self.transport
         transport.timed_out += len(self.outstanding)
+        now = self.loop.time()
         if transport.tracker is not None:
             for server in self.outstanding.values():
-                transport.tracker.penalize(server, self.loop.time() - self.start)
+                transport.tracker.penalize(server, now - self.start)
+        if self.trace is not None:
+            for server in self.outstanding.values():
+                self.trace.record(server, self.method, self.start, now, "timeout")
         self._resolve()
 
     def _resolve(self) -> None:
@@ -708,6 +817,7 @@ class TcpDispatcher:
         method: str,
         args: tuple,
         timeout: Optional[float],
+        trace: Optional[Any] = None,
     ) -> Dict[Any, Any]:
         """Issue ``method`` to every listed server; map responders to payloads."""
         if not servers:
@@ -719,17 +829,26 @@ class TcpDispatcher:
         drop_probability = transport.drop_probability
         rng_draw = transport.rng.random
         sent = []
+        dropped = []
         misses = 0
         for server in servers:
             if drop_probability > 0.0 and rng_draw() < drop_probability:
                 transport.dropped += 1
                 misses += 1
+                if trace is not None:
+                    dropped.append(server)
                 continue
             sent.append(server)
         # The op (and its deadline timer) starts *before* the injected
         # delay, so simulated latency counts against the deadline exactly
         # as on the in-process paths.
         op = _WireOp(transport, loop, timeout, misses)
+        if trace is not None:
+            op.trace = trace
+            op.method = method
+            for server in dropped:
+                # Sampled drops never hit the wire: zero-length spans.
+                trace.record(server, method, op.start, op.start, "dropped")
         if transport.latency > 0.0:
             # One coalesced delay per operation, drawn from the same stream
             # and distribution as the per-RPC path's.
@@ -738,10 +857,16 @@ class TcpDispatcher:
         stripes = len(connections)
         pending = transport._pending
         codec = transport.negotiated_codec
-        if codec is None:
-            # First op on a binary-preference transport: bring one
-            # connection up (running the hello handshake) so the tail below
-            # is built in the codec the whole fan-out will be sent in.
+        if codec is None or (
+            trace is not None
+            and transport.trace_wanted
+            and not transport.negotiated_trace
+            and not transport.hello_disabled
+        ):
+            # First op on a binary-preference (or traced) transport: bring
+            # one connection up (running the hello handshake) so the tail
+            # below is built in the codec the whole fan-out will be sent in
+            # and the trace-extension verdict is known before framing.
             remaining = (
                 None if timeout is None else max(op.start + timeout - loop.time(), 0.001)
             )
@@ -753,6 +878,14 @@ class TcpDispatcher:
         # The (method, args) payload is serialised once per op, not per
         # frame: only request_id and server differ between the q frames.
         tail = request_tail(method, args, codec=codec)
+        # The trace id joins the envelope only once the handshake (run by
+        # `ensure` above or an earlier op) confirmed the server speaks the
+        # extension; otherwise the frames stay byte-identical to untraced.
+        trace_id = (
+            trace.trace_id
+            if trace is not None and transport.negotiated_trace
+            else None
+        )
         for position, server in enumerate(sent):
             if op.future.done():
                 # The deadline fired while this coroutine was suspended
@@ -761,6 +894,10 @@ class TcpDispatcher:
                 # already counted in `calls`, so charge them as timeouts to
                 # keep the drop/timeout columns partitioning the failures.
                 transport.timed_out += len(sent) - position
+                if trace is not None:
+                    now = loop.time()
+                    for unsent in sent[position:]:
+                        trace.record(unsent, method, op.start, now, "unsent")
                 break
             transport._next_request_id += 1
             request_id = transport._next_request_id
@@ -771,7 +908,7 @@ class TcpDispatcher:
             )
             try:
                 await connections[request_id % stripes].send(
-                    encode_request_frame(request_id, server, tail),
+                    encode_request_frame(request_id, server, tail, trace_id=trace_id),
                     connect_timeout=remaining,
                 )
             except (ConnectionError, OSError):
@@ -782,6 +919,8 @@ class TcpDispatcher:
                 pending.pop(request_id, None)
                 op.misses += 1
                 transport.timed_out += 1
+                if trace is not None:
+                    trace.record(server, method, op.start, loop.time(), "unsent")
         if op.timer is None and not op.outstanding and not op.future.done():
             op._resolve()
         return await op.future

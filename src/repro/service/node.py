@@ -43,6 +43,8 @@ class ServiceNode:
         self, server_id: ServerId, behavior: Optional[ServerBehavior] = None
     ) -> None:
         self.server = ReplicaServer(server_id, behavior)
+        #: RPCs dispatched to this node (metrics; includes silent outcomes).
+        self.requests = 0
 
     @property
     def server_id(self) -> ServerId:
@@ -84,6 +86,7 @@ class ServiceNode:
         Replies are ``("ok", payload)`` tuples: an explicit envelope keeps
         "answered with nothing" distinct from "never answered".
         """
+        self.requests += 1
         if method == "read":
             # First: reads dominate every workload the harness drives.
             (variable,) = args

@@ -50,6 +50,11 @@ class AsyncRegister:
         self._last_written: Optional[WriteOutcome] = None
         self.writes_performed = 0
         self.reads_performed = 0
+        #: The :class:`~repro.obs.trace.QuorumTrace` of the most recent
+        #: operation, when the client samples traces (``None`` otherwise).
+        #: Callers annotate it in place — the load harness stamps the read's
+        #: classification, the lock service its protocol step.
+        self.last_trace: Optional[Any] = None
         #: Optional ``(timestamp, value)`` callback fired when a write is
         #: *issued*, before its RPCs fan out.  Concurrent observers (the load
         #: harness's safety accounting, a write-ahead log) need the pair the
@@ -83,6 +88,7 @@ class AsyncRegister:
         result = await self.client.write(
             self.name, value, timestamp, self._sign(value, timestamp)
         )
+        self.last_trace = result.trace
         outcome = WriteOutcome(
             quorum=result.quorum,
             timestamp=timestamp,
@@ -92,8 +98,29 @@ class AsyncRegister:
         self.writes_performed += 1
         return outcome
 
+    def _annotate_selection(
+        self, result: ReadRpcResult, competing: int, selected: Any
+    ) -> None:
+        """Record the read rule's inputs and verdict on the sampled trace."""
+        trace = result.trace
+        if trace is None:
+            return
+        selection = trace.selection or {}
+        selection.update(
+            rule=type(self).__name__,
+            threshold=self._threshold(),
+            replies=len(result.replies),
+            competing=competing,
+            verdict="selected" if selected is not None else "empty",
+        )
+        if selected is not None:
+            selection["votes"] = selected.votes
+        trace.selection = selection
+
     def _build_outcome(self, result: ReadRpcResult) -> ReadOutcome:
-        selected = select_credible_value(self._filter(result), self._threshold())
+        competing = self._filter(result)
+        selected = select_credible_value(competing, self._threshold())
+        self._annotate_selection(result, len(competing), selected)
         if selected is None:
             return ReadOutcome(
                 value=None,
@@ -114,6 +141,7 @@ class AsyncRegister:
         """Read the register: filter, then deterministic highest-timestamp-wins."""
         result = await self.client.read(self.name)
         self.reads_performed += 1
+        self.last_trace = result.trace
         return self._build_outcome(result)
 
     async def read_credible(self) -> list:
@@ -127,7 +155,17 @@ class AsyncRegister:
         """
         result = await self.client.read(self.name)
         self.reads_performed += 1
-        return enumerate_credible_values(self._filter(result), self._threshold())
+        self.last_trace = result.trace
+        records = enumerate_credible_values(self._filter(result), self._threshold())
+        if result.trace is not None:
+            result.trace.selection = {
+                "rule": type(self).__name__,
+                "threshold": self._threshold(),
+                "replies": len(result.replies),
+                "competing": len(records),
+                "verdict": "enumerated",
+            }
+        return records
 
     def observe_timestamp(self, timestamp: Timestamp) -> None:
         """Fast-forward this writer's clock past an observed timestamp.
@@ -204,7 +242,9 @@ class AsyncMaskingRegister(AsyncRegister):
 
     def _build_outcome(self, result: ReadRpcResult) -> MaskingReadOutcome:
         threshold = self._read_threshold
-        selected = select_credible_value(self._filter(result), threshold)
+        competing = self._filter(result)
+        selected = select_credible_value(competing, threshold)
+        self._annotate_selection(result, len(competing), selected)
         if selected is None:
             return MaskingReadOutcome(
                 value=None,

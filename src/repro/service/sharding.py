@@ -38,6 +38,8 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.protocol.variable import WriteOutcome
 from repro.service.client import (
     DEFAULT_QUORUM_POOL,
@@ -124,6 +126,11 @@ class ShardedClientAPI:
     scenario: ScenarioSpec
     shards: List["_Shard"]
     _started: bool
+    #: Optional shared :class:`~repro.obs.trace.Tracer`.  Set it before
+    #: creating clients and every quorum client built through this surface
+    #: samples traces from it; ``None`` (the default) keeps tracing off the
+    #: hot path entirely.
+    tracer: Optional[Tracer] = None
 
     @property
     def shard_count(self) -> int:
@@ -141,6 +148,7 @@ class ShardedClientAPI:
         deadline: Optional[float] = 0.05,
         selection: str = "strategy",
         quorum_pool: int = DEFAULT_QUORUM_POOL,
+        client_id: Optional[str] = None,
         timeout: Optional[float] = UNSET,
     ) -> AsyncQuorumClient:
         """One quorum client bound to a single shard's replica group."""
@@ -162,6 +170,9 @@ class ShardedClientAPI:
             tracker=shard.tracker,
             quorum_pool=quorum_pool,
             pool_generator=shard.pool_generator,
+            tracer=self.tracer,
+            client_id=client_id,
+            shard=shard_index,
         )
 
     def new_register_client(
@@ -190,6 +201,7 @@ class ShardedClientAPI:
                 deadline=deadline,
                 selection=selection,
                 quorum_pool=quorum_pool,
+                client_id=None if writer_id is None else str(writer_id),
             )
             for index in range(len(self.shards))
         ]
@@ -216,6 +228,34 @@ class ShardedClientAPI:
             for shard in self.shards
             if shard.dispatcher is not None
         )
+
+    # -- metrics ------------------------------------------------------------------
+
+    def metrics_snapshots(self, labels: Optional[Dict[str, Any]] = None) -> List[dict]:
+        """Picklable metric snapshots: client-side counters plus one
+        snapshot per in-process shard server (TCP mode).
+
+        Feed the list to :func:`repro.obs.metrics.merge_snapshots` (the
+        ``Deployment.metrics()`` facade does) — a cluster deployment
+        contributes its worker and server-process snapshots the same way.
+        """
+        registry = MetricsRegistry(
+            labels={"component": "sharded-client", **(labels or {})}
+        )
+        registry.counter("rpc_calls").inc(self.rpc_calls)
+        registry.counter("rpc_dropped").inc(self.rpc_dropped)
+        registry.counter("rpc_timeouts").inc(self.rpc_timeouts)
+        registry.counter("dispatch_flushes").inc(self.dispatch_flushes)
+        registry.gauge("shards").set(len(self.shards))
+        if self.tracer is not None:
+            registry.counter("traces_started").inc(self.tracer.started)
+            registry.counter("traces_sampled_out").inc(self.tracer.sampled_out)
+        snapshots = [registry.to_dict()]
+        for shard in self.shards:
+            server = getattr(shard, "server", None)
+            if server is not None:
+                snapshots.append(server.metrics_snapshot({"shard": shard.index}))
+        return snapshots
 
 
 class ShardedDeployment(ShardedClientAPI):
@@ -367,6 +407,9 @@ class ShardedDeployment(ShardedClientAPI):
                 drop_probability=drop_probability,
                 seed=shard.transport_seed,
                 codec=self.codec,
+                # Offer the trace envelope extension only when a tracer is
+                # installed: untraced deployments keep pre-trace frames.
+                trace=self.tracer is not None,
             )
             await shard.transport.connect()
             if dispatch == "batched":
@@ -428,6 +471,9 @@ class ShardedAsyncRegisterClient:
         #: Optional ``(key, timestamp, value)`` callback fired when a write
         #: is issued (before its RPCs fan out).
         self.on_issued = None
+        #: Trace of the most recent routed operation (mirrors
+        #: :attr:`~repro.service.register.AsyncRegister.last_trace`).
+        self.last_trace: Optional[Any] = None
 
     def shard_for(self, key: str) -> int:
         """The shard ``key``'s register lives on."""
@@ -456,11 +502,17 @@ class ShardedAsyncRegisterClient:
 
     async def read(self, key: str):
         """Read ``key``'s register on its shard."""
-        return await self.register_for(key).read()
+        register = self.register_for(key)
+        outcome = await register.read()
+        self.last_trace = register.last_trace
+        return outcome
 
     async def write(self, key: str, value: Any) -> WriteOutcome:
         """Write ``key``'s register on its shard."""
-        return await self.register_for(key).write(value)
+        register = self.register_for(key)
+        outcome = await register.write(value)
+        self.last_trace = register.last_trace
+        return outcome
 
     @property
     def probe_fallbacks(self) -> int:

@@ -93,6 +93,7 @@ class AsyncTransport:
         method: str,
         *args: Any,
         timeout: Optional[float] = None,
+        trace_id: Optional[int] = None,
     ) -> Any:
         """Invoke ``method`` on a replica node; raise on timeout.
 
@@ -100,7 +101,11 @@ class AsyncTransport:
         transport against non-silent nodes).  Raises
         :class:`~repro.exceptions.RpcTimeoutError` when the RPC is dropped,
         the delay exceeds the deadline, or the node stays silent (crashed
-        and silent-Byzantine behaviours never answer).
+        and silent-Byzantine behaviours never answer); the error carries a
+        ``disposition`` attribute (``"dropped"``/``"timeout"``/``"silent"``)
+        for trace spans.  ``trace_id`` is accepted for interface parity with
+        the socket transport — in-process calls pass payloads by reference,
+        so there is no envelope to extend.
         """
         self.calls += 1
         delay = self._delay()
@@ -114,15 +119,19 @@ class AsyncTransport:
             # partition the failures.
             self.dropped += 1
             await asyncio.sleep(delay if timeout is None else timeout)
-            raise RpcTimeoutError(
+            error = RpcTimeoutError(
                 f"rpc {method!r} to server {node.server_id} was dropped"
             )
+            error.disposition = "dropped"
+            raise error
         if timeout is not None and delay > timeout:
             self.timed_out += 1
             await asyncio.sleep(timeout)
-            raise RpcTimeoutError(
+            error = RpcTimeoutError(
                 f"rpc {method!r} to server {node.server_id} timed out"
             )
+            error.disposition = "timeout"
+            raise error
         await asyncio.sleep(delay)
         reply = node.handle(method, *args)
         if reply is NO_REPLY:
@@ -130,7 +139,9 @@ class AsyncTransport:
             self.timed_out += 1
             if timeout is not None and timeout > delay:
                 await asyncio.sleep(timeout - delay)
-            raise RpcTimeoutError(
+            error = RpcTimeoutError(
                 f"rpc {method!r} to server {node.server_id} got no reply"
             )
+            error.disposition = "silent"
+            raise error
         return reply

@@ -65,7 +65,7 @@ import json
 import struct
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.exceptions import WireFormatError
+from repro.exceptions import ProtocolError, WireFormatError
 from repro.protocol.timestamps import Timestamp
 from repro.simulation.server import StoredValue
 
@@ -375,7 +375,9 @@ def decode_binary_body(body: bytes) -> Any:
     except WireFormatError:
         raise
     except (struct.error, IndexError, UnicodeDecodeError, OverflowError,
-            RecursionError, TypeError, ValueError) as error:
+            RecursionError, TypeError, ValueError, ProtocolError) as error:
+        # ProtocolError: a forged body can encode field values the protocol
+        # types refuse (a negative timestamp counter) — still a wire fault.
         raise WireFormatError(
             f"truncated or malformed binary frame: {error}"
         ) from error
@@ -442,21 +444,43 @@ _BINARY_REQ_PREFIX = bytes(
     (BINARY_MAGIC, _T_TUPLE)
 ) + _STRUCT_I.pack(5) + bytes((_T_STR,)) + _STRUCT_I.pack(3) + b"req"
 
+#: The traced variant: magic, 6-tuple header, "req" — the sixth element is
+#: the 64-bit trace id of the client-side quorum trace this RPC belongs to.
+_BINARY_REQ6_PREFIX = bytes(
+    (BINARY_MAGIC, _T_TUPLE)
+) + _STRUCT_I.pack(6) + bytes((_T_STR,)) + _STRUCT_I.pack(3) + b"req"
 
-def encode_request_frame(request_id: int, server: int, tail) -> bytes:
+
+def encode_request_frame(
+    request_id: int, server: int, tail, trace_id: Optional[int] = None
+) -> bytes:
     """One request frame from a pre-serialised :func:`request_tail`.
 
     Byte-identical to ``encode_frame(("req", request_id, server, method,
     args), codec)`` for the codec the tail was built with (the tail's type
-    identifies it) — the wire tests pin the equivalence down.
+    identifies it) — the wire tests pin the equivalence down.  With a
+    ``trace_id`` the envelope grows a sixth element (byte-identical to
+    encoding the 6-tuple); only send it on connections that negotiated the
+    trace extension — an un-instrumented peer rejects 6-tuples.
     """
     if isinstance(tail, str):
-        body = ('{"t":["req",%d,%d,%s]}' % (request_id, server, tail)).encode("utf-8")
+        if trace_id is None:
+            body = (
+                '{"t":["req",%d,%d,%s]}' % (request_id, server, tail)
+            ).encode("utf-8")
+        else:
+            body = (
+                '{"t":["req",%d,%d,%s,%d]}' % (request_id, server, tail, trace_id)
+            ).encode("utf-8")
     else:
-        out = bytearray(_BINARY_REQ_PREFIX)
+        out = bytearray(
+            _BINARY_REQ_PREFIX if trace_id is None else _BINARY_REQ6_PREFIX
+        )
         _pack_int(request_id, out)
         _pack_int(server, out)
         out += tail
+        if trace_id is not None:
+            _pack_int(trace_id, out)
         body = bytes(out)
     if len(body) > MAX_FRAME_BYTES:
         raise WireFormatError(
@@ -510,6 +534,25 @@ def decode_binary_request_body(body: bytes) -> Any:
                     return ("req", request_id, server, method, args)
         except Exception:
             pass
+    elif body.startswith(_BINARY_REQ6_PREFIX):
+        # The traced envelope shares the 5-tuple layout plus a trailing
+        # trace-id int; same fixed offsets, one extra field.
+        try:
+            if body[14] == _T_INT and body[23] == _T_INT:
+                request_id = _STRUCT_Q.unpack_from(body, 15)[0]
+                server = _STRUCT_Q.unpack_from(body, 24)[0]
+                method, offset = _unpack_binary(body, 32)
+                args, offset = _unpack_binary(body, offset)
+                trace_id, offset = _unpack_binary(body, offset)
+                if (
+                    offset == len(body)
+                    and type(method) is str
+                    and type(args) is tuple
+                    and type(trace_id) is int
+                ):
+                    return ("req", request_id, server, method, args, trace_id)
+        except Exception:
+            pass
     return decode_binary_body(body)
 
 
@@ -532,6 +575,46 @@ def decode_binary_response_body(body: bytes) -> Any:
 
 
 # -- codec negotiation -------------------------------------------------------------
+
+#: Capability token a tracing client appends to its offered-codec list.  It
+#: is not a codec: :func:`choose_codec` skips names outside ``supported``,
+#: so an un-instrumented server silently ignores the token and negotiation
+#: degrades to plain frames — exactly the backward-compatibility story the
+#: hello exchange already has for unknown codecs.
+TRACE_TOKEN = "trace"
+
+#: Suffix a trace-aware server appends to its chosen-codec reply when (and
+#: only when) the client offered :data:`TRACE_TOKEN`.
+TRACE_SUFFIX = "+trace"
+
+
+def offer_codecs(codecs: Sequence[str], trace: bool = False) -> List[str]:
+    """The offered-codec list for a hello, with the trace token if asked."""
+    offered = list(codecs)
+    if trace:
+        offered.append(TRACE_TOKEN)
+    return offered
+
+
+def hello_offers_trace(offered: Any) -> bool:
+    """Whether a hello's offered list carries the trace capability token."""
+    return isinstance(offered, (list, tuple)) and TRACE_TOKEN in offered
+
+
+def split_negotiated(chosen: Any) -> Tuple[Any, bool]:
+    """Split a hello reply into ``(codec, traced)``.
+
+    ``"binary+trace"`` → ``("binary", True)``; anything without the suffix
+    (including the replies of pre-trace servers) passes through untraced.
+    """
+    if isinstance(chosen, str) and chosen.endswith(TRACE_SUFFIX):
+        return chosen[: -len(TRACE_SUFFIX)], True
+    return chosen, False
+
+
+def join_negotiated(codec: str, traced: bool) -> str:
+    """The server's reply spelling: the codec, suffixed when tracing."""
+    return codec + TRACE_SUFFIX if traced else codec
 
 
 def hello_frame(codecs: Sequence[str]) -> bytes:

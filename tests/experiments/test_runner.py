@@ -195,6 +195,46 @@ class TestCli:
         assert code == 0
         assert "selection=latency-aware" in capsys.readouterr().out
 
+    def test_main_serve_observability_flags(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "traces.jsonl"
+        metrics_file = tmp_path / "metrics.json"
+        code = main(
+            [
+                "serve",
+                "--clients",
+                "10",
+                "--ops",
+                "2",
+                "--trace-sample",
+                "1.0",
+                "--trace-out",
+                str(trace_file),
+                "--metrics-out",
+                str(metrics_file),
+                "--monitor-epsilon",
+            ]
+        )
+        assert code == 0
+        assert "sampled traces" in capsys.readouterr().out
+        traces = [
+            json.loads(line) for line in trace_file.read_text().splitlines()
+        ]
+        assert traces and all("trace_id" in trace for trace in traces)
+        document = json.loads(metrics_file.read_text())
+        assert document["merged"]["counters"]["rpc_calls"] > 0
+        assert document["epsilon_monitor"]["observed"] > 0
+
+    def test_main_trace_out_implies_full_sampling(self, tmp_path, capsys):
+        trace_file = tmp_path / "traces.jsonl"
+        code = main(
+            ["serve", "--clients", "10", "--ops", "2", "--trace-out", str(trace_file)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert trace_file.read_text().strip()  # traces were sampled and dumped
+
     def test_main_rejects_conflicting_experiment_spellings(self):
         with pytest.raises(SystemExit):
             main(["table1", "--experiment", "table2"])

@@ -1,0 +1,122 @@
+"""Unit tests for the counter/gauge/histogram registry and snapshot merge."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_only_increases(self):
+        counter = Counter("rpcs")
+        counter.inc()
+        counter.inc(4)
+        assert counter.to_value() == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_sets_point_in_time(self):
+        gauge = Gauge("nodes")
+        gauge.set(36)
+        gauge.set(12)
+        assert gauge.to_value() == 12.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram("latency", buckets=(0.01, 0.1, 1.0))
+        histogram.observe_many([0.005, 0.05, 0.05, 0.5, 5.0])
+        exported = histogram.to_value()
+        assert exported["buckets"] == [0.01, 0.1, 1.0]
+        assert exported["cumulative"] == [1, 3, 4]  # the 5.0 sample overflows
+        assert exported["count"] == 5
+        assert exported["sum"] == pytest.approx(5.605)
+
+    def test_histogram_quantiles_report_bucket_bounds(self):
+        histogram = Histogram("latency", buckets=(0.01, 0.1, 1.0))
+        histogram.observe_many([0.005] * 90 + [0.5] * 10)
+        assert histogram.quantile(0.5) == 0.01
+        assert histogram.quantile(0.99) == 1.0
+        assert Histogram("empty").quantile(0.5) == 0.0
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_instruments_are_created_once(self):
+        registry = MetricsRegistry()
+        assert registry.counter("rpcs") is registry.counter("rpcs")
+        assert registry.gauge("nodes") is registry.gauge("nodes")
+        assert registry.histogram("lat") is registry.histogram("lat")
+
+    def test_snapshot_is_labelled_json_and_picklable(self):
+        registry = MetricsRegistry(labels={"shard": 0, "process": "worker-1"})
+        registry.counter("rpcs").inc(3)
+        registry.gauge("nodes").set(36)
+        registry.histogram("lat").observe(0.002)
+        snapshot = registry.to_dict()
+        assert snapshot["labels"] == {"shard": 0, "process": "worker-1"}
+        assert snapshot["counters"] == {"rpcs": 3}
+        # Snapshots ride the cluster's multiprocessing pipes and JSON dumps.
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_default_histogram_uses_the_shared_latency_buckets(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("lat").buckets == LATENCY_BUCKETS
+
+
+class TestMerge:
+    def test_counters_and_gauges_sum(self):
+        a = MetricsRegistry(labels={"worker": 0})
+        b = MetricsRegistry(labels={"worker": 1})
+        a.counter("rpcs").inc(2)
+        b.counter("rpcs").inc(3)
+        b.counter("drops").inc(1)
+        a.gauge("nodes").set(36)
+        b.gauge("nodes").set(36)
+        merged = merge_snapshots([a.to_dict(), b.to_dict()])
+        assert merged["counters"] == {"rpcs": 5, "drops": 1}
+        assert merged["gauges"] == {"nodes": 72.0}
+        assert merged["labels"] == [{"worker": 0}, {"worker": 1}]
+
+    def test_histograms_merge_elementwise(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("lat", buckets=(0.01, 0.1)).observe(0.005)
+        b.histogram("lat", buckets=(0.01, 0.1)).observe_many([0.05, 0.05])
+        merged = merge_snapshots([a.to_dict(), b.to_dict()])
+        assert merged["histograms"]["lat"]["cumulative"] == [1, 3]
+        assert merged["histograms"]["lat"]["count"] == 3
+
+    def test_mismatched_bucket_layouts_refuse_to_merge(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("lat", buckets=(0.01,)).observe(0.005)
+        b.histogram("lat", buckets=(0.02,)).observe(0.005)
+        with pytest.raises(ValueError):
+            merge_snapshots([a.to_dict(), b.to_dict()])
+
+    def test_empty_merge_is_an_empty_snapshot(self):
+        merged = merge_snapshots([])
+        assert merged == {
+            "labels": [],
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

@@ -1,0 +1,111 @@
+"""Unit tests for the online ε-monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.monitor import ERROR_LABELS, EpsilonMonitor
+
+
+class TestObservation:
+    def test_only_stale_and_fabricated_count_as_errors(self):
+        assert ERROR_LABELS == {"stale", "fabricated"}
+        monitor = EpsilonMonitor(0.1, window=10, min_samples=1)
+        for label in ("fresh", "empty", "concurrent"):
+            monitor.observe(label)
+        assert monitor.errors == 0
+        monitor.observe("stale")
+        monitor.observe("fabricated")
+        assert monitor.errors == 2
+        assert monitor.observed == 5
+
+    def test_no_alert_before_min_samples(self):
+        monitor = EpsilonMonitor(0.0, slack=0.0, window=100, min_samples=50)
+        for _ in range(49):
+            assert monitor.observe("stale") is None
+        assert monitor.alerts == []
+        # The 50th errorful sample crosses min_samples and fires.
+        assert monitor.observe("stale") is not None
+
+    def test_benign_stream_never_alerts(self):
+        monitor = EpsilonMonitor(0.05, window=50, min_samples=10)
+        for _ in range(500):
+            assert monitor.observe("fresh") is None
+        assert monitor.alerts == []
+        assert monitor.window_rate == 0.0
+        assert monitor.total_rate == 0.0
+
+    def test_alert_record_is_structured(self):
+        monitor = EpsilonMonitor(0.1, slack=0.05, window=20, min_samples=5)
+        alert = None
+        for _ in range(20):
+            alert = monitor.observe("stale") or alert
+        assert alert is not None
+        assert alert["kind"] == "epsilon-exceeded"
+        assert alert["epsilon"] == 0.1
+        assert alert["bound"] == pytest.approx(0.15)
+        assert alert["observed_rate"] > alert["bound"]
+        assert monitor.alerts[0] is alert
+
+    def test_alerts_are_rate_limited_per_window(self):
+        monitor = EpsilonMonitor(0.0, slack=0.0, window=10, min_samples=5)
+        for _ in range(30):  # three windows of sustained violation
+            monitor.observe("stale")
+        assert len(monitor.alerts) == 3
+
+    def test_recovery_rearms_immediately(self):
+        monitor = EpsilonMonitor(0.0, slack=0.0, window=10, min_samples=5)
+        for _ in range(10):
+            monitor.observe("stale")
+        assert len(monitor.alerts) == 1
+        for _ in range(10):  # flush the window clean: rate back to zero
+            monitor.observe("fresh")
+        assert monitor.window_rate == 0.0
+        armed = len(monitor.alerts)
+        monitor.observe("stale")  # one error in a 10-wide window: 10% > 0%
+        assert len(monitor.alerts) == armed + 1  # no rate-limit wait after recovery
+
+    def test_sliding_window_forgets_old_errors(self):
+        monitor = EpsilonMonitor(0.5, window=4, min_samples=1)
+        for _ in range(4):
+            monitor.observe("stale")
+        assert monitor.window_rate == 1.0
+        for _ in range(4):
+            monitor.observe("fresh")
+        assert monitor.window_rate == 0.0
+        assert monitor.total_rate == 0.5
+
+
+class TestConstruction:
+    def test_for_scenario_reads_the_system_epsilon(self):
+        class System:
+            epsilon = 0.25
+
+        class Scenario:
+            system = System()
+
+        monitor = EpsilonMonitor.for_scenario(Scenario(), slack=0.1)
+        assert monitor.epsilon == 0.25
+        assert monitor.bound == pytest.approx(0.35)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EpsilonMonitor(-0.1)
+        with pytest.raises(ValueError):
+            EpsilonMonitor(1.5)
+        with pytest.raises(ValueError):
+            EpsilonMonitor(0.1, slack=-0.01)
+        with pytest.raises(ValueError):
+            EpsilonMonitor(0.1, window=0)
+        with pytest.raises(ValueError):
+            EpsilonMonitor(0.1, window=10, min_samples=11)
+
+    def test_dict_form_summarises_state(self):
+        monitor = EpsilonMonitor(0.1, window=10, min_samples=2)
+        monitor.observe("fresh")
+        monitor.observe("stale")
+        state = monitor.to_dict()
+        assert state["observed"] == 2
+        assert state["errors"] == 1
+        assert state["window_rate"] == pytest.approx(0.5)
+        assert state["alerts"] == list(monitor.alerts)

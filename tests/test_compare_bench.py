@@ -1,0 +1,76 @@
+"""Tests for the warn-only benchmark trajectory comparison script."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "compare_bench.py"
+)
+spec = importlib.util.spec_from_file_location("compare_bench", SCRIPT)
+compare_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_bench)
+
+
+def doc(**benches):
+    return {"schema": 1, "benches": benches}
+
+
+class TestCompare:
+    def test_regression_beyond_tolerance_is_reported(self):
+        baseline = doc(svc={"ops_per_second": 1000.0, "instrumentation": "off"})
+        current = doc(svc={"ops_per_second": 700.0, "instrumentation": "off"})
+        regressions = compare_bench.compare(current, baseline)
+        assert len(regressions) == 1
+        name, field, old, new, drop = regressions[0]
+        assert (name, field) == ("svc", "ops_per_second")
+        assert drop > compare_bench.REGRESSION_TOLERANCE
+
+    def test_within_tolerance_is_silent(self):
+        baseline = doc(svc={"ops_per_second": 1000.0})
+        current = doc(svc={"ops_per_second": 850.0})
+        assert compare_bench.compare(current, baseline) == []
+
+    def test_instrumentation_mismatch_is_never_compared(self, capsys):
+        # A traced run is a different code path: its overhead must not be
+        # reported as a regression against an untraced baseline.
+        baseline = doc(svc={"ops_per_second": 1000.0, "instrumentation": "off"})
+        current = doc(svc={"ops_per_second": 400.0, "instrumentation": "on"})
+        assert compare_bench.compare(current, baseline) == []
+        assert "skipped" in capsys.readouterr().out
+
+    def test_missing_instrumentation_field_means_off(self):
+        # Pre-stamp baselines compare fine against freshly stamped entries.
+        baseline = doc(svc={"ops_per_second": 1000.0})
+        current = doc(svc={"ops_per_second": 500.0, "instrumentation": "off"})
+        assert len(compare_bench.compare(current, baseline)) == 1
+        traced = doc(svc={"ops_per_second": 500.0, "instrumentation": "on"})
+        assert compare_bench.compare(traced, baseline) == []
+
+
+class TestFloors:
+    def test_floor_violation_is_flagged(self):
+        current = doc(
+            svc={"ops_per_second": 1500.0, "floor_ops_per_second": 2000.0}
+        )
+        violations = compare_bench.floor_violations(current)
+        assert violations == [("svc", 1500.0, 2000.0, True)]
+
+    def test_ungated_floor_is_informational(self):
+        current = doc(
+            svc={
+                "ops_per_second": 1500.0,
+                "floor_ops_per_second": 2000.0,
+                "floor_gated": False,
+            }
+        )
+        assert compare_bench.floor_violations(current)[0][3] is False
+
+    def test_meeting_the_floor_is_clean(self):
+        current = doc(
+            svc={"ops_per_second": 2500.0, "floor_ops_per_second": 2000.0}
+        )
+        assert compare_bench.floor_violations(current) == []
