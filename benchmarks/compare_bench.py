@@ -17,7 +17,9 @@ own acceptance floor (``floor_ops_per_second``) is checked against it and
 a violation prints its own ``::warning::`` line — a floor slipping below
 its recorded bar must be loud in the artifact, never silently committed
 (ISSUE 7: ``service_throughput_tcp`` once recorded 1,466.6 ops/s against a
-2,000 floor without a trace in the logs).
+2,000 floor without a trace in the logs).  Sharded entries recording a
+``shard_imbalance`` ratio draw a warning above
+:data:`SHARD_IMBALANCE_THRESHOLD` — informational only, never a gate.
 
 The exit code is always 0: performance tracking is deliberately
 *non-blocking* (CI machines are too noisy to gate merges on wall-clock).
@@ -36,7 +38,24 @@ from typing import Optional
 REGRESSION_TOLERANCE = 0.20
 
 #: Higher-is-better numeric fields compared per bench entry.
-THROUGHPUT_FIELDS = ("ops_per_second", "batch_trials_per_second", "speedup")
+#: ``probe_fallback_reduction`` and ``fresh_read_fraction`` come from the
+#: anti-entropy churn bench: the factor by which piggybacked repair +
+#: gossip shrink the probe-fallback round, and the fraction of reads that
+#: returned the latest write.
+THROUGHPUT_FIELDS = (
+    "ops_per_second",
+    "batch_trials_per_second",
+    "speedup",
+    "probe_fallback_reduction",
+    "fresh_read_fraction",
+)
+
+#: Hottest/coldest shard ops ratio beyond which a sharded entry draws a
+#: warning.  Purely informational — imbalance tracks the key distribution
+#: and machine scheduling, not a code regression — so it *never* gates
+#: (the exit code stays 0 regardless).  The committed cluster baseline
+#: sits around 2.7×, so 4× flags only a real routing skew.
+SHARD_IMBALANCE_THRESHOLD = 4.0
 
 
 def load_baseline(path: Optional[str]) -> dict:
@@ -112,6 +131,25 @@ def floor_violations(current: dict) -> list:
     return violations
 
 
+def imbalance_warnings(current: dict) -> list:
+    """Return ``(bench, imbalance)`` for entries spread beyond the threshold.
+
+    Entries opt in by recording ``shard_imbalance`` (hottest/coldest shard
+    ops ratio; non-finite values — a cold shard served nothing — always
+    warn).  Like everything else here this never gates.
+    """
+    flagged = []
+    for name, payload in current.get("benches", {}).items():
+        if not isinstance(payload, dict):
+            continue
+        imbalance = payload.get("shard_imbalance")
+        if not isinstance(imbalance, (int, float)):
+            continue
+        if imbalance > SHARD_IMBALANCE_THRESHOLD:
+            flagged.append((name, float(imbalance)))
+    return flagged
+
+
 def main(argv: list) -> int:
     if not argv:
         print("usage: compare_bench.py CURRENT [BASELINE]", file=sys.stderr)
@@ -135,6 +173,12 @@ def main(argv: list) -> int:
                 f"{name}: {measured:,.1f} ops/s below its {floor:,.1f} floor, "
                 f"which this machine does not gate on (floor_gated=false)"
             )
+    for name, imbalance in imbalance_warnings(current):
+        print(
+            f"::warning::shard imbalance in {name}: hottest shard served "
+            f"{imbalance:.1f}x the coldest (threshold: "
+            f"{SHARD_IMBALANCE_THRESHOLD:.1f}x) — check the key distribution"
+        )
     if not baseline:
         print("no committed baseline found; nothing to compare")
         return 0

@@ -28,6 +28,11 @@ Five workloads exercise the asyncio service layer (`repro.service`):
   (4 server processes, 1 load worker, binary codec) recorded on every
   machine so the process-orchestration overhead stays comparable across
   the trajectory; its floor gates only on multi-core machines.
+* **anti-entropy churn** — the same churn-heavy TCP workload run twice,
+  anti-entropy off and on: piggybacked read-repair + background gossip
+  must cut the probe-fallback rounds by at least **5×** at equal workload
+  (the PR 9 bar; reduction and zero-fabrication always gate, wall-clock
+  never does).
 * **fault-injection soak** — the `serve` experiment's configuration in
   *both* dispatch modes: colluding forgers at the system's declared
   tolerance (``b = 3`` below the read threshold ``k = 5``), 1% message
@@ -54,10 +59,12 @@ import contextlib
 import gc
 import os
 
+from repro.core.epsilon_intersecting import UniformEpsilonIntersectingSystem
 from repro.core.masking import ProbabilisticMaskingSystem
 from repro.experiments.serve import render_serve, serve_load_spec
-from repro.service.load import ServiceLoadSpec, run_service_load
-from repro.simulation.scenario import ScenarioSpec
+from repro.service.load import FaultInjectionSpec, ServiceLoadSpec, run_service_load
+from repro.simulation.failures import FailureModel
+from repro.simulation.scenario import AntiEntropySpec, ScenarioSpec
 
 #: Acceptance floor for the batched-dispatch 1k-client in-process run:
 #: three times the PR 3 per-RPC baseline.
@@ -311,6 +318,9 @@ def sharded_payload(report, floor: float) -> dict:
         "per_shard_ops_per_second": [
             round(t, 1) for t in report.per_shard_throughput
         ],
+        # Hottest/coldest shard ops ratio; compare_bench.py warns (never
+        # gates) when the spread exceeds its threshold.
+        "shard_imbalance": round(report.shard_imbalance, 2),
         "elapsed_seconds": round(report.elapsed, 4),
         "rpc_calls": report.rpc_calls,
         "fabricated_accepted_reads": report.violations,
@@ -399,6 +409,117 @@ def test_cluster_deployment_throughput(report_sink, bench_record):
         },
     )
     report_sink(report.render())
+
+
+#: The anti-entropy churn bench must show at least this factor fewer
+#: probe-fallback rounds than the same workload without anti-entropy
+#: (the PR 9 acceptance bar; the measured reduction at the pinned seed is
+#: ~10x on both transports).
+MIN_PROBE_FALLBACK_REDUCTION = 5.0
+
+
+def churn_spec(anti_entropy) -> ServiceLoadSpec:
+    """The churn-regime TCP workload, with or without anti-entropy.
+
+    Crash-prone replicas (10% each) plus rolling live crash/recovery churn
+    make partial quorums routine, so without repair nearly every read pays
+    the probe-fallback round.  With anti-entropy armed the same workload
+    piggybacks repairs and gossips in the background, and the lazy
+    fallback skips the probe whenever the partial reply set already
+    settles the read.
+    """
+    return ServiceLoadSpec(
+        scenario=ScenarioSpec(
+            system=UniformEpsilonIntersectingSystem(25, 8),
+            failure_model=FailureModel.independent_crashes(0.1),
+        ),
+        clients=12,
+        reads_per_client=8,
+        writes=10,
+        deadline=0.05,
+        write_interval=0.001,
+        transport="tcp",
+        fault_injection=FaultInjectionSpec(crash_count=3, interval=0.002),
+        anti_entropy=anti_entropy,
+        seed=7,
+    )
+
+
+def check_churn_run(report) -> None:
+    """Safety bars of the churn bench: complete, fresh, zero fabrication."""
+    assert report.reads_completed == 96
+    assert report.violations == 0
+    assert report.injected_crashes > 0
+    assert report.fresh_fraction > 0.9
+
+
+def churn_side_payload(report) -> dict:
+    return {
+        "ops_per_second": round(report.throughput, 1),
+        "read_latency_p99_seconds": report.read_latency(0.99),
+        "probe_fallback_ops": report.probe_fallbacks,
+        "repairs_piggybacked": report.repairs_piggybacked,
+        "gossip_rounds": report.gossip_rounds,
+        "fresh_read_fraction": round(report.fresh_fraction, 4),
+        "fabricated_accepted_reads": report.violations,
+    }
+
+
+def test_anti_entropy_kills_the_probe_fallback_round_under_churn(
+    report_sink, bench_record
+):
+    """The tentpole's perf claim, measured: same churn workload, anti-entropy
+    off vs on, over real TCP sockets.
+
+    The reduction bar always gates (it is a semantic property of lazy
+    fallback plus repair, not a wall-clock floor); one retry absorbs the
+    rare scheduling pattern where churn lands between the reads.
+    """
+    anti_entropy = AntiEntropySpec(
+        fanout=2, rounds=1, interval=0.001, repair_budget=4
+    )
+    with quiescent_gc():
+        baseline = run_service_load(churn_spec(None))
+        check_churn_run(baseline)
+        repaired = run_service_load(churn_spec(anti_entropy))
+        check_churn_run(repaired)
+        if baseline.probe_fallbacks < MIN_PROBE_FALLBACK_REDUCTION * max(
+            repaired.probe_fallbacks, 1
+        ):
+            baseline = run_service_load(churn_spec(None))
+            check_churn_run(baseline)
+            repaired = run_service_load(churn_spec(anti_entropy))
+            check_churn_run(repaired)
+    assert baseline.probe_fallbacks > 0
+    assert repaired.repairs_piggybacked > 0
+    assert repaired.gossip_rounds > 0
+    reduction = baseline.probe_fallbacks / max(repaired.probe_fallbacks, 1)
+    assert reduction >= MIN_PROBE_FALLBACK_REDUCTION, (
+        f"anti-entropy only cut probe fallbacks "
+        f"{baseline.probe_fallbacks} -> {repaired.probe_fallbacks} "
+        f"({reduction:.1f}x; bar: {MIN_PROBE_FALLBACK_REDUCTION:.0f}x)"
+    )
+    bench_record(
+        "service_throughput_tcp_churn",
+        {
+            **machine_fields(repaired.spec),
+            "transport": "tcp",
+            "clients": repaired.spec.clients,
+            "probe_fallback_reduction": round(reduction, 1),
+            "anti_entropy_off": churn_side_payload(baseline),
+            "anti_entropy_on": churn_side_payload(repaired),
+            # The top-level throughput-like fields compare_bench tracks.
+            "ops_per_second": round(repaired.throughput, 1),
+            "fresh_read_fraction": round(repaired.fresh_fraction, 4),
+        },
+    )
+    report_sink(
+        f"churn probe fallbacks: {baseline.probe_fallbacks} without "
+        f"anti-entropy -> {repaired.probe_fallbacks} with "
+        f"({reduction:.1f}x reduction; "
+        f"{repaired.repairs_piggybacked} repairs piggybacked, "
+        f"{repaired.gossip_rounds} gossip rounds)"
+    )
 
 
 def run_soak(dispatch: str):

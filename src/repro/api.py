@@ -28,7 +28,8 @@ suite pins down: registers route through
 protocol per key, shared deterministic selection), and lock handles are
 :class:`~repro.apps.mutex.AsyncQuorumMutex` over the same quorum clients.
 The builder's knob names (``deadline``, ``seed``, ``dispatch``,
-``selection``, ``codec``, ``processes``) are the canonical spellings used across
+``selection``, ``codec``, ``processes``, ``anti_entropy``) are the
+canonical spellings used across
 :class:`~repro.service.client.AsyncQuorumClient`,
 :class:`~repro.service.sharding.ShardedDeployment` and
 :class:`~repro.service.load.ServiceLoadSpec`; the pre-facade aliases
@@ -49,7 +50,7 @@ from repro.service.sharding import (
     ShardedDeployment,
 )
 from repro.service.wire import WIRE_CODECS
-from repro.simulation.scenario import ScenarioSpec
+from repro.simulation.scenario import AntiEntropySpec, ScenarioSpec
 
 __all__ = ["Deployment", "DeploymentBuilder"]
 
@@ -82,6 +83,7 @@ class DeploymentBuilder:
         self._codec = "json"
         self._processes = 0
         self._trace_sample = 0.0
+        self._anti_entropy: Optional[AntiEntropySpec] = None
 
     def transport(self, mode: str) -> "DeploymentBuilder":
         """``"inproc"`` (simulated message passing) or ``"tcp"`` (localhost sockets)."""
@@ -191,6 +193,41 @@ class DeploymentBuilder:
         self._trace_sample = float(rate)
         return self
 
+    def anti_entropy(
+        self,
+        spec: Optional[AntiEntropySpec] = None,
+        *,
+        fanout: int = 2,
+        rounds: int = 1,
+        interval: float = 0.002,
+        repair_budget: int = 4,
+    ) -> "DeploymentBuilder":
+        """Arm background freshness (§1.1 diffusion) for the deployment.
+
+        Pass an explicit :class:`~repro.simulation.scenario.AntiEntropySpec`
+        or use the keyword knobs to build one.  Clients the deployment
+        hands out then piggyback up to ``repair_budget`` read-repairs onto
+        their coalesced deliveries and skip the probe-fallback round when a
+        partial reply set can already settle a value; a gossiping spec
+        (``fanout > 0``) additionally runs one background push-gossip task
+        per shard.  Without this call the deployment inherits the
+        scenario's own ``anti_entropy`` axis (off by default).
+        """
+        if spec is None:
+            spec = AntiEntropySpec(
+                fanout=fanout,
+                rounds=rounds,
+                interval=interval,
+                repair_budget=repair_budget,
+            )
+        elif not isinstance(spec, AntiEntropySpec):
+            raise ConfigurationError(
+                f"anti_entropy is described by an AntiEntropySpec, "
+                f"got {type(spec).__name__}"
+            )
+        self._anti_entropy = spec
+        return self
+
     def quorum_pool(self, size: int) -> "DeploymentBuilder":
         """Strategy quorums pre-sampled per client (0 disables pooling)."""
         if size < 0:
@@ -248,6 +285,7 @@ class Deployment:
                 dispatch=builder._dispatch,
                 latency_tracking=builder._selection == "latency-aware",
                 rng=self._rng,
+                anti_entropy=builder._anti_entropy,
             )
         else:
             self.sharded = ShardedDeployment(
@@ -261,6 +299,7 @@ class Deployment:
                 dispatch=builder._dispatch,
                 latency_tracking=builder._selection == "latency-aware",
                 rng=self._rng,
+                anti_entropy=builder._anti_entropy,
             )
         self.tracer = None
         if builder._trace_sample > 0.0:

@@ -31,10 +31,11 @@ evaluation without pytest.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable, Dict, List
 
-from repro.exceptions import ExperimentError
+from repro.exceptions import ConfigurationError, ExperimentError
 from repro.experiments.consistency import (
     render_consistency,
     run_consistency_scenarios,
@@ -71,6 +72,7 @@ from repro.service.client import SELECTION_MODES
 from repro.service.dispatch import DISPATCH_MODES
 from repro.service.sharding import TRANSPORT_MODES
 from repro.service.wire import WIRE_CODECS
+from repro.simulation.scenario import REGISTER_KINDS
 
 EXPERIMENT_NAMES = (
     "table1",
@@ -130,18 +132,49 @@ def run_figure3(points: int = 41) -> str:
 
 
 def run_consistency(
-    engine: str = "batch", seed: int = 0, trials: int = None
+    engine: str = "batch",
+    seed: int = 0,
+    trials: int = None,
+    register_kind: str = "auto",
 ) -> str:
-    """Run the three theorem scenarios on the chosen Monte-Carlo engine."""
+    """Run the three theorem scenarios on the chosen Monte-Carlo engine.
+
+    ``register_kind`` overrides the protocol every scenario deploys —
+    e.g. ``"write-back"`` runs the read-repair oracle declaratively, and
+    ``"plain"`` models a reader that ignores the protocol's filter (under
+    the forger scenario both then measure the unprotected regime, where
+    fabricated reads dominate).  A scenario that cannot host the forced
+    kind (e.g. the masking protocol forced onto a thresholdless system)
+    is skipped rather than mis-measured, and forcing a kind that no
+    scenario survives is an error.
+    """
     if engine not in ENGINE_NAMES:
         raise ExperimentError(
             f"unknown engine {engine!r}; choose from {', '.join(ENGINE_NAMES)}"
+        )
+    if register_kind not in REGISTER_KINDS:
+        raise ExperimentError(
+            f"unknown register kind {register_kind!r}; "
+            f"choose from {', '.join(REGISTER_KINDS)}"
         )
     if trials is None:
         trials = DEFAULT_TRIALS[engine]
     if trials < 1:
         raise ExperimentError(f"trial count must be positive, got {trials}")
     scenarios = theorem_scenarios()
+    if register_kind != "auto":
+        forced = {}
+        for label, spec in scenarios.items():
+            try:
+                forced[label] = dataclasses.replace(spec, register_kind=register_kind)
+            except ConfigurationError:
+                continue  # this scenario cannot host the forced protocol
+        if not forced:
+            raise ExperimentError(
+                f"register kind {register_kind!r} fits none of the theorem "
+                f"scenarios ({', '.join(scenarios)})"
+            )
+        scenarios = forced
     reports = run_consistency_scenarios(scenarios, trials=trials, seed=seed, engine=engine)
     return render_consistency(scenarios, reports, engine=engine, seed=seed)
 
@@ -152,6 +185,7 @@ def run_experiment(
     engine: str = "batch",
     seed: int = 0,
     trials: int = None,
+    register_kind: str = "auto",
     clients: int = DEFAULT_CLIENTS,
     ops: int = DEFAULT_READS_PER_CLIENT,
     dispatch: str = "batched",
@@ -168,6 +202,10 @@ def run_experiment(
     trace_out: str = None,
     metrics_out: str = None,
     monitor_epsilon: bool = False,
+    anti_entropy: bool = False,
+    ae_fanout: int = 2,
+    ae_interval: float = 0.002,
+    ae_repair_budget: int = 4,
 ) -> List[str]:
     """Run one named experiment (or ``all``) and return the rendered reports.
 
@@ -185,7 +223,11 @@ def run_experiment(
         "figure3": lambda: run_figure3(points),
     }
     if name == "consistency":
-        return [run_consistency(engine=engine, seed=seed, trials=trials)]
+        return [
+            run_consistency(
+                engine=engine, seed=seed, trials=trials, register_kind=register_kind
+            )
+        ]
     if name == "contention":
         if engine not in ENGINE_NAMES:
             raise ExperimentError(
@@ -219,6 +261,10 @@ def run_experiment(
                 trace_out=trace_out,
                 metrics_out=metrics_out,
                 monitor_epsilon=monitor_epsilon,
+                anti_entropy=anti_entropy,
+                ae_fanout=ae_fanout,
+                ae_interval=ae_interval,
+                ae_repair_budget=ae_repair_budget,
             )
         ]
     if name == "all":
@@ -276,6 +322,14 @@ def main(argv: List[str] = None) -> int:
         help="trial count for the consistency experiment "
         f"(default: {DEFAULT_TRIALS['batch']} batch / "
         f"{DEFAULT_TRIALS['sequential']} sequential)",
+    )
+    parser.add_argument(
+        "--register-kind",
+        default="auto",
+        choices=REGISTER_KINDS,
+        help="force every consistency scenario onto this read protocol "
+        "('write-back' runs the read-repair oracle declaratively; scenarios "
+        "that cannot host the forced kind are skipped; default: auto)",
     )
     parser.add_argument(
         "--clients",
@@ -403,6 +457,34 @@ def main(argv: List[str] = None) -> int:
         "stale/fabricated-accepted rate against the scenario's predicted ε "
         "and record structured alerts on the serve report",
     )
+    parser.add_argument(
+        "--anti-entropy",
+        action="store_true",
+        help="serve anti-entropy: piggyback read-repair on client deliveries "
+        "and run background gossip per shard, moving freshness off the read "
+        "path (the probe-fallback round all but disappears under churn)",
+    )
+    parser.add_argument(
+        "--ae-fanout",
+        type=int,
+        default=2,
+        help="peers each fresh server pushes to per gossip round "
+        "(0 disables gossip, keeping only piggybacked repair; default: 2)",
+    )
+    parser.add_argument(
+        "--ae-interval",
+        type=float,
+        default=0.002,
+        help="event-loop seconds between background gossip ticks "
+        "(default: 0.002)",
+    )
+    parser.add_argument(
+        "--ae-repair-budget",
+        type=int,
+        default=4,
+        help="lagging replicas one settled read may repair by piggybacking "
+        "payloads onto the next coalesced delivery (default: 4)",
+    )
     args = parser.parse_args(argv)
     if args.experiment_name is not None and args.experiment is not None:
         parser.error("name the experiment positionally or with --experiment, not both")
@@ -415,6 +497,7 @@ def main(argv: List[str] = None) -> int:
             engine=args.engine,
             seed=args.seed,
             trials=args.trials,
+            register_kind=args.register_kind,
             clients=args.clients,
             ops=args.ops,
             dispatch=args.dispatch,
@@ -431,6 +514,10 @@ def main(argv: List[str] = None) -> int:
             trace_out=args.trace_out,
             metrics_out=args.metrics_out,
             monitor_epsilon=args.monitor_epsilon,
+            anti_entropy=args.anti_entropy,
+            ae_fanout=args.ae_fanout,
+            ae_interval=args.ae_interval,
+            ae_repair_budget=args.ae_repair_budget,
         )
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)

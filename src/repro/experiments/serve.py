@@ -30,7 +30,7 @@ from repro.service.load import (
     run_service_load,
 )
 from repro.simulation.failures import FailureModel
-from repro.simulation.scenario import ScenarioSpec
+from repro.simulation.scenario import AntiEntropySpec, ScenarioSpec
 
 #: Default service workload: enough concurrency to exercise interleaving,
 #: small enough to finish in a couple of seconds on a laptop.
@@ -85,6 +85,7 @@ def serve_load_spec(
     processes: int = 0,
     trace_sample: float = 0.0,
     monitor_epsilon: bool = False,
+    anti_entropy: AntiEntropySpec = None,
 ) -> ServiceLoadSpec:
     """The full soak configuration: forgers + drops + latency + live churn.
 
@@ -122,6 +123,11 @@ def serve_load_spec(
     ``monitor_epsilon`` arms the online ε-monitor, which compares the
     sliding-window stale/fabricated-accepted rate against the scenario's
     predicted ε and records structured alerts on the report.
+
+    ``anti_entropy`` arms the §1.1 diffusion mechanism for the deployment:
+    piggybacked read-repair on every client plus (for a gossiping spec) a
+    background gossip task per shard — the configuration under which the
+    probe-fallback round all but disappears from the read path.
     """
     if codec != "json" or processes > 0:
         transport = "tcp"
@@ -158,6 +164,7 @@ def serve_load_spec(
         processes=processes,
         trace_sample=trace_sample,
         monitor_epsilon=monitor_epsilon,
+        anti_entropy=anti_entropy,
         seed=seed,
     )
 
@@ -181,6 +188,10 @@ def run_serve(
     trace_out: str = None,
     metrics_out: str = None,
     monitor_epsilon: bool = False,
+    anti_entropy: bool = False,
+    ae_fanout: int = 2,
+    ae_interval: float = 0.002,
+    ae_repair_budget: int = 4,
 ) -> str:
     """Run the service soak and render its report (the CLI entry point).
 
@@ -195,6 +206,11 @@ def run_serve(
     per line).  ``metrics_out`` dumps the run's metrics registry snapshots
     (per component plus a cluster-wide merge) as one JSON document.
     ``monitor_epsilon`` arms the online ε-monitor.
+
+    ``anti_entropy`` arms background freshness (piggybacked read-repair +
+    per-shard gossip) with the ``ae_*`` knobs; the report's anti-entropy
+    line then shows the repairs and gossip rounds the run banked while the
+    probe-fallback count drops.
     """
     if trace_out is not None and trace_sample <= 0.0:
         trace_sample = 1.0  # a trace dump with nothing sampled is a footgun
@@ -226,6 +242,15 @@ def run_serve(
             processes=processes or 0,
             trace_sample=trace_sample,
             monitor_epsilon=monitor_epsilon,
+            anti_entropy=(
+                AntiEntropySpec(
+                    fanout=ae_fanout,
+                    interval=ae_interval,
+                    repair_budget=ae_repair_budget,
+                )
+                if anti_entropy
+                else None
+            ),
         )
     except ReproError as error:
         raise ExperimentError(str(error)) from error

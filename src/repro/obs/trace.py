@@ -11,7 +11,9 @@ result is classified:
   window and **disposition**: ``ok``, ``dropped`` (the transport lost it),
   ``timeout`` (the deadline expired), ``silent`` (the server answered
   nothing — crashed or silent-Byzantine), ``unsent`` (the op resolved or the
-  connection failed before the request left the client);
+  connection failed before the request left the client), ``repair`` (a
+  fire-and-forget read-repair payload piggybacked on a delivery the
+  operation already paid for);
 * the selection-rule inputs and verdict (rule name, vote threshold, replies
   considered, chosen timestamp) filled in by the register frontend;
 * the final outcome classification (``fresh`` / ``stale`` / ``empty`` /
@@ -38,8 +40,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["DISPOSITIONS", "RpcSpan", "QuorumTrace", "Tracer"]
 
-#: Every way an RPC attempt can end, as recorded in a span.
-DISPOSITIONS = ("ok", "dropped", "timeout", "silent", "unsent", "error")
+#: Every way an RPC attempt can end, as recorded in a span.  ``repair`` marks
+#: a fire-and-forget read-repair payload piggybacked onto a delivery the
+#: operation already paid for (anti-entropy; no reply is awaited).
+DISPOSITIONS = ("ok", "dropped", "timeout", "silent", "unsent", "error", "repair")
 
 #: XOR'd into the tracer's seed so its private stream never collides with a
 #: harness RNG seeded from the same root.

@@ -194,6 +194,23 @@ class AsyncQuorumClient:
     shard:
         Shard index recorded in this client's traces when the client serves
         one shard of a sharded deployment; purely observational.
+    repair_budget:
+        Lagging replicas one settled read may repair by piggybacking
+        fire-and-forget repair payloads onto the dispatcher's coalescing
+        path (``0``, the default, disables piggybacked read-repair).  Only
+        effective with a dispatcher installed — the per-RPC path has no
+        delivery events for a repair to ride.
+    lazy_fallback:
+        Skip the read path's probe-fallback round when the partial reply
+        set can already settle a value (at least ``read_threshold``
+        value-bearing replies).  The probe round exists to chase freshness
+        into a fully live quorum; with anti-entropy running that freshness
+        is maintained in the background, so deployments arm this together
+        with gossip/read-repair and the extra round becomes pure overhead.
+        Off by default — without anti-entropy the fallback is what keeps
+        reads fresh under churn.  Writes always keep their fallback: a
+        write that lands on too few servers is a durability loss no later
+        read can repair.
     """
 
     def __init__(
@@ -212,6 +229,8 @@ class AsyncQuorumClient:
         tracer: Optional[Tracer] = None,
         client_id: Optional[str] = None,
         shard: Optional[int] = None,
+        repair_budget: int = 0,
+        lazy_fallback: bool = False,
         timeout: Optional[float] = UNSET,
     ) -> None:
         deadline = resolve_deprecated_alias(deadline, timeout, "deadline", "timeout")
@@ -229,6 +248,10 @@ class AsyncQuorumClient:
             raise ConfigurationError(
                 f"the quorum pool size must be non-negative, got {quorum_pool}"
             )
+        if repair_budget < 0:
+            raise ConfigurationError(
+                f"the repair budget must be non-negative, got {repair_budget}"
+            )
         self.system = system
         self.nodes = list(nodes)
         self.transport = transport
@@ -241,6 +264,10 @@ class AsyncQuorumClient:
         self._pool: list = []
         self._pool_generator = pool_generator
         self.probe_fallbacks = 0
+        self.repair_budget = int(repair_budget)
+        self.lazy_fallback = bool(lazy_fallback)
+        #: Read-repair payloads piggybacked so far (anti-entropy accounting).
+        self.repairs_piggybacked = 0
         self.tracker = tracker
         self.tracer = tracer
         self.client_id = client_id
@@ -353,6 +380,46 @@ class AsyncQuorumClient:
             for server, envelope in zip(servers, envelopes)
             if envelope is not None
         }
+
+    # -- piggybacked read-repair --------------------------------------------------
+
+    def piggyback_repairs(
+        self,
+        variable: str,
+        value: Any,
+        timestamp: Any,
+        signature: Optional[bytes],
+        servers: Sequence[ServerId],
+        trace: Optional[QuorumTrace] = None,
+    ) -> int:
+        """Queue read-repair at up to :attr:`repair_budget` lagging servers.
+
+        Fire-and-forget anti-entropy: the settled ``(value, timestamp)`` of
+        a completed read is attached to the dispatcher's next coalesced
+        delivery toward each listed server, so freshness propagates without
+        a new RPC round.  Returns how many repairs were queued (0 without a
+        dispatcher, without a budget, or when the dispatcher has no
+        piggyback path).  The replica side adopts through its merge rule —
+        crashed and Byzantine servers refuse — so a repair can never make a
+        copy *worse*, only newer.
+        """
+        dispatcher = self.dispatcher
+        if dispatcher is None or self.repair_budget <= 0 or not servers:
+            return 0
+        enqueue = getattr(dispatcher, "enqueue_repair", None)
+        if enqueue is None:
+            return 0
+        targets = list(servers)[: self.repair_budget]
+        for server in targets:
+            enqueue(server, variable, value, timestamp, signature)
+        self.repairs_piggybacked += len(targets)
+        if trace is not None:
+            now = asyncio.get_running_loop().time()
+            for server in targets:
+                # Zero-length spans: the payload rides a delivery that is
+                # not awaited, so "queued" is all the client ever observes.
+                trace.record(server, "repair", now, now, "repair")
+        return len(targets)
 
     # -- liveness probing ---------------------------------------------------------
 
@@ -493,6 +560,21 @@ class AsyncQuorumClient:
             trace=trace,
         )
 
+    def _settleable(self, responses: Dict[ServerId, Any]) -> bool:
+        """Whether a partial reply set can already settle a read.
+
+        At least ``read_threshold`` value-bearing replies (one for the
+        benign and dissemination protocols, ``⌈k⌉`` for masking) means the
+        selection rule has enough votes to pick a winner; chasing the
+        missing servers into a probe round buys nothing anti-entropy is
+        not already providing in the background.
+        """
+        threshold = int(getattr(self.system, "read_threshold", 1))
+        value_bearing = sum(
+            1 for stored in responses.values() if stored is not None
+        )
+        return value_bearing >= threshold
+
     async def read(self, variable: str) -> ReadRpcResult:
         """Fan a read out to a strategy-drawn quorum, repairing on failure.
 
@@ -514,7 +596,11 @@ class AsyncQuorumClient:
         responses = await self._fan_out(ordered, "read", variable, trace=trace)
         retried = False
         probes = 0
-        if len(responses) < len(ordered) and self.repair:
+        if (
+            len(responses) < len(ordered)
+            and self.repair
+            and not (self.lazy_fallback and self._settleable(responses))
+        ):
             self.probe_fallbacks += 1
             probe = await self.assemble_live_quorum(trace=trace)
             probes = probe.probes_used

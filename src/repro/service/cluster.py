@@ -60,6 +60,7 @@ from repro.exceptions import ConfigurationError, QuorumUnavailableError, Service
 from repro.protocol.classification import OUTCOME_LABELS
 from repro.protocol.variable import WriteOutcome
 from repro.service.dispatch import DISPATCH_MODES
+from repro.service.gossip import GOSSIP_SEED_SALT, GossipService, scenario_verifier
 from repro.service.net import (
     TcpDispatcher,
     TcpServiceServer,
@@ -71,7 +72,7 @@ from repro.service.sharding import ShardedClientAPI, _Shard, shard_for_key
 from repro.service.stats import EwmaLatencyTracker
 from repro.service.wire import WIRE_CODECS
 from repro.simulation.failures import FailurePlan
-from repro.simulation.scenario import ScenarioSpec
+from repro.simulation.scenario import AntiEntropySpec, ScenarioSpec
 
 #: How long :meth:`ClusterDeployment.start` waits for every shard process
 #: to report readiness before tearing the partial cluster down.
@@ -90,6 +91,11 @@ class ShardServerConfig:
     plan: FailurePlan
     host: str = "127.0.0.1"
     codecs: Tuple[str, ...] = WIRE_CODECS
+    #: Optional :class:`~repro.simulation.scenario.AntiEntropySpec`: a
+    #: gossiping spec arms a background gossip task next to the server.
+    anti_entropy: Any = None
+    #: Seed of the gossip task's peer-selection RNG.
+    gossip_seed: int = 0
 
 
 async def _serve_shard(config: ShardServerConfig, ready) -> None:
@@ -100,6 +106,18 @@ async def _serve_shard(config: ShardServerConfig, ready) -> None:
         nodes[server].set_behavior(behavior)
     server = TcpServiceServer(nodes, host=config.host, codecs=tuple(config.codecs))
     address = await server.start()
+    gossip = None
+    if config.anti_entropy is not None and config.anti_entropy.gossips:
+        # Background anti-entropy runs where the replicas live: in this
+        # shard's process, alongside the socket server, with the same
+        # verifiability rule the scenario's register kind implies.
+        gossip = GossipService(
+            nodes,
+            config.anti_entropy,
+            rng=random.Random(config.gossip_seed),
+            verify=scenario_verifier(config.scenario),
+        )
+        gossip.start()
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -112,6 +130,8 @@ async def _serve_shard(config: ShardServerConfig, ready) -> None:
     # message — only then does it build transports.
     ready.put((config.index, address))
     await stop.wait()
+    if gossip is not None:
+        await gossip.aclose()
     # Server-side metrics ride the same pipe home at shutdown: put before
     # closing the server (counters are final once stop is signalled) and
     # tagged so the parent's readiness loop can never confuse the shapes.
@@ -122,6 +142,16 @@ async def _serve_shard(config: ShardServerConfig, ready) -> None:
             server.metrics_snapshot({"shard": config.index, "role": "shard-server"}),
         )
     )
+    if gossip is not None:
+        ready.put(
+            (
+                "metrics",
+                config.index,
+                gossip.metrics_snapshot(
+                    {"shard": config.index, "role": "shard-server"}
+                ),
+            )
+        )
     await server.aclose()
 
 
@@ -146,7 +176,10 @@ class ClusterDeployment(ShardedClientAPI):
 
     Parameters mirror ``ShardedDeployment`` (transport is always TCP here)
     plus ``codec`` — the wire codec client transports prefer (negotiated
-    per connection; the shard servers accept every codec).
+    per connection; the shard servers accept every codec).  A gossiping
+    ``anti_entropy`` spec (explicit, or inherited from the scenario) arms a
+    background gossip task *inside each shard server process*; its counters
+    ride the readiness pipe home at shutdown as extra metric snapshots.
     """
 
     def __init__(
@@ -163,6 +196,7 @@ class ClusterDeployment(ShardedClientAPI):
         seed: Optional[int] = None,
         host: str = "127.0.0.1",
         start_timeout: float = DEFAULT_START_TIMEOUT,
+        anti_entropy: Optional[AntiEntropySpec] = None,
     ) -> None:
         if not isinstance(scenario, ScenarioSpec):
             raise ConfigurationError(
@@ -181,6 +215,19 @@ class ClusterDeployment(ShardedClientAPI):
             )
         if rng is None:
             rng = random.Random(seed) if seed is not None else random.Random()
+        if anti_entropy is None:
+            anti_entropy = scenario.anti_entropy
+        elif not isinstance(anti_entropy, AntiEntropySpec):
+            raise ConfigurationError(
+                f"anti_entropy is described by an AntiEntropySpec, "
+                f"got {type(anti_entropy).__name__}"
+            )
+        if anti_entropy is not None and anti_entropy.fanout >= scenario.n:
+            raise ConfigurationError(
+                f"anti-entropy fanout {anti_entropy.fanout} must be smaller "
+                f"than the replica group size {scenario.n}"
+            )
+        self.anti_entropy = anti_entropy
         self.scenario = scenario
         self.codec = codec
         self.transport_mode = "tcp"
@@ -236,6 +283,8 @@ class ClusterDeployment(ShardedClientAPI):
                 scenario=self.scenario,
                 plan=shard.plan,
                 host=self._host,
+                anti_entropy=self.anti_entropy,
+                gossip_seed=shard.transport_seed ^ GOSSIP_SEED_SALT,
             )
             process = context.Process(
                 target=_shard_server_main,
@@ -550,6 +599,9 @@ async def _drive_worker(config: LoadWorkerConfig) -> Dict[str, Any]:
         else None
     )
     pool.tracer = tracer
+    # Clients opened by this pool piggyback read-repair within the spec's
+    # budget; the gossip half of anti-entropy runs server-side.
+    pool.anti_entropy = getattr(spec, "resolved_anti_entropy", None)
     monitor = (
         EpsilonMonitor.for_scenario(scenario)
         if getattr(spec, "monitor_epsilon", False)
@@ -667,6 +719,7 @@ async def _drive_worker(config: LoadWorkerConfig) -> Dict[str, Any]:
             "rpc_timeouts": pool.rpc_timeouts,
             "probe_fallbacks": sum(client.probe_fallbacks for client in writers)
             + sum(client.probe_fallbacks for client in readers),
+            "repairs_piggybacked": pool.repairs_piggybacked,
             "shard_ops": shard_ops,
             # Provenance the merge must not flatten to the first worker's
             # values: each worker reports what actually drove and carried
@@ -747,6 +800,7 @@ async def _cluster_load(spec: Any):
         dispatch=spec.dispatch,
         latency_tracking=spec.selection == "latency-aware",
         rng=rng,
+        anti_entropy=spec.resolved_anti_entropy,
     )
     try:
         await cluster.start()
@@ -832,6 +886,9 @@ async def _cluster_load(spec: Any):
             rpc_dropped=sum(result["rpc_dropped"] for result in results),
             rpc_timeouts=sum(result["rpc_timeouts"] for result in results),
             probe_fallbacks=sum(result["probe_fallbacks"] for result in results),
+            repairs_piggybacked=sum(
+                result.get("repairs_piggybacked", 0) for result in results
+            ),
             injected_crashes=0,
             dispatch_flushes=0,
             transport="tcp",
@@ -848,8 +905,13 @@ async def _cluster_load(spec: Any):
     finally:
         await cluster.aclose()
     # The shard servers report their metric snapshots on the readiness pipe
-    # at SIGTERM, so they only exist once aclose() has drained it.
+    # at SIGTERM, so they only exist once aclose() has drained it — and the
+    # gossip-round tally the report carries comes from those snapshots too.
     report.metrics.extend(cluster.server_metrics)
+    report.gossip_rounds = sum(
+        snapshot.get("counters", {}).get("gossip_rounds", 0)
+        for snapshot in cluster.server_metrics
+    )
     return report
 
 

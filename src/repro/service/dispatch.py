@@ -144,6 +144,11 @@ class BatchedDispatcher:
         #: Delivery events fired so far (tests assert coalescing through it:
         #: with batching this is far below the RPC count).
         self.flushes = 0
+        #: Fire-and-forget repair payloads awaiting each node's next flush.
+        self._repairs: List[List[tuple]] = [[] for _ in self.nodes]
+        #: Repair payloads delivered so far (piggybacked, never counted as
+        #: transport calls: they ride delivery events that already happened).
+        self.repairs_piggybacked = 0
 
     async def fan_out(
         self,
@@ -182,10 +187,46 @@ class BatchedDispatcher:
                     loop.call_soon(self._flush, server, op.start)
         return await op.future
 
+    def enqueue_repair(
+        self,
+        server: ServerId,
+        variable: str,
+        value: Any,
+        timestamp: Any,
+        signature: Optional[bytes],
+    ) -> None:
+        """Attach one read-repair payload to ``server``'s next flush.
+
+        The repair rides the next coalesced delivery event — piggybacked, so
+        it costs no RPC round and no transport call.  If nothing is armed
+        for the node yet, a delivery event is armed exactly as an RPC would
+        arm one, so repairs cannot starve on an idle node.
+        """
+        self._repairs[server].append((variable, value, timestamp, signature))
+        if not self._armed[server]:
+            self._armed[server] = True
+            loop = asyncio.get_running_loop()
+            delay = self.transport.draw_delay() + self.window
+            if delay > 0.0:
+                loop.call_later(delay, self._flush, server, loop.time() + delay)
+            else:
+                loop.call_soon(self._flush, server, loop.time())
+
     def _flush(self, server: ServerId, flush_at: float) -> None:
         """Deliver a node's whole pending bucket: one event per (node, tick)."""
         self._armed[server] = False
         bucket = self._pending[server]
+        repairs = self._repairs[server]
+        if repairs:
+            # Piggybacked read-repair: delivered with the tick (the delivery
+            # event has already happened, so no extra drop sampling) and
+            # absorbed by the replica's merge rule — crashed and Byzantine
+            # nodes refuse, exactly as in the gossip engine.
+            node_handle = self.nodes[server].handle
+            for variable, value, timestamp, signature in repairs:
+                node_handle("repair", variable, value, timestamp, signature)
+            self.repairs_piggybacked += len(repairs)
+            repairs.clear()
         if not bucket:
             return
         self.flushes += 1

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.exceptions import ConfigurationError, QuorumUnavailableError
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import EpsilonMonitor
 from repro.obs.trace import Tracer
 from repro.protocol.classification import OUTCOME_LABELS, classify_read_outcome
@@ -64,7 +65,7 @@ from repro.service.client import (
 from repro.service.dispatch import DISPATCH_MODES
 from repro.service.sharding import TRANSPORT_MODES, ShardedDeployment, shard_for_key
 from repro.service.wire import WIRE_CODECS
-from repro.simulation.scenario import ScenarioSpec
+from repro.simulation.scenario import AntiEntropySpec, ScenarioSpec
 
 try:  # pragma: no cover - exercised only where the optional extra is installed
     import uvloop as _uvloop
@@ -231,6 +232,14 @@ class ServiceLoadSpec:
     #: Run the online :class:`~repro.obs.monitor.EpsilonMonitor` over the
     #: classified read stream, attaching its alerts to the report.
     monitor_epsilon: bool = False
+    #: Anti-entropy for the deployment: an
+    #: :class:`~repro.simulation.scenario.AntiEntropySpec` arms piggybacked
+    #: read-repair (``repair_budget``) on every client and, when the spec
+    #: gossips, a background gossip task per shard.  ``None`` (the default)
+    #: inherits the scenario's ``anti_entropy`` — so a scenario that
+    #: declares diffusion keeps it under load, and everything stays off
+    #: when neither declares it.
+    anti_entropy: Optional[AntiEntropySpec] = None
     #: Deprecated alias for ``deadline`` (the pre-facade spelling).
     rpc_timeout: Optional[float] = UNSET  # type: ignore[assignment]
 
@@ -326,6 +335,22 @@ class ServiceLoadSpec:
                 f"the trace sampling rate is a probability in [0, 1], "
                 f"got {self.trace_sample}"
             )
+        if self.anti_entropy is not None and not isinstance(
+            self.anti_entropy, AntiEntropySpec
+        ):
+            raise ConfigurationError(
+                f"anti_entropy is described by an AntiEntropySpec, "
+                f"got {type(self.anti_entropy).__name__}"
+            )
+        resolved_anti_entropy = self.resolved_anti_entropy
+        if (
+            resolved_anti_entropy is not None
+            and resolved_anti_entropy.fanout >= self.scenario.n
+        ):
+            raise ConfigurationError(
+                f"anti-entropy fanout {resolved_anti_entropy.fanout} must be "
+                f"smaller than the replica group size {self.scenario.n}"
+            )
         if self.processes > 0:
             if self.transport != "tcp":
                 raise ConfigurationError(
@@ -377,6 +402,13 @@ class ServiceLoadSpec:
         """The effective writer count (the spec's, else the scenario's)."""
         return self.scenario.writers if self.writers is None else self.writers
 
+    @property
+    def resolved_anti_entropy(self) -> Optional[AntiEntropySpec]:
+        """The effective anti-entropy spec (the spec's, else the scenario's)."""
+        if self.anti_entropy is not None:
+            return self.anti_entropy
+        return self.scenario.anti_entropy
+
     def describe(self) -> str:
         """One-line summary used in reports."""
         extras = ""
@@ -399,6 +431,8 @@ class ServiceLoadSpec:
             extras += f", trace_sample={self.trace_sample}"
         if self.monitor_epsilon:
             extras += ", monitor_epsilon=True"
+        if self.resolved_anti_entropy is not None:
+            extras += f", anti_entropy={self.resolved_anti_entropy.describe()}"
         return (
             f"ServiceLoadSpec({self.scenario.describe()}, clients={self.clients}, "
             f"reads/client={self.reads_per_client}, writes={self.writes}, "
@@ -437,6 +471,12 @@ class ServiceLoadReport:
     #: per-RPC and TCP paths); coalescing quality is roughly
     #: ``rpc_calls / dispatch_flushes``.
     dispatch_flushes: int = 0
+    #: Read-repair payloads piggybacked on already-scheduled deliveries
+    #: (0 unless the run's anti-entropy spec grants a repair budget).
+    repairs_piggybacked: int = 0
+    #: Background gossip rounds the deployment ran while the load was in
+    #: flight (0 unless the anti-entropy spec gossips).
+    gossip_rounds: int = 0
     #: Which event loop drove the run ("asyncio", or "uvloop" via the
     #: optional ``repro[fast]`` extra).  A multi-process merge keeps the
     #: single value when every worker agrees and the per-worker list when
@@ -480,6 +520,27 @@ class ServiceLoadReport:
         return [ops / self.elapsed for ops in self.shard_ops]
 
     @property
+    def shard_imbalance(self) -> float:
+        """Hottest-to-coldest shard ratio of completed operations.
+
+        ``1.0`` is perfectly even; ``inf`` means some shard completed
+        nothing while another did work.  Single-shard runs (and runs that
+        completed nothing at all) report ``1.0`` — there is nothing to be
+        imbalanced against.  Benchmark comparisons warn (never gate) on
+        this: zipf-skewed keys make some imbalance expected, but a jump is
+        how a routing or hot-shard regression first shows up.
+        """
+        if len(self.shard_ops) < 2:
+            return 1.0
+        hottest = max(self.shard_ops)
+        coldest = min(self.shard_ops)
+        if hottest == 0:
+            return 1.0
+        if coldest == 0:
+            return math.inf
+        return hottest / coldest
+
+    @property
     def fresh_fraction(self) -> float:
         """Fraction of completed reads that returned the latest settled write."""
         if not self.reads_completed:
@@ -512,6 +573,7 @@ class ServiceLoadReport:
                     f"s{index}={throughput:,.0f}"
                     for index, throughput in enumerate(self.per_shard_throughput)
                 )
+                + f"  (imbalance {self.shard_imbalance:.2f}x)"
             )
         lines += [
             "  read latency      "
@@ -534,6 +596,11 @@ class ServiceLoadReport:
             f"{self.injected_crashes} live crashes injected, "
             f"{self.write_failures} writes found no live quorum",
         ]
+        if self.repairs_piggybacked or self.gossip_rounds:
+            lines.append(
+                f"  anti-entropy      {self.repairs_piggybacked} repairs "
+                f"piggybacked, {self.gossip_rounds} gossip rounds"
+            )
         if self.traces:
             lines.append(f"  tracing           {len(self.traces)} sampled traces")
         if self.epsilon_monitor is not None:
@@ -657,6 +724,7 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
         latency_tracking=spec.selection == "latency-aware",
         rng=rng,
         codec=spec.codec,
+        anti_entropy=spec.resolved_anti_entropy,
     )
     # Installed before start(): a TCP deployment offers the trace envelope
     # extension in its connection handshakes only when a tracer exists.
@@ -795,6 +863,21 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
                 pass
         elapsed = time.perf_counter() - started
 
+        probe_fallbacks = sum(writer.probe_fallbacks for writer in writers) + sum(
+            reader.probe_fallbacks for reader in readers
+        )
+        # The harness's own perf accounting rides along as one more
+        # snapshot: the read-path cost (probe fallbacks) next to the
+        # background cost that absorbs it (repairs, gossip rounds), plus
+        # the freshness the trade bought.
+        harness = MetricsRegistry(labels={"component": "load-harness"})
+        harness.counter("probe_fallback_ops").inc(probe_fallbacks)
+        harness.counter("repairs_piggybacked").inc(deployment.repairs_piggybacked)
+        harness.counter("gossip_rounds").inc(deployment.gossip_rounds)
+        harness.gauge("fresh_read_fraction").set(
+            outcomes.get("fresh", 0) / counters["reads"] if counters["reads"] else 0.0
+        )
+
         return ServiceLoadReport(
             spec=spec,
             elapsed=elapsed,
@@ -807,15 +890,16 @@ async def serve_load(spec: ServiceLoadSpec) -> ServiceLoadReport:
             rpc_calls=deployment.rpc_calls,
             rpc_dropped=deployment.rpc_dropped,
             rpc_timeouts=deployment.rpc_timeouts,
-            probe_fallbacks=sum(writer.probe_fallbacks for writer in writers)
-            + sum(reader.probe_fallbacks for reader in readers),
+            probe_fallbacks=probe_fallbacks,
             injected_crashes=counters["injected"],
             dispatch_flushes=deployment.dispatch_flushes,
+            repairs_piggybacked=deployment.repairs_piggybacked,
+            gossip_rounds=deployment.gossip_rounds,
             transport=spec.transport,
             shard_ops=shard_ops,
             codec=spec.codec,
             traces=tracer.to_dicts() if tracer is not None else [],
-            metrics=deployment.metrics_snapshots(),
+            metrics=deployment.metrics_snapshots() + [harness.to_dict()],
             epsilon_alerts=list(monitor.alerts) if monitor is not None else [],
             epsilon_monitor=monitor.to_dict() if monitor is not None else None,
         )

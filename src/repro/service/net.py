@@ -802,6 +802,46 @@ class TcpDispatcher:
         self.flushes = 0
         #: Logical operations fanned out so far.
         self.ops = 0
+        #: Read-repair frames piggybacked onto already-open connections.
+        self.repairs_piggybacked = 0
+
+    def enqueue_repair(
+        self,
+        server: int,
+        variable: str,
+        value: Any,
+        timestamp: Any,
+        signature: Optional[bytes],
+    ) -> None:
+        """Fire-and-forget one read-repair frame at ``server``.
+
+        The frame rides an already-open pooled connection's outbound queue,
+        coalescing with whatever RPC burst is in flight — no new round, no
+        future, no deadline timer, and no ``calls`` accounting (the repair
+        is overhead of a read that already completed).  The server's reply,
+        if any, carries a request id nothing is waiting on and is silently
+        discarded by :meth:`TcpTransport._dispatch_response`.  With no
+        connection currently open the repair is skipped outright: opening a
+        socket for it would be exactly the extra round piggybacking exists
+        to avoid.
+        """
+        transport = self.transport
+        connections = transport._connections
+        transport._next_request_id += 1
+        request_id = transport._next_request_id
+        preferred = connections[request_id % len(connections)]
+        connection = preferred if preferred.connected else next(
+            (candidate for candidate in connections if candidate.connected), None
+        )
+        if connection is None:
+            return
+        tail = request_tail(
+            "repair",
+            (variable, value, timestamp, signature),
+            codec=transport.negotiated_codec or "json",
+        )
+        connection.enqueue(encode_request_frame(request_id, server, tail))
+        self.repairs_piggybacked += 1
 
     @property
     def tracker(self) -> Optional[Any]:

@@ -105,6 +105,16 @@ class ServiceNode:
                 # synchronous cluster facade.
                 return NO_REPLY
             return ("ok", True)
+        if method == "repair":
+            # Anti-entropy delivery (piggybacked read-repair or a gossip
+            # push): adopt-if-newer through the replica's merge rule, which
+            # already refuses on crashed and Byzantine servers.  Senders are
+            # fire-and-forget, so the ack is advisory.
+            variable, value, timestamp, signature = args
+            adopted = self.server.merge(variable, StoredValue(value, timestamp, signature))
+            if not self.answers_pings:
+                return NO_REPLY
+            return ("ok", adopted)
         raise ServiceError(f"unknown rpc method {method!r}")
 
     def stored(self, variable: str) -> Optional[StoredValue]:

@@ -137,12 +137,64 @@ class AsyncRegister:
             replies=len(result.replies),
         )
 
+    def _lagging_servers(self, result: ReadRpcResult, outcome: ReadOutcome) -> list:
+        """Contacted servers that demonstrably (or plausibly) lack the value.
+
+        Definite laggards — quorum members whose reply carried an *older*
+        timestamp — come first so a small repair budget is spent where the
+        lag is proven; quorum members with no value-bearing reply (empty
+        copy, crashed, or silent) follow.  A reply whose timestamp does not
+        compare against the settled one (a forgery the filter discarded) is
+        never a repair target: anti-entropy propagates the settled value,
+        it does not argue with Byzantine servers.
+        """
+        winning = outcome.reporting_servers
+        stale: list = []
+        unknown: list = []
+        for server in sorted(result.quorum):
+            if server in winning:
+                continue
+            stored = result.replies.get(server)
+            if stored is None:
+                unknown.append(server)
+                continue
+            try:
+                behind = stored.timestamp is None or stored.timestamp < outcome.timestamp
+            except TypeError:
+                continue
+            if behind:
+                stale.append(server)
+        return stale + unknown
+
+    def _piggyback_repair(self, result: ReadRpcResult, outcome: ReadOutcome) -> None:
+        """Attach read-repair for this read's laggards to the next delivery."""
+        if outcome.value is None or not outcome.reporting_servers:
+            return
+        lagging = self._lagging_servers(result, outcome)
+        if not lagging:
+            return
+        # The payload is the winning record as a reporting server vouched for
+        # it — signature included, so a dissemination replica re-verifies the
+        # repair exactly as it would a write.
+        donor = result.replies[next(iter(outcome.reporting_servers))]
+        self.client.piggyback_repairs(
+            self.name,
+            outcome.value,
+            outcome.timestamp,
+            donor.signature,
+            lagging,
+            trace=result.trace,
+        )
+
     async def read(self) -> ReadOutcome:
         """Read the register: filter, then deterministic highest-timestamp-wins."""
         result = await self.client.read(self.name)
         self.reads_performed += 1
         self.last_trace = result.trace
-        return self._build_outcome(result)
+        outcome = self._build_outcome(result)
+        if self.client.repair_budget > 0:
+            self._piggyback_repair(result, outcome)
+        return outcome
 
     async def read_credible(self) -> list:
         """Read the register but return *every* credible record, winner included.

@@ -48,6 +48,7 @@ from repro.service.client import (
     resolve_deprecated_alias,
 )
 from repro.service.dispatch import BatchedDispatcher
+from repro.service.gossip import GOSSIP_SEED_SALT, GossipService, scenario_verifier
 from repro.service.net import (
     RemoteNode,
     TcpDispatcher,
@@ -60,7 +61,7 @@ from repro.service.register import AsyncRegister, async_register_for
 from repro.service.stats import EwmaLatencyTracker
 from repro.service.transport import AsyncTransport
 from repro.service.wire import WIRE_CODECS
-from repro.simulation.scenario import ScenarioSpec
+from repro.simulation.scenario import AntiEntropySpec, ScenarioSpec
 
 #: The two deployment transports the service layer exposes.
 TRANSPORT_MODES = ("inproc", "tcp")
@@ -131,6 +132,11 @@ class ShardedClientAPI:
     #: samples traces from it; ``None`` (the default) keeps tracing off the
     #: hot path entirely.
     tracer: Optional[Tracer] = None
+    #: The deployment's :class:`~repro.simulation.scenario.AntiEntropySpec`
+    #: (``None`` keeps both piggybacked read-repair and background gossip
+    #: off).  Quorum clients built through this surface derive their repair
+    #: budget from it.
+    anti_entropy: Optional[AntiEntropySpec] = None
 
     @property
     def shard_count(self) -> int:
@@ -159,6 +165,7 @@ class ShardedClientAPI:
                 "are unknown until the servers are up)"
             )
         shard = self.shards[shard_index]
+        anti_entropy = self.anti_entropy
         return AsyncQuorumClient(
             self.scenario.system,
             shard.client_nodes,
@@ -173,6 +180,12 @@ class ShardedClientAPI:
             tracer=self.tracer,
             client_id=client_id,
             shard=shard_index,
+            repair_budget=(
+                anti_entropy.repair_budget if anti_entropy is not None else 0
+            ),
+            # With anti-entropy maintaining freshness in the background, a
+            # partial-but-settleable read skips the probe-fallback round.
+            lazy_fallback=anti_entropy is not None,
         )
 
     def new_register_client(
@@ -229,6 +242,26 @@ class ShardedClientAPI:
             if shard.dispatcher is not None
         )
 
+    @property
+    def repairs_piggybacked(self) -> int:
+        """Read-repair payloads piggybacked across every shard's dispatcher."""
+        return sum(
+            getattr(shard.dispatcher, "repairs_piggybacked", 0)
+            for shard in self.shards
+            if shard.dispatcher is not None
+        )
+
+    @property
+    def gossip_rounds(self) -> int:
+        """Background gossip rounds run by this deployment's own tasks.
+
+        Zero for deployments whose gossip runs elsewhere (a cluster's shard
+        server processes report theirs through the metrics pipe instead).
+        """
+        return sum(
+            service.gossip_rounds for service in getattr(self, "_gossip", ())
+        )
+
     # -- metrics ------------------------------------------------------------------
 
     def metrics_snapshots(self, labels: Optional[Dict[str, Any]] = None) -> List[dict]:
@@ -246,6 +279,7 @@ class ShardedClientAPI:
         registry.counter("rpc_dropped").inc(self.rpc_dropped)
         registry.counter("rpc_timeouts").inc(self.rpc_timeouts)
         registry.counter("dispatch_flushes").inc(self.dispatch_flushes)
+        registry.counter("repairs_piggybacked").inc(self.repairs_piggybacked)
         registry.gauge("shards").set(len(self.shards))
         if self.tracer is not None:
             registry.counter("traces_started").inc(self.tracer.started)
@@ -255,6 +289,10 @@ class ShardedClientAPI:
             server = getattr(shard, "server", None)
             if server is not None:
                 snapshots.append(server.metrics_snapshot({"shard": shard.index}))
+        # One snapshot per in-loop gossip task (cluster deployments have
+        # none here: their shard server processes report over the pipe).
+        for shard, service in zip(self.shards, getattr(self, "_gossip", ())):
+            snapshots.append(service.metrics_snapshot({"shard": shard.index}))
         return snapshots
 
 
@@ -303,6 +341,14 @@ class ShardedDeployment(ShardedClientAPI):
         ``"binary"``; negotiated per connection, with JSON fallback).
         Meaningless — and therefore refused — for ``transport="inproc"``,
         where payloads pass by reference.
+    anti_entropy:
+        Optional :class:`~repro.simulation.scenario.AntiEntropySpec`.
+        ``None`` (the default) inherits the scenario's own ``anti_entropy``
+        axis; when resolved, readers piggyback up to ``repair_budget``
+        repairs per read onto the dispatcher's coalescing path, and a
+        gossiping spec additionally arms one background
+        :class:`~repro.service.gossip.GossipService` per shard at
+        :meth:`start`.
     """
 
     def __init__(
@@ -320,6 +366,7 @@ class ShardedDeployment(ShardedClientAPI):
         seed: Optional[int] = None,
         tcp_host: str = "127.0.0.1",
         codec: str = "json",
+        anti_entropy: Optional[AntiEntropySpec] = None,
     ) -> None:
         if not isinstance(scenario, ScenarioSpec):
             raise ConfigurationError(
@@ -341,11 +388,25 @@ class ShardedDeployment(ShardedClientAPI):
                 "codec applies to the wire: transport='inproc' passes payloads "
                 "by reference, so codec='json' is the only valid spelling there"
             )
+        if anti_entropy is None:
+            anti_entropy = scenario.anti_entropy
+        elif not isinstance(anti_entropy, AntiEntropySpec):
+            raise ConfigurationError(
+                f"anti_entropy is described by an AntiEntropySpec, "
+                f"got {type(anti_entropy).__name__}"
+            )
+        if anti_entropy is not None and anti_entropy.fanout >= scenario.n:
+            raise ConfigurationError(
+                f"anti-entropy fanout {anti_entropy.fanout} must be smaller "
+                f"than the replica group size {scenario.n}"
+            )
+        self.anti_entropy = anti_entropy
         self.codec = codec
         self.scenario = scenario
         self.transport_mode = transport
         self.latency_tracking = bool(latency_tracking)
         self._tcp_host = tcp_host
+        self._gossip: List[GossipService] = []
         self._started = transport == "inproc"
         if rng is None:
             rng = random.Random(seed) if seed is not None else random.Random()
@@ -394,8 +455,16 @@ class ShardedDeployment(ShardedClientAPI):
     # -- lifecycle ----------------------------------------------------------------
 
     async def start(self) -> None:
-        """Bring the deployment up (starts socket servers in TCP mode)."""
+        """Bring the deployment up (starts socket servers in TCP mode).
+
+        Also arms the per-shard background gossip tasks when the deployment
+        has a gossiping anti-entropy spec — in *both* transport modes, since
+        the replica node objects live on this loop either way.
+        """
         if self._started:
+            # In-process deployments are serving from construction, but the
+            # gossip tasks still need a running event loop to arm on.
+            self._start_gossip()
             return
         latency, jitter, drop_probability, dispatch = self._tcp_knobs
         for shard in self.shards:
@@ -415,9 +484,28 @@ class ShardedDeployment(ShardedClientAPI):
             if dispatch == "batched":
                 shard.dispatcher = TcpDispatcher(shard.transport, tracker=shard.tracker)
         self._started = True
+        self._start_gossip()
+
+    def _start_gossip(self) -> None:
+        spec = self.anti_entropy
+        if spec is None or not spec.gossips or self._gossip:
+            return
+        verify = scenario_verifier(self.scenario)
+        for shard in self.shards:
+            service = GossipService(
+                shard.nodes,
+                spec,
+                rng=random.Random(shard.transport_seed ^ GOSSIP_SEED_SALT),
+                verify=verify,
+            )
+            service.start()
+            self._gossip.append(service)
 
     async def aclose(self) -> None:
         """Tear the deployment down (closes sockets in TCP mode; idempotent)."""
+        for service in self._gossip:
+            await service.aclose()
+        self._gossip = []
         if self.transport_mode != "tcp":
             return
         for shard in self.shards:

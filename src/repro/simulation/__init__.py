@@ -29,7 +29,7 @@ from repro.simulation.batch import (
     classify_threshold_votes,
     classify_tying_votes,
 )
-from repro.simulation.scenario import ScenarioSpec, WorkloadSpec
+from repro.simulation.scenario import AntiEntropySpec, ScenarioSpec, WorkloadSpec
 from repro.simulation.cluster import Cluster
 from repro.simulation.diffusion import DiffusionEngine, gossip_rounds_batch
 from repro.simulation.events import EventScheduler
@@ -70,6 +70,7 @@ __all__ = [
     "BatchTrialEngine",
     "classify_threshold_votes",
     "classify_tying_votes",
+    "AntiEntropySpec",
     "ScenarioSpec",
     "WorkloadSpec",
     "Cluster",

@@ -267,6 +267,12 @@ class BatchTrialEngine:
         ``Timestamp(1, writer_id + w)``, so writer-id order is timestamp
         order and the highest id is the deterministic winner; the read is
         fresh only when that winner clears the vote threshold.
+    anti_entropy:
+        Optional :class:`~repro.simulation.scenario.AntiEntropySpec`: run
+        its gossip rounds (vectorised, via
+        :func:`~repro.simulation.diffusion.gossip_rounds_batch`) between the
+        write settling and the read, mirroring the sequential engine's
+        :class:`~repro.simulation.diffusion.DiffusionEngine` pass.
     """
 
     def __init__(
@@ -279,6 +285,7 @@ class BatchTrialEngine:
         semantics: Optional[ReadSemantics] = None,
         written_value: object = "v",
         writers: int = 1,
+        anti_entropy=None,
     ) -> None:
         if not isinstance(system, ProbabilisticQuorumSystem):
             raise ConfigurationError(
@@ -301,6 +308,15 @@ class BatchTrialEngine:
         self.chunk_size = int(chunk_size)
         self.writer_id = int(writer_id)
         self.writers = int(writers)
+        if anti_entropy is not None:
+            from repro.simulation.scenario import AntiEntropySpec
+
+            if not isinstance(anti_entropy, AntiEntropySpec):
+                raise ConfigurationError(
+                    "anti_entropy must be an AntiEntropySpec (or None), "
+                    f"got {type(anti_entropy).__name__}"
+                )
+        self.anti_entropy = anti_entropy
         self.semantics = semantics if semantics is not None else system.read_semantics()
         self.written_value = written_value
         self._workspace = _Workspace()
@@ -329,6 +345,7 @@ class BatchTrialEngine:
             semantics=spec.read_semantics(),
             written_value=spec.workload.written_value,
             writers=spec.writers,
+            anti_entropy=spec.anti_entropy,
         )
 
     # -- chunked substreams -------------------------------------------------------
@@ -445,6 +462,8 @@ class BatchTrialEngine:
             raise ConfigurationError(f"trial count must be positive, got {trials}")
         if self.writers > 1:
             return self._estimate_multiwriter_consistency(trials)
+        if self.anti_entropy is not None and self.anti_entropy.gossips:
+            return self._estimate_gossiped_consistency(trials)
         fab_beats = _timestamp_rank(self.model.fabricated_timestamp, self.writer_id, 1) >= 1
         ties = self._forgery_ties_write(1)
         if ties:
@@ -473,6 +492,60 @@ class BatchTrialEngine:
             fabricated += int(fab_mask.sum())
             stale += int(stale_mask.sum())
             empty += int(empty_mask.sum())
+        return ConsistencyReport(
+            trials=trials, fresh=fresh, stale=stale, empty=empty, fabricated=fabricated
+        )
+
+    def _estimate_gossiped_consistency(self, trials: int) -> "ConsistencyReport":
+        """One write, anti-entropy gossip rounds, one read per trial.
+
+        The non-gossip kernel counts votes directly from the write/read
+        quorum intersection; with diffusion the holder set grows beyond the
+        write quorum, so this kernel tracks per-server version matrices the
+        way the staleness estimator does (``writes=1``), runs the spec's
+        gossip rounds through :func:`gossip_rounds_batch` over the correct
+        servers (crashed neither push nor receive, Byzantine ignore gossip
+        and their pushes are never trusted — exactly
+        :class:`~repro.simulation.diffusion.DiffusionEngine`'s rules), and
+        classifies with the same best-credible-version accounting.
+        """
+        from repro.simulation.monte_carlo import ConsistencyReport
+
+        # Versions are identified by timestamp here (as in the staleness
+        # kernel), so a forgery tying the write's timestamp stays fenced.
+        self._reject_tying_forgery(1)
+        n = self.system.n
+        diffusion = self.anti_entropy
+        fab_rank = _timestamp_rank(self.model.fabricated_timestamp, self.writer_id, 1)
+        fab_outranks = fab_rank >= 1
+        threshold = self.semantics.threshold
+        workspace = self._workspace
+        fresh = stale = empty = fabricated = 0
+        for generator, size in self._chunks(trials):
+            masks = self.model.sample_masks(n, size, generator)
+            correct = ~(masks.crashed | masks.byzantine)
+            latest = np.full((size, n), -1, dtype=np.int32)
+            first_seen = np.full((size, n), -1, dtype=np.int32)
+            touched = workspace.array("touched", (size, n), bool)
+            member_w = self._draw_membership(size, generator, "member_w")
+            np.logical_and(member_w, masks.responsive_storers, out=touched)
+            latest[touched] = 0
+            first_seen[touched] = 0
+            latest = gossip_rounds_batch(
+                latest, correct, diffusion.fanout, diffusion.rounds, generator
+            )
+            member_r = self._draw_membership(size, generator, "member_r")
+            best = self._best_credible_version(member_r, masks, latest, first_seen, 1)
+            forged_votes = self._forged_votes(member_r, masks)
+            forged_wins = (forged_votes >= threshold) & (best < fab_rank)
+            fresh_mask = (best == 0) & ~forged_wins
+            stale_mask = forged_wins & ~fab_outranks
+            empty_mask = (best < 0) & ~forged_wins
+            fabricated_mask = forged_wins & fab_outranks
+            fresh += int(fresh_mask.sum())
+            stale += int(stale_mask.sum())
+            empty += int(empty_mask.sum())
+            fabricated += int(fabricated_mask.sum())
         return ConsistencyReport(
             trials=trials, fresh=fresh, stale=stale, empty=empty, fabricated=fabricated
         )
@@ -514,6 +587,15 @@ class BatchTrialEngine:
                 np.logical_and(member_w, storers, out=touched)
                 first_seen[touched & (first_seen < 0)] = index
                 latest[touched] = index
+            if self.anti_entropy is not None and self.anti_entropy.gossips:
+                correct = ~(masks.crashed | masks.byzantine)
+                latest = gossip_rounds_batch(
+                    latest,
+                    correct,
+                    self.anti_entropy.fanout,
+                    self.anti_entropy.rounds,
+                    generator,
+                )
             member_r = self._draw_membership(size, generator, "member_r")
             best = self._best_credible_version(
                 member_r, masks, latest, first_seen, writers

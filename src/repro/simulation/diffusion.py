@@ -59,8 +59,10 @@ class DiffusionEngine:
         verify: Optional[Verifier] = None,
         rng: Optional[random.Random] = None,
     ) -> None:
-        if fanout < 1:
-            raise ConfigurationError(f"gossip fanout must be at least 1, got {fanout}")
+        if fanout < 0:
+            raise ConfigurationError(
+                f"gossip fanout must be non-negative, got {fanout}"
+            )
         if fanout >= cluster.n:
             raise ConfigurationError(
                 f"gossip fanout must be smaller than the cluster size {cluster.n}, got {fanout}"
@@ -77,6 +79,10 @@ class DiffusionEngine:
     def run_round(self, variables: Optional[Iterable[str]] = None) -> int:
         """Run one gossip round; return how many replicas adopted a newer value."""
         adopted = 0
+        if self.fanout == 0:
+            # fanout=0 is the identity: a round happens, nothing moves.
+            self.rounds_run += 1
+            return adopted
         server_ids = list(range(self.cluster.n))
         for server in self.cluster.servers:
             if server.is_crashed or server.is_byzantine:
@@ -184,8 +190,8 @@ def gossip_rounds_batch(
     mutated).
     """
     trials, n = versions.shape
-    if fanout < 1:
-        raise ConfigurationError(f"gossip fanout must be at least 1, got {fanout}")
+    if fanout < 0:
+        raise ConfigurationError(f"gossip fanout must be non-negative, got {fanout}")
     if fanout >= n:
         raise ConfigurationError(
             f"gossip fanout must be smaller than the cluster size {n}, got {fanout}"
@@ -193,7 +199,7 @@ def gossip_rounds_batch(
     if rounds < 0:
         raise ConfigurationError(f"round count must be non-negative, got {rounds}")
     current = versions.copy()
-    if trials == 0 or rounds == 0:
+    if trials == 0 or rounds == 0 or fanout == 0:
         return current
     row_offset = (np.arange(trials, dtype=np.int64) * n)[:, None, None]
     for _ in range(rounds):

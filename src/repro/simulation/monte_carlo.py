@@ -134,6 +134,33 @@ def _require_declarative(register_spec, plan_spec) -> None:
         )
 
 
+def _diffusion_for(spec: Optional[ScenarioSpec], cluster: Cluster, trial_rng):
+    """The trial's anti-entropy engine, or ``None`` when the spec has none.
+
+    Dissemination scenarios gossip with the spec's signature scheme as the
+    verifier, so a Byzantine payload that would not survive the read filter
+    does not survive diffusion either (crashed and Byzantine pushers are
+    already silent in :class:`DiffusionEngine`).
+    """
+    if spec is None or spec.anti_entropy is None or not spec.anti_entropy.gossips:
+        return None
+    verify = None
+    if spec.resolved_register_kind() == "dissemination":
+        from repro.protocol.signatures import SignatureScheme
+        from repro.protocol.timestamps import Timestamp
+
+        scheme = SignatureScheme(spec.signing_key)
+
+        def verify(variable, stored):
+            return isinstance(stored.timestamp, Timestamp) and scheme.verify(
+                variable, stored.value, stored.timestamp, stored.signature
+            )
+
+    return DiffusionEngine(
+        cluster, fanout=spec.anti_entropy.fanout, verify=verify, rng=trial_rng
+    )
+
+
 def _sequential_specs(spec: Optional[ScenarioSpec], register_spec, plan_spec, n: int):
     """Lower the scenario (or legacy specs) to the oracle loop's factories."""
     if spec is not None:
@@ -237,6 +264,9 @@ def estimate_read_consistency(
         cluster = Cluster(n, failure_plan=plan, seed=trial_rng.randrange(2**63))
         register = register_factory(cluster, trial_rng)
         write = register.write(written_value)
+        diffusion = _diffusion_for(spec, cluster, trial_rng)
+        if diffusion is not None:
+            diffusion.run_rounds(spec.anti_entropy.rounds, [register.name])
         outcome = register.read()
         label = classify_read_outcome(
             outcome, write, expected_value=written_value, check_value=True
@@ -286,6 +316,9 @@ def _sequential_multiwriter_consistency(
         writes = [
             register.write(value) for register, value in zip(registers, values)
         ]
+        diffusion = _diffusion_for(spec, cluster, trial_rng)
+        if diffusion is not None:
+            diffusion.run_rounds(spec.anti_entropy.rounds, [registers[-1].name])
         outcome = registers[-1].read()
         label = classify_read_outcome(
             outcome, writes[-1], expected_value=values[-1], check_value=True

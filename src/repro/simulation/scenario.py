@@ -36,7 +36,67 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids circular imports
     from repro.simulation.cluster import Cluster
 
 #: Register kinds a spec can name; ``auto`` resolves from the system.
-REGISTER_KINDS = ("auto", "plain", "dissemination", "masking")
+#: ``"write-back"`` is never auto-resolved: it is the explicit read-repair
+#: variant of the plain protocol (readers repair a quorum after selecting).
+REGISTER_KINDS = ("auto", "plain", "dissemination", "masking", "write-back")
+
+
+@dataclass(frozen=True)
+class AntiEntropySpec:
+    """The scenario's background anti-entropy (§1.1 diffusion), declaratively.
+
+    One description serves every execution layer:
+
+    * the **sequential engine** runs ``rounds`` push-gossip rounds of a
+      :class:`~repro.simulation.diffusion.DiffusionEngine` with ``fanout``
+      between the write settling and the read;
+    * the **batch engine** applies the same rounds through the vectorised
+      :func:`~repro.simulation.diffusion.gossip_rounds_batch` kernel;
+    * the **service layers** run a background gossip task every
+      ``interval`` event-loop seconds with the same fanout, and readers
+      piggyback up to ``repair_budget`` write-back repairs per coalesced
+      dispatch flush onto replicas they already contacted.
+
+    ``fanout=0`` disables gossip (rounds become the identity);
+    ``repair_budget=0`` disables piggybacked read-repair.  The spec is a
+    frozen picklable value, so it crosses the cluster deployment's process
+    boundary inside its :class:`ScenarioSpec` untouched.
+    """
+
+    fanout: int = 2
+    rounds: int = 1
+    interval: float = 0.002
+    repair_budget: int = 4
+
+    def __post_init__(self) -> None:
+        if self.fanout < 0:
+            raise ConfigurationError(
+                f"anti-entropy fanout must be non-negative, got {self.fanout}"
+            )
+        if self.rounds < 0:
+            raise ConfigurationError(
+                f"anti-entropy round count must be non-negative, got {self.rounds}"
+            )
+        if self.interval <= 0.0:
+            raise ConfigurationError(
+                f"the gossip interval must be positive, got {self.interval}"
+            )
+        if self.repair_budget < 0:
+            raise ConfigurationError(
+                f"the repair budget must be non-negative, got {self.repair_budget}"
+            )
+
+    @property
+    def gossips(self) -> bool:
+        """Whether background gossip actually moves data."""
+        return self.fanout > 0 and self.rounds > 0
+
+    def describe(self) -> str:
+        """One-line summary used in experiment logs."""
+        return (
+            f"AntiEntropy(fanout={self.fanout}, rounds={self.rounds}, "
+            f"interval={self.interval}, repair_budget={self.repair_budget})"
+        )
 
 
 @dataclass(frozen=True)
@@ -97,6 +157,11 @@ class ScenarioSpec:
         identity ``writer_id + w``; with every per-trial counter at 1 the
         writer id is the tie-break, so the highest-id writer's value is the
         winner every layer must deterministically converge on.
+    anti_entropy:
+        Optional :class:`AntiEntropySpec`: background diffusion of settled
+        writes (gossip rounds for the engines, a gossip task plus
+        piggybacked read-repair for the services).  ``None`` (the default)
+        keeps freshness a read-path concern, exactly as before.
     """
 
     system: ProbabilisticQuorumSystem
@@ -106,6 +171,7 @@ class ScenarioSpec:
     writer_id: int = 0
     signing_key: bytes = b"scenario"
     writers: int = 1
+    anti_entropy: Any = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.system, ProbabilisticQuorumSystem):
@@ -131,6 +197,18 @@ class ScenarioSpec:
             raise ConfigurationError(
                 "the masking protocol needs a system with a read_threshold "
                 f"(got {type(self.system).__name__})"
+            )
+        if self.anti_entropy is not None and not isinstance(
+            self.anti_entropy, AntiEntropySpec
+        ):
+            raise ConfigurationError(
+                "anti_entropy must be an AntiEntropySpec (or None), "
+                f"got {type(self.anti_entropy).__name__}"
+            )
+        if self.anti_entropy is not None and self.anti_entropy.fanout >= self.n:
+            raise ConfigurationError(
+                f"anti-entropy fanout {self.anti_entropy.fanout} must be smaller "
+                f"than the universe size {self.n}"
             )
         # Resolve eagerly so a mis-described scenario fails at construction.
         self.resolved_register_kind()
@@ -221,6 +299,7 @@ class ScenarioSpec:
         from repro.protocol.masking_variable import MaskingRegister
         from repro.protocol.signatures import SignatureScheme
         from repro.protocol.variable import ProbabilisticRegister
+        from repro.protocol.write_back import WriteBackRegister
 
         if not 0 <= writer_index < self.writers:
             raise ConfigurationError(
@@ -237,6 +316,10 @@ class ScenarioSpec:
             return lambda cluster, rng: DisseminationRegister(
                 self.system, cluster, signatures=scheme, writer_id=writer_id, rng=rng
             )
+        if kind == "write-back":
+            return lambda cluster, rng: WriteBackRegister(
+                self.system, cluster, writer_id=writer_id, rng=rng
+            )
         return lambda cluster, rng: ProbabilisticRegister(
             self.system, cluster, writer_id=writer_id, rng=rng
         )
@@ -244,8 +327,11 @@ class ScenarioSpec:
     def describe(self) -> str:
         """One-line summary used in experiment logs."""
         contention = f", writers={self.writers}" if self.writers > 1 else ""
+        diffusion = (
+            f", {self.anti_entropy.describe()}" if self.anti_entropy is not None else ""
+        )
         return (
             f"ScenarioSpec({self.system.describe()}, {self.failure_model.describe()}, "
             f"register={self.resolved_register_kind()}, "
-            f"writes={self.workload.writes}{contention})"
+            f"writes={self.workload.writes}{contention}{diffusion})"
         )

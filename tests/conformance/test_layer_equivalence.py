@@ -28,13 +28,15 @@ The comparable quantities are therefore (a) the fresh rate among *decided*
 (b) each path's deviation mass, which must stay within its scenario's
 analytical ε plus sampling slack.
 
-Beyond the 4×8 grid, two standalone cells weld in the wire-level variants
-of the TCP path: the **binary codec** (the struct-packed frames negotiated
-per connection must classify reads exactly like the JSON ones) and a
-**ClusterDeployment** (one server process per shard plus worker processes:
-real process boundaries must not change the semantics either).  Both are
-held to the same zero-fabrication and rate-agreement bars and stay
-blocking in CI.
+Beyond the 4×8 grid, standalone cells weld in the variants: the **binary
+codec** (the struct-packed frames negotiated per connection must classify
+reads exactly like the JSON ones), a **ClusterDeployment** (one server
+process per shard plus worker processes: real process boundaries must not
+change the semantics either), and two **anti-entropy** cells (piggybacked
+read-repair + background gossip armed on every path: moving freshness off
+the read path must not move the rates, and gossip must never become a
+fabrication vector).  All are held to the same zero-fabrication and
+rate-agreement bars and stay blocking in CI.
 
 Everything is pinned to one module-level seed so the CI ``conformance`` job
 is reproducible run to run.
@@ -52,7 +54,7 @@ from repro.protocol.timestamps import Timestamp
 from repro.service.load import ServiceLoadSpec, run_service_load
 from repro.simulation.failures import FailureModel
 from repro.simulation.monte_carlo import estimate_read_consistency
-from repro.simulation.scenario import ScenarioSpec
+from repro.simulation.scenario import AntiEntropySpec, ScenarioSpec
 
 #: One seed for the whole grid: the CI job must reproduce byte for byte on
 #: the simulated paths and rate-for-rate on the wall-clock one.
@@ -277,6 +279,55 @@ def test_cluster_deployment_cell():
         "service-cluster": cluster_counts(spec),
     }
     assert_paths_conform("masking-forger-cluster", spec, paths)
+
+
+#: The anti-entropy configuration the AE cells arm: gossip after each write
+#: on the engines, piggybacked repair + background gossip on the services.
+#: Freshness moving off the read path must not move the *rates* — the same
+#: four-way agreement and zero-fabrication bars apply.
+ANTI_ENTROPY = AntiEntropySpec(fanout=3, rounds=2, interval=0.001, repair_budget=4)
+
+
+def test_anti_entropy_masking_forger_cell():
+    """All four paths with anti-entropy armed, under colluding forgers.
+
+    Gossip must not become a fabrication vector: the forged records the
+    Byzantine servers hold are rejected by the verifiability rules before
+    adoption, so the zero-fabrication bar holds with diffusion running.
+    """
+    spec = ScenarioSpec(
+        system=MASKING,
+        failure_model=FAILURE_MODELS["forger"],
+        anti_entropy=ANTI_ENTROPY,
+    )
+    paths = {
+        "sequential": engine_counts(spec, "sequential", SEQUENTIAL_TRIALS),
+        "batch": engine_counts(spec, "batch", BATCH_TRIALS),
+        "service-inproc": service_counts(spec, "inproc"),
+        "service-tcp": service_counts(spec, "tcp"),
+    }
+    assert_paths_conform("masking-forger-anti-entropy", spec, paths)
+
+
+def test_anti_entropy_dissemination_crash_cell():
+    """All four paths with anti-entropy armed, under benign crashes.
+
+    The crash regime is where diffusion does its freshness work; the cell
+    pins that the engines' post-write gossip and the services' background
+    gossip land on the same decided-fresh rate.
+    """
+    spec = ScenarioSpec(
+        system=DISSEMINATION,
+        failure_model=FAILURE_MODELS["crash"],
+        anti_entropy=ANTI_ENTROPY,
+    )
+    paths = {
+        "sequential": engine_counts(spec, "sequential", SEQUENTIAL_TRIALS),
+        "batch": engine_counts(spec, "batch", BATCH_TRIALS),
+        "service-inproc": service_counts(spec, "inproc"),
+        "service-tcp": service_counts(spec, "tcp"),
+    }
+    assert_paths_conform("dissemination-crash-anti-entropy", spec, paths)
 
 
 def test_grid_covers_the_advertised_cells():

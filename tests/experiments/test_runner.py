@@ -56,6 +56,29 @@ class TestRunExperiment:
             run_consistency(engine="warp")
         with pytest.raises(ExperimentError):
             run_consistency(trials=0)
+        with pytest.raises(ExperimentError):
+            run_consistency(register_kind="warp")
+
+    def test_consistency_register_kind_runs_the_write_back_oracle(self):
+        # The orphaned read-repair register, driven declaratively: every
+        # theorem scenario hosts it (its read path claims no b tolerance,
+        # so no scenario is rejected), and the crash scenario stays fresh.
+        report = run_consistency(
+            engine="sequential", seed=3, trials=20, register_kind="write-back"
+        )
+        assert "register=write-back" in report
+        for name in ("plain", "dissemination", "masking"):
+            assert name in report
+
+    def test_consistency_register_kind_skips_unhostable_scenarios(self):
+        # Forcing the masking protocol only fits the thresholded system;
+        # the plain/dissemination scenarios are skipped, not mis-measured.
+        report = run_consistency(
+            engine="batch", seed=3, trials=500, register_kind="masking"
+        )
+        assert "register=masking" in report
+        assert "DisseminationR" not in report
+        assert "R(n=64, q=15)" not in report
 
     def test_serve_experiment_reports_the_safety_verdict(self):
         reports = run_experiment("serve", clients=20, ops=2, seed=3)
@@ -155,6 +178,22 @@ class TestCli:
     def test_main_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):
             main(["--experiment", "consistency", "--engine", "warp"])
+
+    def test_main_consistency_register_kind_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "consistency",
+                    "--engine", "sequential",
+                    "--trials", "20",
+                    "--register-kind", "write-back",
+                ]
+            )
+            == 0
+        )
+        assert "register=write-back" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["consistency", "--register-kind", "warp"])
 
     def test_main_accepts_the_positional_spelling(self, capsys):
         assert main(["table1"]) == 0

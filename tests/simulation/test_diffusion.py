@@ -102,9 +102,11 @@ class TestGossipUnderAttack:
     def test_validation(self):
         cluster = Cluster(5)
         with pytest.raises(ConfigurationError):
-            DiffusionEngine(cluster, fanout=0)
+            DiffusionEngine(cluster, fanout=-1)
         with pytest.raises(ConfigurationError):
             DiffusionEngine(cluster, fanout=5)
+        # fanout=0 is the identity engine, not a configuration error.
+        assert DiffusionEngine(cluster, fanout=0).run_rounds(3) == 0
         engine = DiffusionEngine(cluster, fanout=2)
         with pytest.raises(ConfigurationError):
             engine.run_rounds(-1)

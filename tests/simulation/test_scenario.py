@@ -81,6 +81,24 @@ class TestScenarioResolution:
         )
         assert isinstance(dissemination, DisseminationRegister)
 
+    def test_write_back_kind_lowers_to_the_read_repair_oracle(self):
+        from repro.protocol.write_back import WriteBackRegister
+
+        spec = ScenarioSpec(system=PLAIN, register_kind="write-back")
+        assert spec.resolved_register_kind() == "write-back"
+        # The repair read claims no b tolerance: plain semantics.
+        assert spec.read_semantics() == ReadSemantics()
+        register = spec.register_factory()(Cluster(25), random.Random(0))
+        assert isinstance(register, WriteBackRegister)
+        # Driven declaratively, a settled read repairs the lagging quorum
+        # members it contacted: coverage of the latest value grows.
+        register.write("v1")
+        before = register.replicas_holding_latest()
+        outcome = register.read()
+        assert outcome.value == "v1"
+        assert register.write_backs_performed == 1
+        assert register.replicas_holding_latest() >= before
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             ScenarioSpec(system="not a system")

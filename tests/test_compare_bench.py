@@ -51,6 +51,66 @@ class TestCompare:
         assert compare_bench.compare(traced, baseline) == []
 
 
+class TestChurnFields:
+    def test_probe_fallback_reduction_regression_is_reported(self):
+        baseline = doc(churn={"probe_fallback_reduction": 10.0})
+        current = doc(churn={"probe_fallback_reduction": 5.0})
+        regressions = compare_bench.compare(current, baseline)
+        assert [(r[0], r[1]) for r in regressions] == [
+            ("churn", "probe_fallback_reduction")
+        ]
+
+    def test_fresh_read_fraction_regression_is_reported(self):
+        baseline = doc(churn={"fresh_read_fraction": 1.0})
+        current = doc(churn={"fresh_read_fraction": 0.7})
+        regressions = compare_bench.compare(current, baseline)
+        assert [(r[0], r[1]) for r in regressions] == [
+            ("churn", "fresh_read_fraction")
+        ]
+
+    def test_churn_fields_still_refuse_cross_instrumentation(self):
+        baseline = doc(
+            churn={"probe_fallback_reduction": 10.0, "instrumentation": "off"}
+        )
+        current = doc(
+            churn={"probe_fallback_reduction": 2.0, "instrumentation": "on"}
+        )
+        assert compare_bench.compare(current, baseline) == []
+
+
+class TestShardImbalance:
+    def test_spread_beyond_threshold_is_flagged(self):
+        current = doc(sharded={"shard_imbalance": 5.5})
+        assert compare_bench.imbalance_warnings(current) == [("sharded", 5.5)]
+
+    def test_committed_baseline_spread_stays_silent(self):
+        # The real cluster bench sits around 2.7x; that must not warn.
+        current = doc(sharded={"shard_imbalance": 2.7})
+        assert compare_bench.imbalance_warnings(current) == []
+
+    def test_cold_shard_infinity_is_flagged(self):
+        current = doc(sharded={"shard_imbalance": float("inf")})
+        assert compare_bench.imbalance_warnings(current) == [
+            ("sharded", float("inf"))
+        ]
+
+    def test_entries_without_the_field_are_ignored(self):
+        current = doc(svc={"ops_per_second": 1000.0})
+        assert compare_bench.imbalance_warnings(current) == []
+
+    def test_imbalance_never_gates(self, tmp_path, capsys):
+        import json
+
+        current = tmp_path / "BENCH_service.json"
+        current.write_text(
+            json.dumps(doc(sharded={"shard_imbalance": 9.0}))
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(doc()))
+        assert compare_bench.main([str(current), str(baseline)]) == 0
+        assert "shard imbalance" in capsys.readouterr().out
+
+
 class TestFloors:
     def test_floor_violation_is_flagged(self):
         current = doc(
