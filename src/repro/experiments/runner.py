@@ -85,6 +85,7 @@ EXPERIMENT_NAMES = (
     "consistency",
     "contention",
     "serve",
+    "explore",
     "all",
 )
 
@@ -179,6 +180,38 @@ def run_consistency(
     return render_consistency(scenarios, reports, engine=engine, seed=seed)
 
 
+def run_explore() -> str:
+    """Exhaustively check the pinned small-config grid; fail on any violation.
+
+    This is the CI ``explore-smoke`` entry point: every cell of
+    :func:`repro.simulation.explore.small_config_grid` is enumerated
+    completely, and a single violating schedule (a fabricated value
+    accepted, or an evidence-regularity breach) fails the run with the
+    minimised counterexample trace.
+    """
+    from repro.simulation.explore import explore_grid
+
+    lines = [
+        "Exhaustive small-config exploration (all delivery orders / crash points)",
+        f"{'cell':<24} {'states':>8} {'schedules':>10}  verdict",
+    ]
+    failures = []
+    for name, result in explore_grid().items():
+        verdict = "SAFE" if result.safe else f"VIOLATION[{result.violation.property}]"
+        lines.append(
+            f"{name:<24} {result.states_explored:>8} {result.schedules:>10}  {verdict}"
+        )
+        if not result.safe:
+            failures.append((name, result.violation))
+    for name, violation in failures:
+        lines.append("")
+        lines.append(f"--- {name} ---")
+        lines.append(violation.render())
+    if failures:
+        raise ExperimentError("\n".join(lines))
+    return "\n".join(lines)
+
+
 def run_experiment(
     name: str,
     points: int = 41,
@@ -267,6 +300,8 @@ def run_experiment(
                 ae_repair_budget=ae_repair_budget,
             )
         ]
+    if name == "explore":
+        return [run_explore()]
     if name == "all":
         return [runners[key]() for key in sorted(runners)]
     if name not in runners:

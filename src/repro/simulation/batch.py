@@ -363,7 +363,7 @@ class BatchTrialEngine:
         only multi-write staleness histories remain fenced
         (:meth:`_reject_tying_forgery`).
         """
-        if self.model.kind != "colluding_forgers" or self.semantics.self_verifying:
+        if not self.model.forges_values or self.semantics.self_verifying:
             return False
         return self.model.fabricated_timestamp == Timestamp(version_counter, self.writer_id)
 
@@ -380,7 +380,7 @@ class BatchTrialEngine:
         unaffected, and self-verifying scenarios are exempt (the forgery is
         discarded before any comparison, tie or not).
         """
-        if self.model.kind != "colluding_forgers" or self.semantics.self_verifying:
+        if not self.model.forges_values or self.semantics.self_verifying:
             return
         for counter in range(1, writes + 1):
             if self.model.fabricated_timestamp == Timestamp(counter, self.writer_id):
@@ -401,7 +401,7 @@ class BatchTrialEngine:
         configurations need ``engine='sequential'`` (where values break the
         tie through the deterministic rule).
         """
-        if self.model.kind != "colluding_forgers" or self.semantics.self_verifying:
+        if not self.model.forges_values or self.semantics.self_verifying:
             return
         for index in range(self.writers):
             if self.model.fabricated_timestamp == Timestamp(1, self.writer_id + index):
@@ -411,6 +411,23 @@ class BatchTrialEngine:
                     f"multi-writer kernel identifies writers by timestamp, so tying "
                     f"forgeries under contention need engine='sequential'"
                 )
+
+    def _reject_gray(self, kernel: str) -> None:
+        """Refuse gray nodes on kernels where the per-trial fold is inexact.
+
+        :meth:`FailureModel.sample_masks` folds a gray server's independent
+        per-request drops into one per-trial crash draw — exact for a single
+        write followed by a single read (honest contribution iff both get
+        through), but wrong as soon as a trial issues more operations
+        (gossip pushes, write histories, concurrent writers), where the
+        drops decorrelate across operations.  Those workloads run gray
+        nodes through ``engine='sequential'``.
+        """
+        if self.model.kind == "gray_nodes":
+            raise ConfigurationError(
+                f"gray nodes draw drops per request, which the {kernel} kernel "
+                "cannot fold into per-trial masks; use engine='sequential'"
+            )
 
     def _draw_membership(
         self, size: int, generator: np.random.Generator, buffer_name: str
@@ -514,6 +531,7 @@ class BatchTrialEngine:
         # Versions are identified by timestamp here (as in the staleness
         # kernel), so a forgery tying the write's timestamp stays fenced.
         self._reject_tying_forgery(1)
+        self._reject_gray("anti-entropy")
         n = self.system.n
         diffusion = self.anti_entropy
         fab_rank = _timestamp_rank(self.model.fabricated_timestamp, self.writer_id, 1)
@@ -567,6 +585,7 @@ class BatchTrialEngine:
         from repro.simulation.monte_carlo import ConsistencyReport
 
         self._reject_tying_multiwriter()
+        self._reject_gray("multi-writer")
         writers = self.writers
         n = self.system.n
         threshold = self.semantics.threshold
@@ -667,6 +686,7 @@ class BatchTrialEngine:
         if trials <= 0:
             raise ConfigurationError(f"trial count must be positive, got {trials}")
         self._reject_tying_forgery(writes)
+        self._reject_gray("staleness-history")
         n = self.system.n
         fab_rank = _timestamp_rank(self.model.fabricated_timestamp, self.writer_id, writes)
         threshold = self.semantics.threshold

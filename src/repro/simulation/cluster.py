@@ -75,7 +75,9 @@ class Cluster:
             self.servers[server_id].crash()
         for server_id, behavior in plan.byzantine.items():
             self._check_server(server_id)
-            self.servers[server_id].behavior = behavior
+            # Stateful behaviours (replay, gray) hand out a fresh instance so
+            # trials sharing one frozen plan stay independent.
+            self.servers[server_id].behavior = behavior.for_trial()
         for event in plan.schedule:
             server = self.servers[self._check_server(event.server)]
             if event.recover:
@@ -138,6 +140,19 @@ class Cluster:
 
     # -- quorum RPCs --------------------------------------------------------------
 
+    def _delivery_order(self, quorum: Iterable[ServerId]) -> List[ServerId]:
+        """The order a quorum RPC contacts servers in.
+
+        The message-reordering adversary (``shuffle_delivery``) permutes the
+        contact order with the cluster's seeded rng; protocol outcomes must
+        not depend on it, which the equivalence tests assert by comparing
+        shuffled runs against the batch engine's order-free kernels.
+        """
+        order = list(quorum)
+        if self._plan.shuffle_delivery:
+            self.rng.shuffle(order)
+        return order
+
     def write_quorum(
         self,
         quorum: Iterable[ServerId],
@@ -154,7 +169,7 @@ class Cluster:
         explicitly refused (only Byzantine behaviours do that).
         """
         acks: Dict[ServerId, bool] = {}
-        for server_id in quorum:
+        for server_id in self._delivery_order(quorum):
             self._check_server(server_id)
             request = Message(client_id, server_id, "write", (variable, timestamp))
             if not self.network.send_sync(request):
@@ -175,7 +190,7 @@ class Cluster:
     ) -> Dict[ServerId, StoredValue]:
         """Query every server of ``quorum``; return the replies that arrive."""
         replies: Dict[ServerId, StoredValue] = {}
-        for server_id in quorum:
+        for server_id in self._delivery_order(quorum):
             self._check_server(server_id)
             request = Message(client_id, server_id, "read", variable)
             if not self.network.send_sync(request):

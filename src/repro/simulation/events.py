@@ -7,14 +7,27 @@ priority-queue design: events are ``(time, sequence, callback)`` triples,
 processed in time order, with the sequence number breaking ties
 deterministically (insertion order), which keeps simulations reproducible
 for a fixed random seed.
+
+Two implementations share the :class:`Scheduler` interface:
+
+* :class:`EventScheduler` — the production priority queue, which always
+  fires the earliest pending event (insertion order on ties).
+* ``ControlledScheduler`` in :mod:`repro.simulation.explore` — the model
+  checker's scheduler, which exposes *every* enabled event as a branching
+  choice so the explorer can enumerate all delivery orders.
+
+Everything above the scheduler (network, diffusion, cluster) talks only to
+the interface, so the same protocol code runs unmodified under both.
 """
 
 from __future__ import annotations
 
+import abc
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.exceptions import SimulationError
 
@@ -30,7 +43,7 @@ class _ScheduledEvent:
 
 
 class EventHandle:
-    """Handle returned by :meth:`EventScheduler.schedule`; allows cancellation."""
+    """Handle returned by :meth:`Scheduler.schedule`; allows cancellation."""
 
     def __init__(self, event: _ScheduledEvent) -> None:
         self._event = event
@@ -50,11 +63,21 @@ class EventHandle:
         self._event.cancelled = True
 
 
-class EventScheduler:
-    """Priority-queue discrete-event scheduler with deterministic tie-breaking."""
+class Scheduler(abc.ABC):
+    """The discrete-event scheduling interface the simulation layers use.
+
+    Implementations own the pending-event store and the policy that picks
+    which enabled event :meth:`step` fires next; the shared driver methods
+    (:meth:`run`, :meth:`schedule`'s validation) are defined here so every
+    scheduler rejects the same malformed inputs and counts events the same
+    way.  Delay/time validation lives in :meth:`_validate_delay` /
+    :meth:`_validate_time`: non-finite values (NaN, ±inf) would silently
+    corrupt heap ordering — NaN compares false against everything, so a
+    poisoned entry wanders the heap unpredictably — and therefore raise
+    :class:`~repro.exceptions.SimulationError` up front.
+    """
 
     def __init__(self) -> None:
-        self._queue: List[_ScheduledEvent] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
@@ -69,24 +92,78 @@ class EventScheduler:
         """Number of events processed so far (useful for progress assertions)."""
         return self._processed
 
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) events."""
+
+    @abc.abstractmethod
+    def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+
+    @abc.abstractmethod
+    def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time."""
+
+    @abc.abstractmethod
+    def step(self) -> bool:
+        """Process one pending event; return ``False`` if none remain."""
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` is hit); return events run."""
+        count = 0
+        while max_events is None or count < max_events:
+            if not self.step():
+                break
+            count += 1
+        return count
+
+    # -- shared validation --------------------------------------------------------
+
+    def _validate_delay(self, delay: float) -> None:
+        if not math.isfinite(delay):
+            raise SimulationError(
+                f"event delay must be finite, got {delay} (NaN/inf would corrupt "
+                f"the event ordering)"
+            )
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+
+    def _validate_time(self, time: float) -> None:
+        if not math.isfinite(time):
+            raise SimulationError(
+                f"event time must be finite, got {time} (NaN/inf would corrupt "
+                f"the event ordering)"
+            )
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (time={time}, now={self._now})"
+            )
+
+    def _new_event(self, time: float, callback: EventCallback) -> _ScheduledEvent:
+        return _ScheduledEvent(time, next(self._counter), callback)
+
+
+class EventScheduler(Scheduler):
+    """Priority-queue discrete-event scheduler with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: List[_ScheduledEvent] = []
+
     def __len__(self) -> int:
         return sum(1 for event in self._queue if not event.cancelled)
 
     def schedule(self, delay: float, callback: EventCallback) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` time units from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        event = _ScheduledEvent(self._now + delay, next(self._counter), callback)
+        self._validate_delay(delay)
+        event = self._new_event(self._now + delay, callback)
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
     def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
         """Schedule ``callback`` at an absolute simulated time."""
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule an event in the past (time={time}, now={self._now})"
-            )
-        event = _ScheduledEvent(time, next(self._counter), callback)
+        self._validate_time(time)
+        event = self._new_event(time, callback)
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
@@ -102,35 +179,28 @@ class EventScheduler:
             return True
         return False
 
-    def run(self, max_events: Optional[int] = None) -> int:
-        """Run until the queue drains (or ``max_events`` is hit); return events run."""
-        count = 0
-        while self.step():
-            count += 1
-            if max_events is not None and count >= max_events:
-                break
-        return count
-
     def run_until(self, time: float, max_events: int = 1_000_000) -> int:
         """Run events with firing time ``<= time``; advance the clock to ``time``.
 
         ``max_events`` guards against runaway event loops (e.g. a gossip
-        engine that keeps rescheduling itself); exceeding it raises
-        :class:`SimulationError` rather than hanging the caller.
+        engine that keeps rescheduling itself): the call processes at most
+        ``max_events`` events and raises
+        :class:`~repro.exceptions.SimulationError` rather than process one
+        more.
         """
         if time < self._now:
             raise SimulationError(f"cannot run backwards (time={time}, now={self._now})")
         count = 0
-        while self._queue:
+        while True:
             upcoming = self._peek()
             if upcoming is None or upcoming.time > time:
                 break
+            if count >= max_events:
+                raise SimulationError(
+                    f"run_until({time}) would process more than {max_events} events"
+                )
             self.step()
             count += 1
-            if count > max_events:
-                raise SimulationError(
-                    f"run_until({time}) processed more than {max_events} events"
-                )
         self._now = max(self._now, time)
         return count
 

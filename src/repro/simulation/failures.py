@@ -19,7 +19,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -28,6 +38,7 @@ from repro.simulation.server import (
     ByzantineForgeBehavior,
     ByzantineReplayBehavior,
     ByzantineSilentBehavior,
+    GrayBehavior,
     ServerBehavior,
 )
 from repro.types import ServerId
@@ -42,26 +53,88 @@ class CrashEvent:
     recover: bool = False
 
 
-@dataclass
+class _FrozenBehaviorMap(Mapping):
+    """An immutable ``{server_id: behaviour}`` mapping.
+
+    :class:`FailurePlan` is frozen, so its behaviour assignment must be
+    too — a plain dict would let one trial's mutation leak into every later
+    trial sharing the plan.  The map pickles as a plain dict (plans ride
+    inside scenario payloads across the multi-process deployment boundary)
+    and compares as one, but offers no mutation surface.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[ServerId, ServerBehavior]) -> None:
+        self._data: Dict[ServerId, ServerBehavior] = dict(data)
+
+    def __getitem__(self, key: ServerId) -> ServerBehavior:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[ServerId]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _FrozenBehaviorMap):
+            return self._data == other._data
+        if isinstance(other, Mapping):
+            return self._data == dict(other)
+        return NotImplemented
+
+    def __reduce__(self):
+        return (_FrozenBehaviorMap, (self._data,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"_FrozenBehaviorMap({self._data!r})"
+
+
+@dataclass(frozen=True)
 class FailurePlan:
-    """A declarative description of which servers fail and how.
+    """A declarative, immutable description of which servers fail and how.
+
+    The plan is frozen end to end — ``crashed`` is a frozenset, ``schedule``
+    a tuple and ``byzantine`` an immutable mapping — because plan factories
+    and static scenarios share one plan object across many trials; with a
+    mutable plan, a trial that (even accidentally) edited the behaviour
+    table would corrupt every subsequent trial.  Per-trial *state* isolation
+    is handled separately: appliers call
+    :meth:`~repro.simulation.server.ServerBehavior.for_trial` on each
+    behaviour, so stateful behaviours (replay, gray) get a fresh instance
+    per trial while the plan itself never changes.
 
     Attributes
     ----------
     crashed:
         Servers that are crashed from the start.
     byzantine:
-        Mapping from server id to the Byzantine behaviour it runs.
+        Mapping from server id to the behaviour override it runs.  Despite
+        the (historical) name this may include benign overrides such as
+        :class:`~repro.simulation.server.GrayBehavior`; the
+        :attr:`byzantine_servers` property filters by each behaviour's
+        ``byzantine`` flag.
     schedule:
         Time-ordered crash / recovery events applied by the cluster's
         scheduler (used by availability experiments).
+    shuffle_delivery:
+        When set, quorum RPCs contact servers in a randomly shuffled order
+        instead of the quorum's canonical order (the message-reordering
+        adversary).  Outcome classification must be order-invariant, which
+        is exactly what this knob lets the equivalence tests assert.
     """
 
     crashed: FrozenSet[ServerId] = frozenset()
-    byzantine: Dict[ServerId, ServerBehavior] = field(default_factory=dict)
+    byzantine: Mapping[ServerId, ServerBehavior] = field(default_factory=dict)
     schedule: Tuple[CrashEvent, ...] = ()
+    shuffle_delivery: bool = False
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "crashed", frozenset(self.crashed))
+        if not isinstance(self.byzantine, _FrozenBehaviorMap):
+            object.__setattr__(self, "byzantine", _FrozenBehaviorMap(self.byzantine))
+        object.__setattr__(self, "schedule", tuple(self.schedule))
         overlap = set(self.crashed) & set(self.byzantine)
         if overlap:
             raise ConfigurationError(
@@ -70,19 +143,28 @@ class FailurePlan:
 
     @property
     def byzantine_servers(self) -> FrozenSet[ServerId]:
-        """The set of Byzantine server ids."""
-        return frozenset(self.byzantine)
+        """Server ids whose override is actually Byzantine (gray nodes are not)."""
+        return frozenset(
+            server for server, behavior in self.byzantine.items() if behavior.byzantine
+        )
 
     @property
     def faulty_servers(self) -> FrozenSet[ServerId]:
-        """All initially faulty servers (crashed or Byzantine)."""
-        return frozenset(self.crashed) | self.byzantine_servers
+        """All initially degraded servers (crashed or running any override).
+
+        Deliberately conservative — it includes benign overrides like gray
+        nodes — because its callers (churn selection, liveness accounting)
+        need the set of servers that cannot be relied on to answer.
+        """
+        return frozenset(self.crashed) | frozenset(self.byzantine)
 
     def describe(self) -> str:
         """One-line summary used in experiment logs."""
         return (
             f"FailurePlan(crashed={len(self.crashed)}, byzantine={len(self.byzantine)}, "
-            f"scheduled={len(self.schedule)})"
+            f"scheduled={len(self.schedule)}"
+            + (", shuffled" if self.shuffle_delivery else "")
+            + ")"
         )
 
     # -- constructors -------------------------------------------------------------
@@ -167,11 +249,46 @@ class FailurePlan:
         """``count`` Byzantine servers that serve stale (but once valid) data."""
         return cls.random_byzantine(n, count, ByzantineReplayBehavior, rng)
 
+    @classmethod
+    def gray_nodes(
+        cls, n: int, count: int, drop_p: float, rng: Optional[random.Random] = None
+    ) -> "FailurePlan":
+        """``count`` gray servers, each dropping every message w.p. ``drop_p``."""
+        _validate_counts(n, count)
+        rng = rng or random.Random()
+        chosen = rng.sample(range(n), count)
+        return cls(
+            byzantine={
+                server: GrayBehavior(drop_p, seed=rng.getrandbits(32))
+                for server in chosen
+            }
+        )
+
+    @classmethod
+    def targeted_partition(cls, n: int, targets: Iterable[ServerId]) -> "FailurePlan":
+        """A fixed set of servers made unreachable from every client.
+
+        Partitioning a server away from the clients is observationally a
+        crash for the access protocols (requests and replies are both
+        lost), so the plan lowers to the crash machinery — which every
+        execution layer already implements identically.
+        """
+        target_set = frozenset(targets)
+        for server in target_set:
+            if not 0 <= server < n:
+                raise ConfigurationError(
+                    f"partition target {server} outside the universe of size {n}"
+                )
+        return cls(crashed=target_set)
+
     def with_schedule(self, events: Iterable[CrashEvent]) -> "FailurePlan":
         """Return a copy of the plan with an added crash/recovery schedule."""
         ordered = tuple(sorted(events, key=lambda e: e.time))
         return FailurePlan(
-            crashed=self.crashed, byzantine=dict(self.byzantine), schedule=ordered
+            crashed=self.crashed,
+            byzantine=self.byzantine,
+            schedule=ordered,
+            shuffle_delivery=self.shuffle_delivery,
         )
 
 
@@ -239,6 +356,7 @@ class FailureModel:
     count: int = 0
     fabricated_value: Any = None
     fabricated_timestamp: Any = None
+    targets: Tuple[ServerId, ...] = ()
 
     _KINDS = (
         "none",
@@ -247,6 +365,21 @@ class FailureModel:
         "random_byzantine",
         "colluding_forgers",
         "replay_attack",
+        # -- the adversary fleet (PR 10) ------------------------------------
+        "targeted_partition",
+        "gray_nodes",
+        "message_reordering",
+        "timestamp_forging_clique",
+    )
+
+    #: Kinds whose count applies to probabilistic per-request behaviour too.
+    _COUNT_KINDS = (
+        "random_crashes",
+        "random_byzantine",
+        "colluding_forgers",
+        "replay_attack",
+        "gray_nodes",
+        "timestamp_forging_clique",
     )
 
     def __post_init__(self) -> None:
@@ -254,11 +387,16 @@ class FailureModel:
             raise ConfigurationError(
                 f"unknown failure model kind {self.kind!r}; expected one of {self._KINDS}"
             )
-        if self.kind == "independent_crashes" and not 0.0 <= self.p <= 1.0:
-            raise ConfigurationError(f"crash probability must lie in [0, 1], got {self.p}")
-        if self.kind in ("random_crashes", "random_byzantine", "colluding_forgers", "replay_attack"):
-            if self.count < 0:
-                raise ConfigurationError(f"failure count must be non-negative, got {self.count}")
+        if self.kind in ("independent_crashes", "gray_nodes") and not 0.0 <= self.p <= 1.0:
+            raise ConfigurationError(f"failure probability must lie in [0, 1], got {self.p}")
+        if self.kind in self._COUNT_KINDS and self.count < 0:
+            raise ConfigurationError(f"failure count must be non-negative, got {self.count}")
+        if self.kind == "targeted_partition":
+            object.__setattr__(self, "targets", tuple(sorted(set(self.targets))))
+            if any(server < 0 for server in self.targets):
+                raise ConfigurationError(
+                    f"partition targets must be non-negative server ids, got {self.targets}"
+                )
 
     # -- constructors -------------------------------------------------------------
 
@@ -299,17 +437,74 @@ class FailureModel:
         """``count`` uniformly random servers serve stale but once-valid data."""
         return cls(kind="replay_attack", count=count)
 
+    # -- the adversary fleet ------------------------------------------------------
+
+    @classmethod
+    def targeted_partition(cls, targets: Iterable[ServerId]) -> "FailureModel":
+        """A *fixed* set of servers unreachable from clients in every trial.
+
+        Unlike ``random_crashes`` the adversary picks the victims — e.g. a
+        whole canonical quorum — which is the worst case for availability
+        that uniform sampling essentially never draws.
+        """
+        return cls(kind="targeted_partition", targets=tuple(targets))
+
+    @classmethod
+    def gray_nodes(cls, count: int, drop_p: float) -> "FailureModel":
+        """``count`` random gray servers, each losing messages w.p. ``drop_p``."""
+        return cls(kind="gray_nodes", count=count, p=drop_p)
+
+    @classmethod
+    def message_reordering(cls) -> "FailureModel":
+        """No faulty servers, but quorum RPCs land in adversarially shuffled order.
+
+        Outcome classification must be delivery-order invariant; this model
+        lets the equivalence suite assert that end to end on every layer.
+        """
+        return cls(kind="message_reordering")
+
+    @classmethod
+    def timestamp_forging_clique(
+        cls, count: int, fabricated_value: Any, fabricated_timestamp: Any
+    ) -> "FailureModel":
+        """``count`` colluding forgers using an *honest-shaped* timestamp.
+
+        ``colluding_forgers`` traditionally forges ``Timestamp.forged_maximum()``
+        — absurdly large, so a defence that merely sanity-checked timestamp
+        magnitude would (wrongly) appear sufficient.  The clique instead
+        forges a plausible ``Timestamp(counter, writer_id)`` that may tie or
+        barely exceed honest timestamps, which is precisely the adversary
+        the masking threshold (not any magnitude filter) must defeat.
+        """
+        return cls(
+            kind="timestamp_forging_clique",
+            count=count,
+            fabricated_value=fabricated_value,
+            fabricated_timestamp=fabricated_timestamp,
+        )
+
     @property
     def byzantine_count(self) -> int:
         """How many Byzantine servers every sampled plan contains.
 
-        Crash-only models (and ``none``) inject zero; the three Byzantine
-        kinds inject exactly ``count`` per trial.  Scenario validation
-        compares this against the read protocol's declared tolerance ``b``.
+        Crash-only models (``none``, partitions, reordering) inject zero;
+        gray nodes are benign; the Byzantine kinds inject exactly ``count``
+        per trial.  Scenario validation compares this against the read
+        protocol's declared tolerance ``b``.
         """
-        if self.kind in ("random_byzantine", "colluding_forgers", "replay_attack"):
+        if self.kind in (
+            "random_byzantine",
+            "colluding_forgers",
+            "replay_attack",
+            "timestamp_forging_clique",
+        ):
             return self.count
         return 0
+
+    @property
+    def forges_values(self) -> bool:
+        """Whether sampled plans contain servers fabricating values."""
+        return self.kind in ("colluding_forgers", "timestamp_forging_clique")
 
     # -- sequential bridge --------------------------------------------------------
 
@@ -323,10 +518,16 @@ class FailureModel:
             return FailurePlan.random_crashes(n, self.count, rng=rng)
         if self.kind == "random_byzantine":
             return FailurePlan.random_byzantine(n, self.count, rng=rng)
-        if self.kind == "colluding_forgers":
+        if self.kind in ("colluding_forgers", "timestamp_forging_clique"):
             return FailurePlan.colluding_forgers(
                 n, self.count, self.fabricated_value, self.fabricated_timestamp, rng=rng
             )
+        if self.kind == "targeted_partition":
+            return FailurePlan.targeted_partition(n, self.targets)
+        if self.kind == "gray_nodes":
+            return FailurePlan.gray_nodes(n, self.count, self.p, rng=rng)
+        if self.kind == "message_reordering":
+            return FailurePlan(shuffle_delivery=True)
         assert self.kind == "replay_attack"
         return FailurePlan.replay_attack(n, self.count, rng=rng)
 
@@ -346,7 +547,16 @@ class FailureModel:
         crashed = silent = forgers = replay = empty
         if self.kind == "independent_crashes":
             crashed = generator.random((trials, n)) < self.p
-        elif self.kind != "none":
+        elif self.kind == "targeted_partition":
+            for server in self.targets:
+                if not 0 <= server < n:
+                    raise ConfigurationError(
+                        f"partition target {server} outside the universe of size {n}"
+                    )
+            crashed = np.zeros((trials, n), dtype=bool)
+            if self.targets:
+                crashed[:, list(self.targets)] = True
+        elif self.kind not in ("none", "message_reordering"):
             _validate_counts(n, self.count)
             chosen = np.zeros((trials, n), dtype=bool)
             if self.count:
@@ -357,8 +567,19 @@ class FailureModel:
                 crashed = chosen
             elif self.kind == "random_byzantine":
                 silent = chosen
-            elif self.kind == "colluding_forgers":
+            elif self.kind in ("colluding_forgers", "timestamp_forging_clique"):
                 forgers = chosen
+            elif self.kind == "gray_nodes":
+                # A gray server contributes an honest reply iff neither the
+                # write nor the read towards it is dropped — probability
+                # (1 - p)^2 — and is otherwise indistinguishable from a
+                # crashed server within a single write/read trial, so the
+                # batch engine folds gray into the crash mask with the
+                # complementary per-trial probability.  (Multi-operation
+                # batch kernels fence this kind off; see batch.py.)
+                effective_p = 1.0 - (1.0 - self.p) ** 2
+                unlucky = generator.random((trials, n)) < effective_p
+                crashed = chosen & unlucky
             else:
                 replay = chosen
         return BatchFailureMasks(
@@ -372,8 +593,12 @@ class FailureModel:
 
     def describe(self) -> str:
         """One-line summary used in experiment logs."""
-        if self.kind == "none":
-            return "FailureModel(none)"
+        if self.kind in ("none", "message_reordering"):
+            return f"FailureModel({self.kind})"
         if self.kind == "independent_crashes":
             return f"FailureModel(independent_crashes, p={self.p})"
+        if self.kind == "targeted_partition":
+            return f"FailureModel(targeted_partition, targets={list(self.targets)})"
+        if self.kind == "gray_nodes":
+            return f"FailureModel(gray_nodes, count={self.count}, drop_p={self.p})"
         return f"FailureModel({self.kind}, count={self.count})"

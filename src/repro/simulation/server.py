@@ -57,6 +57,16 @@ class ServerBehavior(abc.ABC):
     ) -> Optional[StoredValue]:
         """Handle a read request; return a reply or ``None`` for silence."""
 
+    def for_trial(self) -> "ServerBehavior":
+        """A behaviour instance safe to install for one independent trial.
+
+        Stateless behaviours return themselves; stateful ones (replay's
+        first-seen cache, a gray node's drop sequence) return a fresh copy so
+        a :class:`~repro.simulation.failures.FailurePlan` reused across
+        trials cannot leak one trial's state into the next.
+        """
+        return self
+
 
 class CorrectBehavior(ServerBehavior):
     """A correct server: stores the freshest write, returns its copy on reads."""
@@ -101,6 +111,9 @@ class ByzantineReplayBehavior(ServerBehavior):
     def __init__(self) -> None:
         self._first_seen: Dict[str, StoredValue] = {}
 
+    def for_trial(self) -> "ByzantineReplayBehavior":
+        return ByzantineReplayBehavior()
+
     def on_write(self, server: "ReplicaServer", variable: str, stored: StoredValue) -> bool:
         self._first_seen.setdefault(variable, stored)
         # It still updates its visible storage so that later replays are plausible.
@@ -142,6 +155,48 @@ class ByzantineForgeBehavior(ServerBehavior):
             timestamp=self.fabricated_timestamp,
             signature=b"forged",
         )
+
+
+class GrayBehavior(ServerBehavior):
+    """A *gray* (flaky / slow-to-the-point-of-timeout) but honest server.
+
+    Each request is independently lost with probability ``drop_p``: a
+    dropped write is never stored (and never acknowledged), a dropped read
+    times out.  The requests that do get through are served correctly —
+    gray nodes are benign (``byzantine = False``), they just erode
+    availability, which is exactly the failure mode the ε-availability
+    analysis of Section 3 must absorb without any fabrication risk.
+
+    The drop sequence is drawn from a private seeded generator so a plan is
+    reproducible; :meth:`for_trial` restarts the sequence, keeping trials
+    that reuse one plan independent and identically distributed.
+    """
+
+    def __init__(self, drop_p: float, seed: int = 0) -> None:
+        if not 0.0 <= drop_p <= 1.0:
+            raise SimulationError(f"drop probability must lie in [0, 1], got {drop_p}")
+        self.drop_p = float(drop_p)
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def for_trial(self) -> "GrayBehavior":
+        return GrayBehavior(self.drop_p, self.seed)
+
+    def _delivered(self) -> bool:
+        return self._rng.random() >= self.drop_p
+
+    def on_write(self, server: "ReplicaServer", variable: str, stored: StoredValue) -> bool:
+        if not self._delivered():
+            return False
+        current = server.storage.get(variable)
+        if current is None or stored.timestamp > current.timestamp:
+            server.storage[variable] = stored
+        return True
+
+    def on_read(self, server: "ReplicaServer", variable: str) -> Optional[StoredValue]:
+        if not self._delivered():
+            return None
+        return server.storage.get(variable)
 
 
 class ReplicaServer:

@@ -85,6 +85,24 @@ FAILURE_MODELS = {
     "benign": FailureModel.none(),
     "crash": FailureModel.random_crashes(3),
     "forger": FailureModel.colluding_forgers(3, "FORGED", Timestamp.forged_maximum()),
+    # -- the adversary fleet (PR 10): every strategy the small-config explorer
+    # enumerates exhaustively also exists as a samplable adversary here, run
+    # through all four paths at n = 36.
+    #
+    # partition: the adversary picks the victims (a fixed id block), the
+    # worst case uniform crash sampling essentially never draws.
+    "partition": FailureModel.targeted_partition((0, 1, 2)),
+    # gray: flaky-but-honest servers dropping 30% of messages — availability
+    # erosion with zero fabrication risk.
+    "gray": FailureModel.gray_nodes(4, 0.3),
+    # reorder: no faulty servers, adversarially shuffled delivery order —
+    # classification must be order-invariant on every path.
+    "reorder": FailureModel.message_reordering(),
+    # clique: colluding forgers using an honest-SHAPED timestamp (no absurd
+    # counter), so nothing short of the threshold/signature machinery can
+    # reject it.  Timestamp(1, 7) outranks the workload's honest
+    # Timestamp(1, 0) by writer id without tying it.
+    "clique": FailureModel.timestamp_forging_clique(3, "FORGED", Timestamp(1, 7)),
 }
 
 GRID = {
@@ -331,12 +349,22 @@ def test_anti_entropy_dissemination_crash_cell():
 
 
 def test_grid_covers_the_advertised_cells():
-    """The grid: (benign / crash / forger + contended) × masking / dissemination."""
-    assert len(GRID) == 8
+    """The grid: (benign / crash / forger / fleet + contended) × both systems."""
+    assert len(GRID) == 16
     kinds = {spec.resolved_register_kind() for spec in GRID.values()}
     assert kinds == {"masking", "dissemination"}
     byzantine_counts = {spec.failure_model.byzantine_count for spec in GRID.values()}
     assert byzantine_counts == {0, 3}
+    fleet_kinds = {spec.failure_model.kind for spec in GRID.values()}
+    assert {
+        "targeted_partition",
+        "gray_nodes",
+        "message_reordering",
+        "timestamp_forging_clique",
+    } <= fleet_kinds
+    # Both forging adversaries are Byzantine; the rest of the fleet is benign.
+    assert GRID["masking-clique"].failure_model.forges_values
+    assert GRID["masking-gray"].failure_model.byzantine_count == 0
     writer_counts = {spec.writers for spec in GRID.values()}
     assert writer_counts == {1, 3}
     contended = [name for name in GRID if name.endswith("contended")]

@@ -201,6 +201,12 @@ class TestCli:
         assert main(["serve", "--clients", "10", "--ops", "2"]) == 0
         assert "safety verdict" in capsys.readouterr().out
 
+    def test_main_explore_reports_an_all_safe_grid(self, capsys):
+        assert main(["explore"]) == 0
+        out = capsys.readouterr().out
+        assert "masking-forger" in out and "dissemination-crash" in out
+        assert "SAFE" in out and "VIOLATION" not in out
+
     def test_main_contention_and_writer_flags(self, capsys):
         assert (
             main(["contention", "--trials", "500", "--writers", "2", "--seed", "3"])
@@ -283,5 +289,6 @@ class TestCli:
         assert "consistency" in EXPERIMENT_NAMES
         assert "contention" in EXPERIMENT_NAMES
         assert "serve" in EXPERIMENT_NAMES
+        assert "explore" in EXPERIMENT_NAMES
         assert ENGINE_NAMES == ("sequential", "batch")
-        assert len(EXPERIMENT_NAMES) == 11
+        assert len(EXPERIMENT_NAMES) == 12

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.simulation.events import EventScheduler
+from repro.simulation.events import EventScheduler, Scheduler
+from repro.simulation.explore import ControlledScheduler
 
 
 class TestScheduling:
@@ -113,3 +116,113 @@ class TestRunUntil:
 
     def test_step_on_empty_queue(self):
         assert EventScheduler().step() is False
+
+    def test_run_until_processes_exactly_max_events_without_raising(self):
+        # Regression: the guard used to trip only after processing
+        # max_events + 1 events; hitting the budget exactly must succeed.
+        scheduler = EventScheduler()
+        fired = []
+        for i in range(5):
+            scheduler.schedule(float(i), lambda i=i: fired.append(i))
+        assert scheduler.run_until(10.0, max_events=5) == 5
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_until_raises_before_exceeding_max_events(self):
+        scheduler = EventScheduler()
+        fired = []
+        for i in range(5):
+            scheduler.schedule(float(i), lambda i=i: fired.append(i))
+        with pytest.raises(SimulationError):
+            scheduler.run_until(10.0, max_events=4)
+        # The budget is a hard cap: event 5 was never processed.
+        assert fired == [0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("make_scheduler", [EventScheduler, ControlledScheduler])
+class TestNonFiniteTimesRejected:
+    """Regression: NaN/inf delays used to slip into the heap and silently
+    corrupt its ordering (NaN compares false against everything)."""
+
+    @pytest.mark.parametrize("delay", [math.nan, math.inf, -math.inf])
+    def test_schedule_rejects_non_finite_delay(self, make_scheduler, delay):
+        scheduler = make_scheduler()
+        with pytest.raises(SimulationError, match="finite"):
+            scheduler.schedule(delay, lambda: None)
+        assert len(scheduler) == 0
+
+    @pytest.mark.parametrize("time", [math.nan, math.inf, -math.inf])
+    def test_schedule_at_rejects_non_finite_time(self, make_scheduler, time):
+        scheduler = make_scheduler()
+        with pytest.raises(SimulationError, match="finite"):
+            scheduler.schedule_at(time, lambda: None)
+        assert len(scheduler) == 0
+
+
+class TestSchedulerInterface:
+    """Both implementations of the Scheduler interface behave identically
+    when the controlled scheduler is left on its default policy."""
+
+    def test_both_implement_the_shared_interface(self):
+        assert issubclass(EventScheduler, Scheduler)
+        assert issubclass(ControlledScheduler, Scheduler)
+
+    @staticmethod
+    def _load(scheduler, fired):
+        # A mix of ties, out-of-order insertion and event-scheduled events.
+        scheduler.schedule(2.0, lambda: fired.append(("b", scheduler.now)))
+        scheduler.schedule(1.0, lambda: fired.append(("a1", scheduler.now)))
+        scheduler.schedule(1.0, lambda: fired.append(("a2", scheduler.now)))
+
+        def cascade():
+            fired.append(("c", scheduler.now))
+            scheduler.schedule(0.5, lambda: fired.append(("d", scheduler.now)))
+
+        scheduler.schedule(3.0, cascade)
+
+    def test_default_order_matches_event_scheduler(self):
+        runs = []
+        for make_scheduler in (EventScheduler, ControlledScheduler):
+            scheduler = make_scheduler()
+            fired = []
+            self._load(scheduler, fired)
+            ran = scheduler.run()
+            runs.append((fired, ran, scheduler.now, scheduler.processed_events))
+        assert runs[0] == runs[1]
+        assert runs[0][0] == [("a1", 1.0), ("a2", 1.0), ("b", 2.0), ("c", 3.0), ("d", 3.5)]
+
+    @pytest.mark.parametrize("make_scheduler", [EventScheduler, ControlledScheduler])
+    def test_cancellation_during_step_is_honoured(self, make_scheduler):
+        # An event that cancels a later pending event mid-step: the victim
+        # must never fire, on either implementation.
+        scheduler = make_scheduler()
+        fired = []
+        victim = scheduler.schedule(2.0, lambda: fired.append("victim"))
+        scheduler.schedule(1.0, lambda: victim.cancel())
+        scheduler.schedule(3.0, lambda: fired.append("after"))
+        scheduler.run()
+        assert fired == ["after"]
+        assert victim.cancelled
+
+    def test_peek_skips_lazily_cancelled_heap_entries(self):
+        # EventScheduler cancels lazily: the heap entry stays until popped.
+        # _peek must discard stale entries rather than report them upcoming,
+        # or run_until would count phantom events against max_events.
+        scheduler = EventScheduler()
+        handles = [scheduler.schedule(float(i), lambda: None) for i in range(1, 4)]
+        handles[0].cancel()
+        handles[1].cancel()
+        assert len(scheduler) == 1
+        # Only the one live event is processed, well within the budget.
+        assert scheduler.run_until(5.0, max_events=1) == 1
+        assert scheduler.processed_events == 1
+
+    @pytest.mark.parametrize("make_scheduler", [EventScheduler, ControlledScheduler])
+    def test_same_seedless_schedule_is_deterministic(self, make_scheduler):
+        orders = []
+        for _ in range(2):
+            scheduler = make_scheduler()
+            fired = []
+            self._load(scheduler, fired)
+            scheduler.run()
+            orders.append(fired)
+        assert orders[0] == orders[1]

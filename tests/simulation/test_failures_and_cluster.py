@@ -2,16 +2,25 @@
 
 from __future__ import annotations
 
+import dataclasses
+import pickle
 import random
 
+import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.core.masking import ProbabilisticMaskingSystem
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.protocol.timestamps import Timestamp
+from repro.simulation.batch import BatchTrialEngine
 from repro.simulation.cluster import Cluster
-from repro.simulation.failures import CrashEvent, FailurePlan
+from repro.simulation.failures import CrashEvent, FailureModel, FailurePlan
 from repro.simulation.network import Network
-from repro.simulation.server import ByzantineReplayBehavior, ByzantineSilentBehavior
+from repro.simulation.server import (
+    ByzantineReplayBehavior,
+    ByzantineSilentBehavior,
+    GrayBehavior,
+)
 
 
 class TestFailurePlan:
@@ -68,6 +77,178 @@ class TestFailurePlan:
         )
         assert [event.time for event in plan.schedule] == [2.0, 5.0, 7.0]
         assert "FailurePlan" in plan.describe()
+
+
+class TestFailurePlanImmutability:
+    """Regression: plans are shared across trials, so they must be frozen."""
+
+    def test_fields_cannot_be_reassigned(self):
+        plan = FailurePlan.random_crashes(10, 3, rng=random.Random(0))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.crashed = frozenset()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.shuffle_delivery = True
+
+    def test_behavior_map_has_no_mutation_surface(self):
+        plan = FailurePlan.replay_attack(10, 2, rng=random.Random(1))
+        with pytest.raises(TypeError):
+            plan.byzantine[0] = ByzantineSilentBehavior()
+        with pytest.raises(AttributeError):
+            plan.byzantine.clear()
+
+    def test_collections_are_coerced_immutable(self):
+        plan = FailurePlan(crashed={1, 2}, schedule=[CrashEvent(1.0, 0)])
+        assert isinstance(plan.crashed, frozenset)
+        assert isinstance(plan.schedule, tuple)
+
+    def test_plans_pickle_across_process_boundaries(self):
+        plan = FailurePlan.colluding_forgers(
+            10, 2, "FORGED", Timestamp.forged_maximum(), rng=random.Random(2)
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.crashed == plan.crashed
+        assert set(clone.byzantine) == set(plan.byzantine)
+        assert clone.byzantine_servers == plan.byzantine_servers
+
+    def test_shared_replay_plan_does_not_leak_state_across_trials(self):
+        # Regression: one plan, many trials.  The replay behaviour latches the
+        # first value it sees; with a shared mutable behaviour, trial 1's
+        # history poisoned trial 2.  for_trial() must isolate them.
+        plan = FailurePlan(byzantine={0: ByzantineReplayBehavior()})
+
+        def trial(first_value):
+            cluster = Cluster(4, failure_plan=plan)
+            quorum = frozenset(range(4))
+            cluster.write_quorum(quorum, "x", first_value, Timestamp(1, 0))
+            cluster.write_quorum(quorum, "x", "newer", Timestamp(2, 0))
+            return cluster.read_quorum(quorum, "x")[0].value
+
+        assert trial("first-a") == "first-a"
+        # A fresh trial's replay server latches the *new* first write — not
+        # the previous trial's.
+        assert trial("first-b") == "first-b"
+        # And the shared plan object itself retains no trial state.
+        assert plan.byzantine[0]._first_seen == {}
+
+    def test_shared_gray_plan_draws_identically_per_trial(self):
+        plan = FailurePlan.gray_nodes(6, 3, 0.5, rng=random.Random(3))
+
+        def outcome():
+            cluster = Cluster(6, failure_plan=plan)
+            quorum = frozenset(range(6))
+            acks = cluster.write_quorum(quorum, "x", "v", Timestamp(1, 0))
+            return frozenset(acks)
+
+        # Same plan, fresh per-trial behaviour clones: identical draws, and
+        # the plan's own behaviours never advance their rng.
+        assert outcome() == outcome()
+
+
+class TestAdversaryFleetPlans:
+    def test_gray_nodes_constructor(self):
+        plan = FailurePlan.gray_nodes(10, 3, 0.25, rng=random.Random(4))
+        assert len(plan.byzantine) == 3
+        assert all(isinstance(b, GrayBehavior) for b in plan.byzantine.values())
+        # Gray servers are degraded but not Byzantine.
+        assert plan.byzantine_servers == frozenset()
+        assert len(plan.faulty_servers) == 3
+
+    def test_gray_drop_probability_validated(self):
+        with pytest.raises(SimulationError):
+            GrayBehavior(1.5)
+
+    def test_targeted_partition_lowers_to_crashes(self):
+        plan = FailurePlan.targeted_partition(10, [7, 2, 2])
+        assert plan.crashed == frozenset({2, 7})
+        assert not plan.byzantine
+
+    def test_targeted_partition_validates_targets(self):
+        with pytest.raises(ConfigurationError):
+            FailurePlan.targeted_partition(5, [5])
+
+    def test_shuffle_delivery_changes_order_not_outcome(self):
+        shuffled = Cluster(8, failure_plan=FailurePlan(shuffle_delivery=True), seed=11)
+        plain = Cluster(8, seed=11)
+        quorum = tuple(range(8))
+        for cluster in (shuffled, plain):
+            cluster.write_quorum(quorum, "x", "v", Timestamp(1, 0))
+        assert shuffled._delivery_order(quorum) != list(quorum)
+        assert plain._delivery_order(quorum) == list(quorum)
+        assert shuffled.read_quorum(quorum, "x").keys() == plain.read_quorum(
+            quorum, "x"
+        ).keys()
+        assert "shuffled" in FailurePlan(shuffle_delivery=True).describe()
+
+
+class TestAdversaryFleetModels:
+    def test_fleet_kinds_and_flags(self):
+        clique = FailureModel.timestamp_forging_clique(3, "FORGED", Timestamp(1, 7))
+        assert clique.byzantine_count == 3
+        assert clique.forges_values
+        gray = FailureModel.gray_nodes(3, 0.3)
+        assert gray.byzantine_count == 0
+        assert not gray.forges_values
+        assert FailureModel.message_reordering().byzantine_count == 0
+        partition = FailureModel.targeted_partition([3, 1])
+        assert partition.targets == (1, 3)
+        assert partition.byzantine_count == 0
+
+    def test_fleet_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailureModel.gray_nodes(2, 1.5)
+        with pytest.raises(ConfigurationError):
+            FailureModel.targeted_partition([-1])
+        with pytest.raises(ConfigurationError):
+            FailureModel.gray_nodes(-1, 0.5)
+
+    def test_fleet_describe(self):
+        assert "targets=[0, 1]" in FailureModel.targeted_partition([0, 1]).describe()
+        assert "drop_p=0.3" in FailureModel.gray_nodes(2, 0.3).describe()
+        assert "message_reordering" in FailureModel.message_reordering().describe()
+
+    def test_sampled_plans_match_their_model(self):
+        rng = random.Random(5)
+        partition = FailureModel.targeted_partition([0, 1]).sample_plan_for(10, rng)
+        assert partition.crashed == frozenset({0, 1})
+        reorder = FailureModel.message_reordering().sample_plan_for(10, rng)
+        assert reorder.shuffle_delivery and not reorder.faulty_servers
+        clique = FailureModel.timestamp_forging_clique(
+            2, "FORGED", Timestamp(1, 7)
+        ).sample_plan_for(10, rng)
+        assert len(clique.byzantine_servers) == 2
+        assert {b.fabricated_timestamp for b in clique.byzantine.values()} == {
+            Timestamp(1, 7)
+        }
+        gray = FailureModel.gray_nodes(3, 0.4).sample_plan_for(10, rng)
+        assert all(b.drop_p == 0.4 for b in gray.byzantine.values())
+
+    def test_fleet_batch_masks(self):
+        generator = np.random.default_rng(6)
+        partition = FailureModel.targeted_partition([0, 4]).sample_masks(
+            8, 5, generator
+        )
+        assert partition.crashed[:, [0, 4]].all()
+        assert not partition.crashed[:, [1, 2, 3, 5, 6, 7]].any()
+        reorder = FailureModel.message_reordering().sample_masks(8, 5, generator)
+        assert not (reorder.crashed.any() or reorder.byzantine.any())
+        clique = FailureModel.timestamp_forging_clique(
+            3, "FORGED", Timestamp(1, 7)
+        ).sample_masks(8, 200, generator)
+        assert (clique.forgers.sum(axis=1) == 3).all()
+        assert clique.fabricated_timestamp == Timestamp(1, 7)
+        # Gray folds into the crash mask: at most `count` per trial, with the
+        # effective probability 1 - (1-p)^2 per chosen server.
+        gray = FailureModel.gray_nodes(4, 0.5).sample_masks(8, 4000, generator)
+        assert (gray.crashed.sum(axis=1) <= 4).all()
+        assert gray.crashed.sum() / (4 * 4000) == pytest.approx(0.75, abs=0.05)
+
+    def test_batch_gray_fenced_off_multi_operation_kernels(self):
+        system = ProbabilisticMaskingSystem(16, 8, 1)
+        engine = BatchTrialEngine(
+            system, failure_model=FailureModel.gray_nodes(2, 0.3), writers=2
+        )
+        with pytest.raises(ConfigurationError, match="sequential"):
+            engine.estimate_read_consistency(100)
 
 
 class TestCluster:
